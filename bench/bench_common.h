@@ -1,0 +1,104 @@
+// Shared helpers for the experiment binaries.
+//
+// Every binary reproduces one paper figure/table, runs with no arguments on
+// the synthetic CityPulse-like dataset, and accepts:
+//   --csv <path>     use a real CityPulse export instead of the generator
+//   --trials <n>     trials per configuration (default per-binary)
+//   --seed <n>       master seed
+//   --output-csv     also print machine-readable CSV after the table
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/args.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "data/citypulse.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "iot/network.h"
+#include "query/range_query.h"
+
+namespace prc::bench {
+
+struct Options {
+  std::optional<std::string> csv_path;
+  std::size_t trials = 0;  // 0 = binary default
+  std::uint64_t seed = 20140801;
+  bool output_csv = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  ArgParser parser(argv[0],
+                   "prc experiment binary (see DESIGN.md for the index)");
+  parser.option("csv", "run on a real CityPulse CSV export")
+      .option("trials", "trials per configuration (0 = binary default)")
+      .option("seed", "master seed")
+      .flag("output-csv", "also print machine-readable CSV");
+  try {
+    if (!parser.parse(argc, argv)) std::exit(0);  // --help
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n" << parser.help();
+    std::exit(2);
+  }
+  Options options;
+  options.csv_path = parser.get("csv");
+  options.trials = static_cast<std::size_t>(parser.get_uint("trials", 0));
+  options.seed = parser.get_uint("seed", options.seed);
+  options.output_csv = parser.has("output-csv");
+  return options;
+}
+
+/// Loads the evaluation dataset: a real export when --csv was given,
+/// otherwise the paper-shaped synthetic generator.
+inline std::vector<data::AirQualityRecord> load_records(
+    const Options& options) {
+  if (options.csv_path) {
+    std::cout << "# dataset: " << *options.csv_path << "\n";
+    return data::read_records_csv(*options.csv_path);
+  }
+  data::CityPulseConfig config;
+  config.seed = options.seed;
+  std::cout << "# dataset: synthetic CityPulse-like ("
+            << config.record_count << " records, seed " << config.seed
+            << ")\n";
+  return data::CityPulseGenerator(config).generate();
+}
+
+/// Builds a k-node flat network holding one column's values.
+inline iot::FlatNetwork make_network(const data::Column& column,
+                                     std::size_t nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  auto node_data = data::partition_values(
+      column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
+  iot::NetworkConfig config;
+  config.seed = seed + 1;
+  return iot::FlatNetwork(std::move(node_data), config);
+}
+
+/// |estimate - truth| / truth; the measure the paper's figures plot.
+/// Returns 0 for truth == 0 and estimate == 0, infinity if only truth is 0.
+inline double relative_error(double estimate, double truth) {
+  if (truth == 0.0) {
+    return estimate == 0.0 ? 0.0
+                           : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - truth) / truth;
+}
+
+inline void emit(const TextTable& table, const Options& options) {
+  std::cout << table.to_string();
+  if (options.output_csv) {
+    std::cout << "\n# CSV\n" << table.to_csv();
+  }
+}
+
+}  // namespace prc::bench

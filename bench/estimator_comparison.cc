@@ -1,0 +1,109 @@
+// Section III-A analysis: RankCounting vs BasicCounting.
+//
+// The paper's analytical claim: BasicCounting variance gamma*(1-p)/p grows
+// with the true count (query width), RankCounting's 8k/p^2 does not.  This
+// harness measures empirical variance of both estimators across range
+// selectivities and reports the communication budget (the sqrt(8k)/alpha
+// expected-sample-count claim and the heartbeat-piggyback effect).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/statistics.h"
+#include "estimator/accuracy.h"
+#include "estimator/basic_counting.h"
+#include "estimator/rank_counting.h"
+#include "query/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace prc;
+  const auto options = bench::parse_options(argc, argv);
+  const std::size_t trials = options.trials ? options.trials : 300;
+  const std::size_t kNodes = 8;
+  const double p = 0.1;
+
+  const auto records = bench::load_records(options);
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(data::AirQualityIndex::kOzone);
+  const std::size_t n = column.size();
+
+  std::cout << "Estimator comparison: empirical variance, RankCounting vs "
+               "BasicCounting (p = " << p << ", k = " << kNodes << ")\n\n";
+
+  TextTable table({"selectivity", "truth", "var_rank", "var_basic",
+                   "bound_rank(8k/p^2)", "var_basic_theory"});
+  for (double width : {0.05, 0.15, 0.30, 0.50, 0.70, 0.90}) {
+    const query::RangeQuery q{column.quantile(0.5 - width / 2),
+                              column.quantile(0.5 + width / 2)};
+    const double truth =
+        static_cast<double>(column.exact_range_count(q.lower, q.upper));
+    RunningStats rank_stats, basic_stats;
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto network =
+          bench::make_network(column, kNodes, options.seed + 7919 * t);
+      network.ensure_sampling_probability(p);
+      rank_stats.add(network.rank_counting_estimate(q));
+      basic_stats.add(network.basic_counting_estimate(q));
+    }
+    table.add_row(
+        {table.format(width), table.format(truth),
+         table.format(rank_stats.variance()),
+         table.format(basic_stats.variance()),
+         table.format(
+             estimator::rank_counting_variance_bound(kNodes, p)),
+         table.format(estimator::basic_counting_variance(truth, p))});
+  }
+  bench::emit(table, options);
+
+  // Communication budget: the expected number of samples for an
+  // (alpha, delta) contract is p*n = sqrt(8k)/(alpha sqrt(1-delta)),
+  // independent of n.
+  std::cout << "\nCommunication budget per contract (Theorem 3.3)\n\n";
+  TextTable comm({"alpha", "delta", "p", "samples", "uplink_bytes",
+                  "piggybacked", "raw_data_bytes"});
+  for (const auto& spec :
+       std::vector<query::AccuracySpec>{{0.2, 0.5}, {0.1, 0.5},
+                                        {0.055, 0.5}, {0.02, 0.8}}) {
+    const double preq = std::min(
+        1.0, estimator::required_sampling_probability(spec, kNodes, n));
+    auto network = bench::make_network(column, kNodes, options.seed + 17);
+    network.ensure_sampling_probability(preq);
+    comm.add_row(
+        {comm.format(spec.alpha), comm.format(spec.delta),
+         comm.format(preq),
+         std::to_string(network.base_station().cached_sample_count()),
+         std::to_string(network.stats().uplink_bytes),
+         std::to_string(network.stats().piggybacked_reports),
+         std::to_string(n * sizeof(double))});
+  }
+  bench::emit(comm, options);
+
+  // End-to-end requirement comparison: the sampling probability (= sample
+  // volume) each estimator needs to honor the SAME contract, worst case
+  // over queries.  This is the §III-A communication argument in one table.
+  std::cout << "\nRequired sampling probability per contract: RankCounting "
+               "(Thm 3.3) vs BasicCounting (HT worst case)\n\n";
+  TextTable req({"alpha", "delta", "p_rank", "p_basic", "samples_rank",
+                 "samples_basic", "ratio"});
+  for (const auto& spec :
+       std::vector<query::AccuracySpec>{{0.2, 0.5}, {0.1, 0.5},
+                                        {0.055, 0.5}, {0.02, 0.8},
+                                        {0.01, 0.9}}) {
+    const double p_rank = std::min(
+        1.0, estimator::required_sampling_probability(spec, kNodes, n));
+    const double p_basic = std::min(
+        1.0, estimator::basic_counting_required_probability(spec, n));
+    req.add_row({req.format(spec.alpha), req.format(spec.delta),
+                 req.format(p_rank), req.format(p_basic),
+                 std::to_string(static_cast<std::size_t>(
+                     p_rank * static_cast<double>(n))),
+                 std::to_string(static_cast<std::size_t>(
+                     p_basic * static_cast<double>(n))),
+                 req.format(p_basic / p_rank)});
+  }
+  bench::emit(req, options);
+  std::cout << "\n# paper shape check: var_rank stays flat across\n"
+            << "# selectivity and far below var_basic on wide ranges;\n"
+            << "# sample counts track sqrt(8k)/(alpha sqrt(1-delta)) and\n"
+            << "# uplink bytes sit orders below shipping the raw data.\n";
+  return 0;
+}

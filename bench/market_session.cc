@@ -1,0 +1,75 @@
+// Market session: the Section IV economics over a whole trading session.
+//
+// The same consumer population (5 honest, 2 attackers, 50 rounds) shops
+// under three broker setups; the tally shows what the pricing choice and
+// the per-consumer budget cap do to revenue, arbitrage leakage and privacy
+// exposure.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "dp/private_counting.h"
+#include "market/simulation.h"
+#include "query/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace prc;
+  const auto options = bench::parse_options(argc, argv);
+  const std::size_t kNodes = 8;
+
+  const auto records = bench::load_records(options);
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(data::AirQualityIndex::kOzone);
+  const auto pool = query::default_evaluation_suite(column);
+  const pricing::VarianceModel model(column.size(), kNodes);
+  const query::AccuracySpec reference{0.1, 0.5};
+
+  struct Scenario {
+    std::string label;
+    double exponent;
+    double epsilon_cap;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"q=2 steep discount, no cap", 2.0,
+       std::numeric_limits<double>::infinity()},
+      {"q=1 Thm 4.2, no cap", 1.0, std::numeric_limits<double>::infinity()},
+      {"q=1 Thm 4.2, eps-cap 0.02", 1.0, 0.02},
+  };
+
+  std::cout << "Market session: 5 honest + 2 attackers, 50 rounds\n\n";
+  TextTable table({"scenario", "revenue", "honest_buys", "atk_targets",
+                   "atk_queries", "profitable_atks", "arbitrage_leak",
+                   "refused", "max_eps_honest", "max_eps_attacker"});
+  for (const auto& scenario : scenarios) {
+    auto network = bench::make_network(column, kNodes, options.seed + 5);
+    dp::PrivateRangeCounter counter(network, {}, options.seed + 7);
+    market::BrokerConfig broker_config;
+    broker_config.per_consumer_epsilon_cap = scenario.epsilon_cap;
+    market::DataBroker broker(
+        counter,
+        std::make_unique<pricing::InverseVariancePricing>(
+            model, reference, 100.0, scenario.exponent),
+        broker_config);
+    market::SimulationConfig sim_config;
+    sim_config.seed = options.seed + 11;
+    market::MarketSimulation simulation(broker, model, pool, sim_config);
+    const auto report = simulation.run();
+    table.add_row(
+        {scenario.label, table.format(report.revenue),
+         std::to_string(report.honest_purchases),
+         std::to_string(report.attacker_targets),
+         std::to_string(report.attacker_queries),
+         std::to_string(report.profitable_attacks),
+         table.format(report.arbitrage_leakage()),
+         std::to_string(report.refused_sales),
+         table.format(report.max_honest_epsilon),
+         table.format(report.max_attacker_epsilon)});
+  }
+  bench::emit(table, options);
+  std::cout << "\n# shape check: under q=2 every attacker acquisition is a\n"
+            << "# profitable multi-query attack (large arbitrage leakage);\n"
+            << "# under q=1 attacks vanish and leakage is ~0; the epsilon\n"
+            << "# cap converts excess demand into refusals and bounds the\n"
+            << "# per-consumer exposure.\n";
+  return 0;
+}

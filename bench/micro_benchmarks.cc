@@ -1,0 +1,135 @@
+// google-benchmark micro-benchmarks of the hot paths: per-node estimation,
+// global estimation, sampling top-up, the perturbation optimizer, Laplace
+// draws and CSV parsing.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "data/citypulse.h"
+#include "dp/laplace_mechanism.h"
+#include "dp/optimizer.h"
+#include "estimator/basic_counting.h"
+#include "estimator/rank_counting.h"
+#include "sampling/local_sampler.h"
+
+namespace {
+
+using namespace prc;
+
+std::vector<double> make_values(std::size_t n) {
+  std::vector<double> values(n);
+  Rng rng(17);
+  for (auto& v : values) v = rng.uniform(0.0, 200.0);
+  return values;
+}
+
+sampling::RankSampleSet make_sample(std::size_t n, double p) {
+  sampling::LocalSampler sampler(make_values(n));
+  Rng rng(23);
+  sampler.raise_probability(p, rng);
+  return sampler.current_sample();
+}
+
+void BM_NodeEstimate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto sample = make_sample(n, 0.2);
+  const query::RangeQuery range{40.0, 160.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator::rank_counting_node_estimate(sample, n, 0.2, range));
+  }
+}
+BENCHMARK(BM_NodeEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BasicEstimate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto sample = make_sample(n, 0.2);
+  const query::RangeQuery range{40.0, 160.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator::basic_counting_node_estimate(sample, 0.2, range));
+  }
+}
+BENCHMARK(BM_BasicEstimate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GlobalEstimate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<sampling::RankSampleSet> sets;
+  std::vector<estimator::NodeSampleView> views;
+  sets.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) sets.push_back(make_sample(2000, 0.2));
+  for (const auto& s : sets) views.push_back({&s, 2000});
+  const query::RangeQuery range{40.0, 160.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator::rank_counting_estimate(views, 0.2, range));
+  }
+}
+BENCHMARK(BM_GlobalEstimate)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SamplerTopUp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto values = make_values(n);
+  Rng rng(31);
+  for (auto _ : state) {
+    sampling::LocalSampler sampler(values);
+    sampler.raise_probability(0.1, rng);
+    sampler.raise_probability(0.3, rng);
+    benchmark::DoNotOptimize(sampler.sample_count());
+  }
+}
+BENCHMARK(BM_SamplerTopUp)->Arg(1000)->Arg(10000);
+
+void BM_Optimizer(benchmark::State& state) {
+  const dp::PerturbationOptimizer optimizer(
+      {.grid_points = static_cast<std::size_t>(state.range(0))});
+  const query::AccuracySpec spec{0.05, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(spec, 0.4, 8, 17568));
+  }
+}
+BENCHMARK(BM_Optimizer)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_LaplaceSample(benchmark::State& state) {
+  const dp::LaplaceMechanism mechanism(2.5, 0.5);
+  Rng rng(37);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.perturb(100.0, rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_CityPulseGenerate(benchmark::State& state) {
+  data::CityPulseConfig config;
+  config.record_count = static_cast<std::size_t>(state.range(0));
+  const data::CityPulseGenerator generator(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate());
+  }
+}
+BENCHMARK(BM_CityPulseGenerate)->Arg(1000)->Arg(17568);
+
+void BM_CsvParse(benchmark::State& state) {
+  data::CityPulseConfig config;
+  config.record_count = 2000;
+  const auto records = data::CityPulseGenerator(config).generate();
+  CsvTable table({"timestamp", "sensor_id", "ozone", "particulate_matter",
+                  "carbon_monoxide", "sulfur_dioxide", "nitrogen_dioxide"});
+  for (const auto& r : records) {
+    table.add_row({std::to_string(r.timestamp), std::to_string(r.sensor_id),
+                   std::to_string(r.values[0]), std::to_string(r.values[1]),
+                   std::to_string(r.values[2]), std::to_string(r.values[3]),
+                   std::to_string(r.values[4])});
+  }
+  const std::string text = to_csv(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_csv(text));
+  }
+}
+BENCHMARK(BM_CsvParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

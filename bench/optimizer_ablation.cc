@@ -1,0 +1,94 @@
+// Section III-B ablation: what the perturbation optimizer buys.
+//
+// No figure in the paper corresponds to this directly, but DESIGN.md calls
+// out three design choices worth quantifying:
+//   1. optimizing over alpha' vs naive fixed splits (alpha' = alpha/2 etc.),
+//   2. the expected-sensitivity policy (1/p) vs the worst case (n_i),
+//   3. privacy amplification by sampling (reporting epsilon vs epsilon').
+#include <iostream>
+
+#include "bench_common.h"
+#include "dp/amplification.h"
+#include "dp/optimizer.h"
+#include "estimator/accuracy.h"
+
+int main(int argc, char** argv) {
+  using namespace prc;
+  const auto options = bench::parse_options(argc, argv);
+  const auto records = bench::load_records(options);
+  const std::size_t kNodes = 8;
+  const std::size_t n = records.size();
+  const std::size_t max_ni = (n + kNodes - 1) / kNodes;
+
+  const dp::PerturbationOptimizer optimizer;
+
+  std::cout << "Optimizer ablation 1: optimized alpha' vs naive splits "
+               "(p = 0.4)\n\n";
+  TextTable split_table({"contract", "eps'_optimized", "eps'_mid_split",
+                         "eps'_quarter_split", "gain_vs_mid"});
+  const double p = 0.4;
+  for (const auto& spec :
+       std::vector<query::AccuracySpec>{{0.05, 0.8}, {0.08, 0.7},
+                                        {0.10, 0.9}, {0.03, 0.6}}) {
+    const auto plan = optimizer.optimize(spec, p, kNodes, n);
+    if (!plan) continue;
+    // Naive split: fix alpha' at a constant fraction of alpha, derive the
+    // rest the same way the optimizer does.
+    auto naive = [&](double fraction) {
+      const double alpha_prime = spec.alpha * fraction;
+      const double delta_prime =
+          estimator::achieved_delta(p, alpha_prime, kNodes, n);
+      if (!(delta_prime > spec.delta)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      const double eps =
+          (1.0 / p) / ((spec.alpha - alpha_prime) * static_cast<double>(n)) *
+          std::log(delta_prime / (delta_prime - spec.delta));
+      return dp::amplified_epsilon(eps, p);
+    };
+    const double mid = naive(0.5);
+    const double quarter = naive(0.25);
+    split_table.add_row(
+        {spec.to_string(), split_table.format(plan->epsilon_amplified),
+         split_table.format(mid), split_table.format(quarter),
+         split_table.format(mid / plan->epsilon_amplified)});
+  }
+  bench::emit(split_table, options);
+
+  std::cout << "\nOptimizer ablation 2: sensitivity policy (p = 0.4)\n\n";
+  dp::OptimizerConfig worst_config;
+  worst_config.sensitivity_policy = dp::SensitivityPolicy::kWorstCase;
+  const dp::PerturbationOptimizer worst(worst_config);
+  TextTable sens_table({"contract", "eps'_expected(1/p)",
+                        "eps'_worst_case(n_i)", "ratio"});
+  for (const auto& spec :
+       std::vector<query::AccuracySpec>{{0.05, 0.8}, {0.10, 0.9}}) {
+    const auto e = optimizer.optimize(spec, p, kNodes, n, max_ni);
+    const auto w = worst.optimize(spec, p, kNodes, n, max_ni);
+    if (!e || !w) continue;
+    sens_table.add_row(
+        {spec.to_string(), sens_table.format(e->epsilon_amplified),
+         sens_table.format(w->epsilon_amplified),
+         sens_table.format(w->epsilon_amplified / e->epsilon_amplified)});
+  }
+  bench::emit(sens_table, options);
+
+  std::cout << "\nOptimizer ablation 3: amplification by sampling "
+               "(contract alpha=0.05, delta=0.8)\n\n";
+  TextTable amp_table({"p", "epsilon", "epsilon_amplified", "amplification"});
+  for (double pr : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const auto plan = optimizer.optimize({0.05, 0.8}, pr, kNodes, n);
+    if (!plan) {
+      amp_table.add_row({amp_table.format(pr), "infeasible", "-", "-"});
+      continue;
+    }
+    amp_table.add_numeric_row({pr, plan->epsilon, plan->epsilon_amplified,
+                               plan->epsilon / plan->epsilon_amplified});
+  }
+  bench::emit(amp_table, options);
+  std::cout << "\n# shape check: optimization beats fixed splits; the worst-\n"
+            << "# case sensitivity inflates the budget by orders of\n"
+            << "# magnitude (the paper's reason to adopt E[sens] = 1/p);\n"
+            << "# smaller p amplifies more (epsilon/epsilon' grows).\n";
+  return 0;
+}

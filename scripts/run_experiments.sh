@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs every experiment binary and saves outputs under results/.
+#
+# usage: scripts/run_experiments.sh [build-dir] [-- extra bench args]
+#   scripts/run_experiments.sh
+#   scripts/run_experiments.sh build -- --csv my_citypulse_export.csv
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+EXTRA_ARGS=()
+if [ "${1:-}" = "--" ]; then
+  shift
+  EXTRA_ARGS=("$@")
+fi
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+RESULTS_DIR="results/$(date +%Y%m%d-%H%M%S)"
+mkdir -p "$RESULTS_DIR"
+echo "writing results to $RESULTS_DIR"
+
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  if [ "$name" = micro_benchmarks ]; then
+    "$bench" | tee "$RESULTS_DIR/$name.txt"
+  else
+    "$bench" --output-csv "${EXTRA_ARGS[@]}" | tee "$RESULTS_DIR/$name.txt"
+  fi
+done
+
+echo
+echo "done: $(ls "$RESULTS_DIR" | wc -l) result files in $RESULTS_DIR"

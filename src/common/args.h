@@ -1,0 +1,56 @@
+// Minimal --key value command-line parsing shared by the experiment
+// binaries and the prc_query CLI.
+//
+// Grammar: every option is `--key value` except declared boolean switches
+// (`--flag`).  Unknown keys are an error (catches typos in experiment
+// sweeps), `--help` prints the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace prc {
+
+class ArgParser {
+ public:
+  /// `program` and `description` feed the --help text.
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a valued option (shown in --help).  Returns *this for
+  /// chaining.
+  ArgParser& option(const std::string& key, const std::string& help);
+
+  /// Declares a boolean switch (no value).
+  ArgParser& flag(const std::string& key, const std::string& help);
+
+  /// Parses argv.  On --help prints usage and returns false (caller should
+  /// exit 0).  Throws std::invalid_argument on unknown keys or a missing
+  /// value.
+  bool parse(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key,
+                     const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::uint64_t get_uint(const std::string& key,
+                         std::uint64_t fallback) const;
+
+  std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace prc

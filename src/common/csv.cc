@@ -1,0 +1,193 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prc {
+namespace {
+
+/// Splits `text` into records of fields, honoring quotes.
+std::vector<std::vector<std::string>> tokenize(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current_record;
+  std::string current_field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once any char (or quote) seen in field
+  bool record_started = false;
+
+  auto end_field = [&] {
+    current_record.push_back(std::move(current_field));
+    current_field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current_record));
+    current_record.clear();
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current_field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started) {
+          in_quotes = true;
+          field_started = true;
+          record_started = true;
+        } else {
+          current_field.push_back(c);  // lenient: quote mid-field is literal
+        }
+        break;
+      case ',':
+        end_field();
+        record_started = true;
+        break;
+      case '\r':
+        // swallow; the '\n' (if any) terminates the record
+        break;
+      case '\n':
+        if (record_started || field_started || !current_record.empty() ||
+            !current_field.empty()) {
+          end_record();
+        }
+        break;
+      default:
+        current_field.push_back(c);
+        field_started = true;
+        record_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("csv: unterminated quote");
+  if (record_started || !current_field.empty() || !current_record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+std::string escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+std::optional<std::size_t> CsvTable::column_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+double CsvTable::field_as_double(std::size_t r, std::size_t c) const {
+  const std::string& s = field(r, c);
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    std::ostringstream msg;
+    msg << "csv: field (" << r << ", " << c << ") = '" << s
+        << "' is not a number";
+    throw std::invalid_argument(msg.str());
+  }
+  return value;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    std::ostringstream msg;
+    msg << "csv: row width " << row.size() << " != header width "
+        << header_.size();
+    throw std::invalid_argument(msg.str());
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<double> CsvTable::column_as_doubles(std::string_view name) const {
+  const auto idx = column_index(name);
+  if (!idx) {
+    throw std::invalid_argument("csv: no column named '" + std::string(name) +
+                                "'");
+  }
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out.push_back(field_as_double(r, *idx));
+  }
+  return out;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  auto records = tokenize(text);
+  if (records.empty()) throw std::invalid_argument("csv: empty document");
+  CsvTable table(std::move(records.front()));
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    table.add_row(std::move(records[i]));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::ostringstream out;
+  const auto emit_row = [&out](const std::vector<std::string>& row) {
+    // A single empty field would serialize to an empty line, which parsers
+    // (including ours) skip; quote it so the row survives the round trip.
+    if (row.size() == 1 && row[0].empty()) {
+      out << "\"\"\n";
+      return;
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << escape(row[i]);
+    }
+    out << '\n';
+  };
+  emit_row(table.header());
+  for (std::size_t r = 0; r < table.row_count(); ++r) emit_row(table.row(r));
+  return out.str();
+}
+
+void write_csv_file(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csv: cannot open '" + path + "'");
+  out << to_csv(table);
+  if (!out) throw std::runtime_error("csv: write failed for '" + path + "'");
+}
+
+}  // namespace prc

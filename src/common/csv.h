@@ -1,0 +1,72 @@
+// Minimal dependency-free CSV reader/writer.
+//
+// Handles the subset of RFC 4180 that real sensor exports (CityPulse
+// included) use: a header row, comma separation, optional double-quote
+// quoting with "" escapes, and CRLF or LF line endings.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prc {
+
+/// A parsed CSV document: one header row plus zero or more data rows, all
+/// fields kept as strings.  Typed access goes through column() / field_as.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Creates a table with the given header; rows are appended afterwards.
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return header_.size(); }
+
+  /// Index of a named column, if present.
+  std::optional<std::size_t> column_index(std::string_view name) const;
+
+  const std::vector<std::string>& row(std::size_t r) const {
+    return rows_.at(r);
+  }
+
+  const std::string& field(std::size_t r, std::size_t c) const {
+    return rows_.at(r).at(c);
+  }
+
+  /// Parses field (r, c) as double.  Throws std::invalid_argument with the
+  /// row/column context on malformed input.
+  double field_as_double(std::size_t r, std::size_t c) const;
+
+  /// Appends a row.  Throws if the width differs from the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Extracts a whole column parsed as double.
+  std::vector<double> column_as_doubles(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses a CSV document from text.  The first record is the header.
+/// Throws std::invalid_argument on structural errors (ragged rows,
+/// unterminated quotes).
+CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file.  Throws std::runtime_error if the file can't
+/// be opened.
+CsvTable read_csv_file(const std::string& path);
+
+/// Serializes with minimal quoting (only fields containing , " or newline are
+/// quoted).
+std::string to_csv(const CsvTable& table);
+
+/// Writes a CSV file; throws std::runtime_error on I/O failure.
+void write_csv_file(const CsvTable& table, const std::string& path);
+
+}  // namespace prc

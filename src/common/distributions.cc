@@ -1,0 +1,93 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prc {
+
+Laplace::Laplace(double scale) : scale_(scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("Laplace scale must be positive");
+  }
+}
+
+double Laplace::sample(Rng& rng) const noexcept {
+  // Inverse CDF: u ~ U(-1/2, 1/2), x = -b * sgn(u) * ln(1 - 2|u|).
+  const double u = rng.uniform() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale_ * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double Laplace::pdf(double x) const noexcept {
+  return std::exp(-std::abs(x) / scale_) / (2.0 * scale_);
+}
+
+double Laplace::cdf(double x) const noexcept {
+  if (x < 0.0) return 0.5 * std::exp(x / scale_);
+  return 1.0 - 0.5 * std::exp(-x / scale_);
+}
+
+double Laplace::central_probability(double t) const noexcept {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-t / scale_);
+}
+
+double Laplace::central_quantile(double q) const {
+  if (q < 0.0 || q >= 1.0) {
+    throw std::invalid_argument("central_quantile requires q in [0, 1)");
+  }
+  return -scale_ * std::log(1.0 - q);
+}
+
+Geometric::Geometric(double p) : p_(p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("Geometric p must be in (0, 1]");
+  }
+}
+
+std::int64_t Geometric::sample(Rng& rng) const noexcept {
+  if (p_ >= 1.0) return 1;
+  // Inversion: ceil(ln(1-u) / ln(1-p)).
+  const double u = rng.uniform();
+  const double draw = std::ceil(std::log1p(-u) / std::log1p(-p_));
+  return draw < 1.0 ? 1 : static_cast<std::int64_t>(draw);
+}
+
+double Geometric::pmf(std::int64_t j) const noexcept {
+  if (j < 1) return 0.0;
+  return p_ * std::pow(1.0 - p_, static_cast<double>(j - 1));
+}
+
+double sample_exponential(Rng& rng, double rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("exponential rate must be positive");
+  }
+  return -std::log1p(-rng.uniform()) / rate;
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  // Box-Muller; one of the pair is discarded for simplicity (the generators
+  // here are nowhere near the hot path).
+  double u1 = rng.uniform();
+  while (u1 <= 0.0) u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+std::int64_t sample_zipf(Rng& rng, std::int64_t n, double s) {
+  if (n <= 0) throw std::invalid_argument("zipf support size must be positive");
+  // Direct inversion over the (small) support; n here is a node count, not a
+  // data count, so O(n) per draw is fine.
+  double norm = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+  double u = rng.uniform() * norm;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(i, s);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace prc

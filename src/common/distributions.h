@@ -1,0 +1,82 @@
+// Analytic distributions used across the library.
+//
+// The Laplace distribution gets a full treatment (sampling, pdf/cdf, tail
+// quantiles) because the DP optimizer needs its closed-form tail probability
+// Pr[|Lap(b)| <= t] = 1 - exp(-t/b), not just noise draws.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace prc {
+
+/// Laplace(location = 0, scale = b) distribution.
+///
+/// In the paper's shorthand Lap(epsilon) denotes Laplace noise with scale
+/// sensitivity/epsilon; here the scale is always explicit to avoid that
+/// ambiguity.
+class Laplace {
+ public:
+  /// Requires scale > 0.
+  explicit Laplace(double scale);
+
+  double scale() const noexcept { return scale_; }
+
+  /// One noise draw via inverse-CDF sampling.
+  double sample(Rng& rng) const noexcept;
+
+  /// Density at x.
+  double pdf(double x) const noexcept;
+
+  /// Pr[X <= x].
+  double cdf(double x) const noexcept;
+
+  /// Pr[|X| <= t] = 1 - exp(-t/b) for t >= 0 (0 for t < 0).
+  double central_probability(double t) const noexcept;
+
+  /// Smallest t with Pr[|X| <= t] >= q, for q in [0, 1).
+  double central_quantile(double q) const;
+
+ private:
+  double scale_;
+};
+
+/// Geometric distribution on {1, 2, ...} with success probability p:
+/// Pr[X = j] = p (1-p)^{j-1}.  This is the law of the gap between a range
+/// endpoint and its sampled predecessor/successor in the RankCounting
+/// analysis (paper Thm 3.1).
+class Geometric {
+ public:
+  /// Requires p in (0, 1].
+  explicit Geometric(double p);
+
+  double success_probability() const noexcept { return p_; }
+
+  /// One draw (>= 1) via inversion.
+  std::int64_t sample(Rng& rng) const noexcept;
+
+  /// Pr[X = j] for j >= 1.
+  double pmf(std::int64_t j) const noexcept;
+
+  /// E[X] = 1/p.
+  double mean() const noexcept { return 1.0 / p_; }
+
+  /// Var[X] = (1-p)/p^2.
+  double variance() const noexcept { return (1.0 - p_) / (p_ * p_); }
+
+ private:
+  double p_;
+};
+
+/// Draws from Exponential(rate) — used by the synthetic workload generators.
+double sample_exponential(Rng& rng, double rate);
+
+/// Draws a standard normal via Box-Muller — used by the dataset generator.
+double sample_normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Draws from a (bounded) Zipf distribution over {0, ..., n-1} with exponent
+/// `s`; used to create skewed data-to-node assignments.
+std::int64_t sample_zipf(Rng& rng, std::int64_t n, double s);
+
+}  // namespace prc

@@ -1,0 +1,53 @@
+// Tiny leveled logger.
+//
+// The simulator and market components emit occasional diagnostics; keeping a
+// single sink with a level switch lets tests silence them and examples show
+// them, with no dependency on an external logging library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace prc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.  Defaults to kWarn
+/// so library users aren't spammed; examples raise it to kInfo explicitly.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message" when `level` passes the
+/// global filter.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot builder: LogLine(kInfo) << "x=" << x; logs at
+/// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define PRC_LOG_DEBUG ::prc::detail::LogLine(::prc::LogLevel::kDebug)
+#define PRC_LOG_INFO ::prc::detail::LogLine(::prc::LogLevel::kInfo)
+#define PRC_LOG_WARN ::prc::detail::LogLine(::prc::LogLevel::kWarn)
+#define PRC_LOG_ERROR ::prc::detail::LogLine(::prc::LogLevel::kError)
+
+}  // namespace prc

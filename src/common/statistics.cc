@@ -1,0 +1,96 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prc {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 1 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean of empty sample");
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats.mean();
+}
+
+double variance(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("variance of empty sample");
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  return stats.variance();
+}
+
+double max_abs(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("max_abs of empty sample");
+  double best = 0.0;
+  for (double v : values) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double chebyshev_confidence(double variance, double t) {
+  if (!(t > 0.0)) return 0.0;
+  return std::clamp(1.0 - variance / (t * t), 0.0, 1.0);
+}
+
+double chebyshev_deviation(double variance, double confidence) {
+  if (confidence < 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in [0, 1)");
+  }
+  if (variance < 0.0) throw std::invalid_argument("variance must be >= 0");
+  return std::sqrt(variance / (1.0 - confidence));
+}
+
+}  // namespace prc

@@ -1,0 +1,63 @@
+// Streaming and batch summary statistics.
+//
+// Experiments in this library repeat randomized trials and report means,
+// variances, maxima and quantiles; RunningStats (Welford) keeps those
+// numerically stable without storing every observation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prc {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-friendly Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (divides by n).  0 when count() < 1.
+  double variance() const noexcept;
+  /// Sample variance (divides by n-1).  0 when count() < 2.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a copied-and-sorted sample using linear interpolation
+/// (the "R-7" rule).  Requires non-empty input and q in [0, 1].
+double quantile(std::span<const double> values, double q);
+
+/// Mean of a batch.  Requires non-empty input.
+double mean(std::span<const double> values);
+
+/// Population variance of a batch.  Requires non-empty input.
+double variance(std::span<const double> values);
+
+/// Maximum absolute value in a batch.  Requires non-empty input.
+double max_abs(std::span<const double> values);
+
+/// Chebyshev bound: for any random variable X with variance v,
+/// Pr[|X - E[X]| > t] <= v / t^2.  Returns the *lower* bound this gives on
+/// Pr[|X - E[X]| <= t], clamped to [0, 1].
+double chebyshev_confidence(double variance, double t);
+
+/// Inverse use of Chebyshev: the deviation t such that
+/// Pr[|X - E[X]| <= t] >= confidence, i.e. t = sqrt(v / (1 - confidence)).
+/// Requires confidence in [0, 1).
+double chebyshev_deviation(double variance, double confidence);
+
+}  // namespace prc

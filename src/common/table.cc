@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prc {
+
+TextTable::TextTable(std::vector<std::string> header, int precision)
+    : header_(std::move(header)), precision_(precision) {
+  if (header_.empty()) throw std::invalid_argument("table needs >= 1 column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("table row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format(v));
+  add_row(std::move(formatted));
+}
+
+std::string TextTable::format(double value) const {
+  std::ostringstream out;
+  out << std::setprecision(precision_) << std::fixed << value;
+  return out.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  const auto emit_cell = [&](const std::string& cell) {
+    // Contract labels like "(alpha=0.05, delta=0.9)" contain commas; quote
+    // any cell that would break the CSV structure.
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      out << cell;
+      return;
+    }
+    out << '"';
+    for (char ch : cell) {
+      if (ch == '"') out << '"';
+      out << ch;
+    }
+    out << '"';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      emit_cell(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+}  // namespace prc

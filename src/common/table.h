@@ -1,0 +1,45 @@
+// Fixed-width text tables for experiment output.
+//
+// Every bench binary prints the paper-style series through this, so the
+// formatting (alignment, precision) is consistent across all experiments.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prc {
+
+/// Builds an aligned text table row by row.  Cells are strings; the numeric
+/// overloads format with a configurable precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header, int precision = 4);
+
+  /// Appends a row of pre-formatted cells.  Throws on width mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of numbers formatted with the table's precision.
+  void add_numeric_row(const std::vector<double>& cells);
+
+  /// Formats a double with this table's precision.
+  std::string format(double value) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string to_string() const;
+
+  /// Renders the same content as CSV (for downstream plotting).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace prc

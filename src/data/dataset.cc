@@ -1,0 +1,62 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prc::data {
+
+Column::Column(std::string name, std::vector<double> values)
+    : name_(std::move(name)), values_(std::move(values)), sorted_(values_) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Column::min() const {
+  if (sorted_.empty()) throw std::logic_error("min of empty column");
+  return sorted_.front();
+}
+
+double Column::max() const {
+  if (sorted_.empty()) throw std::logic_error("max of empty column");
+  return sorted_.back();
+}
+
+double Column::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("quantile of empty column");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q must be in [0, 1]");
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::size_t Column::exact_range_count(double l, double u) const {
+  if (l > u) return 0;
+  const auto first = std::lower_bound(sorted_.begin(), sorted_.end(), l);
+  const auto last = std::upper_bound(sorted_.begin(), sorted_.end(), u);
+  return static_cast<std::size_t>(last - first);
+}
+
+Dataset::Dataset(const std::vector<AirQualityRecord>& records) {
+  record_count_ = records.size();
+  columns_.reserve(kAirQualityIndexCount);
+  for (auto index : kAllAirQualityIndexes) {
+    std::vector<double> values;
+    values.reserve(records.size());
+    for (const auto& record : records) values.push_back(record.value(index));
+    columns_.emplace_back(std::string(index_name(index)), std::move(values));
+  }
+}
+
+const Column& Dataset::column(AirQualityIndex index) const {
+  return columns_.at(static_cast<std::size_t>(index));
+}
+
+Dataset Dataset::prefix(const std::vector<AirQualityRecord>& records,
+                        std::size_t count) {
+  const std::size_t n = std::min(count, records.size());
+  return Dataset(
+      std::vector<AirQualityRecord>(records.begin(), records.begin() + n));
+}
+
+}  // namespace prc::data

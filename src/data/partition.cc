@@ -1,0 +1,51 @@
+#include "data/partition.h"
+
+#include <stdexcept>
+
+#include "common/distributions.h"
+
+namespace prc::data {
+
+std::vector<std::vector<double>> partition_values(
+    const std::vector<double>& values, std::size_t node_count,
+    PartitionStrategy strategy, Rng& rng, double zipf_exponent) {
+  if (node_count == 0) throw std::invalid_argument("node_count must be >= 1");
+  std::vector<std::vector<double>> nodes(node_count);
+  switch (strategy) {
+    case PartitionStrategy::kRoundRobin:
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        nodes[i % node_count].push_back(values[i]);
+      }
+      break;
+    case PartitionStrategy::kContiguous: {
+      const std::size_t base = values.size() / node_count;
+      const std::size_t extra = values.size() % node_count;
+      std::size_t cursor = 0;
+      for (std::size_t node = 0; node < node_count; ++node) {
+        const std::size_t take = base + (node < extra ? 1 : 0);
+        nodes[node].assign(values.begin() + static_cast<std::ptrdiff_t>(cursor),
+                           values.begin() +
+                               static_cast<std::ptrdiff_t>(cursor + take));
+        cursor += take;
+      }
+      break;
+    }
+    case PartitionStrategy::kZipfSkewed:
+      for (double v : values) {
+        const auto node = static_cast<std::size_t>(sample_zipf(
+            rng, static_cast<std::int64_t>(node_count), zipf_exponent));
+        nodes[node].push_back(v);
+      }
+      break;
+    case PartitionStrategy::kUniformRandom:
+      for (double v : values) {
+        const auto node = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(node_count) - 1));
+        nodes[node].push_back(v);
+      }
+      break;
+  }
+  return nodes;
+}
+
+}  // namespace prc::data

@@ -1,0 +1,35 @@
+// Data-to-node assignment strategies.
+//
+// The paper's IoT model has k nodes each holding a local multiset D_i with
+// D = union D_i.  How values are spread across nodes affects nothing in the
+// estimator's unbiasedness but does affect per-node sample counts, so the
+// simulator supports several placements for ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace prc::data {
+
+enum class PartitionStrategy {
+  /// Values go to nodes round-robin: near-equal n_i, interleaved values.
+  kRoundRobin,
+  /// Contiguous chunks: node i gets the i-th slice of the value stream, so
+  /// local value distributions differ across nodes (temporal locality).
+  kContiguous,
+  /// Node chosen per value from a Zipf law: heavily skewed n_i.
+  kZipfSkewed,
+  /// Node chosen uniformly at random per value.
+  kUniformRandom,
+};
+
+/// Splits `values` across `node_count` nodes.  Every value lands on exactly
+/// one node; the concatenation of the result is a permutation of the input.
+/// `rng` is only consulted by the randomized strategies.
+std::vector<std::vector<double>> partition_values(
+    const std::vector<double>& values, std::size_t node_count,
+    PartitionStrategy strategy, Rng& rng, double zipf_exponent = 1.1);
+
+}  // namespace prc::data

@@ -1,0 +1,56 @@
+// Air-quality record schema mirroring the CityPulse pollution export.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace prc::data {
+
+/// The five air-quality indexes carried by each CityPulse pollution record.
+enum class AirQualityIndex : int {
+  kOzone = 0,
+  kParticulateMatter = 1,
+  kCarbonMonoxide = 2,
+  kSulfurDioxide = 3,
+  kNitrogenDioxide = 4,
+};
+
+inline constexpr std::size_t kAirQualityIndexCount = 5;
+
+inline constexpr std::array<AirQualityIndex, kAirQualityIndexCount>
+    kAllAirQualityIndexes = {
+        AirQualityIndex::kOzone,          AirQualityIndex::kParticulateMatter,
+        AirQualityIndex::kCarbonMonoxide, AirQualityIndex::kSulfurDioxide,
+        AirQualityIndex::kNitrogenDioxide,
+};
+
+/// Column name as used in the CSV schema (matches the CityPulse export).
+constexpr std::string_view index_name(AirQualityIndex index) {
+  switch (index) {
+    case AirQualityIndex::kOzone: return "ozone";
+    case AirQualityIndex::kParticulateMatter: return "particulate_matter";
+    case AirQualityIndex::kCarbonMonoxide: return "carbon_monoxide";
+    case AirQualityIndex::kSulfurDioxide: return "sulfur_dioxide";
+    case AirQualityIndex::kNitrogenDioxide: return "nitrogen_dioxide";
+  }
+  return "unknown";
+}
+
+/// One pollution measurement.  `timestamp` is seconds since the epoch of the
+/// observation window (the paper's data runs 2014-08-01T00:05 to
+/// 2014-10-01T00:00 at 5-minute cadence).
+struct AirQualityRecord {
+  std::int64_t timestamp = 0;
+  int sensor_id = 0;
+  std::array<double, kAirQualityIndexCount> values{};
+
+  double value(AirQualityIndex index) const {
+    return values[static_cast<std::size_t>(index)];
+  }
+  void set_value(AirQualityIndex index, double v) {
+    values[static_cast<std::size_t>(index)] = v;
+  }
+};
+
+}  // namespace prc::data

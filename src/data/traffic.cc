@@ -1,0 +1,80 @@
+#include "data/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace prc::data {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Weekday demand profile: two Gaussian rush-hour humps (8:30 and 17:30)
+/// on a daytime plateau; value in [0, 1].
+double weekday_profile(double day_frac) {
+  const double hour = day_frac * 24.0;
+  const auto hump = [](double h, double center, double width) {
+    const double z = (h - center) / width;
+    return std::exp(-0.5 * z * z);
+  };
+  const double morning = hump(hour, 8.5, 1.2);
+  const double evening = hump(hour, 17.5, 1.5);
+  // Daytime plateau between roughly 7:00 and 21:00.
+  const double plateau =
+      0.35 / (1.0 + std::exp(-(hour - 6.5))) / (1.0 + std::exp(hour - 21.5));
+  return std::min(1.0, morning + evening + plateau);
+}
+
+/// Weekend: single flat midday hump, lower overall.
+double weekend_profile(double day_frac) {
+  const double hour = day_frac * 24.0;
+  const double z = (hour - 14.0) / 4.0;
+  return 0.55 * std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config) : config_(config) {}
+
+std::vector<TrafficRecord> TrafficGenerator::generate() const {
+  Rng master(config_.seed);
+  Rng noise_rng = master.split();
+  std::vector<TrafficRecord> records;
+  records.reserve(config_.record_count);
+
+  // 2014-08-01 was a Friday; day-of-week offset from the epoch (Thursday).
+  for (std::size_t r = 0; r < config_.record_count; ++r) {
+    TrafficRecord record;
+    record.timestamp = config_.start_timestamp +
+                       static_cast<std::int64_t>(r) * config_.cadence_seconds;
+    const double t = static_cast<double>(record.timestamp);
+    const double day_frac = std::fmod(t, kSecondsPerDay) / kSecondsPerDay;
+    const int day_of_week =
+        static_cast<int>((record.timestamp / 86400 + 4) % 7);  // 0 = Sunday
+    const bool weekend = day_of_week == 0 || day_of_week == 6;
+    const double profile =
+        weekend ? weekend_profile(day_frac) : weekday_profile(day_frac);
+    const double rate =
+        config_.night_rate + (config_.peak_rate - config_.night_rate) * profile;
+
+    // Overdispersed counts: lognormal multiplicative noise on the rate,
+    // then rounding — bursty like real loop-detector data.
+    const double burst = std::exp(sample_normal(noise_rng, 0.0, 0.35));
+    record.vehicle_count =
+        std::max(0.0, std::round(rate * burst +
+                                 sample_normal(noise_rng, 0.0, 1.5)));
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<double> TrafficGenerator::generate_counts() const {
+  const auto records = generate();
+  std::vector<double> counts;
+  counts.reserve(records.size());
+  for (const auto& record : records) counts.push_back(record.vehicle_count);
+  return counts;
+}
+
+}  // namespace prc::data

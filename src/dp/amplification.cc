@@ -1,0 +1,32 @@
+#include "dp/amplification.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prc::dp {
+
+double amplified_epsilon(double epsilon, double p) {
+  if (epsilon < 0.0) throw std::invalid_argument("epsilon must be >= 0");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("p must be in [0, 1]");
+  // ln(1 - p + p e^eps) = ln(1 + p (e^eps - 1)); use expm1/log1p for
+  // stability when epsilon or p is tiny.
+  return std::log1p(p * std::expm1(epsilon));
+}
+
+double base_epsilon_for_amplified(double target, double p) {
+  if (target < 0.0) throw std::invalid_argument("target must be >= 0");
+  if (!(p > 0.0) || p > 1.0) throw std::invalid_argument("p must be in (0, 1]");
+  // e^eps = 1 + (e^target - 1) / p.
+  return std::log1p(std::expm1(target) / p);
+}
+
+double compose_sequential(std::span<const double> epsilons) {
+  double total = 0.0;
+  for (double eps : epsilons) {
+    if (eps < 0.0) throw std::invalid_argument("epsilon must be >= 0");
+    total += eps;
+  }
+  return total;
+}
+
+}  // namespace prc::dp

@@ -1,0 +1,26 @@
+// Privacy amplification by sampling and sequential composition.
+//
+// Lemma 3.4 (generalized from Kasiviswanathan et al.): if phi is
+// epsilon-DP and S subsamples each item independently with probability p,
+// then phi(S(.)) is epsilon'-DP with epsilon' = ln(1 - p + p e^epsilon).
+// The optimizer minimizes this amplified budget.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace prc::dp {
+
+/// epsilon' = ln(1 - p + p * e^epsilon).  Requires epsilon >= 0, p in [0, 1].
+double amplified_epsilon(double epsilon, double p);
+
+/// Inverse: the base epsilon whose amplification at probability p equals
+/// `target`.  Requires target >= 0 and p in (0, 1].
+double base_epsilon_for_amplified(double target, double p);
+
+/// Sequential composition: total budget of independent releases is the sum
+/// of their budgets.  (Used by the ledger to audit cumulative leakage per
+/// consumer.)
+double compose_sequential(std::span<const double> epsilons);
+
+}  // namespace prc::dp

@@ -1,0 +1,96 @@
+#include "dp/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/distributions.h"
+
+namespace prc::dp {
+
+HierarchicalMechanism::HierarchicalMechanism(const std::vector<double>& values,
+                                             double lo, double hi,
+                                             HierarchicalConfig config,
+                                             Rng& rng)
+    : config_(config), lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("domain requires lo < hi");
+  if (config_.levels < 1 || config_.levels > 24) {
+    throw std::invalid_argument("levels must be in [1, 24]");
+  }
+  if (!(config_.epsilon > 0.0)) {
+    throw std::invalid_argument("epsilon must be positive");
+  }
+  const std::size_t leaves = leaf_count();
+  leaf_width_ = (hi_ - lo_) / static_cast<double>(leaves);
+  tree_.assign(2 * leaves, 0.0);
+
+  // Exact counts: leaves first, then internal sums.
+  for (double v : values) tree_[leaves + leaf_of(v)] += 1.0;
+  for (std::size_t i = leaves - 1; i >= 1; --i) {
+    tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+  }
+
+  if (!config_.disable_noise) {
+    const Laplace noise(noise_scale());
+    for (std::size_t i = 1; i < tree_.size(); ++i) {
+      tree_[i] += noise.sample(rng);
+    }
+  }
+}
+
+double HierarchicalMechanism::noise_scale() const noexcept {
+  return static_cast<double>(config_.levels + 1) / config_.epsilon;
+}
+
+std::size_t HierarchicalMechanism::leaf_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return leaf_count() - 1;
+  const auto idx = static_cast<std::size_t>((x - lo_) / leaf_width_);
+  return std::min(idx, leaf_count() - 1);
+}
+
+double HierarchicalMechanism::decompose(std::size_t first, std::size_t last,
+                                        bool count_only) const {
+  const std::size_t leaves = leaf_count();
+  std::size_t lo = first + leaves;
+  std::size_t hi = last + leaves + 1;  // exclusive
+  double acc = 0.0;
+  while (lo < hi) {
+    if (lo & 1) {
+      acc += count_only ? 1.0 : tree_[lo];
+      ++lo;
+    }
+    if (hi & 1) {
+      --hi;
+      acc += count_only ? 1.0 : tree_[hi];
+    }
+    lo >>= 1;
+    hi >>= 1;
+  }
+  return acc;
+}
+
+double HierarchicalMechanism::query(const query::RangeQuery& range) const {
+  range.validate();
+  if (range.upper < lo_ || range.lower > hi_) return 0.0;
+  const std::size_t first = leaf_of(range.lower);
+  const std::size_t last = leaf_of(range.upper);
+  return decompose(first, last, /*count_only=*/false);
+}
+
+std::size_t HierarchicalMechanism::canonical_nodes(
+    const query::RangeQuery& range) const {
+  range.validate();
+  if (range.upper < lo_ || range.lower > hi_) return 0;
+  return static_cast<std::size_t>(
+      decompose(leaf_of(range.lower), leaf_of(range.upper),
+                /*count_only=*/true));
+}
+
+double HierarchicalMechanism::noise_variance(
+    const query::RangeQuery& range) const {
+  const double scale = noise_scale();
+  return static_cast<double>(canonical_nodes(range)) * 2.0 * scale * scale;
+}
+
+}  // namespace prc::dp

@@ -1,0 +1,84 @@
+// Hierarchical (dyadic) differentially private range counting — the
+// centralized baseline family the paper contrasts against in §VI
+// ("spatial decomposition trees ... efficiently answer differentially
+// private range counting", Zhang et al. [20]; Chan/Dwork-style dyadic
+// counts).
+//
+// The value domain [lo, hi] is split into 2^levels equal leaves; every
+// tree node stores its subtree count plus Laplace noise.  An element
+// contributes to one node per level, so with per-level budget
+// epsilon / (levels + 1) the whole tree is epsilon-DP, and any range is
+// answered by summing at most 2 canonical nodes per level — O(log) noisy
+// terms instead of one noisy term per possible range.
+//
+// Trade-off vs the paper's sampling approach (measured in
+// bench/dp_baseline_comparison): the tree must see the RAW data (full
+// collection cost, no sampling), but once built it answers unlimited
+// queries under the single epsilon; the paper's broker pays per answer
+// but only ever ships samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+
+struct HierarchicalConfig {
+  /// Tree depth: 2^levels leaves.  Depth 10 -> 1024 leaves.
+  std::size_t levels = 10;
+  /// Total privacy budget for the whole tree (split evenly per level).
+  double epsilon = 1.0;
+  /// When true no noise is added (exact mode, used by tests to check the
+  /// decomposition logic in isolation).
+  bool disable_noise = false;
+};
+
+class HierarchicalMechanism {
+ public:
+  /// Builds the noisy tree over `values` bucketed into [lo, hi].  Values
+  /// outside the domain are clamped into the edge leaves.  Requires
+  /// lo < hi, levels >= 1, epsilon > 0.
+  HierarchicalMechanism(const std::vector<double>& values, double lo,
+                        double hi, HierarchicalConfig config, Rng& rng);
+
+  std::size_t levels() const noexcept { return config_.levels; }
+  std::size_t leaf_count() const noexcept { return std::size_t{1} << config_.levels; }
+  double epsilon() const noexcept { return config_.epsilon; }
+
+  /// Laplace scale applied to every node: (levels + 1) / epsilon.
+  double noise_scale() const noexcept;
+
+  /// Noisy count of values in [range.lower, range.upper].  The range is
+  /// snapped to leaf boundaries (the mechanism's resolution); the snapping
+  /// error is data-dependent and separate from the noise error.
+  double query(const query::RangeQuery& range) const;
+
+  /// Number of canonical nodes the range decomposes into (wire/variance
+  /// accounting; <= 2 * levels).
+  std::size_t canonical_nodes(const query::RangeQuery& range) const;
+
+  /// Worst-case noise variance of query(): canonical_nodes * 2 * scale^2.
+  double noise_variance(const query::RangeQuery& range) const;
+
+  /// Leaf index covering x (clamped to the domain).
+  std::size_t leaf_of(double x) const;
+
+ private:
+  /// Sums noisy canonical nodes covering leaves [first, last] inclusive;
+  /// when `count_only` the return value is the node count instead.
+  double decompose(std::size_t first, std::size_t last,
+                   bool count_only) const;
+
+  HierarchicalConfig config_;
+  double lo_;
+  double hi_;
+  double leaf_width_;
+  /// Heap-style storage: tree_[1] is the root, children of i are 2i, 2i+1;
+  /// leaves occupy [leaf_count(), 2 * leaf_count()).
+  std::vector<double> tree_;
+};
+
+}  // namespace prc::dp

@@ -1,0 +1,44 @@
+#include "dp/laplace_mechanism.h"
+
+#include <stdexcept>
+
+namespace prc::dp {
+
+LaplaceMechanism::LaplaceMechanism(double sensitivity, double epsilon)
+    : sensitivity_(sensitivity),
+      epsilon_(epsilon),
+      noise_([&] {
+        if (!(sensitivity > 0.0)) {
+          throw std::invalid_argument("sensitivity must be positive");
+        }
+        if (!(epsilon > 0.0)) {
+          throw std::invalid_argument("epsilon must be positive");
+        }
+        return Laplace(sensitivity / epsilon);
+      }()) {}
+
+double LaplaceMechanism::perturb(double value, Rng& rng) const noexcept {
+  return value + noise_.sample(rng);
+}
+
+double LaplaceMechanism::noise_variance() const noexcept {
+  const double b = noise_.scale();
+  return 2.0 * b * b;
+}
+
+double sensitivity_for(SensitivityPolicy policy, double p,
+                       std::size_t max_node_count) {
+  switch (policy) {
+    case SensitivityPolicy::kExpected:
+      if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+      return 1.0 / p;
+    case SensitivityPolicy::kWorstCase:
+      if (max_node_count == 0) {
+        throw std::invalid_argument("worst-case sensitivity needs n_i > 0");
+      }
+      return static_cast<double>(max_node_count);
+  }
+  throw std::invalid_argument("unknown sensitivity policy");
+}
+
+}  // namespace prc::dp

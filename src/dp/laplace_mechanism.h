@@ -1,0 +1,58 @@
+// The Laplace mechanism (Dwork et al. 2006), as used by the paper's
+// perturbation phase.
+#pragma once
+
+#include "common/distributions.h"
+#include "common/rng.h"
+
+namespace prc::dp {
+
+/// Classic Laplace mechanism: release value + Lap(sensitivity / epsilon).
+/// Satisfies epsilon-differential privacy for any query whose L1 sensitivity
+/// is at most `sensitivity`.
+class LaplaceMechanism {
+ public:
+  /// Requires sensitivity > 0 and epsilon > 0.
+  LaplaceMechanism(double sensitivity, double epsilon);
+
+  double sensitivity() const noexcept { return sensitivity_; }
+  double epsilon() const noexcept { return epsilon_; }
+  double scale() const noexcept { return noise_.scale(); }
+
+  /// One perturbed release.
+  double perturb(double value, Rng& rng) const noexcept;
+
+  /// Pr[|noise| <= t]; the optimizer's tail constraint
+  /// Pr[|Lap| <= (alpha - alpha') n] >= delta / delta' evaluates this.
+  double central_probability(double t) const noexcept {
+    return noise_.central_probability(t);
+  }
+
+  /// Noise magnitude not exceeded with probability q.
+  double central_quantile(double q) const { return noise_.central_quantile(q); }
+
+  /// Noise variance 2 * scale^2; feeds the pricing variance model.
+  double noise_variance() const noexcept;
+
+ private:
+  double sensitivity_;
+  double epsilon_;
+  Laplace noise_;
+};
+
+/// How the broker sets the sensitivity of the RankCounting estimate.
+enum class SensitivityPolicy {
+  /// The paper's "fair solution": E[delta gamma_hat] = 1/p.  One item's
+  /// presence shifts the estimate by ~ the expected gap correction.
+  kExpected,
+  /// Worst case: one item can shift a node estimate by up to n_i; utility-
+  /// destroying, retained for the ablation bench.
+  kWorstCase,
+};
+
+/// Sensitivity value under a policy.  `p` is the sampling probability,
+/// `max_node_count` the largest n_i (only used by kWorstCase).
+double sensitivity_for(SensitivityPolicy policy, double p,
+                       std::size_t max_node_count);
+
+}  // namespace prc::dp

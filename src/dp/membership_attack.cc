@@ -1,0 +1,101 @@
+#include "dp/membership_attack.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/distributions.h"
+
+namespace prc::dp {
+namespace {
+
+/// Binomial(n, p) pmf table for c = 0..n, computed by the stable recurrence
+/// pmf(c+1) = pmf(c) * (n-c)/(c+1) * p/(1-p).
+std::vector<double> binomial_pmf(std::size_t n, double p) {
+  std::vector<double> pmf(n + 1, 0.0);
+  if (p >= 1.0) {
+    pmf[n] = 1.0;
+    return pmf;
+  }
+  pmf[0] = std::pow(1.0 - p, static_cast<double>(n));
+  const double ratio = p / (1.0 - p);
+  for (std::size_t c = 0; c < n; ++c) {
+    pmf[c + 1] = pmf[c] * ratio * static_cast<double>(n - c) /
+                 static_cast<double>(c + 1);
+  }
+  return pmf;
+}
+
+/// Density of (Binomial subsample count + Laplace noise) at y.
+double mixture_density(const std::vector<double>& pmf, const Laplace& noise,
+                       double y) {
+  double density = 0.0;
+  for (std::size_t c = 0; c < pmf.size(); ++c) {
+    density += pmf[c] * noise.pdf(y - static_cast<double>(c));
+  }
+  return density;
+}
+
+}  // namespace
+
+double dp_advantage_bound(double epsilon) {
+  if (epsilon < 0.0) throw std::invalid_argument("epsilon must be >= 0");
+  return std::expm1(epsilon) / (std::exp(epsilon) + 1.0);
+}
+
+AttackAdvantage run_membership_attack(std::size_t base_count, double p,
+                                      double epsilon, std::size_t trials,
+                                      Rng& rng) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("p must be in (0, 1]");
+  }
+  if (!(epsilon > 0.0)) {
+    throw std::invalid_argument("epsilon must be positive");
+  }
+  if (trials == 0) throw std::invalid_argument("need >= 1 trial");
+
+  // The mechanism: subsample the matching records at p, release the sampled
+  // count + Lap(1/epsilon) (sensitivity 1 on the sample — exactly the
+  // Lemma 3.4 composition whose amplified budget is ln(1 - p + p e^eps)).
+  const Laplace noise(1.0 / epsilon);
+  const auto pmf_absent = binomial_pmf(base_count, p);
+  const auto pmf_present = binomial_pmf(base_count + 1, p);
+
+  std::size_t true_positives = 0, positives_possible = 0;
+  std::size_t false_positives = 0, negatives_possible = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool present = rng.bernoulli(0.5);
+    std::size_t sampled = 0;
+    const std::size_t population = base_count + (present ? 1 : 0);
+    for (std::size_t i = 0; i < population; ++i) {
+      if (rng.bernoulli(p)) ++sampled;
+    }
+    const double released =
+        static_cast<double>(sampled) + noise.sample(rng);
+
+    // Optimal (Neyman-Pearson) decision at threshold 1.
+    const bool guess_present =
+        mixture_density(pmf_present, noise, released) >
+        mixture_density(pmf_absent, noise, released);
+    if (present) {
+      ++positives_possible;
+      if (guess_present) ++true_positives;
+    } else {
+      ++negatives_possible;
+      if (guess_present) ++false_positives;
+    }
+  }
+  AttackAdvantage result;
+  result.trials = trials;
+  if (positives_possible > 0) {
+    result.true_positive_rate = static_cast<double>(true_positives) /
+                                static_cast<double>(positives_possible);
+  }
+  if (negatives_possible > 0) {
+    result.false_positive_rate = static_cast<double>(false_positives) /
+                                 static_cast<double>(negatives_possible);
+  }
+  return result;
+}
+
+}  // namespace prc::dp

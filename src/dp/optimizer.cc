@@ -1,0 +1,102 @@
+#include "dp/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dp/amplification.h"
+#include "estimator/accuracy.h"
+#include "estimator/rank_counting.h"
+
+namespace prc::dp {
+
+double PerturbationPlan::total_variance(std::size_t node_count) const {
+  const double sampling_var =
+      estimator::rank_counting_variance_bound(node_count,
+                                              sampling_probability);
+  const double noise_var = 2.0 * laplace_scale * laplace_scale;
+  return sampling_var + noise_var;
+}
+
+std::string PerturbationPlan::to_string() const {
+  std::ostringstream out;
+  out << "plan{alpha'=" << alpha_prime << ", delta'=" << delta_prime
+      << ", eps=" << epsilon << ", eps'=" << epsilon_amplified
+      << ", scale=" << laplace_scale << ", p=" << sampling_probability << '}';
+  return out.str();
+}
+
+PerturbationOptimizer::PerturbationOptimizer(OptimizerConfig config)
+    : config_(config) {
+  if (config_.grid_points < 2) {
+    throw std::invalid_argument("optimizer needs >= 2 grid points");
+  }
+}
+
+std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
+    const query::AccuracySpec& spec, double p, std::size_t node_count,
+    std::size_t total_count, std::size_t max_node_count) const {
+  spec.validate();
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("p must be in (0, 1]");
+  }
+  if (node_count == 0 || total_count == 0) {
+    throw std::invalid_argument("need node_count > 0 and total_count > 0");
+  }
+  const double n = static_cast<double>(total_count);
+  const double sensitivity =
+      sensitivity_for(config_.sensitivity_policy, p, max_node_count);
+
+  // alpha' must exceed this for the sampling phase to reach delta' > delta
+  // at the cached p; it must stay below alpha to leave room for noise.
+  const double alpha_lo =
+      estimator::min_feasible_alpha(p, spec.delta, node_count, total_count);
+  if (!(alpha_lo < spec.alpha)) return std::nullopt;
+
+  std::optional<PerturbationPlan> best;
+  const std::size_t grid = config_.grid_points;
+  for (std::size_t i = 1; i <= grid; ++i) {
+    // Open interval (alpha_lo, alpha): both endpoints are degenerate
+    // (delta' == delta at alpha_lo; zero noise headroom at alpha).
+    const double alpha_prime =
+        alpha_lo + (spec.alpha - alpha_lo) * static_cast<double>(i) /
+                       static_cast<double>(grid + 1);
+    const double delta_prime =
+        estimator::achieved_delta(p, alpha_prime, node_count, total_count);
+    if (!(delta_prime > spec.delta)) continue;  // fp guard near alpha_lo
+
+    const double headroom = (spec.alpha - alpha_prime) * n;
+    const double epsilon = sensitivity / headroom *
+                           std::log(delta_prime / (delta_prime - spec.delta));
+    if (!std::isfinite(epsilon) || !(epsilon > 0.0)) continue;
+    const double eps_amp = amplified_epsilon(epsilon, p);
+    if (!best || eps_amp < best->epsilon_amplified) {
+      PerturbationPlan plan;
+      plan.alpha = spec.alpha;
+      plan.delta = spec.delta;
+      plan.alpha_prime = alpha_prime;
+      plan.delta_prime = delta_prime;
+      plan.epsilon = epsilon;
+      plan.epsilon_amplified = eps_amp;
+      plan.sensitivity = sensitivity;
+      plan.laplace_scale = sensitivity / epsilon;
+      plan.sampling_probability = p;
+      best = plan;
+    }
+  }
+  return best;
+}
+
+double PerturbationOptimizer::minimum_feasible_probability(
+    const query::AccuracySpec& spec, std::size_t node_count,
+    std::size_t total_count, double headroom) const {
+  if (!(headroom >= 1.0)) {
+    throw std::invalid_argument("headroom must be >= 1");
+  }
+  const double required = estimator::required_sampling_probability(
+      spec, node_count, total_count);
+  return std::min(1.0, required * headroom);
+}
+
+}  // namespace prc::dp

@@ -1,0 +1,80 @@
+// The perturbation optimizer (paper §III-B, problem (3)).
+//
+// Given the customer contract (alpha, delta), the cached sampling
+// probability p, node count k and data count n, pick the intermediate
+// accuracy split (alpha', delta') and Laplace budget epsilon that minimize
+// the *amplified* budget epsilon' = ln(1 + p(e^epsilon - 1)), subject to the
+// composed answer still meeting (alpha, delta):
+//
+//   delta' = 1 - 8k / (p alpha' n)^2          (samples reused at fixed p)
+//   delta' >  delta,  alpha' < alpha
+//   Pr[|Lap| <= (alpha - alpha') n] >= delta / delta'
+//     => epsilon >= (sens / ((alpha - alpha') n)) * ln(delta' / (delta' - delta))
+//
+// The continuous alpha' domain is searched on a uniform grid, as the paper
+// prescribes ("we can approximate it to a discrete domain with arbitrarily
+// small intervals").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "dp/laplace_mechanism.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+
+/// The optimizer's output: a concrete two-phase plan.
+struct PerturbationPlan {
+  double alpha = 0.0;         ///< customer error bound
+  double delta = 0.0;         ///< customer confidence
+  double alpha_prime = 0.0;   ///< sampling-phase error bound
+  double delta_prime = 0.0;   ///< sampling-phase confidence
+  double epsilon = 0.0;       ///< Laplace budget before amplification
+  double epsilon_amplified = 0.0;  ///< effective budget  ln(1 + p(e^eps - 1))
+  double sensitivity = 0.0;   ///< Delta gamma_hat used for the noise scale
+  double laplace_scale = 0.0; ///< sensitivity / epsilon
+  double sampling_probability = 0.0;
+
+  /// Total variance of the released answer under this plan: the sampling
+  /// variance bound 8k/p^2 plus the Laplace noise variance 2 (sens/eps)^2.
+  double total_variance(std::size_t node_count) const;
+
+  std::string to_string() const;
+};
+
+struct OptimizerConfig {
+  /// Number of alpha' grid points searched in (0, alpha).
+  std::size_t grid_points = 512;
+  /// Sensitivity policy for Delta gamma_hat (paper default: expected, 1/p).
+  SensitivityPolicy sensitivity_policy = SensitivityPolicy::kExpected;
+};
+
+class PerturbationOptimizer {
+ public:
+  explicit PerturbationOptimizer(OptimizerConfig config = {});
+
+  /// Finds the minimum-epsilon' plan, or nullopt when no alpha' split is
+  /// feasible at this sampling probability (the caller must raise p first).
+  /// `max_node_count` is only consulted by the worst-case sensitivity
+  /// policy.  Requires p in (0, 1], node_count > 0, total_count > 0.
+  std::optional<PerturbationPlan> optimize(const query::AccuracySpec& spec,
+                                           double p, std::size_t node_count,
+                                           std::size_t total_count,
+                                           std::size_t max_node_count = 0) const;
+
+  /// The smallest sampling probability at which optimize() can succeed for
+  /// `spec` — i.e. some alpha' < alpha achieves delta' > delta with room for
+  /// noise.  Used by the broker to decide how far to top up the samples.
+  /// A small headroom factor (> 1) leaves slack for the noise phase.
+  double minimum_feasible_probability(const query::AccuracySpec& spec,
+                                      std::size_t node_count,
+                                      std::size_t total_count,
+                                      double headroom = 2.0) const;
+
+ private:
+  OptimizerConfig config_;
+};
+
+}  // namespace prc::dp

@@ -1,0 +1,99 @@
+#include "dp/private_counting.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "dp/laplace_mechanism.h"
+
+namespace prc::dp {
+namespace {
+
+std::size_t max_node_data_count(const iot::BaseStation& station) {
+  std::size_t max_count = 0;
+  for (const auto& view : station.node_views()) {
+    max_count = std::max(max_count, view.data_count);
+  }
+  return max_count;
+}
+
+}  // namespace
+
+PrivateRangeCounter::PrivateRangeCounter(iot::SamplingNetwork& network,
+                                         PrivateCounterConfig config,
+                                         std::uint64_t seed)
+    : network_(network), config_(config), optimizer_(config.optimizer),
+      noise_rng_(seed) {
+  if (!(config_.probability_headroom >= 1.0)) {
+    throw std::invalid_argument("probability headroom must be >= 1");
+  }
+}
+
+PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
+    const query::AccuracySpec& spec) {
+  spec.validate();
+  const std::size_t k = network_.node_count();
+  const std::size_t n = network_.total_data_count();
+
+  double target_p = std::max(
+      network_.base_station().sampling_probability(),
+      optimizer_.minimum_feasible_probability(spec, k, n,
+                                              config_.probability_headroom));
+  for (;;) {
+    network_.ensure_sampling_probability(target_p);
+    const double p = network_.base_station().sampling_probability();
+    const auto plan = optimizer_.optimize(
+        spec, p, k, n, max_node_data_count(network_.base_station()));
+    if (plan) return *plan;
+    if (p >= 1.0) {
+      throw std::runtime_error(
+          "accuracy contract " + spec.to_string() +
+          " infeasible even with every datum sampled");
+    }
+    // Escalate: more samples shrink alpha_lo and open the search space.
+    target_p = std::min(1.0, p * 1.5);
+    PRC_LOG_INFO << "contract " << spec.to_string()
+                 << " infeasible at p=" << p << "; topping up to "
+                 << target_p;
+  }
+}
+
+PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
+                                          const query::AccuracySpec& spec) {
+  range.validate();
+  PrivateAnswer out;
+  out.plan = ensure_feasible_plan(spec);
+  out.sampled_estimate = network_.rank_counting_estimate(range);
+
+  const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
+  out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
+  if (config_.clamp_to_domain) {
+    out.value = std::clamp(
+        out.value, 0.0, static_cast<double>(network_.total_data_count()));
+  }
+  return out;
+}
+
+PerturbationPlan PrivateRangeCounter::plan_for(
+    const query::AccuracySpec& spec) const {
+  spec.validate();
+  const std::size_t k = network_.node_count();
+  const std::size_t n = network_.total_data_count();
+  double p = std::max(
+      network_.base_station().sampling_probability(),
+      optimizer_.minimum_feasible_probability(spec, k, n,
+                                              config_.probability_headroom));
+  for (;;) {
+    const auto plan = optimizer_.optimize(
+        spec, p, k, n, max_node_data_count(network_.base_station()));
+    if (plan) return *plan;
+    if (p >= 1.0) {
+      throw std::runtime_error(
+          "accuracy contract " + spec.to_string() +
+          " infeasible even with every datum sampled");
+    }
+    p = std::min(1.0, p * 1.5);
+  }
+}
+
+}  // namespace prc::dp

@@ -1,0 +1,71 @@
+// End-to-end differentially private (alpha, delta)-range counting.
+//
+// PrivateRangeCounter glues the pipeline of paper §III together:
+//   1. top up the network's sample cache until the optimizer has a feasible
+//      (alpha', delta') split for the requested contract,
+//   2. compute the RankCounting estimate from the cache,
+//   3. perturb it with the optimizer's minimum-budget Laplace plan,
+//   4. release the noisy answer together with the plan (the plan carries the
+//      effective amplified budget epsilon', which the market layer audits).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dp/optimizer.h"
+#include "iot/sampling_network.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+
+/// One private release.
+struct PrivateAnswer {
+  /// The released count (clamped to >= 0 when configured; counts are
+  /// nonnegative and clamping is post-processing, so DP is unaffected).
+  double value = 0.0;
+  /// The pre-noise sampling estimate (internal; never released to consumers
+  /// by the market layer).
+  double sampled_estimate = 0.0;
+  /// The plan the answer was produced under.
+  PerturbationPlan plan;
+};
+
+struct PrivateCounterConfig {
+  OptimizerConfig optimizer;
+  /// Multiplier on the Theorem 3.3 probability when topping up, leaving
+  /// headroom for the noise phase.  Must be >= 1.
+  double probability_headroom = 2.0;
+  /// Clamp released counts to [0, n].
+  bool clamp_to_domain = true;
+};
+
+class PrivateRangeCounter {
+ public:
+  /// The counter drives `network` (tops up its samples); the network must
+  /// outlive the counter.  `seed` feeds the noise stream.
+  PrivateRangeCounter(iot::SamplingNetwork& network,
+                      PrivateCounterConfig config = {},
+                      std::uint64_t seed = 97);
+
+  /// Serves one (alpha, delta)-range counting request.  Throws
+  /// std::runtime_error if the contract is infeasible even with every datum
+  /// sampled (p = 1).
+  PrivateAnswer answer(const query::RangeQuery& range,
+                       const query::AccuracySpec& spec);
+
+  /// The plan that would currently be used for `spec`, without touching the
+  /// network or spending budget (for price quoting).
+  PerturbationPlan plan_for(const query::AccuracySpec& spec) const;
+
+  const iot::SamplingNetwork& network() const noexcept { return network_; }
+
+ private:
+  PerturbationPlan ensure_feasible_plan(const query::AccuracySpec& spec);
+
+  iot::SamplingNetwork& network_;
+  PrivateCounterConfig config_;
+  PerturbationOptimizer optimizer_;
+  Rng noise_rng_;
+};
+
+}  // namespace prc::dp

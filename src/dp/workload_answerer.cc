@@ -1,0 +1,78 @@
+#include "dp/workload_answerer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/amplification.h"
+#include "dp/laplace_mechanism.h"
+
+namespace prc::dp {
+
+WorkloadResult WorkloadAnswerer::answer(
+    iot::SamplingNetwork& network, const std::vector<query::RangeQuery>& ranges,
+    double total_epsilon, BudgetSplit split, Rng& rng,
+    const std::vector<double>& weights) const {
+  if (ranges.empty()) throw std::invalid_argument("empty workload");
+  if (!(total_epsilon > 0.0)) {
+    throw std::invalid_argument("total epsilon must be positive");
+  }
+  const double p = network.base_station().sampling_probability();
+  if (!(p > 0.0)) {
+    throw std::logic_error("no sampling round committed yet");
+  }
+  if (!weights.empty() && weights.size() != ranges.size()) {
+    throw std::invalid_argument("weights must match workload size");
+  }
+
+  // Per-query budget allocation.
+  std::vector<double> epsilons(ranges.size());
+  switch (split) {
+    case BudgetSplit::kUniform: {
+      const double each = total_epsilon / static_cast<double>(ranges.size());
+      for (auto& eps : epsilons) eps = each;
+      break;
+    }
+    case BudgetSplit::kWeighted: {
+      // Minimize sum_i w_i * 2 (s / eps_i)^2 subject to sum eps_i = total:
+      // the stationarity condition w_i / eps_i^3 = const gives
+      // eps_i proportional to w_i^{1/3}.
+      double norm = 0.0;
+      std::vector<double> shares(ranges.size());
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        if (!(w > 0.0)) {
+          throw std::invalid_argument("weights must be positive");
+        }
+        shares[i] = std::cbrt(w);
+        norm += shares[i];
+      }
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        epsilons[i] = total_epsilon * shares[i] / norm;
+      }
+      break;
+    }
+  }
+
+  const double sensitivity = 1.0 / p;
+  WorkloadResult result;
+  result.answers.reserve(ranges.size());
+  std::vector<double> amplified;
+  amplified.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const LaplaceMechanism mechanism(sensitivity, epsilons[i]);
+    WorkloadAnswer answer;
+    answer.range = ranges[i];
+    answer.value =
+        mechanism.perturb(network.rank_counting_estimate(ranges[i]), rng);
+    answer.epsilon = epsilons[i];
+    answer.epsilon_amplified = amplified_epsilon(epsilons[i], p);
+    answer.noise_variance = mechanism.noise_variance();
+    amplified.push_back(answer.epsilon_amplified);
+    result.total_epsilon += epsilons[i];
+    result.answers.push_back(answer);
+  }
+  result.total_epsilon_amplified = compose_sequential(amplified);
+  return result;
+}
+
+}  // namespace prc::dp

@@ -1,0 +1,64 @@
+// Batch (workload) answering under a total privacy budget.
+//
+// Consumers often buy a *set* of ranges at once (the pollution-band
+// dashboard in examples/pollution_monitoring is three ranges per index).
+// Sequential composition means B independent answers at epsilon each cost
+// B * epsilon; a budget-aware broker instead fixes the TOTAL budget and
+// splits it across the workload.  Two splits are provided:
+//
+//   kUniform     — epsilon_i = total / B (the obvious baseline),
+//   kProportional— epsilon_i proportional to 1/sqrt(w_i) for caller-chosen
+//                  importance weights w_i, which minimizes the weighted sum
+//                  of noise variances sum_i w_i * 2 (sens/eps_i)^2 subject
+//                  to sum eps_i = total (Lagrange: eps_i ~ w_i^{1/3} for
+//                  variance ~ 1/eps^2... see note in the .cc; we implement
+//                  the exact cube-root allocation).
+//
+// Answers come from the shared sample cache (one sampling pass), so only
+// the noise budget is split.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "iot/sampling_network.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+
+enum class BudgetSplit {
+  kUniform,
+  /// Weighted: minimizes sum_i w_i * Var_i subject to sum eps_i = total,
+  /// giving eps_i proportional to w_i^{1/3}.
+  kWeighted,
+};
+
+struct WorkloadAnswer {
+  query::RangeQuery range;
+  double value = 0.0;
+  double epsilon = 0.0;            ///< Laplace budget spent on this answer
+  double epsilon_amplified = 0.0;  ///< after sampling amplification
+  double noise_variance = 0.0;
+};
+
+struct WorkloadResult {
+  std::vector<WorkloadAnswer> answers;
+  double total_epsilon = 0.0;            ///< sum of per-answer budgets
+  double total_epsilon_amplified = 0.0;  ///< composed amplified budget
+};
+
+class WorkloadAnswerer {
+ public:
+  /// Answers all `ranges` from `network`'s current sample cache, splitting
+  /// `total_epsilon` across them.  Weights (for kWeighted) default to 1.
+  /// Requires a committed sampling round, total_epsilon > 0, and weights
+  /// (when given) positive and matching ranges.size().
+  WorkloadResult answer(iot::SamplingNetwork& network,
+                        const std::vector<query::RangeQuery>& ranges,
+                        double total_epsilon, BudgetSplit split,
+                        Rng& rng,
+                        const std::vector<double>& weights = {}) const;
+};
+
+}  // namespace prc::dp

@@ -1,0 +1,71 @@
+#include "estimator/accuracy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prc::estimator {
+
+double required_sampling_probability(const query::AccuracySpec& spec,
+                                     std::size_t node_count,
+                                     std::size_t total_count) {
+  spec.validate();
+  if (node_count == 0 || total_count == 0) {
+    throw std::invalid_argument("need node_count > 0 and total_count > 0");
+  }
+  const double k = static_cast<double>(node_count);
+  const double n = static_cast<double>(total_count);
+  return (std::sqrt(2.0 * k) / (spec.alpha * n)) * 2.0 /
+         std::sqrt(1.0 - spec.delta);
+}
+
+double achieved_delta(double p, double alpha_prime, std::size_t node_count,
+                      std::size_t total_count) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("p must be in (0, 1]");
+  }
+  if (!(alpha_prime > 0.0)) {
+    throw std::invalid_argument("alpha' must be positive");
+  }
+  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  const double k = static_cast<double>(node_count);
+  const double n = static_cast<double>(total_count);
+  const double denom = p * alpha_prime * n;
+  return 1.0 - 8.0 * k / (denom * denom);
+}
+
+double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
+                          std::size_t total_count) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("p must be in (0, 1]");
+  }
+  if (delta_min < 0.0 || delta_min >= 1.0) {
+    throw std::invalid_argument("delta_min must be in [0, 1)");
+  }
+  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  const double k = static_cast<double>(node_count);
+  const double n = static_cast<double>(total_count);
+  return std::sqrt(8.0 * k / (1.0 - delta_min)) / (p * n);
+}
+
+double basic_counting_required_probability(const query::AccuracySpec& spec,
+                                           std::size_t total_count) {
+  spec.validate();
+  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  const double n = static_cast<double>(total_count);
+  return 1.0 / (1.0 + spec.alpha * spec.alpha * n * (1.0 - spec.delta));
+}
+
+double error_bound_at_confidence(double p, std::size_t node_count,
+                                 double confidence) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("p must be in (0, 1]");
+  }
+  if (confidence < 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in [0, 1)");
+  }
+  const double variance =
+      8.0 * static_cast<double>(node_count) / (p * p);
+  return std::sqrt(variance / (1.0 - confidence));
+}
+
+}  // namespace prc::estimator

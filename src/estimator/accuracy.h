@@ -1,0 +1,57 @@
+// (alpha, delta) accuracy machinery for the RankCounting estimator.
+//
+// Theorem 3.3 couples the sampling probability to the accuracy contract:
+//   p >= (sqrt(2k) / (alpha * n)) * 2 / sqrt(1 - delta)
+// makes the estimate an (alpha, delta)-range counting.  Inverting the same
+// relation gives the accuracy (delta') actually *achieved* by samples that
+// were collected at some fixed p — which is what the DP optimizer needs when
+// it reuses the cached samples for every alpha' it considers.
+#pragma once
+
+#include <cstddef>
+
+#include "query/range_query.h"
+
+namespace prc::estimator {
+
+/// Theorem 3.3: minimum sampling probability for an (alpha, delta)
+/// guarantee with k nodes and n total data items.  The exact expression can
+/// exceed 1 for tiny datasets or strict contracts; the uncapped value is
+/// returned (callers clamp and treat p >= 1 as "collect everything").
+/// Requires alpha in (0,1], delta in [0,1), n > 0, k > 0.
+double required_sampling_probability(const query::AccuracySpec& spec,
+                                     std::size_t node_count,
+                                     std::size_t total_count);
+
+/// Inverse of Theorem 3.3: the confidence delta' achieved at error level
+/// alpha' by samples collected with probability p, i.e.
+///   delta' = 1 - 8k / (p * alpha' * n)^2.
+/// May be negative, meaning alpha' is not achievable at this p (the
+/// Chebyshev bound is vacuous).  Requires p in (0,1], alpha' > 0, n > 0.
+double achieved_delta(double p, double alpha_prime, std::size_t node_count,
+                      std::size_t total_count);
+
+/// Smallest alpha' for which achieved_delta(..) >= delta_min:
+///   alpha' = sqrt(8k / (1 - delta_min)) / (p * n).
+/// Requires delta_min in [0, 1).
+double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
+                          std::size_t total_count);
+
+/// Chebyshev half-width of a confidence interval around a RankCounting
+/// estimate: the absolute error not exceeded with probability `confidence`,
+///   t = sqrt(8k / p^2 / (1 - confidence)).
+/// Requires p in (0, 1], confidence in [0, 1).
+double error_bound_at_confidence(double p, std::size_t node_count,
+                                 double confidence);
+
+/// The BasicCounting analogue of Theorem 3.3: the smallest p for which the
+/// Horvitz-Thompson estimator's worst-case variance n(1-p)/p meets the
+/// (alpha, delta) contract via Chebyshev:
+///   n(1-p)/p <= (alpha n)^2 (1-delta)  =>  p >= 1/(1 + alpha^2 n (1-delta)).
+/// Because this variance grows with the true count, the worst case (a
+/// full-domain query) drives the requirement — the paper's core §III-A
+/// argument for why RankCounting needs asymptotically fewer samples.
+double basic_counting_required_probability(const query::AccuracySpec& spec,
+                                           std::size_t total_count);
+
+}  // namespace prc::estimator

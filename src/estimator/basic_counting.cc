@@ -1,0 +1,52 @@
+#include "estimator/basic_counting.h"
+
+#include <stdexcept>
+
+namespace prc::estimator {
+namespace {
+
+std::size_t in_range_count(const sampling::RankSampleSet& samples,
+                           const query::RangeQuery& range) {
+  std::size_t count = 0;
+  for (const auto& s : samples.samples()) {
+    if (range.contains(s.value)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+double basic_counting_node_estimate(const sampling::RankSampleSet& samples,
+                                    double p, const query::RangeQuery& range) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("basic counting requires p in (0, 1]");
+  }
+  range.validate();
+  return static_cast<double>(in_range_count(samples, range)) / p;
+}
+
+double basic_counting_estimate(
+    std::span<const sampling::RankSampleSet* const> nodes, double p,
+    const query::RangeQuery& range) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("basic counting requires p in (0, 1]");
+  }
+  range.validate();
+  std::size_t pooled = 0;
+  for (const auto* node : nodes) {
+    if (node == nullptr) {
+      throw std::invalid_argument("basic counting: null node sample");
+    }
+    pooled += in_range_count(*node, range);
+  }
+  return static_cast<double>(pooled) / p;
+}
+
+double basic_counting_variance(double true_count, double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("basic counting requires p in (0, 1]");
+  }
+  return true_count * (1.0 - p) / p;
+}
+
+}  // namespace prc::estimator

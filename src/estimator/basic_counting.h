@@ -1,0 +1,31 @@
+// The BasicCounting baseline (paper §III-A).
+//
+// The straightforward Horvitz–Thompson estimator: count the samples that fall
+// in the range and scale by 1/p.  Unbiased, but its variance
+// gamma(l,u,D) * (1-p) / p grows with the true count — i.e. with the query
+// width — which is exactly the weakness RankCounting removes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "query/range_query.h"
+#include "sampling/rank_sample.h"
+
+namespace prc::estimator {
+
+/// BasicCounting estimate over one node's sample.  Requires p in (0, 1].
+double basic_counting_node_estimate(const sampling::RankSampleSet& samples,
+                                    double p, const query::RangeQuery& range);
+
+/// Global BasicCounting estimate: pooled sample count in range, scaled by
+/// 1/p.
+double basic_counting_estimate(
+    std::span<const sampling::RankSampleSet* const> nodes, double p,
+    const query::RangeQuery& range);
+
+/// Exact variance of the estimator given the true in-range count:
+/// true_count * (1 - p) / p.
+double basic_counting_variance(double true_count, double p);
+
+}  // namespace prc::estimator

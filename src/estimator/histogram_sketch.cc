@@ -1,0 +1,88 @@
+#include "estimator/histogram_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prc::estimator {
+
+HistogramSketch::HistogramSketch(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  if (bins < 1) throw std::invalid_argument("sketch needs >= 1 bin");
+  if (!(lo < hi)) throw std::invalid_argument("sketch needs lo < hi");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+HistogramSketch::HistogramSketch(const std::vector<double>& values, double lo,
+                                 double hi, std::size_t bins)
+    : HistogramSketch(lo, hi, bins) {
+  for (double v : values) {
+    std::size_t bin;
+    if (v <= lo_) {
+      bin = 0;
+    } else if (v >= hi_) {
+      bin = counts_.size() - 1;
+    } else {
+      bin = std::min(static_cast<std::size_t>((v - lo_) / width_),
+                     counts_.size() - 1);
+    }
+    counts_[bin] += 1.0;
+    ++total_;
+  }
+}
+
+void HistogramSketch::merge(const HistogramSketch& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("sketch binning mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double HistogramSketch::bin_low(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double HistogramSketch::bin_high(std::size_t bin) const {
+  return bin_low(bin) + width_;
+}
+
+double HistogramSketch::estimate(const query::RangeQuery& range) const {
+  range.validate();
+  const double l = std::max(range.lower, lo_);
+  const double u = std::min(range.upper, hi_);
+  if (l > u) return 0.0;
+  double acc = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double b_lo = bin_low(bin);
+    const double b_hi = bin_high(bin);
+    if (b_hi <= l || b_lo >= u) continue;
+    const double overlap =
+        (std::min(b_hi, u) - std::max(b_lo, l)) / width_;
+    acc += counts_[bin] * std::clamp(overlap, 0.0, 1.0);
+  }
+  return acc;
+}
+
+double HistogramSketch::error_bound(const query::RangeQuery& range) const {
+  range.validate();
+  double bound = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double b_lo = bin_low(bin);
+    const double b_hi = bin_high(bin);
+    const bool covers_lower = b_lo < range.lower && range.lower < b_hi;
+    const bool covers_upper = b_lo < range.upper && range.upper < b_hi;
+    if (covers_lower || covers_upper) bound += counts_[bin];
+  }
+  return bound;
+}
+
+std::size_t HistogramSketch::wire_size() const noexcept {
+  return counts_.size() * sizeof(double);
+}
+
+}  // namespace prc::estimator

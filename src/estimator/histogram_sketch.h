@@ -1,0 +1,65 @@
+// Equi-width histogram sketch — the "what a naive system would ship"
+// baseline for approximate range counting.
+//
+// Every node summarizes its local data into B equal-width bins over an
+// agreed global domain and ships the B counts once (fixed cost B * 8
+// bytes, independent of |D_i| and of p).  The base station merges the
+// sketches and answers a range by summing fully covered bins plus a
+// uniform-interpolation fraction of the two boundary bins.
+//
+// Compared to RankCounting: no tunable accuracy knob (the error is bounded
+// by the boundary-bin mass, data-dependent), no unbiasedness guarantee
+// under skew inside bins, but a very low, perfectly predictable wire cost.
+// bench/dp_baseline_comparison puts the three approaches side by side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "query/range_query.h"
+
+namespace prc::estimator {
+
+class HistogramSketch {
+ public:
+  /// Builds a node's sketch of `values` with `bins` bins over [lo, hi].
+  /// Values outside the domain are clamped to the edge bins.  Requires
+  /// bins >= 1, lo < hi.
+  HistogramSketch(const std::vector<double>& values, double lo, double hi,
+                  std::size_t bins);
+
+  /// An empty sketch suitable as a merge accumulator.
+  HistogramSketch(double lo, double hi, std::size_t bins);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t total_count() const noexcept { return total_; }
+
+  /// Merges another node's sketch.  Requires identical binning.
+  void merge(const HistogramSketch& other);
+
+  /// Estimated count in [range.lower, range.upper]: full bins exactly,
+  /// boundary bins by uniform interpolation.
+  double estimate(const query::RangeQuery& range) const;
+
+  /// Upper bound on the estimation error for this range: the mass of the
+  /// (at most two) partially covered bins.
+  double error_bound(const query::RangeQuery& range) const;
+
+  /// Wire size of one node's sketch under the simulator's cost model:
+  /// one 8-byte count per bin.
+  std::size_t wire_size() const noexcept;
+
+ private:
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace prc::estimator

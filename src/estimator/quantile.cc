@@ -1,0 +1,81 @@
+#include "estimator/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace prc::estimator {
+
+double prefix_count_estimate(const sampling::RankSampleSet& samples,
+                             std::size_t data_count, double p, double x) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("prefix estimate requires p in (0, 1]");
+  }
+  if (data_count == 0) return 0.0;
+  const auto succ = samples.successor(x);
+  if (!succ) return static_cast<double>(data_count);
+  return static_cast<double>(succ->rank) - 1.0 / p;
+}
+
+double global_prefix_estimate(std::span<const NodeSampleView> nodes, double p,
+                              double x) {
+  double total = 0.0;
+  for (const auto& node : nodes) {
+    if (node.samples == nullptr) {
+      throw std::invalid_argument("prefix estimate: null node sample view");
+    }
+    total += prefix_count_estimate(*node.samples, node.data_count, p, x);
+  }
+  return total;
+}
+
+double prefix_variance_bound(double p) {
+  if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+  return 4.0 / (p * p);
+}
+
+double quantile_estimate(std::span<const NodeSampleView> nodes, double p,
+                         double q, std::size_t total_count) {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile requires q in [0, 1]");
+  }
+  if (total_count == 0) {
+    throw std::invalid_argument("quantile requires total_count > 0");
+  }
+  std::vector<double> pooled;
+  for (const auto& node : nodes) {
+    if (node.samples == nullptr) {
+      throw std::invalid_argument("quantile: null node sample view");
+    }
+    for (const auto& s : node.samples->samples()) pooled.push_back(s.value);
+  }
+  if (pooled.empty()) {
+    throw std::invalid_argument("quantile requires a non-empty sample");
+  }
+  std::sort(pooled.begin(), pooled.end());
+
+  const double target = q * static_cast<double>(total_count);
+  // The estimated global rank is monotone (non-decreasing) in x up to the
+  // correction terms, so binary search for the first pooled value whose
+  // estimated rank reaches the target, then pick the closer neighbor.
+  std::size_t lo = 0;
+  std::size_t hi = pooled.size();  // first index with rank >= target
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (global_prefix_estimate(nodes, p, pooled[mid]) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == pooled.size()) return pooled.back();
+  if (lo == 0) return pooled.front();
+  const double above = global_prefix_estimate(nodes, p, pooled[lo]);
+  const double below = global_prefix_estimate(nodes, p, pooled[lo - 1]);
+  return (std::abs(above - target) <= std::abs(target - below))
+             ? pooled[lo]
+             : pooled[lo - 1];
+}
+
+}  // namespace prc::estimator

@@ -1,0 +1,45 @@
+// Quantile estimation from rank samples.
+//
+// The paper's companion work ("Approximate aggregation for tracking
+// quantiles and range countings in WSNs", He et al., TCS 2015 — reference
+// [6]) tracks quantiles with the same rank-annotated samples RankCounting
+// ships.  The key observation: the number of elements <= x at node i is a
+// one-sided instance of the 4-case estimator (the predecessor of -inf never
+// exists), so
+//
+//   prefix(x, i) = r(s(x, i)) - 1/p   if a successor of x is sampled,
+//                  n_i                otherwise,
+//
+// is unbiased for the local rank of x, and the q-quantile of D is read off
+// as the sampled value whose estimated global rank is closest to q * n.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "estimator/rank_counting.h"
+#include "sampling/rank_sample.h"
+
+namespace prc::estimator {
+
+/// Unbiased estimate of |{y in D_i : y <= x}| from node i's sample.
+/// Requires p in (0, 1].
+double prefix_count_estimate(const sampling::RankSampleSet& samples,
+                             std::size_t data_count, double p, double x);
+
+/// Estimated global rank of x: sum of per-node prefix estimates.
+double global_prefix_estimate(std::span<const NodeSampleView> nodes, double p,
+                              double x);
+
+/// One-sided analogue of the Theorem 3.1 variance bound: 4 / p^2 per node
+/// (half the correction terms of the two-sided estimator).
+double prefix_variance_bound(double p);
+
+/// Estimated q-quantile of the global dataset: the sampled value whose
+/// estimated global rank is closest to q * n (binary search over the pooled
+/// sorted sample).  Requires q in [0, 1], a non-empty pooled sample, and
+/// a known total count n > 0.
+double quantile_estimate(std::span<const NodeSampleView> nodes, double p,
+                         double q, std::size_t total_count);
+
+}  // namespace prc::estimator

@@ -1,0 +1,64 @@
+#include "estimator/rank_counting.h"
+
+#include <stdexcept>
+
+namespace prc::estimator {
+
+double rank_counting_node_estimate(const sampling::RankSampleSet& samples,
+                                   std::size_t data_count, double p,
+                                   const query::RangeQuery& range) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("rank counting requires p in (0, 1]");
+  }
+  range.validate();
+  if (data_count == 0) return 0.0;
+
+  const auto pred = samples.predecessor(range.lower);
+  const auto succ = samples.successor(range.upper);
+  const double n_i = static_cast<double>(data_count);
+  const double inv_p = 1.0 / p;
+
+  if (pred && succ) {
+    // gamma(p(l), s(u), i): elements ranked between the two samples,
+    // inclusive — exact thanks to the transmitted ranks.
+    const double interior =
+        static_cast<double>(succ->rank) - static_cast<double>(pred->rank) + 1.0;
+    return interior - 2.0 * inv_p;
+  }
+  if (pred) {
+    // gamma(p(l), lst, i): from the predecessor to the node's maximum.
+    const double interior = n_i - static_cast<double>(pred->rank) + 1.0;
+    return interior - inv_p;
+  }
+  if (succ) {
+    // gamma(fst, s(u), i): from the node's minimum to the successor.
+    const double interior = static_cast<double>(succ->rank);
+    return interior - inv_p;
+  }
+  // gamma(fst, lst, i) = n_i.
+  return n_i;
+}
+
+double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
+                              const query::RangeQuery& range) {
+  double total = 0.0;
+  for (const auto& node : nodes) {
+    if (node.samples == nullptr) {
+      throw std::invalid_argument("rank counting: null node sample view");
+    }
+    total +=
+        rank_counting_node_estimate(*node.samples, node.data_count, p, range);
+  }
+  return total;
+}
+
+double rank_counting_node_variance_bound(double p) {
+  if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+  return 8.0 / (p * p);
+}
+
+double rank_counting_variance_bound(std::size_t node_count, double p) {
+  return static_cast<double>(node_count) * rank_counting_node_variance_bound(p);
+}
+
+}  // namespace prc::estimator

@@ -1,0 +1,202 @@
+#include "iot/base_station.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "estimator/basic_counting.h"
+#include "iot/codec.h"
+
+namespace prc::iot {
+
+BaseStation::BaseStation(std::size_t node_count) : entries_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("base station needs >= 1 node");
+  }
+}
+
+std::size_t BaseStation::total_data_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& entry : entries_) total += entry.data_count;
+  return total;
+}
+
+std::size_t BaseStation::cached_sample_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& entry : entries_) total += entry.samples.size();
+  return total;
+}
+
+void BaseStation::ingest(const SampleReport& report) {
+  if (report.node_id < 0 ||
+      static_cast<std::size_t>(report.node_id) >= entries_.size()) {
+    throw std::out_of_range("sample report from unknown node");
+  }
+  auto& entry = entries_[static_cast<std::size_t>(report.node_id)];
+  entry.data_count = report.data_count;
+  entry.reported = true;
+  if (!report.new_samples.empty()) {
+    entry.samples.merge(sampling::RankSampleSet(report.new_samples));
+  }
+}
+
+void BaseStation::replace(const SampleReport& full_report) {
+  if (full_report.node_id < 0 ||
+      static_cast<std::size_t>(full_report.node_id) >= entries_.size()) {
+    throw std::out_of_range("sample report from unknown node");
+  }
+  auto& entry = entries_[static_cast<std::size_t>(full_report.node_id)];
+  entry.data_count = full_report.data_count;
+  entry.reported = true;
+  entry.samples = sampling::RankSampleSet(full_report.new_samples);
+}
+
+void BaseStation::commit_round(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("round probability must be in (0, 1]");
+  }
+  if (p < p_) {
+    throw std::invalid_argument("sampling probability cannot decrease");
+  }
+  p_ = p;
+}
+
+std::vector<estimator::NodeSampleView> BaseStation::node_views() const {
+  std::vector<estimator::NodeSampleView> views;
+  views.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    views.push_back(
+        estimator::NodeSampleView{&entry.samples, entry.data_count});
+  }
+  return views;
+}
+
+double BaseStation::rank_counting_estimate(
+    const query::RangeQuery& range) const {
+  if (!(p_ > 0.0)) {
+    throw std::logic_error("no sampling round committed yet");
+  }
+  const auto views = node_views();
+  return estimator::rank_counting_estimate(views, p_, range);
+}
+
+double BaseStation::basic_counting_estimate(
+    const query::RangeQuery& range) const {
+  if (!(p_ > 0.0)) {
+    throw std::logic_error("no sampling round committed yet");
+  }
+  std::vector<const sampling::RankSampleSet*> nodes;
+  nodes.reserve(entries_.size());
+  for (const auto& entry : entries_) nodes.push_back(&entry.samples);
+  return estimator::basic_counting_estimate(nodes, p_, range);
+}
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'P', 'R', 'C', 'S'};
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& in,
+                       std::size_t& offset) {
+  if (offset + 4 > in.size()) {
+    throw std::invalid_argument("checkpoint truncated");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)])
+             << (8 * i);
+  }
+  offset += 4;
+  return value;
+}
+
+double read_f64(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  if (offset + 8 > in.size()) {
+    throw std::invalid_argument("checkpoint truncated");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)])
+            << (8 * i);
+  }
+  offset += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BaseStation::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kCheckpointMagic, kCheckpointMagic + 4);
+  append_u32(out, kCheckpointVersion);
+  append_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  append_f64(out, p_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& entry = entries_[i];
+    out.push_back(entry.reported ? 1 : 0);
+    // Reuse the wire codec: one full SampleReport frame per node.
+    SampleReport report;
+    report.node_id = static_cast<int>(i);
+    report.data_count = entry.data_count;
+    report.new_samples = entry.samples.samples();
+    const auto frame = encode(report);
+    append_u32(out, static_cast<std::uint32_t>(frame.size()));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+BaseStation BaseStation::deserialize(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  if (bytes.size() < 4 ||
+      std::memcmp(bytes.data(), kCheckpointMagic, 4) != 0) {
+    throw std::invalid_argument("checkpoint: bad magic");
+  }
+  offset = 4;
+  const std::uint32_t version = read_u32(bytes, offset);
+  if (version != kCheckpointVersion) {
+    throw std::invalid_argument("checkpoint: unsupported version");
+  }
+  const std::uint32_t node_count = read_u32(bytes, offset);
+  if (node_count == 0) {
+    throw std::invalid_argument("checkpoint: zero nodes");
+  }
+  const double p = read_f64(bytes, offset);
+
+  BaseStation station(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    if (offset >= bytes.size()) {
+      throw std::invalid_argument("checkpoint truncated");
+    }
+    const bool reported = bytes[offset++] != 0;
+    const std::uint32_t frame_size = read_u32(bytes, offset);
+    if (offset + frame_size > bytes.size()) {
+      throw std::invalid_argument("checkpoint truncated");
+    }
+    const std::vector<std::uint8_t> frame(
+        bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+        bytes.begin() + static_cast<std::ptrdiff_t>(offset + frame_size));
+    offset += frame_size;
+    const SampleReport report = decode_sample_report(frame);
+    if (reported) station.replace(report);
+  }
+  if (p > 0.0) station.commit_round(p);
+  return station;
+}
+
+}  // namespace prc::iot

@@ -1,0 +1,78 @@
+// The base station: caches node samples and answers estimates from them.
+//
+// Holds, per node, the accumulated rank-annotated sample and the reported
+// local cardinality.  The "one sample, multiple queries" property of the
+// paper falls out of this cache: queries are answered from it without
+// touching the network, and only a request for a higher sampling
+// probability triggers a top-up round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "estimator/rank_counting.h"
+#include "iot/messages.h"
+#include "query/range_query.h"
+#include "sampling/rank_sample.h"
+
+namespace prc::iot {
+
+class BaseStation {
+ public:
+  explicit BaseStation(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return entries_.size(); }
+
+  /// Sum of reported n_i over all nodes (0 until first reports arrive).
+  std::size_t total_data_count() const noexcept;
+
+  /// Sampling probability the cache is currently valid for.
+  double sampling_probability() const noexcept { return p_; }
+
+  /// Total samples cached across nodes.
+  std::size_t cached_sample_count() const noexcept;
+
+  /// Ingests one node's report (merges the new samples into the cache).
+  void ingest(const SampleReport& report);
+
+  /// Replaces one node's cached sample wholesale.  Used after continuous
+  /// collection appends shift the node's local ranks: merged deltas would be
+  /// stale, so the node retransmits its full sample.
+  void replace(const SampleReport& full_report);
+
+  /// Records that a top-up round to probability `p` completed.  Reports from
+  /// offline nodes may be missing; the cache simply keeps their old samples,
+  /// which keeps estimates unbiased for the data that did report.
+  void commit_round(double p);
+
+  /// Views over the cache in the estimator's format.
+  std::vector<estimator::NodeSampleView> node_views() const;
+
+  /// RankCounting estimate from the cache.  Requires a completed round
+  /// (sampling_probability() > 0).
+  double rank_counting_estimate(const query::RangeQuery& range) const;
+
+  /// BasicCounting baseline estimate from the same cache.
+  double basic_counting_estimate(const query::RangeQuery& range) const;
+
+  /// Checkpointing: serializes the whole cache (per-node samples, counts,
+  /// current probability) to bytes via the wire codec, so a broker can
+  /// restart without a fresh collection round.  deserialize() reconstructs
+  /// an equivalent station; throws CodecError / std::invalid_argument on
+  /// malformed input.
+  std::vector<std::uint8_t> serialize() const;
+  static BaseStation deserialize(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  struct NodeEntry {
+    sampling::RankSampleSet samples;
+    std::size_t data_count = 0;
+    bool reported = false;
+  };
+
+  std::vector<NodeEntry> entries_;
+  double p_ = 0.0;
+};
+
+}  // namespace prc::iot

@@ -1,0 +1,195 @@
+#include "iot/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "iot/codec.h"
+
+namespace prc::iot {
+
+FlatNetwork::FlatNetwork(std::vector<std::vector<double>> node_data,
+                         NetworkConfig config)
+    : station_(node_data.size()),
+      loss_rng_(Rng(config.seed).split()),
+      config_(config) {
+  if (node_data.empty()) {
+    throw std::invalid_argument("network needs >= 1 node");
+  }
+  if (config_.frame_loss_probability < 0.0 ||
+      config_.frame_loss_probability >= 1.0) {
+    throw std::invalid_argument("frame loss probability must be in [0, 1)");
+  }
+  if (config_.bit_corruption_probability < 0.0 ||
+      config_.bit_corruption_probability >= 1.0) {
+    throw std::invalid_argument("bit corruption probability must be in [0, 1)");
+  }
+  Rng master(config.seed);
+  nodes_.reserve(node_data.size());
+  for (std::size_t i = 0; i < node_data.size(); ++i) {
+    total_data_count_ += node_data[i].size();
+    nodes_.emplace_back(static_cast<int>(i), std::move(node_data[i]),
+                        master.split());
+  }
+}
+
+void FlatNetwork::set_node_online(std::size_t node, bool online) {
+  nodes_.at(node).set_online(online);
+}
+
+std::size_t FlatNetwork::transmit(std::size_t frame_bytes, bool uplink) {
+  std::size_t attempts = 1;
+  while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+    ++attempts;
+    ++stats_.retransmissions;
+  }
+  if (uplink) {
+    stats_.uplink_messages += attempts;
+    stats_.uplink_bytes += attempts * frame_bytes;
+  } else {
+    stats_.downlink_messages += attempts;
+    stats_.downlink_bytes += attempts * frame_bytes;
+  }
+  return attempts;
+}
+
+SampleReport FlatNetwork::deliver_frame(const SampleReport& frame) {
+  if (!config_.byte_accurate) {
+    transmit(frame.wire_size(), /*uplink=*/true);
+    return frame;
+  }
+  // Byte-accurate path: serialize for real, lose/corrupt per attempt, and
+  // keep retransmitting until a frame survives both the channel and the
+  // CRC check.
+  for (;;) {
+    auto encoded = encode(frame);
+    stats_.uplink_messages += 1;
+    stats_.uplink_bytes += encoded.size();
+    if (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+      ++stats_.retransmissions;
+      continue;
+    }
+    if (loss_rng_.bernoulli(config_.bit_corruption_probability)) {
+      const auto byte_index = static_cast<std::size_t>(loss_rng_.uniform_int(
+          0, static_cast<std::int64_t>(encoded.size()) - 1));
+      const auto bit = static_cast<std::uint8_t>(
+          1u << loss_rng_.uniform_int(0, 7));
+      encoded[byte_index] ^= bit;
+    }
+    try {
+      return decode_sample_report(encoded);
+    } catch (const CodecError&) {
+      ++stats_.corrupted_frames;
+      ++stats_.retransmissions;
+    }
+  }
+}
+
+std::size_t FlatNetwork::ensure_sampling_probability(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("sampling probability must be in (0, 1]");
+  }
+  if (p <= station_.sampling_probability()) return 0;
+
+  std::size_t new_samples = 0;
+  for (auto& node : nodes_) {
+    const SampleRequest request{node.id(), p};
+    transmit(request.wire_size(), /*uplink=*/false);
+    if (!node.online()) {
+      PRC_LOG_DEBUG << "node " << node.id() << " offline; skipping round";
+      continue;
+    }
+    SampleReport report = node.handle(request);
+    if (node.dirty()) {
+      // Appends since the last resync shifted this node's ranks, so the
+      // station's cached deltas are in a stale rank epoch.  The node sends
+      // its full current sample instead and the station replaces the cache.
+      report = node.full_report();
+      new_samples += report.new_samples.size();
+      stats_.samples_transferred += report.new_samples.size();
+      transmit_full_report(report);
+      continue;
+    }
+    new_samples += report.new_samples.size();
+    stats_.samples_transferred += report.new_samples.size();
+
+    // Small reports piggyback on the periodic heartbeat: charge only the
+    // sample payload, not an extra frame header.  (Byte-accurate mode has
+    // no standalone frame for a piggybacked delta, so it always frames.)
+    if (!config_.byte_accurate &&
+        report.new_samples.size() <= kHeartbeatPiggybackSamples) {
+      ++stats_.piggybacked_reports;
+      transmit(report.new_samples.size() * kSampleWireBytes +
+                   sizeof(std::uint64_t),
+               /*uplink=*/true);
+      station_.ingest(report);
+      continue;
+    }
+    // Otherwise split into frames of kMaxSamplesPerFrame samples each.
+    std::size_t offset = 0;
+    do {
+      const std::size_t take =
+          std::min(kMaxSamplesPerFrame, report.new_samples.size() - offset);
+      SampleReport frame;
+      frame.node_id = report.node_id;
+      frame.data_count = report.data_count;
+      frame.new_samples.assign(
+          report.new_samples.begin() + static_cast<std::ptrdiff_t>(offset),
+          report.new_samples.begin() +
+              static_cast<std::ptrdiff_t>(offset + take));
+      station_.ingest(deliver_frame(frame));
+      offset += take;
+    } while (offset < report.new_samples.size());
+  }
+  station_.commit_round(p);
+  return new_samples;
+}
+
+void FlatNetwork::transmit_full_report(const SampleReport& report) {
+  // Full resync never piggybacks (it is not a delta); split into frames for
+  // delivery, reassemble what actually arrived, then replace the cache
+  // wholesale (per-frame replacement would drop earlier frames).
+  SampleReport reassembled;
+  reassembled.node_id = report.node_id;
+  reassembled.data_count = report.data_count;
+  std::size_t offset = 0;
+  do {
+    const std::size_t take =
+        std::min(kMaxSamplesPerFrame, report.new_samples.size() - offset);
+    SampleReport frame;
+    frame.node_id = report.node_id;
+    frame.data_count = report.data_count;
+    frame.new_samples.assign(
+        report.new_samples.begin() + static_cast<std::ptrdiff_t>(offset),
+        report.new_samples.begin() +
+            static_cast<std::ptrdiff_t>(offset + take));
+    const SampleReport delivered = deliver_frame(frame);
+    reassembled.new_samples.insert(reassembled.new_samples.end(),
+                                   delivered.new_samples.begin(),
+                                   delivered.new_samples.end());
+    offset += take;
+  } while (offset < report.new_samples.size());
+  station_.replace(reassembled);
+}
+
+void FlatNetwork::append_data(std::size_t node,
+                              const std::vector<double>& values) {
+  auto& sensor = nodes_.at(node);
+  total_data_count_ += values.size();
+  sensor.append_data(values);
+}
+
+std::size_t FlatNetwork::refresh_samples() {
+  std::size_t resynced = 0;
+  for (auto& node : nodes_) {
+    if (!node.dirty()) continue;
+    if (!node.online()) continue;  // resync deferred until the node rejoins
+    SampleReport report = node.full_report();
+    ++resynced;
+    stats_.samples_transferred += report.new_samples.size();
+    transmit_full_report(report);
+  }
+  return resynced;
+}
+
+}  // namespace prc::iot

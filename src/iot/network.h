@@ -1,0 +1,127 @@
+// The flat IoT network simulator.
+//
+// Wires k sensor nodes to one base station, executes top-up sampling rounds,
+// and accounts every byte that crosses the (simulated) air interface.
+// Unreliable links are modeled as per-frame Bernoulli loss with reliable
+// retransmission: a lost frame costs its bytes again, which is how loss
+// shows up in the paper's cost metric (energy/bandwidth), while the protocol
+// state stays consistent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "iot/base_station.h"
+#include "iot/messages.h"
+#include "iot/node.h"
+#include "iot/sampling_network.h"
+#include "query/range_query.h"
+
+namespace prc::iot {
+
+/// Byte/message accounting, split by direction.
+struct CommunicationStats {
+  std::size_t downlink_messages = 0;  // base station -> nodes
+  std::size_t downlink_bytes = 0;
+  std::size_t uplink_messages = 0;  // nodes -> base station
+  std::size_t uplink_bytes = 0;
+  std::size_t retransmissions = 0;
+  std::size_t corrupted_frames = 0;  // CRC-detected corruptions (byte mode)
+  std::size_t samples_transferred = 0;
+  std::size_t piggybacked_reports = 0;  // reports that rode on heartbeats
+
+  std::size_t total_bytes() const noexcept {
+    return downlink_bytes + uplink_bytes;
+  }
+};
+
+struct NetworkConfig {
+  /// Per-frame loss probability on both directions (retransmitted until
+  /// delivered; each attempt is charged).
+  double frame_loss_probability = 0.0;
+  /// Byte-accurate mode: every uplink report frame is really serialized
+  /// through the wire codec and decoded at the base station, so the
+  /// simulation exercises the actual byte format.  Heartbeat piggybacking
+  /// is disabled in this mode (piggybacked deltas have no standalone frame
+  /// to encode).
+  bool byte_accurate = false;
+  /// Per-transmission probability that one random bit of the encoded frame
+  /// flips in flight (only meaningful with byte_accurate).  The CRC detects
+  /// the corruption and the frame is retransmitted; every attempt is
+  /// charged.
+  double bit_corruption_probability = 0.0;
+  /// Master seed for node sampling streams and the loss process.
+  std::uint64_t seed = 7;
+};
+
+class FlatNetwork final : public SamplingNetwork {
+ public:
+  /// One entry of `node_data` per node; nodes keep their multiset private.
+  FlatNetwork(std::vector<std::vector<double>> node_data,
+              NetworkConfig config = {});
+
+  std::size_t node_count() const noexcept override { return nodes_.size(); }
+
+  /// Ground truth n = sum n_i (the simulator knows it; the base station
+  /// learns it from reports).
+  std::size_t total_data_count() const noexcept override {
+    return total_data_count_;
+  }
+
+  const BaseStation& base_station() const noexcept override {
+    return station_;
+  }
+  const CommunicationStats& stats() const noexcept { return stats_; }
+
+  /// Marks a node offline/online; offline nodes ignore top-up requests.
+  void set_node_online(std::size_t node, bool online);
+
+  /// Runs a top-up round raising every node's inclusion probability to `p`.
+  /// No-op if p <= current probability.  Returns the number of new samples
+  /// collected.
+  std::size_t ensure_sampling_probability(double p) override;
+
+  /// Continuous collection: node `node` observes new readings.  The node
+  /// samples them locally at the current probability; the base station's
+  /// cached copy becomes stale until the next refresh_samples().
+  void append_data(std::size_t node, const std::vector<double>& values);
+
+  /// Resynchronizes every dirty node: the node retransmits its full sample
+  /// (ranks shifted when data was appended), the base station replaces its
+  /// cache, and the traffic is charged.  Returns the number of nodes that
+  /// resynced.
+  std::size_t refresh_samples();
+
+  /// RankCounting / BasicCounting estimates from the base station cache.
+  double rank_counting_estimate(
+      const query::RangeQuery& range) const override {
+    return station_.rank_counting_estimate(range);
+  }
+  double basic_counting_estimate(const query::RangeQuery& range) const {
+    return station_.basic_counting_estimate(range);
+  }
+
+ private:
+  /// Charges one logical frame, simulating loss + retransmission; returns
+  /// attempts made.
+  std::size_t transmit(std::size_t frame_bytes, bool uplink);
+
+  /// Charges a full-sample resync (framed, never piggybacked) and replaces
+  /// the station's cache for that node.
+  void transmit_full_report(const SampleReport& report);
+
+  /// Delivers one report frame: models loss and (in byte-accurate mode)
+  /// encode -> corrupt -> decode with CRC-triggered retransmission.
+  /// Returns the frame as the base station received it.
+  SampleReport deliver_frame(const SampleReport& frame);
+
+  std::vector<SensorNode> nodes_;
+  BaseStation station_;
+  CommunicationStats stats_;
+  Rng loss_rng_;
+  NetworkConfig config_;
+  std::size_t total_data_count_ = 0;
+};
+
+}  // namespace prc::iot

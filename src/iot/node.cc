@@ -1,0 +1,38 @@
+#include "iot/node.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prc::iot {
+
+SensorNode::SensorNode(int id, std::vector<double> values, Rng rng)
+    : id_(id), sampler_(std::move(values)), rng_(rng) {}
+
+SampleReport SensorNode::handle(const SampleRequest& request) {
+  if (request.node_id != id_) {
+    throw std::invalid_argument("sample request routed to wrong node");
+  }
+  SampleReport report;
+  report.node_id = id_;
+  report.data_count = sampler_.data_count();
+  if (!online_) return report;  // dropout: nothing new reported
+  report.new_samples = sampler_.raise_probability(request.target_p, rng_);
+  return report;
+}
+
+void SensorNode::append_data(const std::vector<double>& values) {
+  if (values.empty()) return;
+  sampler_.append(values, rng_);
+  dirty_ = true;
+}
+
+SampleReport SensorNode::full_report() {
+  SampleReport report;
+  report.node_id = id_;
+  report.data_count = sampler_.data_count();
+  report.new_samples = sampler_.current_sample().samples();
+  dirty_ = false;
+  return report;
+}
+
+}  // namespace prc::iot

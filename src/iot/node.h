@@ -1,0 +1,55 @@
+// A simulated smart device holding a local data multiset.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "iot/messages.h"
+#include "sampling/local_sampler.h"
+
+namespace prc::iot {
+
+/// One sensor node in the flat network.  Owns its raw local data and its
+/// sampling state; only samples (with ranks) and the local cardinality ever
+/// leave the node.
+class SensorNode {
+ public:
+  /// `rng` is this node's private stream (split from the network master).
+  SensorNode(int id, std::vector<double> values, Rng rng);
+
+  int id() const noexcept { return id_; }
+  std::size_t data_count() const noexcept { return sampler_.data_count(); }
+  double inclusion_probability() const noexcept {
+    return sampler_.inclusion_probability();
+  }
+  std::size_t sample_count() const noexcept { return sampler_.sample_count(); }
+
+  bool online() const noexcept { return online_; }
+  void set_online(bool online) noexcept { online_ = online; }
+
+  /// Handles a SampleRequest: tops the local sample up to the requested
+  /// probability and returns the report carrying only the new samples.
+  /// An offline node returns no report (the caller observes the dropout).
+  SampleReport handle(const SampleRequest& request);
+
+  /// Continuous collection: new readings arrive at the device.  Each is
+  /// sampled at the current inclusion probability; ranks shift, so the node
+  /// becomes dirty and must retransmit its full sample next refresh.
+  void append_data(const std::vector<double>& values);
+
+  /// True when an append invalidated the base station's cached copy.
+  bool dirty() const noexcept { return dirty_; }
+
+  /// The full-resync report (entire current sample + updated n_i); clears
+  /// the dirty flag.  Used by the network's refresh round.
+  SampleReport full_report();
+
+ private:
+  int id_;
+  sampling::LocalSampler sampler_;
+  Rng rng_;
+  bool online_ = true;
+  bool dirty_ = false;
+};
+
+}  // namespace prc::iot

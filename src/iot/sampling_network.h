@@ -1,0 +1,36 @@
+// Topology-independent interface over a sampled IoT network.
+//
+// The broker-side machinery (PrivateRangeCounter, WorkloadAnswerer) only
+// needs four capabilities: know the population, top up the shared sample,
+// and estimate ranges from the base-station cache.  Both the flat model and
+// the tree model provide them; this interface lets the DP pipeline run over
+// either (the paper's "easily extended to a general tree model" claim,
+// carried through to the full private-counting stack).
+#pragma once
+
+#include <cstddef>
+
+#include "iot/base_station.h"
+#include "query/range_query.h"
+
+namespace prc::iot {
+
+class SamplingNetwork {
+ public:
+  virtual ~SamplingNetwork() = default;
+
+  virtual std::size_t node_count() const = 0;
+  virtual std::size_t total_data_count() const = 0;
+  virtual const BaseStation& base_station() const = 0;
+
+  /// Runs a top-up round raising every node's inclusion probability to `p`
+  /// (no-op when p <= the current probability).  Returns the number of new
+  /// samples collected.
+  virtual std::size_t ensure_sampling_probability(double p) = 0;
+
+  /// RankCounting estimate from the base-station cache.
+  virtual double rank_counting_estimate(
+      const query::RangeQuery& range) const = 0;
+};
+
+}  // namespace prc::iot

@@ -1,0 +1,147 @@
+#include "iot/tree_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prc::iot {
+namespace {
+
+/// Tree slots: slot 0 is the base station; sensor node i occupies slot
+/// i + 1.  With fanout f, the parent of slot s (s >= 1) is slot (s-1)/f.
+std::size_t parent_slot(std::size_t slot, std::size_t fanout) {
+  return (slot - 1) / fanout;
+}
+
+}  // namespace
+
+TreeNetwork::TreeNetwork(std::vector<std::vector<double>> node_data,
+                         TreeConfig config)
+    : station_(node_data.size()),
+      loss_rng_(Rng(config.seed).split()),
+      config_(config) {
+  if (node_data.empty()) {
+    throw std::invalid_argument("tree network needs >= 1 node");
+  }
+  if (config_.fanout == 0) {
+    throw std::invalid_argument("tree fanout must be >= 1");
+  }
+  if (config_.frame_loss_probability < 0.0 ||
+      config_.frame_loss_probability >= 1.0) {
+    throw std::invalid_argument("frame loss probability must be in [0, 1)");
+  }
+  Rng master(config.seed);
+  nodes_.reserve(node_data.size());
+  for (std::size_t i = 0; i < node_data.size(); ++i) {
+    total_data_count_ += node_data[i].size();
+    nodes_.emplace_back(static_cast<int>(i), std::move(node_data[i]),
+                        master.split());
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    height_ = std::max(height_, depth(i));
+  }
+  level_stats_.assign(height_ + 1, TreeLevelStats{});
+}
+
+std::size_t TreeNetwork::depth(std::size_t node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node index");
+  std::size_t slot = node + 1;
+  std::size_t d = 0;
+  while (slot != 0) {
+    slot = parent_slot(slot, config_.fanout);
+    ++d;
+  }
+  return d;
+}
+
+std::size_t TreeNetwork::transmit_link(std::size_t frame_bytes,
+                                       std::size_t level) {
+  std::size_t attempts = 1;
+  while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+    ++attempts;
+    ++stats_.retransmissions;
+  }
+  stats_.uplink_messages += attempts;
+  stats_.uplink_bytes += attempts * frame_bytes;
+  auto& lvl = level_stats_.at(level);
+  lvl.links_crossed += attempts;
+  lvl.bytes += attempts * frame_bytes;
+  return attempts;
+}
+
+std::size_t TreeNetwork::ensure_sampling_probability(double p) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("sampling probability must be in (0, 1]");
+  }
+  if (p <= station_.sampling_probability()) return 0;
+
+  // Downlink: the request floods the tree, one frame per parent->child
+  // link (k links total).
+  const SampleRequest probe{0, p};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::size_t attempts = 1;
+    while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+      ++attempts;
+      ++stats_.retransmissions;
+    }
+    stats_.downlink_messages += attempts;
+    stats_.downlink_bytes += attempts * probe.wire_size();
+  }
+
+  // Every node tops up locally; the base station receives all payloads
+  // regardless of routing (reliable links), so ingest directly.
+  std::vector<std::size_t> new_samples_per_node(nodes_.size(), 0);
+  std::size_t total_new = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    SampleReport report = nodes_[i].handle(SampleRequest{
+        static_cast<int>(i), p});
+    new_samples_per_node[i] = report.new_samples.size();
+    total_new += report.new_samples.size();
+    stats_.samples_transferred += report.new_samples.size();
+    station_.ingest(report);
+  }
+
+  // Uplink accounting.
+  if (config_.aggregate_frames) {
+    // Coalesced convergecast: process slots bottom-up; each node forwards
+    // its subtree's samples (plus one n_i scalar per subtree node) to its
+    // parent in as few frames as possible.
+    const std::size_t slots = nodes_.size() + 1;
+    std::vector<std::size_t> subtree_samples(slots, 0);
+    std::vector<std::size_t> subtree_nodes(slots, 0);
+    for (std::size_t slot = slots - 1; slot >= 1; --slot) {
+      const std::size_t node = slot - 1;
+      subtree_samples[slot] += new_samples_per_node[node];
+      subtree_nodes[slot] += 1;
+      const std::size_t payload = subtree_samples[slot] * kSampleWireBytes +
+                                  subtree_nodes[slot] * sizeof(std::uint64_t);
+      const std::size_t frames = std::max<std::size_t>(
+          1, (subtree_samples[slot] + kMaxSamplesPerFrame - 1) /
+                 kMaxSamplesPerFrame);
+      transmit_link(frames * kMessageHeaderBytes + payload, depth(node));
+      const std::size_t parent = parent_slot(slot, config_.fanout);
+      subtree_samples[parent] += subtree_samples[slot];
+      subtree_nodes[parent] += subtree_nodes[slot];
+    }
+  } else {
+    // Naive store-and-forward: each node's own report is relayed as its own
+    // frame chain across every link on the path to the root.
+    for (std::size_t node = 0; node < nodes_.size(); ++node) {
+      const std::size_t samples = new_samples_per_node[node];
+      const std::size_t frames = std::max<std::size_t>(
+          1, (samples + kMaxSamplesPerFrame - 1) / kMaxSamplesPerFrame);
+      const std::size_t bytes = frames * kMessageHeaderBytes +
+                                samples * kSampleWireBytes +
+                                sizeof(std::uint64_t);
+      const std::size_t node_depth = depth(node);
+      // The report crosses node_depth links, charged at levels
+      // node_depth, node_depth-1, ..., 1.
+      for (std::size_t level = node_depth; level >= 1; --level) {
+        transmit_link(bytes, level);
+      }
+    }
+  }
+  station_.commit_round(p);
+  return total_new;
+}
+
+}  // namespace prc::iot

@@ -1,0 +1,58 @@
+#include "market/broker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prc::market {
+
+DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
+                       std::unique_ptr<pricing::PricingFunction> pricing,
+                       BrokerConfig config)
+    : counter_(counter), pricing_(std::move(pricing)), config_(config) {
+  if (!pricing_) throw std::invalid_argument("broker needs a pricing function");
+  if (!(config_.per_consumer_epsilon_cap > 0.0)) {
+    throw std::invalid_argument("per-consumer epsilon cap must be positive");
+  }
+}
+
+double DataBroker::quote(const query::AccuracySpec& spec) const {
+  return pricing_->price(spec);
+}
+
+double DataBroker::remaining_budget(const std::string& consumer_id) const {
+  return std::max(0.0, config_.per_consumer_epsilon_cap -
+                           ledger_.consumer_epsilon(consumer_id));
+}
+
+PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
+                                 const query::RangeQuery& range,
+                                 const query::AccuracySpec& spec) {
+  // Check the budget against the projected plan BEFORE computing the
+  // answer, so a refused sale releases nothing.
+  const double spent = ledger_.consumer_epsilon(consumer_id);
+  if (spent < config_.per_consumer_epsilon_cap) {
+    const auto projected = counter_.plan_for(spec);
+    if (spent + projected.epsilon_amplified >
+        config_.per_consumer_epsilon_cap) {
+      throw BudgetExceededError(consumer_id,
+                                spent + projected.epsilon_amplified,
+                                config_.per_consumer_epsilon_cap);
+    }
+  } else {
+    throw BudgetExceededError(consumer_id, spent,
+                              config_.per_consumer_epsilon_cap);
+  }
+
+  const dp::PrivateAnswer answer = counter_.answer(range, spec);
+  PurchaseReceipt receipt;
+  receipt.value = answer.value;
+  receipt.price = pricing_->price(spec);
+  receipt.range = range;
+  receipt.spec = spec;
+  receipt.transaction_id = ledger_.record(Transaction{
+      0, consumer_id, range, spec, receipt.price,
+      answer.plan.epsilon_amplified});
+  return receipt;
+}
+
+}  // namespace prc::market

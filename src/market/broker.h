@@ -1,0 +1,91 @@
+// The data broker of the paper's system model (Fig. 1).
+//
+// Sits between the IoT base station and data consumers: serves Lambda(alpha,
+// delta) requests by producing a private answer through PrivateRangeCounter,
+// charges the configured pricing function, and logs every sale to the
+// ledger.  Consumers only ever see the noisy value, the contract they asked
+// for, and the price; the internal plan and pre-noise estimate stay inside.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "dp/private_counting.h"
+#include "market/ledger.h"
+#include "pricing/pricing.h"
+#include "query/range_query.h"
+
+namespace prc::market {
+
+/// Thrown by DataBroker::sell when a purchase would push the consumer's
+/// cumulative amplified budget past the broker's cap.  Sequential
+/// composition means every answer sold leaks additively; a benefit-concerned
+/// broker caps the total it is willing to leak per consumer.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  BudgetExceededError(const std::string& consumer, double spent, double cap)
+      : std::runtime_error("privacy budget exceeded for '" + consumer +
+                           "': spent " + std::to_string(spent) + " of " +
+                           std::to_string(cap)),
+        spent_(spent),
+        cap_(cap) {}
+
+  double spent() const noexcept { return spent_; }
+  double cap() const noexcept { return cap_; }
+
+ private:
+  double spent_;
+  double cap_;
+};
+
+struct BrokerConfig {
+  /// Maximum cumulative epsilon' released to any single consumer.
+  double per_consumer_epsilon_cap = std::numeric_limits<double>::infinity();
+};
+
+/// What a consumer receives for their money.
+struct PurchaseReceipt {
+  double value = 0.0;  ///< the noisy (alpha, delta)-range counting
+  double price = 0.0;
+  query::RangeQuery range;
+  query::AccuracySpec spec;
+  std::size_t transaction_id = 0;
+};
+
+class DataBroker {
+ public:
+  /// `counter` must outlive the broker.  The broker takes ownership of the
+  /// pricing function.
+  DataBroker(dp::PrivateRangeCounter& counter,
+             std::unique_ptr<pricing::PricingFunction> pricing,
+             BrokerConfig config = {});
+
+  /// Quote without buying.
+  double quote(const query::AccuracySpec& spec) const;
+
+  /// Serves a request: computes the private answer, charges, records.
+  /// Throws BudgetExceededError when the sale would push the consumer past
+  /// the per-consumer epsilon cap (the answer is NOT computed in that case,
+  /// so no budget is spent).
+  PurchaseReceipt sell(const std::string& consumer_id,
+                       const query::RangeQuery& range,
+                       const query::AccuracySpec& spec);
+
+  /// Remaining budget the broker is still willing to release to a consumer.
+  double remaining_budget(const std::string& consumer_id) const;
+
+  const Ledger& ledger() const noexcept { return ledger_; }
+  const pricing::PricingFunction& pricing() const noexcept {
+    return *pricing_;
+  }
+
+ private:
+  dp::PrivateRangeCounter& counter_;
+  std::unique_ptr<pricing::PricingFunction> pricing_;
+  BrokerConfig config_;
+  Ledger ledger_;
+};
+
+}  // namespace prc::market

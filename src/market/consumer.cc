@@ -1,0 +1,52 @@
+#include "market/consumer.h"
+
+#include <utility>
+
+namespace prc::market {
+
+HonestConsumer::HonestConsumer(std::string id, DataBroker& broker)
+    : id_(std::move(id)), broker_(broker) {}
+
+StrategyOutcome HonestConsumer::acquire(const query::RangeQuery& range,
+                                        const query::AccuracySpec& spec) {
+  const PurchaseReceipt receipt = broker_.sell(id_, range, spec);
+  StrategyOutcome outcome;
+  outcome.answer = receipt.value;
+  outcome.total_cost = receipt.price;
+  outcome.queries_issued = 1;
+  // The honest buyer holds exactly the contract-level variance it paid for.
+  outcome.effective_variance = 0.0;  // filled by callers that have the model
+  return outcome;
+}
+
+ArbitrageAttacker::ArbitrageAttacker(std::string id, DataBroker& broker,
+                                     pricing::AttackSimulator simulator)
+    : id_(std::move(id)), broker_(broker), simulator_(std::move(simulator)) {}
+
+StrategyOutcome ArbitrageAttacker::acquire(const query::RangeQuery& range,
+                                           const query::AccuracySpec& target) {
+  last_ = simulator_.best_attack(broker_.pricing(), target);
+  StrategyOutcome outcome;
+  if (!last_.profitable) {
+    // No arbitrage available: pay full price like everyone else.
+    const PurchaseReceipt receipt = broker_.sell(id_, range, target);
+    outcome.answer = receipt.value;
+    outcome.total_cost = receipt.price;
+    outcome.queries_issued = 1;
+    outcome.effective_variance = last_.combined_variance;
+    return outcome;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < last_.copies; ++i) {
+    const PurchaseReceipt receipt =
+        broker_.sell(id_, range, last_.weaker_spec);
+    sum += receipt.value;
+    outcome.total_cost += receipt.price;
+    ++outcome.queries_issued;
+  }
+  outcome.answer = sum / static_cast<double>(last_.copies);
+  outcome.effective_variance = last_.combined_variance;
+  return outcome;
+}
+
+}  // namespace prc::market

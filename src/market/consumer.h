@@ -1,0 +1,65 @@
+// Consumer strategies: the honest buyer and the Example 4.1 averaging
+// attacker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/broker.h"
+#include "pricing/arbitrage.h"
+#include "query/range_query.h"
+
+namespace prc::market {
+
+/// Outcome of one acquisition strategy: what the consumer paid and the
+/// answer (and its contract-level variance) they ended up holding.
+struct StrategyOutcome {
+  double answer = 0.0;
+  double total_cost = 0.0;
+  std::size_t queries_issued = 0;
+  /// Contract-level variance of the held answer (combined variance for the
+  /// attacker's average).
+  double effective_variance = 0.0;
+};
+
+/// Buys exactly the contract it needs, once.
+class HonestConsumer {
+ public:
+  HonestConsumer(std::string id, DataBroker& broker);
+
+  StrategyOutcome acquire(const query::RangeQuery& range,
+                          const query::AccuracySpec& spec);
+
+  const std::string& id() const noexcept { return id_; }
+
+ private:
+  std::string id_;
+  DataBroker& broker_;
+};
+
+/// The averaging adversary: wants `target` quality but first searches (via
+/// AttackSimulator) for m weaker purchases whose average is at least as
+/// good and cheaper.  Falls back to the honest purchase when no profitable
+/// attack exists — which is precisely what an arbitrage-avoiding price
+/// forces it to do.
+class ArbitrageAttacker {
+ public:
+  ArbitrageAttacker(std::string id, DataBroker& broker,
+                    pricing::AttackSimulator simulator);
+
+  StrategyOutcome acquire(const query::RangeQuery& range,
+                          const query::AccuracySpec& target);
+
+  /// The attack plan used on the last acquire() (copies == 0 if honest).
+  const pricing::AttackResult& last_plan() const noexcept { return last_; }
+
+  const std::string& id() const noexcept { return id_; }
+
+ private:
+  std::string id_;
+  DataBroker& broker_;
+  pricing::AttackSimulator simulator_;
+  pricing::AttackResult last_;
+};
+
+}  // namespace prc::market

@@ -1,0 +1,31 @@
+#include "market/ledger.h"
+
+#include <stdexcept>
+
+namespace prc::market {
+
+std::size_t Ledger::record(Transaction transaction) {
+  if (transaction.price < 0.0 || transaction.epsilon_amplified < 0.0) {
+    throw std::invalid_argument("ledger: negative price or budget");
+  }
+  transaction.sequence = transactions_.size();
+  total_revenue_ += transaction.price;
+  total_epsilon_ += transaction.epsilon_amplified;
+  spend_by_consumer_[transaction.consumer_id] += transaction.price;
+  epsilon_by_consumer_[transaction.consumer_id] +=
+      transaction.epsilon_amplified;
+  transactions_.push_back(std::move(transaction));
+  return transactions_.back().sequence;
+}
+
+double Ledger::consumer_spend(const std::string& consumer_id) const {
+  const auto it = spend_by_consumer_.find(consumer_id);
+  return it == spend_by_consumer_.end() ? 0.0 : it->second;
+}
+
+double Ledger::consumer_epsilon(const std::string& consumer_id) const {
+  const auto it = epsilon_by_consumer_.find(consumer_id);
+  return it == epsilon_by_consumer_.end() ? 0.0 : it->second;
+}
+
+}  // namespace prc::market

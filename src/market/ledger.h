@@ -1,0 +1,61 @@
+// Transaction ledger: revenue accounting plus per-consumer privacy audit.
+//
+// Each sale releases one epsilon'-DP answer; sequential composition means a
+// consumer's cumulative leakage is the sum of the amplified budgets of the
+// answers they bought.  The ledger tracks both money and budget.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/range_query.h"
+
+namespace prc::market {
+
+struct Transaction {
+  std::size_t sequence = 0;
+  std::string consumer_id;
+  query::RangeQuery range;
+  query::AccuracySpec spec;
+  double price = 0.0;
+  double epsilon_amplified = 0.0;
+};
+
+class Ledger {
+ public:
+  /// Appends a transaction; assigns and returns its sequence number.
+  std::size_t record(Transaction transaction);
+
+  std::size_t transaction_count() const noexcept {
+    return transactions_.size();
+  }
+  const std::vector<Transaction>& transactions() const noexcept {
+    return transactions_;
+  }
+
+  double total_revenue() const noexcept { return total_revenue_; }
+
+  /// Total amplified budget released across ALL consumers — the dataset's
+  /// cumulative exposure under sequential composition (adversaries may
+  /// collude, so the broker audits the global sum, not just per-consumer
+  /// totals).
+  double total_epsilon() const noexcept { return total_epsilon_; }
+
+  /// Sum of prices paid by one consumer (0 for unknown ids).
+  double consumer_spend(const std::string& consumer_id) const;
+
+  /// Cumulative privacy budget released to one consumer (sequential
+  /// composition of the amplified epsilons; 0 for unknown ids).
+  double consumer_epsilon(const std::string& consumer_id) const;
+
+ private:
+  std::vector<Transaction> transactions_;
+  double total_revenue_ = 0.0;
+  double total_epsilon_ = 0.0;
+  std::unordered_map<std::string, double> spend_by_consumer_;
+  std::unordered_map<std::string, double> epsilon_by_consumer_;
+};
+
+}  // namespace prc::market

@@ -1,0 +1,104 @@
+#include "market/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace prc::market {
+
+MarketSimulation::MarketSimulation(DataBroker& broker,
+                                   pricing::VarianceModel model,
+                                   std::vector<query::RangeQuery> query_pool,
+                                   SimulationConfig config)
+    : broker_(broker),
+      model_(model),
+      query_pool_(std::move(query_pool)),
+      config_(config) {
+  if (query_pool_.empty()) {
+    throw std::invalid_argument("simulation needs a non-empty query pool");
+  }
+  if (config_.rounds == 0) {
+    throw std::invalid_argument("simulation needs >= 1 round");
+  }
+  if (!(config_.alpha_min > 0.0) || config_.alpha_min > config_.alpha_max ||
+      config_.alpha_max > 1.0 || !(config_.delta_min > 0.0) ||
+      config_.delta_min > config_.delta_max || config_.delta_max >= 1.0) {
+    throw std::invalid_argument("simulation contract box invalid");
+  }
+}
+
+query::AccuracySpec MarketSimulation::draw_contract(Rng& rng) const {
+  return query::AccuracySpec{
+      rng.uniform(config_.alpha_min, config_.alpha_max),
+      rng.uniform(config_.delta_min, config_.delta_max)};
+}
+
+SimulationReport MarketSimulation::run() {
+  Rng rng(config_.seed);
+  SimulationReport report;
+  report.rounds = config_.rounds;
+
+  std::vector<HonestConsumer> honest;
+  honest.reserve(config_.honest_consumers);
+  for (std::size_t i = 0; i < config_.honest_consumers; ++i) {
+    honest.emplace_back("honest-" + std::to_string(i), broker_);
+  }
+  std::vector<ArbitrageAttacker> attackers;
+  attackers.reserve(config_.attackers);
+  for (std::size_t i = 0; i < config_.attackers; ++i) {
+    attackers.emplace_back("attacker-" + std::to_string(i), broker_,
+                           pricing::AttackSimulator(model_));
+  }
+
+  const auto draw_range = [&]() -> const query::RangeQuery& {
+    return query_pool_[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(query_pool_.size()) - 1))];
+  };
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    for (auto& consumer : honest) {
+      if (!rng.bernoulli(config_.arrival_probability)) continue;
+      const auto spec = draw_contract(rng);
+      try {
+        const auto outcome = consumer.acquire(draw_range(), spec);
+        ++report.honest_purchases;
+        report.honest_spend += outcome.total_cost;
+      } catch (const BudgetExceededError&) {
+        ++report.refused_sales;
+      }
+    }
+    for (auto& attacker : attackers) {
+      if (!rng.bernoulli(config_.arrival_probability)) continue;
+      const auto spec = draw_contract(rng);
+      try {
+        const auto outcome = attacker.acquire(draw_range(), spec);
+        ++report.attacker_targets;
+        report.attacker_queries += outcome.queries_issued;
+        report.attacker_spend += outcome.total_cost;
+        report.attacker_honest_value += broker_.quote(spec);
+        if (attacker.last_plan().profitable) ++report.profitable_attacks;
+      } catch (const BudgetExceededError&) {
+        ++report.refused_sales;
+      }
+    }
+  }
+
+  report.revenue = broker_.ledger().total_revenue();
+  for (const auto& consumer : honest) {
+    report.max_honest_epsilon =
+        std::max(report.max_honest_epsilon,
+                 broker_.ledger().consumer_epsilon(consumer.id()));
+  }
+  for (const auto& attacker : attackers) {
+    report.max_attacker_epsilon =
+        std::max(report.max_attacker_epsilon,
+                 broker_.ledger().consumer_epsilon(attacker.id()));
+  }
+  PRC_LOG_INFO << "market simulation: " << report.honest_purchases
+               << " honest purchases, " << report.attacker_targets
+               << " attacker acquisitions, revenue " << report.revenue;
+  return report;
+}
+
+}  // namespace prc::market

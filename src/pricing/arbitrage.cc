@@ -1,0 +1,184 @@
+#include "pricing/arbitrage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace prc::pricing {
+namespace {
+
+constexpr double kRelTolerance = 1e-9;
+
+bool approximately_equal(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= 1e-6 * scale;
+}
+
+}  // namespace
+
+std::string PropertyViolation::to_string() const {
+  std::ostringstream out;
+  out << "property " << property << " violated: " << from.to_string() << " -> "
+      << to.to_string() << " lhs=" << lhs << " rhs=" << rhs;
+  return out.str();
+}
+
+ArbitrageChecker::ArbitrageChecker(VarianceModel model)
+    : ArbitrageChecker(model, Grid{}) {}
+
+ArbitrageChecker::ArbitrageChecker(VarianceModel model, Grid grid)
+    : model_(model), grid_(grid) {
+  if (grid_.alpha_steps < 2 || grid_.delta_steps < 2) {
+    throw std::invalid_argument("checker grid needs >= 2 steps per axis");
+  }
+  if (!(grid_.alpha_min > 0.0) || !(grid_.alpha_min < grid_.alpha_max) ||
+      grid_.alpha_max > 1.0 || grid_.delta_min < 0.0 ||
+      !(grid_.delta_min < grid_.delta_max) || grid_.delta_max >= 1.0) {
+    throw std::invalid_argument("checker grid bounds invalid");
+  }
+}
+
+CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
+                                    std::size_t max_violations) const {
+  CheckReport report;
+  const auto record = [&](PropertyViolation violation) {
+    report.arbitrage_avoiding = false;
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back(std::move(violation));
+    }
+  };
+
+  std::vector<double> alphas(grid_.alpha_steps);
+  std::vector<double> deltas(grid_.delta_steps);
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    alphas[i] = grid_.alpha_min + (grid_.alpha_max - grid_.alpha_min) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(alphas.size() - 1);
+  }
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    deltas[i] = grid_.delta_min + (grid_.delta_max - grid_.delta_min) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(deltas.size() - 1);
+  }
+
+  // Property 1: contracts with identical variance must have identical price.
+  for (double alpha : alphas) {
+    for (double delta : deltas) {
+      const query::AccuracySpec spec{alpha, delta};
+      const double v = model_.contract_variance(spec);
+      for (double other_delta : deltas) {
+        if (other_delta == delta) continue;
+        const double other_alpha = model_.alpha_for_variance(v, other_delta);
+        if (!(other_alpha > 0.0) || other_alpha > 1.0) continue;
+        const query::AccuracySpec other{other_alpha, other_delta};
+        const double price_a = pricing.price(spec);
+        const double price_b = pricing.price(other);
+        ++report.checks_performed;
+        if (!approximately_equal(price_a, price_b)) {
+          record({1, spec, other, price_a, price_b});
+        }
+      }
+    }
+  }
+
+  // Property 2: raising delta — relative price increase must cover the
+  // relative variance decrease.
+  for (double alpha : alphas) {
+    for (std::size_t j = 0; j + 1 < deltas.size(); ++j) {
+      const query::AccuracySpec lo{alpha, deltas[j]};
+      const query::AccuracySpec hi{alpha, deltas[j + 1]};
+      const double pi_lo = pricing.price(lo);
+      const double pi_hi = pricing.price(hi);
+      const double v_lo = model_.contract_variance(lo);
+      const double v_hi = model_.contract_variance(hi);
+      const double lhs = (pi_hi - pi_lo) / pi_hi;
+      const double rhs = (v_lo - v_hi) / v_lo;
+      ++report.checks_performed;
+      if (lhs < rhs - kRelTolerance) record({2, lo, hi, lhs, rhs});
+    }
+  }
+
+  // Property 3: raising alpha — relative price drop must not exceed the
+  // relative variance increase.
+  for (double delta : deltas) {
+    for (std::size_t i = 0; i + 1 < alphas.size(); ++i) {
+      const query::AccuracySpec lo{alphas[i], delta};
+      const query::AccuracySpec hi{alphas[i + 1], delta};
+      const double pi_lo = pricing.price(lo);
+      const double pi_hi = pricing.price(hi);
+      const double v_lo = model_.contract_variance(lo);
+      const double v_hi = model_.contract_variance(hi);
+      const double lhs = (pi_lo - pi_hi) / pi_lo;
+      const double rhs = (v_hi - v_lo) / v_hi;
+      ++report.checks_performed;
+      if (lhs > rhs + kRelTolerance) record({3, lo, hi, lhs, rhs});
+    }
+  }
+  return report;
+}
+
+double AttackResult::savings() const {
+  if (!profitable || honest_price <= 0.0) return 0.0;
+  return 1.0 - best_attack_cost / honest_price;
+}
+
+AttackSimulator::AttackSimulator(VarianceModel model)
+    : AttackSimulator(model, SearchSpace{}) {}
+
+AttackSimulator::AttackSimulator(VarianceModel model, SearchSpace space)
+    : model_(model), space_(space) {
+  if (space_.max_copies < 2 || space_.alpha_steps < 2 ||
+      space_.delta_steps < 1) {
+    throw std::invalid_argument("attack search space too small");
+  }
+  if (!(space_.alpha_max > 0.0) || space_.alpha_max > 1.0) {
+    throw std::invalid_argument("alpha_max must be in (0, 1]");
+  }
+}
+
+AttackResult AttackSimulator::best_attack(
+    const PricingFunction& pricing, const query::AccuracySpec& target) const {
+  target.validate();
+  AttackResult result;
+  result.honest_price = pricing.price(target);
+  result.best_attack_cost = result.honest_price;
+  const double target_variance = model_.contract_variance(target);
+
+  for (std::size_t m = 2; m <= space_.max_copies; ++m) {
+    const double variance_budget =
+        static_cast<double>(m) * target_variance;  // V_w <= m * V(target)
+    for (std::size_t ai = 1; ai <= space_.alpha_steps; ++ai) {
+      const double alpha_w =
+          target.alpha + (space_.alpha_max - target.alpha) *
+                             static_cast<double>(ai) /
+                             static_cast<double>(space_.alpha_steps);
+      if (!(alpha_w > target.alpha) || alpha_w > 1.0) continue;
+      for (std::size_t di = 1; di <= space_.delta_steps; ++di) {
+        const double delta_w = target.delta * static_cast<double>(di) /
+                               static_cast<double>(space_.delta_steps + 1);
+        if (!(delta_w > 0.0) || !(delta_w < target.delta)) continue;
+        const query::AccuracySpec weaker{alpha_w, delta_w};
+        const double v_w = model_.contract_variance(weaker);
+        if (v_w > variance_budget) continue;  // average still too noisy
+        const double cost = static_cast<double>(m) * pricing.price(weaker);
+        if (cost < result.best_attack_cost) {
+          result.best_attack_cost = cost;
+          result.copies = m;
+          result.weaker_spec = weaker;
+          result.combined_variance = v_w / static_cast<double>(m);
+        }
+      }
+    }
+  }
+  result.profitable =
+      result.best_attack_cost < result.honest_price * (1.0 - 1e-9);
+  if (!result.profitable) {
+    result.best_attack_cost = result.honest_price;
+    result.copies = 0;
+    result.combined_variance = target_variance;
+  }
+  return result;
+}
+
+}  // namespace prc::pricing

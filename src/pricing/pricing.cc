@@ -1,0 +1,88 @@
+#include "pricing/pricing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace prc::pricing {
+
+InverseVariancePricing::InverseVariancePricing(
+    VarianceModel model, query::AccuracySpec reference_spec, double base_price,
+    double exponent)
+    : model_(model),
+      reference_variance_(model.contract_variance(reference_spec)),
+      base_price_(base_price),
+      exponent_(exponent) {
+  if (!(base_price > 0.0)) {
+    throw std::invalid_argument("base price must be positive");
+  }
+  if (!(exponent > 0.0)) {
+    throw std::invalid_argument("exponent must be positive");
+  }
+}
+
+double InverseVariancePricing::price(const query::AccuracySpec& spec) const {
+  const double v = model_.contract_variance(spec);
+  return base_price_ * std::pow(reference_variance_ / v, exponent_);
+}
+
+std::string InverseVariancePricing::name() const {
+  std::ostringstream out;
+  out << "inverse-variance(q=" << exponent_ << ')';
+  return out.str();
+}
+
+LinearDiscountPricing::LinearDiscountPricing(double base, double accuracy_rate,
+                                             double confidence_rate)
+    : base_(base),
+      accuracy_rate_(accuracy_rate),
+      confidence_rate_(confidence_rate) {
+  if (!(base > 0.0) || accuracy_rate < 0.0 || confidence_rate < 0.0) {
+    throw std::invalid_argument("linear pricing needs base > 0, rates >= 0");
+  }
+}
+
+double LinearDiscountPricing::price(const query::AccuracySpec& spec) const {
+  spec.validate();
+  return base_ + accuracy_rate_ * (1.0 - spec.alpha) +
+         confidence_rate_ * spec.delta;
+}
+
+std::string LinearDiscountPricing::name() const { return "linear-discount"; }
+
+MenuFit fit_theorem_pricing(
+    const VarianceModel& model,
+    const std::vector<std::pair<query::AccuracySpec, double>>& menu) {
+  if (menu.empty()) throw std::invalid_argument("empty price menu");
+  MenuFit fit;
+  fit.scale = std::numeric_limits<double>::infinity();
+  for (const auto& [spec, price] : menu) {
+    if (!(price > 0.0)) {
+      throw std::invalid_argument("menu prices must be positive");
+    }
+    fit.scale = std::min(fit.scale, price * model.contract_variance(spec));
+  }
+  for (const auto& [spec, price] : menu) {
+    const double fitted = fit.scale / model.contract_variance(spec);
+    fit.max_relative_concession = std::max(
+        fit.max_relative_concession, (price - fitted) / price);
+  }
+  return fit;
+}
+
+FittedTheoremPricing::FittedTheoremPricing(VarianceModel model, double scale)
+    : model_(model), scale_(scale) {
+  if (!(scale > 0.0)) throw std::invalid_argument("scale must be positive");
+}
+
+double FittedTheoremPricing::price(const query::AccuracySpec& spec) const {
+  return scale_ / model_.contract_variance(spec);
+}
+
+std::string FittedTheoremPricing::name() const {
+  return "fitted-theorem(c/V)";
+}
+
+}  // namespace prc::pricing

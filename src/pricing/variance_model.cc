@@ -1,0 +1,37 @@
+#include "pricing/variance_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prc::pricing {
+
+VarianceModel::VarianceModel(std::size_t total_count, std::size_t node_count)
+    : total_count_(total_count), node_count_(node_count) {
+  if (total_count == 0 || node_count == 0) {
+    throw std::invalid_argument("variance model needs n > 0 and k > 0");
+  }
+}
+
+double VarianceModel::contract_variance(
+    const query::AccuracySpec& spec) const {
+  spec.validate();
+  const double scaled = spec.alpha * static_cast<double>(total_count_);
+  return scaled * scaled * (1.0 - spec.delta);
+}
+
+double VarianceModel::alpha_for_variance(double variance, double delta) const {
+  if (!(variance > 0.0)) {
+    throw std::invalid_argument("variance must be positive");
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("delta must be in [0, 1)");
+  }
+  return std::sqrt(variance / (1.0 - delta)) /
+         static_cast<double>(total_count_);
+}
+
+double VarianceModel::plan_variance(const dp::PerturbationPlan& plan) const {
+  return plan.total_variance(node_count_);
+}
+
+}  // namespace prc::pricing

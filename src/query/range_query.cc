@@ -1,0 +1,52 @@
+#include "query/range_query.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace prc::query {
+
+void RangeQuery::validate() const {
+  if (!std::isfinite(lower) || !std::isfinite(upper)) {
+    throw std::invalid_argument("range bounds must be finite");
+  }
+  if (lower > upper) {
+    throw std::invalid_argument("range requires lower <= upper");
+  }
+}
+
+std::string RangeQuery::to_string() const {
+  std::ostringstream out;
+  out << '[' << lower << ", " << upper << ']';
+  return out.str();
+}
+
+void AccuracySpec::validate() const {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (!(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("delta must be in (0, 1)");
+  }
+}
+
+bool AccuracySpec::is_implied_by(const AccuracySpec& other) const noexcept {
+  return other.alpha <= alpha && other.delta >= delta;
+}
+
+std::string AccuracySpec::to_string() const {
+  std::ostringstream out;
+  out << "(alpha=" << alpha << ", delta=" << delta << ')';
+  return out.str();
+}
+
+std::size_t exact_range_count(std::span<const double> values,
+                              const RangeQuery& range) {
+  std::size_t count = 0;
+  for (double v : values) {
+    if (range.contains(v)) ++count;
+  }
+  return count;
+}
+
+}  // namespace prc::query

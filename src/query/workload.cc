@@ -1,0 +1,74 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prc::query {
+
+std::vector<RangeQuery> quantile_anchored_ranges(
+    const data::Column& column, const std::vector<double>& quantile_grid) {
+  if (column.empty()) throw std::invalid_argument("empty column");
+  std::vector<RangeQuery> queries;
+  for (std::size_t i = 0; i < quantile_grid.size(); ++i) {
+    for (std::size_t j = i + 1; j < quantile_grid.size(); ++j) {
+      const double lo_q = quantile_grid[i];
+      const double hi_q = quantile_grid[j];
+      if (!(lo_q < hi_q)) continue;
+      RangeQuery q{column.quantile(lo_q), column.quantile(hi_q)};
+      q.validate();
+      queries.push_back(q);
+    }
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> uniform_random_ranges(const data::Column& column,
+                                              std::size_t count, Rng& rng) {
+  if (column.empty()) throw std::invalid_argument("empty column");
+  const double lo = column.min();
+  const double hi = column.max();
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double a = rng.uniform(lo, hi);
+    double b = rng.uniform(lo, hi);
+    if (a > b) std::swap(a, b);
+    queries.push_back(RangeQuery{a, b});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> sliding_windows(const data::Column& column,
+                                        double width_fraction,
+                                        std::size_t count) {
+  if (column.empty()) throw std::invalid_argument("empty column");
+  if (!(width_fraction > 0.0) || width_fraction > 1.0) {
+    throw std::invalid_argument("width_fraction must be in (0, 1]");
+  }
+  if (count == 0) return {};
+  const double lo = column.min();
+  const double hi = column.max();
+  const double domain = hi - lo;
+  const double width = domain * width_fraction;
+  const double slack = domain - width;
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double start =
+        count == 1 ? lo
+                   : lo + slack * static_cast<double>(i) /
+                             static_cast<double>(count - 1);
+    queries.push_back(RangeQuery{start, start + width});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> default_evaluation_suite(const data::Column& column) {
+  // Quantile pairs chosen to span narrow (5%), medium (~30-50%) and wide
+  // (90%+) selectivities, mirroring "different ranges" in the paper's Fig. 2.
+  static const std::vector<double> grid = {0.02, 0.10, 0.25, 0.40,
+                                           0.60, 0.75, 0.90, 0.97};
+  return quantile_anchored_ranges(column, grid);
+}
+
+}  // namespace prc::query

@@ -1,0 +1,38 @@
+// Query workload generators.
+//
+// The paper evaluates "air pollution levels with different ranges"; these
+// generators produce the range suites the experiment binaries sweep over:
+// quantile-anchored ranges (so every query has a known selectivity), uniform
+// random ranges, and sliding windows across the domain.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "query/range_query.h"
+
+namespace prc::query {
+
+/// Ranges whose endpoints sit at data quantiles, giving a controlled spread
+/// of selectivities.  For each (lo_q, hi_q) pair with lo_q < hi_q drawn from
+/// `quantile_grid`, emits [Q(lo_q), Q(hi_q)].
+std::vector<RangeQuery> quantile_anchored_ranges(
+    const data::Column& column, const std::vector<double>& quantile_grid);
+
+/// `count` ranges with endpoints uniform over the column's [min, max].
+std::vector<RangeQuery> uniform_random_ranges(const data::Column& column,
+                                              std::size_t count, Rng& rng);
+
+/// Fixed-width windows sliding across the domain: width = domain * fraction,
+/// `count` evenly spaced starting points.
+std::vector<RangeQuery> sliding_windows(const data::Column& column,
+                                        double width_fraction,
+                                        std::size_t count);
+
+/// The default evaluation suite used by the experiment binaries: a mix of
+/// narrow / medium / wide quantile-anchored ranges (selectivities from ~5% to
+/// ~95%).  Deterministic for a given column.
+std::vector<RangeQuery> default_evaluation_suite(const data::Column& column);
+
+}  // namespace prc::query

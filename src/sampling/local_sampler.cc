@@ -1,0 +1,80 @@
+#include "sampling/local_sampler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prc::sampling {
+
+LocalSampler::LocalSampler(std::vector<double> values)
+    : sorted_(std::move(values)), selected_(sorted_.size(), false) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+std::vector<RankedValue> LocalSampler::raise_probability(double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("inclusion probability must be in [0, 1]");
+  }
+  std::vector<RankedValue> added;
+  if (p <= p_) return added;
+  // Conditional inclusion probability for elements not yet selected.
+  const double conditional =
+      p_ >= 1.0 ? 0.0 : (p - p_) / (1.0 - p_);
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (selected_[i]) continue;
+    if (rng.bernoulli(conditional)) {
+      selected_[i] = true;
+      ++sampled_count_;
+      added.push_back(RankedValue{sorted_[i], static_cast<std::uint64_t>(i + 1)});
+    }
+  }
+  p_ = p;
+  return added;
+}
+
+void LocalSampler::append(const std::vector<double>& values, Rng& rng) {
+  if (values.empty()) return;
+  // Pair up the existing order with its selection flags, add the newcomers
+  // (each drawn at the current p), and re-sort; ranks follow the new order.
+  std::vector<std::pair<double, bool>> merged;
+  merged.reserve(sorted_.size() + values.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    merged.emplace_back(sorted_[i], static_cast<bool>(selected_[i]));
+  }
+  for (double v : values) {
+    const bool take = rng.bernoulli(p_);
+    merged.emplace_back(v, take);
+    if (take) ++sampled_count_;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  sorted_.resize(merged.size());
+  selected_.assign(merged.size(), false);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    sorted_[i] = merged[i].first;
+    selected_[i] = merged[i].second;
+  }
+}
+
+RankSampleSet LocalSampler::current_sample() const {
+  std::vector<RankedValue> samples;
+  samples.reserve(sampled_count_);
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (selected_[i]) {
+      samples.push_back(
+          RankedValue{sorted_[i], static_cast<std::uint64_t>(i + 1)});
+    }
+  }
+  return RankSampleSet(std::move(samples));
+}
+
+double LocalSampler::first_value() const {
+  if (sorted_.empty()) throw std::logic_error("first_value of empty node");
+  return sorted_.front();
+}
+
+double LocalSampler::last_value() const {
+  if (sorted_.empty()) throw std::logic_error("last_value of empty node");
+  return sorted_.back();
+}
+
+}  // namespace prc::sampling

@@ -1,0 +1,64 @@
+#include "sampling/rank_sample.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace prc::sampling {
+namespace {
+
+bool value_rank_less(const RankedValue& a, const RankedValue& b) {
+  if (a.value != b.value) return a.value < b.value;
+  return a.rank < b.rank;
+}
+
+}  // namespace
+
+RankSampleSet::RankSampleSet(std::vector<RankedValue> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end(), value_rank_less);
+  check_invariants();
+}
+
+void RankSampleSet::check_invariants() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    if (s.rank == 0) {
+      throw std::invalid_argument("rank sample: ranks are 1-based");
+    }
+    if (!seen.insert(s.rank).second) {
+      throw std::invalid_argument("rank sample: duplicate rank");
+    }
+  }
+}
+
+std::optional<RankedValue> RankSampleSet::predecessor(double x) const {
+  // Last element with value <= x.  upper_bound over values gives the first
+  // element with value > x; the predecessor is the one before it.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), x,
+      [](double v, const RankedValue& s) { return v < s.value; });
+  if (it == samples_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+std::optional<RankedValue> RankSampleSet::successor(double x) const {
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), x,
+      [](double v, const RankedValue& s) { return v < s.value; });
+  if (it == samples_.end()) return std::nullopt;
+  return *it;
+}
+
+void RankSampleSet::merge(const RankSampleSet& other) {
+  std::vector<RankedValue> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged),
+             value_rank_less);
+  samples_ = std::move(merged);
+  check_invariants();
+}
+
+}  // namespace prc::sampling

@@ -1,0 +1,57 @@
+// Rank-annotated samples: the wire format of the RankCounting protocol.
+//
+// Each sensor node samples its local multiset and ships (value, local rank)
+// pairs to the base station.  The rank is the element's 1-based position in
+// the node's sorted local data, which lets the estimator compute exact
+// interior counts between any two sampled elements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace prc::sampling {
+
+/// One sampled element: its value and 1-based rank within the node's sorted
+/// local dataset.  Duplicated values get distinct consecutive ranks.
+struct RankedValue {
+  double value = 0.0;
+  std::uint64_t rank = 0;  // 1-based
+
+  friend bool operator==(const RankedValue&, const RankedValue&) = default;
+};
+
+/// An immutable, value-ordered set of rank-annotated samples from one node,
+/// supporting the predecessor/successor queries of the RankCounting
+/// estimator (paper §III-A).
+class RankSampleSet {
+ public:
+  RankSampleSet() = default;
+
+  /// Takes samples in any order; sorts by (value, rank).  Throws
+  /// std::invalid_argument if two samples share a rank or any rank is 0.
+  explicit RankSampleSet(std::vector<RankedValue> samples);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const std::vector<RankedValue>& samples() const noexcept { return samples_; }
+
+  /// 𝔭(x): the sampled element with the largest value <= x (ties: largest
+  /// rank, i.e. the one closest to x in sorted order).  nullopt if none.
+  std::optional<RankedValue> predecessor(double x) const;
+
+  /// 𝔰(x): the sampled element with the smallest value > x (ties: smallest
+  /// rank).  nullopt if none.
+  std::optional<RankedValue> successor(double x) const;
+
+  /// Merges additional samples (e.g. from a top-up round).  Throws on rank
+  /// collisions.
+  void merge(const RankSampleSet& other);
+
+ private:
+  void check_invariants() const;
+
+  std::vector<RankedValue> samples_;  // sorted by (value, rank)
+};
+
+}  // namespace prc::sampling

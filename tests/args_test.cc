@@ -1,0 +1,96 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prc {
+namespace {
+
+/// Builds a mutable argv from string literals.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) pointers.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers.size()); }
+  char** argv() { return pointers.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> pointers;
+};
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test parser");
+  parser.option("alpha", "error bound").option("name", "a string").flag(
+      "verbose", "chatty");
+  return parser;
+}
+
+TEST(ArgParserTest, ParsesOptionsAndFlags) {
+  auto parser = make_parser();
+  Argv args({"prog", "--alpha", "0.05", "--verbose", "--name", "x y"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha", 0.0), 0.05);
+  EXPECT_TRUE(parser.has("verbose"));
+  EXPECT_EQ(parser.get_or("name", ""), "x y");
+  EXPECT_FALSE(parser.has("missing"));
+  EXPECT_EQ(parser.get("missing"), std::nullopt);
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  auto parser = make_parser();
+  Argv args({"prog"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha", 0.7), 0.7);
+  EXPECT_EQ(parser.get_uint("alpha", 9), 9u);
+  EXPECT_EQ(parser.get_or("name", "dflt"), "dflt");
+}
+
+TEST(ArgParserTest, RejectsUnknownAndMalformed) {
+  {
+    auto parser = make_parser();
+    Argv args({"prog", "--bogus", "1"});
+    EXPECT_THROW(parser.parse(args.argc(), args.argv()),
+                 std::invalid_argument);
+  }
+  {
+    auto parser = make_parser();
+    Argv args({"prog", "--alpha"});  // missing value
+    EXPECT_THROW(parser.parse(args.argc(), args.argv()),
+                 std::invalid_argument);
+  }
+  {
+    auto parser = make_parser();
+    Argv args({"prog", "positional"});
+    EXPECT_THROW(parser.parse(args.argc(), args.argv()),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ArgParserTest, RejectsNonNumericValues) {
+  auto parser = make_parser();
+  Argv args({"prog", "--alpha", "abc"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_THROW(parser.get_double("alpha", 0.0), std::invalid_argument);
+  EXPECT_THROW(parser.get_uint("alpha", 0), std::invalid_argument);
+}
+
+TEST(ArgParserTest, RejectsTrailingGarbage) {
+  auto parser = make_parser();
+  Argv args({"prog", "--alpha", "1.5x"});
+  ASSERT_TRUE(parser.parse(args.argc(), args.argv()));
+  EXPECT_THROW(parser.get_double("alpha", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParserTest, HelpReturnsFalseAndPrints) {
+  auto parser = make_parser();
+  Argv args({"prog", "--help"});
+  ::testing::internal::CaptureStdout();
+  EXPECT_FALSE(parser.parse(args.argc(), args.argv()));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--alpha"), std::string::npos);
+  EXPECT_NE(out.find("--verbose"), std::string::npos);
+  EXPECT_NE(out.find("test parser"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,212 @@
+#include "data/citypulse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/statistics.h"
+#include "data/dataset.h"
+
+namespace prc::data {
+namespace {
+
+TEST(CityPulseTest, DefaultConfigMatchesPaperShape) {
+  const CityPulseGenerator generator;
+  const auto records = generator.generate();
+  ASSERT_EQ(records.size(), 17568u);  // 61 days at 5-minute cadence
+  EXPECT_EQ(records.front().timestamp, 1406851500);
+  EXPECT_EQ(records[1].timestamp - records[0].timestamp, 300);
+  EXPECT_EQ(records.back().timestamp,
+            1406851500 + 300 * (17568 - 1));
+}
+
+TEST(CityPulseTest, DeterministicForSameSeed) {
+  CityPulseConfig config;
+  config.record_count = 500;
+  const auto a = CityPulseGenerator(config).generate();
+  const auto b = CityPulseGenerator(config).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+  }
+}
+
+TEST(CityPulseTest, DifferentSeedsProduceDifferentData) {
+  CityPulseConfig config;
+  config.record_count = 500;
+  const auto a = CityPulseGenerator(config).generate();
+  config.seed += 1;
+  const auto b = CityPulseGenerator(config).generate();
+  int identical = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].values == b[i].values) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(CityPulseTest, ValuesWithinAqiDomain) {
+  CityPulseConfig config;
+  config.record_count = 5000;
+  for (const auto& record : CityPulseGenerator(config).generate()) {
+    for (double v : record.values) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 200.0);
+    }
+  }
+}
+
+TEST(CityPulseTest, SensorsAssignedRoundRobin) {
+  CityPulseConfig config;
+  config.record_count = 100;
+  config.sensor_count = 4;
+  const auto records = CityPulseGenerator(config).generate();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sensor_id, static_cast<int>(i % 4));
+  }
+}
+
+TEST(CityPulseTest, IndexesHaveDistinctDistributions) {
+  CityPulseConfig config;
+  config.record_count = 5000;
+  const auto records = CityPulseGenerator(config).generate();
+  RunningStats ozone, so2;
+  for (const auto& r : records) {
+    ozone.add(r.value(AirQualityIndex::kOzone));
+    so2.add(r.value(AirQualityIndex::kSulfurDioxide));
+  }
+  // Ozone baseline (70) sits well above SO2 (25) in the climatology.
+  EXPECT_GT(ozone.mean(), so2.mean() + 20.0);
+}
+
+TEST(CityPulseTest, DiurnalCycleVisibleInOzone) {
+  CityPulseConfig config;
+  config.record_count = 288 * 14;  // two weeks
+  const auto records = CityPulseGenerator(config).generate();
+  RunningStats day, night;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::size_t slot = i % 288;  // 5-minute slots per day
+    const double v = records[i].value(AirQualityIndex::kOzone);
+    if (slot >= 144 && slot < 216) day.add(v);    // ~noon-6pm
+    else if (slot < 72) night.add(v);             // midnight-6am
+  }
+  EXPECT_GT(day.mean(), night.mean());
+}
+
+TEST(CityPulseTest, CsvRoundTripPreservesRecords) {
+  CityPulseConfig config;
+  config.record_count = 200;
+  const auto records = CityPulseGenerator(config).generate();
+  const std::string path = ::testing::TempDir() + "/prc_citypulse.csv";
+  write_records_csv(records, path);
+  const auto loaded = read_records_csv(path);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, records[i].timestamp);
+    EXPECT_EQ(loaded[i].sensor_id, records[i].sensor_id);
+    for (std::size_t j = 0; j < kAirQualityIndexCount; ++j) {
+      EXPECT_NEAR(loaded[i].values[j], records[i].values[j], 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CityPulseTest, TimestampParserHandlesBothShapes) {
+  EXPECT_EQ(parse_citypulse_timestamp("1406851500"), 1406851500);
+  // 2014-08-01 00:05:00 UTC == 1406851500.
+  EXPECT_EQ(parse_citypulse_timestamp("2014-08-01 00:05:00"), 1406851500);
+  EXPECT_EQ(parse_citypulse_timestamp("1970-01-01 00:00:00"), 0);
+  EXPECT_EQ(parse_citypulse_timestamp("1970-01-02 00:00:01"), 86401);
+  EXPECT_THROW(parse_citypulse_timestamp("yesterday"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_citypulse_timestamp("2014-13-01 00:00:00"),
+               std::invalid_argument);
+}
+
+TEST(CityPulseTest, LoadsRealExportSchemaVerbatim) {
+  // The genuine CityPulse pollution export: misspelled columns, datetime
+  // timestamps, lat/long noise columns, no sensor_id.
+  const std::string path = ::testing::TempDir() + "/prc_real_schema.csv";
+  {
+    CsvTable table({"ozone", "particullate_matter", "carbon_monoxide",
+                    "sulfure_dioxide", "nitrogen_dioxide", "longitude",
+                    "latitude", "timestamp"});
+    table.add_row({"91", "55", "61", "7", "50", "10.1050", "56.2317",
+                   "2014-08-01 00:05:00"});
+    table.add_row({"70", "61", "58", "24", "56", "10.1050", "56.2317",
+                   "2014-08-01 00:10:00"});
+    write_csv_file(table, path);
+  }
+  const auto records = read_records_csv(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].timestamp, 1406851500);
+  EXPECT_EQ(records[1].timestamp - records[0].timestamp, 300);
+  EXPECT_EQ(records[0].sensor_id, 0);  // absent column defaults
+  EXPECT_EQ(records[0].value(AirQualityIndex::kOzone), 91.0);
+  EXPECT_EQ(records[0].value(AirQualityIndex::kParticulateMatter), 55.0);
+  EXPECT_EQ(records[0].value(AirQualityIndex::kSulfurDioxide), 7.0);
+  EXPECT_EQ(records[1].value(AirQualityIndex::kNitrogenDioxide), 56.0);
+  std::remove(path.c_str());
+}
+
+TEST(CityPulseTest, CsvLoaderRejectsMissingColumns) {
+  const std::string path = ::testing::TempDir() + "/prc_bad.csv";
+  {
+    CsvTable table({"timestamp", "sensor_id", "ozone"});  // missing indexes
+    table.add_row({"0", "0", "1.0"});
+    write_csv_file(table, path);
+  }
+  EXPECT_THROW(read_records_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, ColumnsExtractIndexValues) {
+  CityPulseConfig config;
+  config.record_count = 300;
+  const auto records = CityPulseGenerator(config).generate();
+  const Dataset dataset(records);
+  EXPECT_EQ(dataset.record_count(), 300u);
+  const auto& col = dataset.column(AirQualityIndex::kCarbonMonoxide);
+  ASSERT_EQ(col.size(), 300u);
+  EXPECT_EQ(col.values()[7],
+            records[7].value(AirQualityIndex::kCarbonMonoxide));
+}
+
+TEST(DatasetTest, ExactRangeCountMatchesScan) {
+  CityPulseConfig config;
+  config.record_count = 1000;
+  const Dataset dataset(CityPulseGenerator(config).generate());
+  const auto& col = dataset.column(AirQualityIndex::kOzone);
+  const double l = col.quantile(0.3);
+  const double u = col.quantile(0.7);
+  std::size_t scan = 0;
+  for (double v : col.values()) {
+    if (v >= l && v <= u) ++scan;
+  }
+  EXPECT_EQ(col.exact_range_count(l, u), scan);
+  EXPECT_EQ(col.exact_range_count(u, l), 0u);  // inverted range
+  EXPECT_EQ(col.exact_range_count(col.min(), col.max()), col.size());
+}
+
+TEST(DatasetTest, PrefixRestrictsRecords) {
+  CityPulseConfig config;
+  config.record_count = 100;
+  const auto records = CityPulseGenerator(config).generate();
+  const auto prefix = Dataset::prefix(records, 40);
+  EXPECT_EQ(prefix.record_count(), 40u);
+  const auto clamped = Dataset::prefix(records, 1000);
+  EXPECT_EQ(clamped.record_count(), 100u);
+}
+
+TEST(DatasetTest, QuantileBoundsAndErrors) {
+  const Column col("c", {5.0, 1.0, 3.0});
+  EXPECT_EQ(col.quantile(0.0), 1.0);
+  EXPECT_EQ(col.quantile(1.0), 5.0);
+  EXPECT_THROW(col.quantile(2.0), std::invalid_argument);
+  const Column empty("e", {});
+  EXPECT_THROW(empty.min(), std::logic_error);
+  EXPECT_THROW(empty.quantile(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace prc::data

@@ -1,0 +1,131 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace prc {
+namespace {
+
+TEST(CsvTest, ParsesSimpleDocument) {
+  const auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(table.header(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.field(0, 1), "2");
+  EXPECT_EQ(table.field(1, 2), "6");
+}
+
+TEST(CsvTest, HandlesCrlfAndMissingTrailingNewline) {
+  const auto table = parse_csv("x,y\r\n10,20\r\n30,40");
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.field(1, 1), "40");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndEscapes) {
+  const auto table = parse_csv("name,note\nalice,\"a,b\"\nbob,\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(table.field(0, 1), "a,b");
+  EXPECT_EQ(table.field(1, 1), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlineInsideField) {
+  const auto table = parse_csv("k,v\n1,\"line1\nline2\"\n");
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.field(0, 1), "line1\nline2");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto table = parse_csv("a,b,c\n,,\nx,,z\n");
+  EXPECT_EQ(table.field(0, 0), "");
+  EXPECT_EQ(table.field(0, 2), "");
+  EXPECT_EQ(table.field(1, 1), "");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, RejectsEmptyDocument) {
+  EXPECT_THROW(parse_csv(""), std::invalid_argument);
+}
+
+TEST(CsvTest, ColumnLookup) {
+  const auto table = parse_csv("alpha,beta\n1,2\n");
+  EXPECT_EQ(table.column_index("beta"), std::optional<std::size_t>(1));
+  EXPECT_EQ(table.column_index("gamma"), std::nullopt);
+}
+
+TEST(CsvTest, FieldAsDoubleParsesAndRejects) {
+  const auto table = parse_csv("v\n3.25\nnot-a-number\n");
+  EXPECT_DOUBLE_EQ(table.field_as_double(0, 0), 3.25);
+  EXPECT_THROW(table.field_as_double(1, 0), std::invalid_argument);
+}
+
+TEST(CsvTest, ColumnAsDoubles) {
+  const auto table = parse_csv("a,b\n1,10\n2,20\n3,30\n");
+  EXPECT_EQ(table.column_as_doubles("b"),
+            (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_THROW(table.column_as_doubles("nope"), std::invalid_argument);
+}
+
+TEST(CsvTest, SerializationQuotesOnlyWhenNeeded) {
+  CsvTable table({"plain", "tricky"});
+  table.add_row({"hello", "a,b"});
+  table.add_row({"world", "q\"q"});
+  const std::string text = to_csv(table);
+  EXPECT_EQ(text, "plain,tricky\nhello,\"a,b\"\nworld,\"q\"\"q\"\n");
+}
+
+TEST(CsvTest, RoundTripPreservesContent) {
+  CsvTable table({"a", "b"});
+  table.add_row({"1", "two,with comma"});
+  table.add_row({"", "with \"quotes\" and\nnewline"});
+  const auto reparsed = parse_csv(to_csv(table));
+  ASSERT_EQ(reparsed.row_count(), 2u);
+  EXPECT_EQ(reparsed.field(0, 1), "two,with comma");
+  EXPECT_EQ(reparsed.field(1, 1), "with \"quotes\" and\nnewline");
+}
+
+TEST(CsvTest, SingleEmptyFieldRowSurvivesRoundTrip) {
+  // Regression (found by the property fuzzer): a one-column row holding an
+  // empty string used to serialize to a bare newline, which parsers skip.
+  CsvTable table({"only"});
+  table.add_row({""});
+  table.add_row({"x"});
+  table.add_row({""});
+  EXPECT_EQ(to_csv(table), "only\n\"\"\nx\n\"\"\n");
+  const auto reparsed = parse_csv(to_csv(table));
+  ASSERT_EQ(reparsed.row_count(), 3u);
+  EXPECT_EQ(reparsed.field(0, 0), "");
+  EXPECT_EQ(reparsed.field(1, 0), "x");
+  EXPECT_EQ(reparsed.field(2, 0), "");
+}
+
+TEST(CsvTest, AddRowRejectsWidthMismatch) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/prc_csv_test.csv";
+  CsvTable table({"x", "y"});
+  table.add_row({"1.5", "2.5"});
+  write_csv_file(table, path);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.field_as_double(0, 1), 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/prc.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prc

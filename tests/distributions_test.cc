@@ -1,0 +1,148 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace prc {
+namespace {
+
+TEST(LaplaceTest, RejectsNonPositiveScale) {
+  EXPECT_THROW(Laplace(0.0), std::invalid_argument);
+  EXPECT_THROW(Laplace(-1.0), std::invalid_argument);
+}
+
+TEST(LaplaceTest, PdfIntegratesToOneNumerically) {
+  const Laplace lap(2.0);
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = -60.0; x <= 60.0; x += dx) integral += lap.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LaplaceTest, CdfMatchesClosedForm) {
+  const Laplace lap(1.5);
+  EXPECT_NEAR(lap.cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(lap.cdf(-1e9), 0.0, 1e-12);
+  EXPECT_NEAR(lap.cdf(1e9), 1.0, 1e-12);
+  // Symmetry: F(-x) = 1 - F(x).
+  for (double x : {0.1, 0.7, 2.0, 5.0}) {
+    EXPECT_NEAR(lap.cdf(-x), 1.0 - lap.cdf(x), 1e-12);
+  }
+}
+
+TEST(LaplaceTest, CentralProbabilityConsistentWithCdf) {
+  const Laplace lap(3.0);
+  for (double t : {0.5, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(lap.central_probability(t), lap.cdf(t) - lap.cdf(-t), 1e-12);
+  }
+  EXPECT_EQ(lap.central_probability(0.0), 0.0);
+  EXPECT_EQ(lap.central_probability(-1.0), 0.0);
+}
+
+TEST(LaplaceTest, CentralQuantileInvertsCentralProbability) {
+  const Laplace lap(0.8);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const double t = lap.central_quantile(q);
+    EXPECT_NEAR(lap.central_probability(t), q, 1e-9);
+  }
+  EXPECT_THROW(lap.central_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(lap.central_quantile(-0.1), std::invalid_argument);
+}
+
+TEST(LaplaceTest, SampleMomentsMatchTheory) {
+  const double scale = 2.5;
+  const Laplace lap(scale);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.add(lap.sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  // Var = 2 b^2 = 12.5.
+  EXPECT_NEAR(stats.variance(), 2.0 * scale * scale, 0.3);
+}
+
+TEST(LaplaceTest, SampleTailMatchesCentralProbability) {
+  const Laplace lap(1.0);
+  Rng rng(5);
+  const double t = 2.0;
+  int inside = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    if (std::abs(lap.sample(rng)) <= t) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / trials, lap.central_probability(t),
+              0.005);
+}
+
+TEST(GeometricTest, RejectsBadProbability) {
+  EXPECT_THROW(Geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(Geometric(1.5), std::invalid_argument);
+}
+
+TEST(GeometricTest, PmfSumsToOne) {
+  const Geometric geo(0.3);
+  double sum = 0.0;
+  for (std::int64_t j = 1; j <= 200; ++j) sum += geo.pmf(j);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(geo.pmf(0), 0.0);
+  EXPECT_EQ(geo.pmf(-3), 0.0);
+}
+
+TEST(GeometricTest, SampleMomentsMatchTheory) {
+  const double p = 0.2;
+  const Geometric geo(p);
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(static_cast<double>(geo.sample(rng)));
+  }
+  EXPECT_NEAR(stats.mean(), geo.mean(), 0.05);
+  EXPECT_NEAR(stats.variance(), geo.variance(), 0.6);
+}
+
+TEST(GeometricTest, DegenerateProbabilityOneAlwaysOne) {
+  const Geometric geo(1.0);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geo.sample(rng), 1);
+}
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  Rng rng(12);
+  RunningStats stats;
+  const double rate = 0.5;
+  for (int i = 0; i < 200000; ++i) stats.add(sample_exponential(rng, rate));
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.03);
+  EXPECT_THROW(sample_exponential(rng, 0.0), std::invalid_argument);
+}
+
+TEST(NormalTest, MomentsMatch) {
+  Rng rng(14);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(sample_normal(rng, 3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.03);
+}
+
+TEST(ZipfTest, SkewTowardSmallIndices) {
+  Rng rng(16);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = sample_zipf(rng, 5, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+}
+
+TEST(ZipfTest, RejectsEmptySupport) {
+  Rng rng(18);
+  EXPECT_THROW(sample_zipf(rng, 0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,188 @@
+// End-to-end integration: CityPulse-like data -> partitioned IoT network ->
+// broker -> consumers, exercising every layer the way the paper's Fig. 1
+// system model composes them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "data/citypulse.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "dp/private_counting.h"
+#include "iot/network.h"
+#include "market/broker.h"
+#include "market/consumer.h"
+#include "query/workload.h"
+
+namespace prc {
+namespace {
+
+struct Pipeline {
+  explicit Pipeline(std::uint64_t seed = 1,
+                    data::PartitionStrategy strategy =
+                        data::PartitionStrategy::kRoundRobin) {
+    data::CityPulseConfig config;
+    config.record_count = 8000;
+    config.seed = seed;
+    records = data::CityPulseGenerator(config).generate();
+    dataset = std::make_unique<data::Dataset>(records);
+    const auto& column = dataset->column(data::AirQualityIndex::kOzone);
+    Rng rng(seed + 1);
+    auto node_data = data::partition_values(column.values(), 8, strategy, rng);
+    network = std::make_unique<iot::FlatNetwork>(
+        std::move(node_data), iot::NetworkConfig{.frame_loss_probability = 0.0,
+                                      .seed = seed + 2});
+    counter = std::make_unique<dp::PrivateRangeCounter>(*network,
+                                                        dp::PrivateCounterConfig{},
+                                                        seed + 3);
+  }
+
+  std::vector<data::AirQualityRecord> records;
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<iot::FlatNetwork> network;
+  std::unique_ptr<dp::PrivateRangeCounter> counter;
+};
+
+TEST(IntegrationTest, SamplingEstimatesTrackExactCountsAcrossSuite) {
+  Pipeline pipeline;
+  const auto& column =
+      pipeline.dataset->column(data::AirQualityIndex::kOzone);
+  pipeline.network->ensure_sampling_probability(0.3);
+  const double n = static_cast<double>(column.size());
+  for (const auto& q : query::default_evaluation_suite(column)) {
+    const double truth =
+        static_cast<double>(column.exact_range_count(q.lower, q.upper));
+    const double estimate = pipeline.network->rank_counting_estimate(q);
+    // 8 nodes at p = 0.3: sd <= sqrt(8*8)/0.3 ~ 27; give 6 sigma.
+    EXPECT_NEAR(estimate, truth, 6.0 * std::sqrt(8.0 * 8.0) / 0.3)
+        << q.to_string() << " n=" << n;
+  }
+}
+
+TEST(IntegrationTest, PrivateAnswersMeetContractOnRealisticData) {
+  const query::AccuracySpec spec{0.08, 0.7};
+  int within = 0;
+  const int trials = 60;
+  double truth = 0.0;
+  double n = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Pipeline pipeline(static_cast<std::uint64_t>(t) * 101 + 7);
+    const auto& column =
+        pipeline.dataset->column(data::AirQualityIndex::kOzone);
+    const query::RangeQuery range{column.quantile(0.25),
+                                  column.quantile(0.85)};
+    truth = static_cast<double>(
+        column.exact_range_count(range.lower, range.upper));
+    n = static_cast<double>(column.size());
+    const auto answer = pipeline.counter->answer(range, spec);
+    if (std::abs(answer.value - truth) <= spec.alpha * n) ++within;
+  }
+  const double margin = 3.0 * std::sqrt(spec.delta * (1 - spec.delta) /
+                                        trials);
+  EXPECT_GE(static_cast<double>(within) / trials, spec.delta - margin);
+}
+
+TEST(IntegrationTest, ContractHoldsUnderSkewedPartitioning) {
+  const query::AccuracySpec spec{0.10, 0.6};
+  int within = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    Pipeline pipeline(static_cast<std::uint64_t>(t) * 137 + 11,
+                      data::PartitionStrategy::kZipfSkewed);
+    const auto& column =
+        pipeline.dataset->column(data::AirQualityIndex::kOzone);
+    const query::RangeQuery range{column.quantile(0.3),
+                                  column.quantile(0.9)};
+    const double truth = static_cast<double>(
+        column.exact_range_count(range.lower, range.upper));
+    const auto answer = pipeline.counter->answer(range, spec);
+    if (std::abs(answer.value - truth) <=
+        spec.alpha * static_cast<double>(column.size())) {
+      ++within;
+    }
+  }
+  const double margin =
+      3.0 * std::sqrt(spec.delta * (1 - spec.delta) / trials);
+  EXPECT_GE(static_cast<double>(within) / trials, spec.delta - margin);
+}
+
+TEST(IntegrationTest, LossyNetworkStillMeetsContract) {
+  const query::AccuracySpec spec{0.10, 0.7};
+  int within = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    data::CityPulseConfig config;
+    config.record_count = 6000;
+    config.seed = static_cast<std::uint64_t>(t) + 500;
+    const data::Dataset dataset(
+        data::CityPulseGenerator(config).generate());
+    const auto& column = dataset.column(data::AirQualityIndex::kOzone);
+    Rng rng(config.seed + 1);
+    auto node_data = data::partition_values(
+        column.values(), 6, data::PartitionStrategy::kRoundRobin, rng);
+    iot::FlatNetwork network(std::move(node_data),
+                             iot::NetworkConfig{.frame_loss_probability = 0.3,
+                                              .seed = config.seed + 2});
+    dp::PrivateRangeCounter counter(network, {}, config.seed + 3);
+    const query::RangeQuery range{column.quantile(0.2),
+                                  column.quantile(0.8)};
+    const double truth = static_cast<double>(
+        column.exact_range_count(range.lower, range.upper));
+    const auto answer = counter.answer(range, spec);
+    if (std::abs(answer.value - truth) <=
+        spec.alpha * static_cast<double>(column.size())) {
+      ++within;
+    }
+  }
+  const double margin =
+      3.0 * std::sqrt(spec.delta * (1 - spec.delta) / trials);
+  EXPECT_GE(static_cast<double>(within) / trials, spec.delta - margin);
+}
+
+TEST(IntegrationTest, FullMarketRoundTrip) {
+  Pipeline pipeline(42);
+  market::DataBroker broker(
+      *pipeline.counter,
+      std::make_unique<pricing::InverseVariancePricing>(
+          pricing::VarianceModel(pipeline.dataset->record_count(), 8),
+          query::AccuracySpec{0.1, 0.5}, 100.0, 1.0));
+  market::HonestConsumer analyst("analyst", broker);
+  const auto& column =
+      pipeline.dataset->column(data::AirQualityIndex::kOzone);
+  const query::RangeQuery range{column.quantile(0.4), column.quantile(0.95)};
+
+  const auto outcome = analyst.acquire(range, {0.08, 0.7});
+  EXPECT_GT(outcome.total_cost, 0.0);
+  EXPECT_GE(outcome.answer, 0.0);
+  EXPECT_EQ(broker.ledger().transaction_count(), 1u);
+  // The broker's privacy audit matches the plan the counter produced.
+  EXPECT_GT(broker.ledger().consumer_epsilon("analyst"), 0.0);
+  // All communication happened through the simulated network and was
+  // accounted for.
+  EXPECT_GT(pipeline.network->stats().total_bytes(), 0u);
+  // Sampling cost is far below shipping the raw data (8 bytes/value).
+  EXPECT_LT(pipeline.network->stats().uplink_bytes,
+            8u * pipeline.dataset->record_count());
+}
+
+TEST(IntegrationTest, CsvRoundTripFeedsIdenticalExperiments) {
+  data::CityPulseConfig config;
+  config.record_count = 1500;
+  const auto records = data::CityPulseGenerator(config).generate();
+  const std::string path = ::testing::TempDir() + "/prc_integration.csv";
+  data::write_records_csv(records, path);
+  const auto loaded = data::read_records_csv(path);
+  const data::Dataset original(records);
+  const data::Dataset reloaded(loaded);
+  const auto& col_a = original.column(data::AirQualityIndex::kOzone);
+  const auto& col_b = reloaded.column(data::AirQualityIndex::kOzone);
+  const query::RangeQuery range{col_a.quantile(0.2), col_a.quantile(0.8)};
+  EXPECT_EQ(col_a.exact_range_count(range.lower, range.upper),
+            col_b.exact_range_count(range.lower, range.upper));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,242 @@
+#include "iot/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "query/range_query.h"
+
+namespace prc::iot {
+namespace {
+
+std::vector<std::vector<double>> grid_node_data(std::size_t nodes,
+                                                std::size_t per_node) {
+  std::vector<std::vector<double>> data(nodes);
+  double v = 0.0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = 0; j < per_node; ++j) data[i].push_back(v += 1.0);
+  }
+  return data;
+}
+
+TEST(SensorNodeTest, RejectsMisroutedRequests) {
+  SensorNode node(3, {1.0, 2.0}, Rng(1));
+  EXPECT_THROW(node.handle(SampleRequest{4, 0.5}), std::invalid_argument);
+}
+
+TEST(SensorNodeTest, OfflineNodeReportsNothing) {
+  SensorNode node(0, {1.0, 2.0, 3.0}, Rng(2));
+  node.set_online(false);
+  const auto report = node.handle(SampleRequest{0, 1.0});
+  EXPECT_TRUE(report.new_samples.empty());
+  EXPECT_EQ(report.data_count, 3u);
+  node.set_online(true);
+  const auto report2 = node.handle(SampleRequest{0, 1.0});
+  EXPECT_EQ(report2.new_samples.size(), 3u);
+}
+
+TEST(BaseStationTest, RequiresAtLeastOneNode) {
+  EXPECT_THROW(BaseStation(0), std::invalid_argument);
+}
+
+TEST(BaseStationTest, IngestTracksCounts) {
+  BaseStation station(2);
+  SampleReport report;
+  report.node_id = 1;
+  report.data_count = 50;
+  report.new_samples = {{3.0, 3}, {7.0, 7}};
+  station.ingest(report);
+  EXPECT_EQ(station.total_data_count(), 50u);
+  EXPECT_EQ(station.cached_sample_count(), 2u);
+  EXPECT_THROW(station.ingest(SampleReport{5, 1, {}}), std::out_of_range);
+}
+
+TEST(BaseStationTest, RoundCommitRules) {
+  BaseStation station(1);
+  EXPECT_THROW(station.commit_round(0.0), std::invalid_argument);
+  station.commit_round(0.5);
+  EXPECT_THROW(station.commit_round(0.3), std::invalid_argument);
+  station.commit_round(0.7);
+  EXPECT_DOUBLE_EQ(station.sampling_probability(), 0.7);
+}
+
+TEST(BaseStationTest, EstimateRequiresCommittedRound) {
+  BaseStation station(1);
+  EXPECT_THROW(station.rank_counting_estimate({0.0, 1.0}), std::logic_error);
+  EXPECT_THROW(station.basic_counting_estimate({0.0, 1.0}), std::logic_error);
+}
+
+TEST(FlatNetworkTest, ConstructionValidation) {
+  EXPECT_THROW(FlatNetwork({}), std::invalid_argument);
+  NetworkConfig bad;
+  bad.frame_loss_probability = 1.0;
+  EXPECT_THROW(FlatNetwork(grid_node_data(1, 5), bad), std::invalid_argument);
+}
+
+TEST(FlatNetworkTest, SamplingRoundPopulatesBaseStation) {
+  FlatNetwork network(grid_node_data(4, 100));
+  EXPECT_EQ(network.node_count(), 4u);
+  EXPECT_EQ(network.total_data_count(), 400u);
+  const std::size_t added = network.ensure_sampling_probability(0.25);
+  EXPECT_GT(added, 0u);
+  EXPECT_EQ(network.base_station().cached_sample_count(), added);
+  EXPECT_EQ(network.base_station().total_data_count(), 400u);
+  EXPECT_DOUBLE_EQ(network.base_station().sampling_probability(), 0.25);
+}
+
+TEST(FlatNetworkTest, RepeatRoundsAreIncremental) {
+  FlatNetwork network(grid_node_data(2, 500));
+  const std::size_t first = network.ensure_sampling_probability(0.1);
+  const std::size_t again = network.ensure_sampling_probability(0.1);
+  EXPECT_EQ(again, 0u);  // same p: nothing new
+  const std::size_t second = network.ensure_sampling_probability(0.3);
+  EXPECT_GT(second, 0u);
+  EXPECT_EQ(network.base_station().cached_sample_count(), first + second);
+}
+
+TEST(FlatNetworkTest, CommunicationAccounting) {
+  FlatNetwork network(grid_node_data(3, 200));
+  const auto& before = network.stats();
+  EXPECT_EQ(before.total_bytes(), 0u);
+  network.ensure_sampling_probability(0.5);
+  const auto& stats = network.stats();
+  // One downlink request per node.
+  EXPECT_EQ(stats.downlink_messages, 3u);
+  EXPECT_EQ(stats.downlink_bytes,
+            3u * (kMessageHeaderBytes + sizeof(double)));
+  EXPECT_GT(stats.uplink_bytes, 0u);
+  EXPECT_EQ(stats.retransmissions, 0u);  // lossless by default
+  EXPECT_EQ(stats.samples_transferred,
+            network.base_station().cached_sample_count());
+}
+
+TEST(FlatNetworkTest, SampleVolumeTracksExpectation) {
+  // E[samples] = n * p; check within 5 sigma of binomial.
+  FlatNetwork network(grid_node_data(5, 2000));
+  const double p = 0.2;
+  network.ensure_sampling_probability(p);
+  const double n = 10000.0;
+  const double sigma = std::sqrt(n * p * (1 - p));
+  EXPECT_NEAR(static_cast<double>(network.stats().samples_transferred),
+              n * p, 5.0 * sigma);
+}
+
+TEST(FlatNetworkTest, SmallReportsPiggybackOnHeartbeats) {
+  // Tiny probability -> each node ships <= 16 samples -> all piggybacked.
+  FlatNetwork network(grid_node_data(4, 100));
+  network.ensure_sampling_probability(0.02);
+  EXPECT_EQ(network.stats().piggybacked_reports, 4u);
+}
+
+TEST(FlatNetworkTest, LossCostsRetransmissions) {
+  NetworkConfig lossy;
+  lossy.frame_loss_probability = 0.4;
+  lossy.seed = 5;
+  FlatNetwork network(grid_node_data(4, 500), lossy);
+  NetworkConfig clean;
+  clean.seed = 5;
+  FlatNetwork reference(grid_node_data(4, 500), clean);
+  network.ensure_sampling_probability(0.3);
+  reference.ensure_sampling_probability(0.3);
+  EXPECT_GT(network.stats().retransmissions, 0u);
+  EXPECT_GT(network.stats().total_bytes(), reference.stats().total_bytes());
+  // Protocol state is still consistent despite loss.
+  EXPECT_EQ(network.base_station().total_data_count(), 2000u);
+}
+
+TEST(FlatNetworkTest, EstimatesMatchGroundTruthClosely) {
+  FlatNetwork network(grid_node_data(4, 2500));
+  network.ensure_sampling_probability(0.4);
+  const query::RangeQuery range{1000.5, 9000.5};
+  const double truth = 8000.0;
+  const double est = network.rank_counting_estimate(range);
+  // Chebyshev 99%: within 10 * sqrt(8k/p^2).
+  const double bound = 10.0 * std::sqrt(8.0 * 4.0 / (0.4 * 0.4));
+  EXPECT_NEAR(est, truth, bound);
+  const double basic = network.basic_counting_estimate(range);
+  EXPECT_NEAR(basic, truth, 10.0 * std::sqrt(truth * 0.6 / 0.4));
+}
+
+TEST(FlatNetworkTest, DropoutExcludesNodeButKeepsOthers) {
+  FlatNetwork network(grid_node_data(3, 100));
+  network.set_node_online(1, false);
+  network.ensure_sampling_probability(0.5);
+  // Node 1 never reported: its n_i is unknown to the station.
+  EXPECT_EQ(network.base_station().total_data_count(), 200u);
+  // Re-join and top up: the node catches up.
+  network.set_node_online(1, true);
+  network.ensure_sampling_probability(0.6);
+  EXPECT_EQ(network.base_station().total_data_count(), 300u);
+}
+
+TEST(FlatNetworkTest, ByteAccurateModeMatchesModelSizes) {
+  // The byte-accurate network encodes every uplink report for real; with a
+  // clean channel its uplink byte count must equal the loss-free model's,
+  // minus the piggyback discount (byte mode always frames).
+  NetworkConfig byte_mode;
+  byte_mode.byte_accurate = true;
+  byte_mode.seed = 3;
+  NetworkConfig model_mode;
+  model_mode.seed = 3;
+  FlatNetwork a(grid_node_data(4, 800), byte_mode);
+  FlatNetwork b(grid_node_data(4, 800), model_mode);
+  a.ensure_sampling_probability(0.3);
+  b.ensure_sampling_probability(0.3);
+  // Same samples collected (same seeds), same estimates.
+  EXPECT_EQ(a.base_station().cached_sample_count(),
+            b.base_station().cached_sample_count());
+  const query::RangeQuery range{100.5, 2000.5};
+  EXPECT_DOUBLE_EQ(a.rank_counting_estimate(range),
+                   b.rank_counting_estimate(range));
+  // ~240 samples/node -> no piggybacking either way: byte counts agree.
+  EXPECT_EQ(a.stats().uplink_bytes, b.stats().uplink_bytes);
+  EXPECT_EQ(a.stats().corrupted_frames, 0u);
+}
+
+TEST(FlatNetworkTest, CorruptionIsDetectedAndRetransmitted) {
+  NetworkConfig noisy;
+  noisy.byte_accurate = true;
+  noisy.bit_corruption_probability = 0.4;
+  noisy.seed = 7;
+  FlatNetwork network(grid_node_data(4, 1000), noisy);
+  network.ensure_sampling_probability(0.4);
+  // CRC caught corrupted frames and every one was retransmitted.
+  EXPECT_GT(network.stats().corrupted_frames, 0u);
+  EXPECT_GE(network.stats().retransmissions,
+            network.stats().corrupted_frames);
+  // Protocol state is uncorrupted: totals exact, estimates sane.
+  EXPECT_EQ(network.base_station().total_data_count(), 4000u);
+  EXPECT_DOUBLE_EQ(network.rank_counting_estimate({-1.0, 1e9}), 4000.0);
+}
+
+TEST(FlatNetworkTest, ByteAccurateResyncSurvivesCorruption) {
+  NetworkConfig noisy;
+  noisy.byte_accurate = true;
+  noisy.bit_corruption_probability = 0.3;
+  noisy.seed = 9;
+  FlatNetwork network(grid_node_data(2, 500), noisy);
+  network.ensure_sampling_probability(0.5);
+  network.append_data(0, std::vector<double>(100, 9999.0));
+  EXPECT_EQ(network.refresh_samples(), 1u);
+  EXPECT_EQ(network.base_station().total_data_count(), 1100u);
+  EXPECT_DOUBLE_EQ(network.rank_counting_estimate({-1e9, 1e9}), 1100.0);
+}
+
+TEST(FlatNetworkTest, RejectsInvalidCorruptionProbability) {
+  NetworkConfig bad;
+  bad.bit_corruption_probability = 1.0;
+  EXPECT_THROW(FlatNetwork(grid_node_data(1, 5), bad),
+               std::invalid_argument);
+}
+
+TEST(FlatNetworkTest, RejectsInvalidProbability) {
+  FlatNetwork network(grid_node_data(1, 10));
+  EXPECT_THROW(network.ensure_sampling_probability(0.0),
+               std::invalid_argument);
+  EXPECT_THROW(network.ensure_sampling_probability(1.0001),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prc::iot

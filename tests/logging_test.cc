@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prc {
+namespace {
+
+/// Captures stderr around a callback.
+template <typename Fn>
+std::string capture_stderr(Fn&& fn) {
+  ::testing::internal::CaptureStderr();
+  fn();
+  return ::testing::internal::GetCapturedStderr();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  const std::string out = capture_stderr([] {
+    PRC_LOG_DEBUG << "debug hidden";
+    PRC_LOG_INFO << "info hidden";
+    PRC_LOG_WARN << "warn shown";
+    PRC_LOG_ERROR << "error shown";
+  });
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] warn shown"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] error shown"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  const std::string out = capture_stderr([] {
+    PRC_LOG_ERROR << "nope";
+  });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, StreamStyleComposesValues) {
+  set_log_level(LogLevel::kInfo);
+  const std::string out = capture_stderr([] {
+    PRC_LOG_INFO << "x=" << 42 << " y=" << 1.5;
+  });
+  EXPECT_NE(out.find("[INFO] x=42 y=1.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,80 @@
+#include "dp/membership_attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/amplification.h"
+
+namespace prc::dp {
+namespace {
+
+TEST(AdvantageBoundTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(dp_advantage_bound(0.0), 0.0);
+  EXPECT_NEAR(dp_advantage_bound(1.0),
+              (std::exp(1.0) - 1.0) / (std::exp(1.0) + 1.0), 1e-12);
+  EXPECT_LT(dp_advantage_bound(0.5), dp_advantage_bound(2.0));
+  EXPECT_LT(dp_advantage_bound(20.0), 1.0);
+  EXPECT_THROW(dp_advantage_bound(-1.0), std::invalid_argument);
+}
+
+TEST(MembershipAttackTest, Validation) {
+  Rng rng(1);
+  EXPECT_THROW(run_membership_attack(10, 0.0, 1.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(run_membership_attack(10, 0.5, 0.0, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(run_membership_attack(10, 0.5, 1.0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(MembershipAttackTest, AdvantageRespectsAmplifiedBound) {
+  // The attacker faces the sampled mechanism, so its advantage is bounded
+  // by the AMPLIFIED budget eps' = ln(1 - p + p e^eps), which is far below
+  // the Laplace budget eps at small p.
+  Rng rng(7);
+  const double epsilon = 2.0;
+  const double p = 0.1;
+  const auto result = run_membership_attack(30, p, epsilon, 60000, rng);
+  const double eps_amplified = amplified_epsilon(epsilon, p);
+  const double mc_slack = 3.0 / std::sqrt(60000.0 / 4.0);
+  EXPECT_LE(result.advantage(),
+            dp_advantage_bound(eps_amplified) + mc_slack);
+  // And sanity: the advantage is far below the UNAMPLIFIED ceiling —
+  // sampling is doing real privacy work.
+  EXPECT_LT(result.advantage(), dp_advantage_bound(epsilon) * 0.6);
+}
+
+TEST(MembershipAttackTest, NoSamplingIsEasierToAttack) {
+  // At p = 1 the only protection is the Laplace noise; the optimal attacker
+  // should do measurably better than against the sampled release.
+  Rng rng(9);
+  const double epsilon = 2.0;
+  const auto sampled = run_membership_attack(30, 0.1, epsilon, 40000, rng);
+  const auto unsampled = run_membership_attack(30, 1.0, epsilon, 40000, rng);
+  EXPECT_GT(unsampled.advantage(), sampled.advantage() + 0.05);
+  // Still bounded by the Laplace budget.
+  const double mc_slack = 3.0 / std::sqrt(40000.0 / 4.0);
+  EXPECT_LE(unsampled.advantage(), dp_advantage_bound(epsilon) + mc_slack);
+}
+
+TEST(MembershipAttackTest, WeakNoiseStrongAttack) {
+  // With a huge budget and no sampling the attack approaches certainty —
+  // proving the harness has power (it is not trivially reporting 0).
+  Rng rng(11);
+  const auto result = run_membership_attack(30, 1.0, 50.0, 5000, rng);
+  EXPECT_GT(result.advantage(), 0.8);
+}
+
+TEST(MembershipAttackTest, RatesAreProbabilities) {
+  Rng rng(13);
+  const auto result = run_membership_attack(20, 0.3, 1.0, 5000, rng);
+  EXPECT_GE(result.true_positive_rate, 0.0);
+  EXPECT_LE(result.true_positive_rate, 1.0);
+  EXPECT_GE(result.false_positive_rate, 0.0);
+  EXPECT_LE(result.false_positive_rate, 1.0);
+  EXPECT_EQ(result.trials, 5000u);
+}
+
+}  // namespace
+}  // namespace prc::dp

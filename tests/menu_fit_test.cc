@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimator/accuracy.h"
+#include "pricing/arbitrage.h"
+#include "pricing/pricing.h"
+
+namespace prc::pricing {
+namespace {
+
+constexpr std::size_t kTotal = 17568;
+constexpr std::size_t kNodes = 8;
+
+VarianceModel model() { return VarianceModel(kTotal, kNodes); }
+
+TEST(MenuFitTest, Validation) {
+  EXPECT_THROW(fit_theorem_pricing(model(), {}), std::invalid_argument);
+  EXPECT_THROW(
+      fit_theorem_pricing(model(), {{query::AccuracySpec{0.1, 0.5}, 0.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(FittedTheoremPricing(model(), 0.0), std::invalid_argument);
+}
+
+TEST(MenuFitTest, MenuAlreadyInFamilyFitsExactly) {
+  const auto m = model();
+  const double c = 5e8;
+  std::vector<std::pair<query::AccuracySpec, double>> menu;
+  for (const auto& spec :
+       {query::AccuracySpec{0.05, 0.8}, query::AccuracySpec{0.1, 0.5},
+        query::AccuracySpec{0.2, 0.6}}) {
+    menu.emplace_back(spec, c / m.contract_variance(spec));
+  }
+  const auto fit = fit_theorem_pricing(m, menu);
+  EXPECT_NEAR(fit.scale, c, c * 1e-12);
+  EXPECT_NEAR(fit.max_relative_concession, 0.0, 1e-12);
+}
+
+TEST(MenuFitTest, FittedPriceNeverExceedsMenu) {
+  const auto m = model();
+  // An arbitrary hand-authored menu (not arbitrage-avoiding).
+  const std::vector<std::pair<query::AccuracySpec, double>> menu = {
+      {{0.05, 0.9}, 900.0}, {{0.10, 0.8}, 400.0}, {{0.20, 0.5}, 150.0}};
+  const auto fit = fit_theorem_pricing(m, menu);
+  const FittedTheoremPricing fitted(m, fit.scale);
+  for (const auto& [spec, menu_price] : menu) {
+    EXPECT_LE(fitted.price(spec), menu_price * (1.0 + 1e-12));
+  }
+  EXPECT_GE(fit.max_relative_concession, 0.0);
+  EXPECT_LT(fit.max_relative_concession, 1.0);
+}
+
+TEST(MenuFitTest, FittedPricingPassesTheoremChecks) {
+  const auto m = model();
+  const std::vector<std::pair<query::AccuracySpec, double>> menu = {
+      {{0.05, 0.9}, 900.0}, {{0.10, 0.8}, 400.0}, {{0.20, 0.5}, 150.0}};
+  const auto fit = fit_theorem_pricing(m, menu);
+  const FittedTheoremPricing fitted(m, fit.scale);
+  const ArbitrageChecker checker(m);
+  EXPECT_TRUE(checker.check(fitted).arbitrage_avoiding);
+  const AttackSimulator simulator(m);
+  EXPECT_FALSE(simulator.best_attack(fitted, {0.05, 0.9}).profitable);
+}
+
+TEST(MenuFitTest, ScaleIsRevenueMaximalWithinConstraint) {
+  // Any larger scale would overcharge at the binding menu point.
+  const auto m = model();
+  const std::vector<std::pair<query::AccuracySpec, double>> menu = {
+      {{0.05, 0.9}, 900.0}, {{0.10, 0.8}, 400.0}};
+  const auto fit = fit_theorem_pricing(m, menu);
+  bool binding_found = false;
+  for (const auto& [spec, menu_price] : menu) {
+    const double fitted_price = fit.scale / m.contract_variance(spec);
+    if (std::abs(fitted_price - menu_price) < menu_price * 1e-9) {
+      binding_found = true;
+    }
+  }
+  EXPECT_TRUE(binding_found);
+}
+
+TEST(ErrorBoundTest, ChebyshevHalfWidth) {
+  using estimator::error_bound_at_confidence;
+  // variance = 8k/p^2; t = sqrt(var / (1-c)).
+  const double t = error_bound_at_confidence(0.2, 8, 0.75);
+  EXPECT_NEAR(t, std::sqrt(8.0 * 8.0 / 0.04 / 0.25), 1e-9);
+  // Tighter confidence -> wider interval; more samples -> narrower.
+  EXPECT_GT(error_bound_at_confidence(0.2, 8, 0.9),
+            error_bound_at_confidence(0.2, 8, 0.5));
+  EXPECT_LT(error_bound_at_confidence(0.4, 8, 0.75), t);
+  EXPECT_THROW(error_bound_at_confidence(0.0, 8, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(error_bound_at_confidence(0.2, 8, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prc::pricing

@@ -1,0 +1,152 @@
+// Model-based randomized test of the FlatNetwork protocol: a shadow model
+// tracks what the base station should know after arbitrary interleavings of
+// top-up rounds, appends, refreshes and dropouts, and a set of invariants
+// is checked after every operation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "iot/network.h"
+#include "query/range_query.h"
+
+namespace prc {
+namespace {
+
+class NetworkFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFuzz, InvariantsHoldUnderRandomOperations) {
+  Rng fuzz_rng(GetParam());
+  const std::size_t k = 1 + static_cast<std::size_t>(fuzz_rng.uniform_int(1, 5));
+
+  // Shadow model state.
+  std::vector<std::size_t> model_counts(k);
+  std::vector<bool> model_dirty(k, false);
+  std::vector<bool> model_online(k, true);
+  std::vector<std::size_t> station_counts(k, 0);  // n_i the station knows
+  double model_p = 0.0;
+
+  std::vector<std::vector<double>> initial(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto count = static_cast<std::size_t>(fuzz_rng.uniform_int(5, 200));
+    model_counts[i] = count;
+    for (std::size_t j = 0; j < count; ++j) {
+      initial[i].push_back(fuzz_rng.uniform(0.0, 1000.0));
+    }
+  }
+  iot::NetworkConfig config;
+  config.seed = GetParam() * 13 + 1;
+  config.frame_loss_probability = fuzz_rng.bernoulli(0.5) ? 0.2 : 0.0;
+  iot::FlatNetwork network(initial, config);
+
+  std::size_t last_bytes = 0;
+  double last_p = 0.0;
+
+  const auto check_invariants = [&] {
+    // Probability and traffic are monotone.
+    const double p = network.base_station().sampling_probability();
+    ASSERT_GE(p, last_p);
+    last_p = p;
+    ASSERT_GE(network.stats().total_bytes(), last_bytes);
+    last_bytes = network.stats().total_bytes();
+
+    // The station's totals match the nodes it has heard from.
+    std::size_t expected_station_total = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      expected_station_total += station_counts[i];
+    }
+    ASSERT_EQ(network.base_station().total_data_count(),
+              expected_station_total);
+
+    // Ground truth totals.
+    std::size_t model_total = 0;
+    for (auto c : model_counts) model_total += c;
+    ASSERT_EQ(network.total_data_count(), model_total);
+
+    // Sample cache never exceeds the data the station knows about.
+    ASSERT_LE(network.base_station().cached_sample_count(),
+              expected_station_total);
+
+    // Full-domain queries are exact for the data the station knows about:
+    // with no sampled predecessor/successor outside [-inf, +inf] the 4-case
+    // estimator returns n_i for every node.
+    if (p > 0.0) {
+      const double estimate = network.rank_counting_estimate(
+          query::RangeQuery{-1e18, 1e18});
+      ASSERT_DOUBLE_EQ(estimate,
+                       static_cast<double>(expected_station_total));
+    }
+  };
+
+  const int operations = 120;
+  for (int op = 0; op < operations; ++op) {
+    switch (fuzz_rng.uniform_int(0, 4)) {
+      case 0: {  // top-up round
+        const double target =
+            std::min(1.0, model_p + fuzz_rng.uniform(0.0, 0.3));
+        if (target <= model_p) break;
+        network.ensure_sampling_probability(target);
+        model_p = target;
+        // Every online node reports this round; dirty ones send a full
+        // resync (new rank epoch), so their dirty flag clears too.
+        for (std::size_t i = 0; i < k; ++i) {
+          if (model_online[i]) {
+            station_counts[i] = model_counts[i];
+            model_dirty[i] = false;
+          }
+        }
+        break;
+      }
+      case 1: {  // append data to a random node
+        const auto node = static_cast<std::size_t>(
+            fuzz_rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+        const auto extra =
+            static_cast<std::size_t>(fuzz_rng.uniform_int(1, 50));
+        std::vector<double> values;
+        for (std::size_t j = 0; j < extra; ++j) {
+          values.push_back(fuzz_rng.uniform(0.0, 1000.0));
+        }
+        network.append_data(node, values);
+        model_counts[node] += extra;
+        model_dirty[node] = true;
+        break;
+      }
+      case 2: {  // refresh dirty nodes
+        network.refresh_samples();
+        for (std::size_t i = 0; i < k; ++i) {
+          if (model_dirty[i] && model_online[i]) {
+            model_dirty[i] = false;
+            station_counts[i] = model_counts[i];
+          }
+        }
+        break;
+      }
+      case 3: {  // toggle a node's connectivity
+        const auto node = static_cast<std::size_t>(
+            fuzz_rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+        model_online[node] = !model_online[node];
+        network.set_node_online(node, model_online[node]);
+        break;
+      }
+      case 4: {  // random range query (only checks it computes)
+        if (model_p <= 0.0) break;
+        double a = fuzz_rng.uniform(0.0, 1000.0);
+        double b = fuzz_rng.uniform(0.0, 1000.0);
+        if (a > b) std::swap(a, b);
+        const double estimate =
+            network.rank_counting_estimate(query::RangeQuery{a, b});
+        ASSERT_TRUE(std::isfinite(estimate));
+        break;
+      }
+    }
+    check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,185 @@
+#include "dp/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "dp/amplification.h"
+#include "estimator/accuracy.h"
+
+namespace prc::dp {
+namespace {
+
+constexpr std::size_t kNodes = 8;
+constexpr std::size_t kTotal = 17568;
+
+TEST(OptimizerTest, RejectsBadConfiguration) {
+  OptimizerConfig config;
+  config.grid_points = 1;
+  EXPECT_THROW(PerturbationOptimizer{config}, std::invalid_argument);
+}
+
+TEST(OptimizerTest, RejectsBadArguments) {
+  const PerturbationOptimizer optimizer;
+  EXPECT_THROW(optimizer.optimize({0.1, 0.5}, 0.0, kNodes, kTotal),
+               std::invalid_argument);
+  EXPECT_THROW(optimizer.optimize({0.1, 0.5}, 0.5, 0, kTotal),
+               std::invalid_argument);
+  EXPECT_THROW(optimizer.optimize({0.1, 0.5}, 0.5, kNodes, 0),
+               std::invalid_argument);
+}
+
+TEST(OptimizerTest, InfeasibleWhenSamplesTooSparse) {
+  const PerturbationOptimizer optimizer;
+  // p far below the Theorem 3.3 requirement: no alpha' < alpha can reach
+  // delta' > delta.
+  const query::AccuracySpec spec{0.01, 0.9};
+  const double p_req =
+      estimator::required_sampling_probability(spec, kNodes, kTotal);
+  const auto plan = optimizer.optimize(spec, p_req * 0.5, kNodes, kTotal);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST(OptimizerTest, PlanSatisfiesAllConstraints) {
+  const PerturbationOptimizer optimizer;
+  const query::AccuracySpec spec{0.05, 0.8};
+  const double p = 0.3;
+  const auto plan = optimizer.optimize(spec, p, kNodes, kTotal);
+  ASSERT_TRUE(plan.has_value());
+
+  // alpha' in (0, alpha), delta' in (delta, 1).
+  EXPECT_GT(plan->alpha_prime, 0.0);
+  EXPECT_LT(plan->alpha_prime, spec.alpha);
+  EXPECT_GT(plan->delta_prime, spec.delta);
+  EXPECT_LT(plan->delta_prime, 1.0);
+
+  // delta' is exactly the accuracy achieved by the cached samples.
+  EXPECT_NEAR(plan->delta_prime,
+              estimator::achieved_delta(p, plan->alpha_prime, kNodes, kTotal),
+              1e-9);
+
+  // The tail constraint holds with equality at the optimum:
+  // Pr[|Lap| <= (alpha - alpha') n] == delta / delta'.
+  const Laplace noise(plan->laplace_scale);
+  const double tail = noise.central_probability(
+      (spec.alpha - plan->alpha_prime) * static_cast<double>(kTotal));
+  EXPECT_NEAR(tail, spec.delta / plan->delta_prime, 1e-9);
+
+  // Amplification is applied consistently.
+  EXPECT_NEAR(plan->epsilon_amplified, amplified_epsilon(plan->epsilon, p),
+              1e-12);
+  EXPECT_LT(plan->epsilon_amplified, plan->epsilon);
+
+  // Expected-sensitivity policy: 1/p.
+  EXPECT_NEAR(plan->sensitivity, 1.0 / p, 1e-12);
+  EXPECT_NEAR(plan->laplace_scale, plan->sensitivity / plan->epsilon, 1e-12);
+}
+
+TEST(OptimizerTest, ReturnedPlanIsGridOptimal) {
+  // Re-derive epsilon' on a finer grid; the optimizer's answer must not be
+  // beaten by more than the grid resolution effect.
+  const PerturbationOptimizer optimizer({.grid_points = 512});
+  const query::AccuracySpec spec{0.08, 0.7};
+  const double p = 0.25;
+  const auto plan = optimizer.optimize(spec, p, kNodes, kTotal);
+  ASSERT_TRUE(plan.has_value());
+
+  const double alpha_lo =
+      estimator::min_feasible_alpha(p, spec.delta, kNodes, kTotal);
+  double best = plan->epsilon_amplified;
+  for (int i = 1; i <= 20000; ++i) {
+    const double alpha_prime =
+        alpha_lo + (spec.alpha - alpha_lo) * i / 20001.0;
+    const double delta_prime =
+        estimator::achieved_delta(p, alpha_prime, kNodes, kTotal);
+    if (!(delta_prime > spec.delta)) continue;
+    const double eps = (1.0 / p) /
+                       ((spec.alpha - alpha_prime) * kTotal) *
+                       std::log(delta_prime / (delta_prime - spec.delta));
+    best = std::min(best, amplified_epsilon(eps, p));
+  }
+  EXPECT_LE(plan->epsilon_amplified, best * 1.001);
+}
+
+TEST(OptimizerTest, MoreSamplesNeverHurtPrivacy) {
+  const PerturbationOptimizer optimizer;
+  const query::AccuracySpec spec{0.05, 0.8};
+  const auto plan_low = optimizer.optimize(spec, 0.2, kNodes, kTotal);
+  const auto plan_high = optimizer.optimize(spec, 0.4, kNodes, kTotal);
+  ASSERT_TRUE(plan_low.has_value());
+  ASSERT_TRUE(plan_high.has_value());
+  // With more samples the sampling phase is sharper, leaving more headroom
+  // for noise — the optimal amplified budget cannot get worse.
+  EXPECT_LE(plan_high->epsilon_amplified,
+            plan_low->epsilon_amplified * 1.01);
+}
+
+TEST(OptimizerTest, StricterContractsCostMoreBudget) {
+  const PerturbationOptimizer optimizer;
+  const double p = 0.4;
+  const auto loose = optimizer.optimize({0.10, 0.7}, p, kNodes, kTotal);
+  const auto tight_alpha = optimizer.optimize({0.03, 0.7}, p, kNodes, kTotal);
+  const auto tight_delta = optimizer.optimize({0.10, 0.95}, p, kNodes, kTotal);
+  ASSERT_TRUE(loose && tight_alpha && tight_delta);
+  EXPECT_GT(tight_alpha->epsilon_amplified, loose->epsilon_amplified);
+  EXPECT_GT(tight_delta->epsilon_amplified, loose->epsilon_amplified);
+}
+
+TEST(OptimizerTest, WorstCaseSensitivityInflatesScale) {
+  OptimizerConfig config;
+  config.sensitivity_policy = SensitivityPolicy::kWorstCase;
+  const PerturbationOptimizer worst(config);
+  const PerturbationOptimizer expected;
+  const query::AccuracySpec spec{0.05, 0.8};
+  const double p = 0.3;
+  const std::size_t max_ni = kTotal / kNodes;
+  const auto w = worst.optimize(spec, p, kNodes, kTotal, max_ni);
+  const auto e = expected.optimize(spec, p, kNodes, kTotal, max_ni);
+  ASSERT_TRUE(w && e);
+  EXPECT_GT(w->epsilon, e->epsilon);  // needs far more budget per unit noise
+  EXPECT_NEAR(w->sensitivity, static_cast<double>(max_ni), 1e-9);
+}
+
+TEST(OptimizerTest, MinimumFeasibleProbabilityMatchesTheorem) {
+  const PerturbationOptimizer optimizer;
+  const query::AccuracySpec spec{0.05, 0.8};
+  const double p_min =
+      optimizer.minimum_feasible_probability(spec, kNodes, kTotal, 1.0);
+  EXPECT_NEAR(
+      p_min,
+      std::min(1.0, estimator::required_sampling_probability(spec, kNodes,
+                                                             kTotal)),
+      1e-12);
+  // With headroom 2 the optimizer must be feasible at the suggested p.
+  const double p_headroom =
+      optimizer.minimum_feasible_probability(spec, kNodes, kTotal, 2.0);
+  EXPECT_TRUE(optimizer.optimize(spec, p_headroom, kNodes, kTotal)
+                  .has_value());
+  EXPECT_THROW(
+      optimizer.minimum_feasible_probability(spec, kNodes, kTotal, 0.5),
+      std::invalid_argument);
+}
+
+TEST(OptimizerTest, PlanVarianceCombinesSamplingAndNoise) {
+  const PerturbationOptimizer optimizer;
+  const query::AccuracySpec spec{0.05, 0.8};
+  const double p = 0.3;
+  const auto plan = optimizer.optimize(spec, p, kNodes, kTotal);
+  ASSERT_TRUE(plan.has_value());
+  const double expected = 8.0 * kNodes / (p * p) +
+                          2.0 * plan->laplace_scale * plan->laplace_scale;
+  EXPECT_NEAR(plan->total_variance(kNodes), expected, 1e-9);
+}
+
+TEST(OptimizerTest, ToStringMentionsKeyFields) {
+  const PerturbationOptimizer optimizer;
+  const auto plan = optimizer.optimize({0.05, 0.8}, 0.3, kNodes, kTotal);
+  ASSERT_TRUE(plan.has_value());
+  const std::string text = plan->to_string();
+  EXPECT_NE(text.find("alpha'"), std::string::npos);
+  EXPECT_NE(text.find("eps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prc::dp

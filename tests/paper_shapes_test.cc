@@ -1,0 +1,141 @@
+// Reproduction-as-test: the qualitative shape of every paper figure,
+// asserted on scaled-down versions of the bench configurations so CI
+// catches any regression that would bend a curve the wrong way.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "data/citypulse.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "dp/laplace_mechanism.h"
+#include "estimator/accuracy.h"
+#include "iot/network.h"
+#include "query/workload.h"
+
+namespace prc {
+namespace {
+
+constexpr std::size_t kNodes = 4;
+
+struct Corpus {
+  Corpus() {
+    data::CityPulseConfig config;
+    config.record_count = 6000;
+    dataset = std::make_unique<data::Dataset>(
+        data::CityPulseGenerator(config).generate());
+    column = &dataset->column(data::AirQualityIndex::kOzone);
+    suite = query::default_evaluation_suite(*column);
+  }
+  std::unique_ptr<data::Dataset> dataset;
+  const data::Column* column = nullptr;
+  std::vector<query::RangeQuery> suite;
+};
+
+const Corpus& corpus() {
+  static const Corpus instance;
+  return instance;
+}
+
+/// Mean relative error of RankCounting at probability p over the suite,
+/// averaged across trials (queries below 10% selectivity skipped).
+double mean_error_at(double p, std::size_t trials, std::uint64_t seed,
+                     double laplace_epsilon = 0.0) {
+  const auto& c = corpus();
+  RunningStats err;
+  Rng noise_rng(seed + 999);
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng rng(seed + t * 97);
+    auto node_data = data::partition_values(
+        c.column->values(), kNodes, data::PartitionStrategy::kRoundRobin,
+        rng);
+    iot::NetworkConfig config;
+    config.seed = seed + t * 13 + 1;
+    iot::FlatNetwork network(std::move(node_data), config);
+    network.ensure_sampling_probability(p);
+    std::unique_ptr<dp::LaplaceMechanism> mechanism;
+    if (laplace_epsilon > 0.0) {
+      mechanism = std::make_unique<dp::LaplaceMechanism>(1.0 / p,
+                                                         laplace_epsilon);
+    }
+    for (const auto& q : c.suite) {
+      const double truth = static_cast<double>(
+          c.column->exact_range_count(q.lower, q.upper));
+      if (truth < static_cast<double>(c.column->size()) * 0.1) continue;
+      double estimate = network.rank_counting_estimate(q);
+      if (mechanism) estimate = mechanism->perturb(estimate, noise_rng);
+      err.add(std::abs(estimate - truth) / truth);
+    }
+  }
+  return err.mean();
+}
+
+TEST(PaperShapes, Fig2ErrorFallsWithSamplingProbability) {
+  const double at_002 = mean_error_at(0.02, 12, 11);
+  const double at_010 = mean_error_at(0.10, 12, 11);
+  const double at_040 = mean_error_at(0.40, 12, 11);
+  EXPECT_GT(at_002, at_010 * 2.0);
+  EXPECT_GT(at_010, at_040 * 2.0);
+  EXPECT_LT(at_040, 0.01);  // "few percent once enough data is preserved"
+}
+
+TEST(PaperShapes, Fig3DeltaSweepStabilizes) {
+  // At fixed alpha, raising delta raises the Thm 3.3 probability and the
+  // realized error improves.
+  const auto& c = corpus();
+  const std::size_t n = c.column->size();
+  const double p_low = estimator::required_sampling_probability(
+      {0.055, 0.1}, kNodes, n);
+  const double p_high = estimator::required_sampling_probability(
+      {0.055, 0.8}, kNodes, n);
+  ASSERT_LT(p_low, p_high);
+  EXPECT_GT(mean_error_at(p_low, 12, 23), mean_error_at(p_high, 12, 23));
+}
+
+TEST(PaperShapes, Fig4SampleCountIndependentOfDataSize) {
+  const query::AccuracySpec spec{0.055, 0.5};
+  double expected_samples_small = 0.0, expected_samples_large = 0.0;
+  {
+    const double p =
+        estimator::required_sampling_probability(spec, kNodes, 2000);
+    expected_samples_small = p * 2000.0;
+  }
+  {
+    const double p =
+        estimator::required_sampling_probability(spec, kNodes, 200000);
+    expected_samples_large = p * 200000.0;
+  }
+  // Thm 3.3: p*n = sqrt(8k)*2/(alpha*sqrt(1-delta)) exactly, any n.
+  EXPECT_NEAR(expected_samples_small, expected_samples_large, 1e-6);
+  // And p itself decays as 1/n.
+  EXPECT_NEAR(
+      estimator::required_sampling_probability(spec, kNodes, 2000) /
+          estimator::required_sampling_probability(spec, kNodes, 200000),
+      100.0, 1e-6);
+}
+
+TEST(PaperShapes, Fig5ErrorFallsWithEpsilonAndFlattens) {
+  const double p = 0.4;
+  const double at_005 = mean_error_at(p, 10, 31, 0.05);
+  const double at_05 = mean_error_at(p, 10, 31, 0.5);
+  const double at_8 = mean_error_at(p, 10, 31, 8.0);
+  const double sampling_floor = mean_error_at(p, 10, 31);
+  EXPECT_GT(at_005, at_05);
+  EXPECT_GT(at_05, at_8 * 0.999);
+  // Large epsilon converges to the pure-sampling error.
+  EXPECT_NEAR(at_8, sampling_floor, sampling_floor * 0.5);
+}
+
+TEST(PaperShapes, Fig6MoreSamplesBeatNoiseAtFixedBudget) {
+  // GS ~ 1/p: at fixed epsilon, larger p wins twice (sharper estimate AND
+  // smaller sensitivity).
+  const double eps = 0.1;
+  EXPECT_GT(mean_error_at(0.05, 10, 41, eps),
+            mean_error_at(0.30, 10, 41, eps) * 2.0);
+}
+
+}  // namespace
+}  // namespace prc

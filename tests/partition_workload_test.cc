@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "data/citypulse.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "query/range_query.h"
+#include "query/workload.h"
+
+namespace prc {
+namespace {
+
+using data::PartitionStrategy;
+
+std::vector<double> test_values(std::size_t n) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i) * 0.5;
+  return values;
+}
+
+class PartitionStrategyTest
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(PartitionStrategyTest, PreservesMultiset) {
+  Rng rng(3);
+  const auto values = test_values(997);
+  const auto nodes = partition_values(values, 7, GetParam(), rng);
+  ASSERT_EQ(nodes.size(), 7u);
+  std::vector<double> flattened;
+  for (const auto& node : nodes) {
+    flattened.insert(flattened.end(), node.begin(), node.end());
+  }
+  ASSERT_EQ(flattened.size(), values.size());
+  std::vector<double> sorted_in = values;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(flattened.begin(), flattened.end());
+  EXPECT_EQ(flattened, sorted_in);
+}
+
+TEST_P(PartitionStrategyTest, SingleNodeGetsEverything) {
+  Rng rng(4);
+  const auto values = test_values(50);
+  const auto nodes = partition_values(values, 1, GetParam(), rng);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PartitionStrategyTest,
+    ::testing::Values(PartitionStrategy::kRoundRobin,
+                      PartitionStrategy::kContiguous,
+                      PartitionStrategy::kZipfSkewed,
+                      PartitionStrategy::kUniformRandom));
+
+TEST(PartitionTest, RoundRobinBalances) {
+  Rng rng(5);
+  const auto nodes = partition_values(test_values(100), 8,
+                                      PartitionStrategy::kRoundRobin, rng);
+  for (const auto& node : nodes) {
+    EXPECT_GE(node.size(), 12u);
+    EXPECT_LE(node.size(), 13u);
+  }
+}
+
+TEST(PartitionTest, ContiguousKeepsOrder) {
+  Rng rng(6);
+  const auto nodes = partition_values(test_values(10), 3,
+                                      PartitionStrategy::kContiguous, rng);
+  EXPECT_EQ(nodes[0], (std::vector<double>{0.0, 0.5, 1.0, 1.5}));
+  EXPECT_EQ(nodes[1], (std::vector<double>{2.0, 2.5, 3.0}));
+  EXPECT_EQ(nodes[2], (std::vector<double>{3.5, 4.0, 4.5}));
+}
+
+TEST(PartitionTest, ZipfIsSkewed) {
+  Rng rng(7);
+  const auto nodes = partition_values(test_values(20000), 10,
+                                      PartitionStrategy::kZipfSkewed, rng, 1.3);
+  EXPECT_GT(nodes[0].size(), nodes[9].size() * 3);
+}
+
+TEST(PartitionTest, RejectsZeroNodes) {
+  Rng rng(8);
+  EXPECT_THROW(
+      partition_values({1.0}, 0, PartitionStrategy::kRoundRobin, rng),
+      std::invalid_argument);
+}
+
+TEST(RangeQueryTest, ValidationRules) {
+  query::RangeQuery ok{1.0, 2.0};
+  EXPECT_NO_THROW(ok.validate());
+  query::RangeQuery point{2.0, 2.0};
+  EXPECT_NO_THROW(point.validate());
+  query::RangeQuery inverted{3.0, 2.0};
+  EXPECT_THROW(inverted.validate(), std::invalid_argument);
+  query::RangeQuery nan{std::nan(""), 2.0};
+  EXPECT_THROW(nan.validate(), std::invalid_argument);
+}
+
+TEST(RangeQueryTest, ContainsIsClosed) {
+  const query::RangeQuery q{1.0, 2.0};
+  EXPECT_TRUE(q.contains(1.0));
+  EXPECT_TRUE(q.contains(2.0));
+  EXPECT_TRUE(q.contains(1.5));
+  EXPECT_FALSE(q.contains(0.999));
+  EXPECT_FALSE(q.contains(2.001));
+}
+
+TEST(AccuracySpecTest, ValidationRules) {
+  EXPECT_NO_THROW((query::AccuracySpec{0.1, 0.9}.validate()));
+  EXPECT_NO_THROW((query::AccuracySpec{1.0, 0.05}.validate()));
+  EXPECT_THROW((query::AccuracySpec{0.0, 0.5}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((query::AccuracySpec{0.5, 1.0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((query::AccuracySpec{-0.1, 0.5}.validate()),
+               std::invalid_argument);
+  // delta = 0 would make the contract vacuous; rejected.
+  EXPECT_THROW((query::AccuracySpec{0.5, 0.0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((query::AccuracySpec{0.1, -0.1}.validate()),
+               std::invalid_argument);
+}
+
+TEST(AccuracySpecTest, ImplicationOrder) {
+  const query::AccuracySpec loose{0.2, 0.5};
+  const query::AccuracySpec strict{0.1, 0.9};
+  EXPECT_TRUE(loose.is_implied_by(strict));
+  EXPECT_FALSE(strict.is_implied_by(loose));
+  EXPECT_TRUE(loose.is_implied_by(loose));
+}
+
+TEST(ExactRangeCountTest, ScanMatches) {
+  const std::vector<double> values = {1.0, 2.0, 2.0, 3.0, 5.0};
+  EXPECT_EQ(query::exact_range_count(values, {2.0, 3.0}), 3u);
+  EXPECT_EQ(query::exact_range_count(values, {0.0, 10.0}), 5u);
+  EXPECT_EQ(query::exact_range_count(values, {4.0, 4.5}), 0u);
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    data::CityPulseConfig config;
+    config.record_count = 2000;
+    dataset_ = std::make_unique<data::Dataset>(
+        data::CityPulseGenerator(config).generate());
+  }
+  std::unique_ptr<data::Dataset> dataset_;
+};
+
+TEST_F(WorkloadTest, QuantileAnchoredRangesHaveExpectedSelectivity) {
+  const auto& col = dataset_->column(data::AirQualityIndex::kOzone);
+  const auto queries = query::quantile_anchored_ranges(col, {0.2, 0.8});
+  ASSERT_EQ(queries.size(), 1u);
+  const double selectivity =
+      static_cast<double>(
+          col.exact_range_count(queries[0].lower, queries[0].upper)) /
+      static_cast<double>(col.size());
+  EXPECT_NEAR(selectivity, 0.6, 0.02);
+}
+
+TEST_F(WorkloadTest, UniformRandomRangesAreValid) {
+  const auto& col = dataset_->column(data::AirQualityIndex::kOzone);
+  Rng rng(9);
+  const auto queries = query::uniform_random_ranges(col, 50, rng);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_NO_THROW(q.validate());
+    EXPECT_GE(q.lower, col.min());
+    EXPECT_LE(q.upper, col.max());
+  }
+}
+
+TEST_F(WorkloadTest, SlidingWindowsCoverDomain) {
+  const auto& col = dataset_->column(data::AirQualityIndex::kOzone);
+  const auto queries = query::sliding_windows(col, 0.25, 4);
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_NEAR(queries.front().lower, col.min(), 1e-9);
+  EXPECT_NEAR(queries.back().upper, col.max(), 1e-9);
+  const double expected_width = (col.max() - col.min()) * 0.25;
+  for (const auto& q : queries) {
+    EXPECT_NEAR(q.width(), expected_width, 1e-9);
+  }
+  EXPECT_THROW(query::sliding_windows(col, 0.0, 4), std::invalid_argument);
+  EXPECT_TRUE(query::sliding_windows(col, 0.5, 0).empty());
+}
+
+TEST_F(WorkloadTest, DefaultSuiteSpansSelectivities) {
+  const auto& col = dataset_->column(data::AirQualityIndex::kOzone);
+  const auto queries = query::default_evaluation_suite(col);
+  EXPECT_GT(queries.size(), 20u);
+  double min_sel = 1.0, max_sel = 0.0;
+  for (const auto& q : queries) {
+    const double sel =
+        static_cast<double>(col.exact_range_count(q.lower, q.upper)) /
+        static_cast<double>(col.size());
+    min_sel = std::min(min_sel, sel);
+    max_sel = std::max(max_sel, sel);
+  }
+  EXPECT_LT(min_sel, 0.15);
+  EXPECT_GT(max_sel, 0.85);
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pricing/arbitrage.h"
+#include "pricing/pricing.h"
+#include "pricing/variance_model.h"
+
+namespace prc::pricing {
+namespace {
+
+constexpr std::size_t kTotal = 17568;
+constexpr std::size_t kNodes = 8;
+const query::AccuracySpec kReference{0.1, 0.5};
+
+VarianceModel model() { return VarianceModel(kTotal, kNodes); }
+
+TEST(VarianceModelTest, ContractVarianceFormula) {
+  const query::AccuracySpec spec{0.1, 0.75};
+  const double expected = (0.1 * kTotal) * (0.1 * kTotal) * 0.25;
+  EXPECT_NEAR(model().contract_variance(spec), expected, 1e-6);
+}
+
+TEST(VarianceModelTest, Monotonicity) {
+  const auto m = model();
+  // Increasing alpha increases variance (coarser answer).
+  EXPECT_LT(m.contract_variance({0.05, 0.5}), m.contract_variance({0.1, 0.5}));
+  // Increasing delta decreases variance (more confident answer).
+  EXPECT_GT(m.contract_variance({0.1, 0.5}), m.contract_variance({0.1, 0.9}));
+}
+
+TEST(VarianceModelTest, AlphaForVarianceInverts) {
+  const auto m = model();
+  const query::AccuracySpec spec{0.07, 0.65};
+  const double v = m.contract_variance(spec);
+  EXPECT_NEAR(m.alpha_for_variance(v, spec.delta), spec.alpha, 1e-12);
+  EXPECT_THROW(m.alpha_for_variance(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(m.alpha_for_variance(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(VarianceModelTest, ConstructionValidation) {
+  EXPECT_THROW(VarianceModel(0, 5), std::invalid_argument);
+  EXPECT_THROW(VarianceModel(100, 0), std::invalid_argument);
+}
+
+TEST(InverseVariancePricingTest, AnchoredAtReference) {
+  const InverseVariancePricing pricing(model(), kReference, 50.0);
+  EXPECT_NEAR(pricing.price(kReference), 50.0, 1e-9);
+}
+
+TEST(InverseVariancePricingTest, MonotoneTheRightWay) {
+  const InverseVariancePricing pricing(model(), kReference, 50.0);
+  // Stricter alpha (lower variance) costs more.
+  EXPECT_GT(pricing.price({0.05, 0.5}), pricing.price({0.1, 0.5}));
+  // Higher confidence costs more.
+  EXPECT_GT(pricing.price({0.1, 0.9}), pricing.price({0.1, 0.5}));
+}
+
+TEST(InverseVariancePricingTest, RejectsNonPositiveParameters) {
+  EXPECT_THROW(InverseVariancePricing(model(), kReference, 50.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(InverseVariancePricing(model(), kReference, 50.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(InverseVariancePricing(model(), kReference, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LinearDiscountPricingTest, BasicShape) {
+  const LinearDiscountPricing pricing(1.0, 10.0, 5.0);
+  EXPECT_NEAR(pricing.price({0.5, 0.5}), 1.0 + 10.0 * 0.5 + 5.0 * 0.5, 1e-12);
+  EXPECT_GT(pricing.price({0.1, 0.5}), pricing.price({0.5, 0.5}));
+  EXPECT_THROW(LinearDiscountPricing(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+// --- Theorem 4.2 checker ---------------------------------------------------
+
+TEST(ArbitrageCheckerTest, UnitExponentPasses) {
+  const ArbitrageChecker checker(model());
+  const InverseVariancePricing pricing(model(), kReference, 50.0, 1.0);
+  const auto report = checker.check(pricing);
+  EXPECT_TRUE(report.arbitrage_avoiding);
+  EXPECT_GT(report.checks_performed, 1000u);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(ArbitrageCheckerTest, SteepExponentFailsProperty3) {
+  // q > 1: price decays faster than 1/V — the relative price drop along the
+  // alpha axis exceeds the relative variance increase.
+  const ArbitrageChecker checker(model());
+  const InverseVariancePricing pricing(model(), kReference, 50.0, 2.0);
+  const auto report = checker.check(pricing);
+  EXPECT_FALSE(report.arbitrage_avoiding);
+  bool property3 = false;
+  for (const auto& v : report.violations) {
+    if (v.property == 3) property3 = true;
+  }
+  EXPECT_TRUE(property3);
+}
+
+TEST(ArbitrageCheckerTest, ShallowExponentFailsProperty2) {
+  // q < 1: price rises too little when the customer pays for confidence —
+  // the relative price increase along the delta axis undershoots the
+  // relative variance decrease.
+  const ArbitrageChecker checker(model());
+  const InverseVariancePricing pricing(model(), kReference, 50.0, 0.5);
+  const auto report = checker.check(pricing);
+  EXPECT_FALSE(report.arbitrage_avoiding);
+  bool property2 = false;
+  for (const auto& v : report.violations) {
+    if (v.property == 2) property2 = true;
+  }
+  EXPECT_TRUE(property2);
+}
+
+TEST(ArbitrageCheckerTest, LinearPricingFailsProperty1) {
+  const ArbitrageChecker checker(model());
+  const LinearDiscountPricing pricing(1.0, 10.0, 5.0);
+  const auto report = checker.check(pricing);
+  EXPECT_FALSE(report.arbitrage_avoiding);
+  ASSERT_FALSE(report.violations.empty());
+  bool property1_violated = false;
+  for (const auto& v : report.violations) {
+    if (v.property == 1) property1_violated = true;
+    EXPECT_FALSE(v.to_string().empty());
+  }
+  EXPECT_TRUE(property1_violated);
+}
+
+struct ExponentVerdict {
+  double exponent;
+  bool avoiding;            // checker verdict
+  bool averaging_attackable;  // attack-simulator verdict
+};
+
+class ExponentSweep : public ::testing::TestWithParam<ExponentVerdict> {};
+
+TEST_P(ExponentSweep, CheckerAndSimulatorAgreeWithTheory) {
+  const auto [exponent, avoiding, attackable] = GetParam();
+  const InverseVariancePricing pricing(model(), kReference, 50.0, exponent);
+  const ArbitrageChecker checker(model());
+  EXPECT_EQ(checker.check(pricing).arbitrage_avoiding, avoiding)
+      << "q=" << exponent;
+  const AttackSimulator simulator(model());
+  EXPECT_EQ(simulator.best_attack(pricing, {0.05, 0.9}).profitable,
+            attackable)
+      << "q=" << exponent;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerFamily, ExponentSweep,
+    ::testing::Values(
+        // q < 1: violates Thm 4.2 (property 2) but averaging cannot profit.
+        ExponentVerdict{0.5, false, false},
+        ExponentVerdict{0.75, false, false},
+        // q = 1: the theorem family; break-even against averaging.
+        ExponentVerdict{1.0, true, false},
+        // q > 1: violates property 3 AND is strictly attackable.
+        ExponentVerdict{1.5, false, true},
+        ExponentVerdict{2.0, false, true},
+        ExponentVerdict{3.0, false, true}),
+    [](const ::testing::TestParamInfo<ExponentVerdict>& info) {
+      return "q" + std::to_string(
+                       static_cast<int>(info.param.exponent * 100));
+    });
+
+TEST(ArbitrageCheckerTest, GridValidation) {
+  ArbitrageChecker::Grid bad;
+  bad.alpha_steps = 1;
+  EXPECT_THROW(ArbitrageChecker(model(), bad), std::invalid_argument);
+  ArbitrageChecker::Grid inverted;
+  inverted.alpha_min = 0.9;
+  inverted.alpha_max = 0.1;
+  EXPECT_THROW(ArbitrageChecker(model(), inverted), std::invalid_argument);
+}
+
+// --- attack simulator ------------------------------------------------------
+
+TEST(AttackSimulatorTest, BeatsSteepDiscountPricing) {
+  // q = 2 decays faster than 1/V: m weak queries with V_i ~ m * V cost about
+  // pi / m — the textbook Example 4.1 arbitrage.
+  const AttackSimulator simulator(model());
+  const InverseVariancePricing pricing(model(), kReference, 50.0, 2.0);
+  const query::AccuracySpec target{0.05, 0.9};
+  const auto result = simulator.best_attack(pricing, target);
+  EXPECT_TRUE(result.profitable);
+  EXPECT_GE(result.copies, 2u);
+  EXPECT_LT(result.best_attack_cost, result.honest_price);
+  EXPECT_GT(result.savings(), 0.3);  // q=2 is badly exposed
+  // The attack's averaged answer is genuinely as good as the honest one.
+  EXPECT_LE(result.combined_variance,
+            model().contract_variance(target) * (1.0 + 1e-9));
+  // The weaker contract really is weaker.
+  EXPECT_GT(result.weaker_spec.alpha, target.alpha);
+  EXPECT_LT(result.weaker_spec.delta, target.delta);
+}
+
+TEST(AttackSimulatorTest, CannotBeatTheoremFamily) {
+  // q <= 1 never loses to the averaging adversary (q < 1 still violates
+  // Theorem 4.2 property 2, but that failure is not exploitable by simple
+  // averaging — the checker is deliberately stricter than this simulator).
+  const AttackSimulator simulator(model());
+  for (double q : {1.0, 0.75}) {
+    const InverseVariancePricing pricing(model(), kReference, 50.0, q);
+    for (const auto& target :
+         {query::AccuracySpec{0.05, 0.9}, query::AccuracySpec{0.1, 0.7},
+          query::AccuracySpec{0.02, 0.5}}) {
+      const auto result = simulator.best_attack(pricing, target);
+      EXPECT_FALSE(result.profitable)
+          << "q=" << q << " target=" << target.to_string();
+      EXPECT_EQ(result.copies, 0u);
+      EXPECT_DOUBLE_EQ(result.best_attack_cost, result.honest_price);
+      EXPECT_EQ(result.savings(), 0.0);
+    }
+  }
+}
+
+TEST(AttackSimulatorTest, ExactlyUnitExponentIsBreakEven) {
+  // With q = 1 the symmetric attack at equal variance budget costs exactly
+  // the honest price: m * c * V_ref / (m V) == c * V_ref / V.  Verify no
+  // strict profit is reported (boundary of the Thm 4.2 condition).
+  const AttackSimulator simulator(model());
+  const InverseVariancePricing pricing(model(), kReference, 100.0, 1.0);
+  const auto result = simulator.best_attack(pricing, {0.08, 0.8});
+  EXPECT_FALSE(result.profitable);
+}
+
+TEST(AttackSimulatorTest, AsymmetricAttackSpotCheck) {
+  // Hand-built *asymmetric* two-query attack (the simulator only searches
+  // symmetric ones): both weak contracts differ, their average meets the
+  // target's variance budget, and the bundle is cheaper under q = 2 but not
+  // under the Theorem 4.2 family q = 1.
+  const auto m = model();
+  const query::AccuracySpec target{0.05, 0.9};
+  const query::AccuracySpec weak1{0.055, 0.85};
+  const query::AccuracySpec weak2{0.057, 0.86};
+  const double combined =
+      (m.contract_variance(weak1) + m.contract_variance(weak2)) / 4.0;
+  ASSERT_LE(combined, m.contract_variance(target));  // attack is valid
+
+  const InverseVariancePricing steep(m, kReference, 50.0, 2.0);
+  EXPECT_LT(steep.price(weak1) + steep.price(weak2), steep.price(target));
+
+  const InverseVariancePricing safe(m, kReference, 50.0, 1.0);
+  EXPECT_GE(safe.price(weak1) + safe.price(weak2), safe.price(target));
+}
+
+TEST(AttackSimulatorTest, SearchSpaceValidation) {
+  AttackSimulator::SearchSpace bad;
+  bad.max_copies = 1;
+  EXPECT_THROW(AttackSimulator(model(), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prc::pricing

@@ -1,0 +1,143 @@
+#include "dp/private_counting.h"
+#include "iot/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/partition.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+namespace {
+
+std::vector<std::vector<double>> make_node_data(std::size_t nodes,
+                                                std::size_t total) {
+  std::vector<double> values(total);
+  for (std::size_t i = 0; i < total; ++i) values[i] = static_cast<double>(i);
+  Rng rng(9);
+  return data::partition_values(values, nodes,
+                                data::PartitionStrategy::kRoundRobin, rng);
+}
+
+TEST(PrivateRangeCounterTest, RejectsBadHeadroom) {
+  iot::FlatNetwork network(make_node_data(4, 1000));
+  PrivateCounterConfig config;
+  config.probability_headroom = 0.5;
+  EXPECT_THROW(PrivateRangeCounter(network, config), std::invalid_argument);
+}
+
+TEST(PrivateRangeCounterTest, AnswerCarriesConsistentPlan) {
+  iot::FlatNetwork network(make_node_data(8, 20000));
+  PrivateRangeCounter counter(network);
+  const query::AccuracySpec spec{0.05, 0.8};
+  const auto answer = counter.answer({1000.5, 15000.5}, spec);
+  EXPECT_EQ(answer.plan.alpha, spec.alpha);
+  EXPECT_EQ(answer.plan.delta, spec.delta);
+  EXPECT_GT(answer.plan.epsilon_amplified, 0.0);
+  EXPECT_LT(answer.plan.epsilon_amplified, answer.plan.epsilon);
+  EXPECT_DOUBLE_EQ(answer.plan.sampling_probability,
+                   network.base_station().sampling_probability());
+  // Clamped to the count domain.
+  EXPECT_GE(answer.value, 0.0);
+  EXPECT_LE(answer.value, 20000.0);
+}
+
+TEST(PrivateRangeCounterTest, TopsUpOnlyWhenNeeded) {
+  iot::FlatNetwork network(make_node_data(8, 20000));
+  PrivateRangeCounter counter(network);
+  counter.answer({100.5, 1000.5}, {0.10, 0.5});
+  const double p_after_loose = network.base_station().sampling_probability();
+  // A second, equally loose query reuses the cache (one sample, many
+  // queries).
+  const auto bytes_before = network.stats().total_bytes();
+  counter.answer({2000.5, 3000.5}, {0.10, 0.5});
+  EXPECT_EQ(network.stats().total_bytes(), bytes_before);
+  // A stricter query forces a top-up.
+  counter.answer({100.5, 1000.5}, {0.02, 0.9});
+  EXPECT_GT(network.base_station().sampling_probability(), p_after_loose);
+}
+
+TEST(PrivateRangeCounterTest, InfeasibleContractThrows) {
+  // 2000 items on 50 nodes: even p=1 leaves 8k/(alpha' n)^2 too big for a
+  // very tight contract.
+  iot::FlatNetwork network(make_node_data(50, 2000));
+  PrivateRangeCounter counter(network);
+  EXPECT_THROW(counter.answer({10.5, 100.5}, {0.011, 0.9}),
+               std::runtime_error);
+}
+
+TEST(PrivateRangeCounterTest, PlanForQuotesWithoutNetworkTraffic) {
+  iot::FlatNetwork network(make_node_data(8, 20000));
+  PrivateRangeCounter counter(network);
+  const auto bytes_before = network.stats().total_bytes();
+  const auto plan = counter.plan_for({0.05, 0.8});
+  EXPECT_EQ(network.stats().total_bytes(), bytes_before);
+  EXPECT_GT(plan.epsilon, 0.0);
+  // Executing afterwards uses an equally good or better plan (more samples
+  // can only help).
+  const auto answer = counter.answer({100.5, 15000.5}, {0.05, 0.8});
+  EXPECT_LE(answer.plan.epsilon_amplified, plan.epsilon_amplified * 1.01);
+}
+
+TEST(PrivateRangeCounterTest, UnclampedAnswersCanBeNegative) {
+  iot::FlatNetwork network(make_node_data(4, 5000));
+  PrivateCounterConfig config;
+  config.clamp_to_domain = false;
+  PrivateRangeCounter counter(network, config, /*seed=*/11);
+  // Empty range: the sampled estimate hovers near 0, so unclamped noisy
+  // answers go negative about half the time.
+  int negative = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (counter.answer({-10.0, -5.0}, {0.2, 0.5}).value < 0.0) ++negative;
+  }
+  EXPECT_GT(negative, 5);
+}
+
+// End-to-end (alpha, delta) contract: the noisy answers must fall within
+// alpha*n of the truth at least delta of the time.  This is the paper's
+// central correctness property for the whole two-phase pipeline.
+struct PipelineCase {
+  double alpha;
+  double delta;
+};
+
+class PrivatePipelineContract
+    : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PrivatePipelineContract, ContractHolds) {
+  const auto [alpha, delta] = GetParam();
+  const std::size_t total = 20000;
+  const query::RangeQuery range{2000.5, 17000.5};
+  const double truth = 15000.0;
+
+  const int trials = 300;
+  int within = 0;
+  for (int t = 0; t < trials; ++t) {
+    iot::FlatNetwork network(make_node_data(8, total),
+                             {.frame_loss_probability = 0.0,
+                              .seed = static_cast<std::uint64_t>(t) * 31 + 1});
+    PrivateRangeCounter counter(network, {},
+                                static_cast<std::uint64_t>(t) * 17 + 3);
+    const auto answer = counter.answer(range, {alpha, delta});
+    if (std::abs(answer.value - truth) <= alpha * static_cast<double>(total)) {
+      ++within;
+    }
+  }
+  const double margin = 3.0 * std::sqrt(delta * (1.0 - delta) / trials);
+  EXPECT_GE(static_cast<double>(within) / trials, delta - margin)
+      << "alpha=" << alpha << " delta=" << delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContractSweep, PrivatePipelineContract,
+    ::testing::Values(PipelineCase{0.05, 0.6}, PipelineCase{0.10, 0.8},
+                      PipelineCase{0.15, 0.9}, PipelineCase{0.08, 0.5}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return "a" + std::to_string(static_cast<int>(info.param.alpha * 100)) +
+             "_d" + std::to_string(static_cast<int>(info.param.delta * 100));
+    });
+
+}  // namespace
+}  // namespace prc::dp

@@ -1,0 +1,139 @@
+// Randomized property tests for the low-level containers: CSV round-trip
+// over adversarial content, RankSampleSet neighbor invariants, message
+// wire-size identities, and histogram-sketch consistency against the exact
+// oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "estimator/histogram_sketch.h"
+#include "iot/messages.h"
+#include "query/range_query.h"
+#include "sampling/rank_sample.h"
+
+namespace prc {
+namespace {
+
+class PropertyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_field(Rng& rng) {
+  static const std::string alphabet =
+      "abcXYZ019 ,\"\n\r;|\t'\\/.-=+!@#";
+  const auto len = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))]);
+  }
+  return out;
+}
+
+TEST_P(PropertyFuzz, CsvRoundTripsArbitraryContent) {
+  Rng rng(GetParam());
+  const auto cols = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  std::vector<std::string> header;
+  for (std::size_t c = 0; c < cols; ++c) {
+    header.push_back("col" + std::to_string(c));
+  }
+  CsvTable table(header);
+  const auto rows = static_cast<std::size_t>(rng.uniform_int(0, 30));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < cols; ++c) row.push_back(random_field(rng));
+    table.add_row(row);
+  }
+  const auto reparsed = parse_csv(to_csv(table));
+  ASSERT_EQ(reparsed.header(), table.header());
+  ASSERT_EQ(reparsed.row_count(), table.row_count());
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(reparsed.row(r), table.row(r)) << "row " << r;
+  }
+}
+
+TEST_P(PropertyFuzz, RankSampleNeighborInvariants) {
+  Rng rng(GetParam() + 1000);
+  // Random sample set over a random node population.
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 300));
+  std::vector<double> values(n);
+  for (auto& v : values) {
+    v = std::round(rng.uniform(0.0, 50.0));  // coarse -> many duplicates
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<sampling::RankedValue> sampled;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      sampled.push_back({values[i], static_cast<std::uint64_t>(i + 1)});
+    }
+  }
+  const sampling::RankSampleSet set(sampled);
+  for (int probe = 0; probe < 50; ++probe) {
+    const double x = rng.uniform(-5.0, 55.0);
+    const auto pred = set.predecessor(x);
+    const auto succ = set.successor(x);
+    if (pred) {
+      EXPECT_LE(pred->value, x);
+      // Predecessor is the largest sampled value <= x.
+      for (const auto& s : set.samples()) {
+        if (s.value <= x) EXPECT_LE(s.value, pred->value);
+      }
+    } else {
+      for (const auto& s : set.samples()) EXPECT_GT(s.value, x);
+    }
+    if (succ) {
+      EXPECT_GT(succ->value, x);
+      for (const auto& s : set.samples()) {
+        if (s.value > x) EXPECT_GE(s.value, succ->value);
+      }
+    } else {
+      for (const auto& s : set.samples()) EXPECT_LE(s.value, x);
+    }
+    // Pred and succ bracket x and never cross.
+    if (pred && succ) EXPECT_LT(pred->value, succ->value + 1e-12);
+  }
+}
+
+TEST_P(PropertyFuzz, WireSizeIdentity) {
+  Rng rng(GetParam() + 2000);
+  iot::SampleReport report;
+  report.node_id = static_cast<int>(rng.uniform_int(0, 100));
+  report.data_count = static_cast<std::size_t>(rng.uniform_int(0, 100000));
+  const auto samples = static_cast<std::size_t>(rng.uniform_int(0, 200));
+  for (std::size_t i = 0; i < samples; ++i) {
+    report.new_samples.push_back(
+        {rng.uniform(-1e6, 1e6), static_cast<std::uint64_t>(i + 1)});
+  }
+  EXPECT_EQ(report.wire_size(), iot::kMessageHeaderBytes + 8 + 16 * samples);
+  const iot::SampleRequest request{report.node_id, rng.uniform()};
+  EXPECT_EQ(request.wire_size(), iot::kMessageHeaderBytes + 8);
+  EXPECT_EQ(iot::Heartbeat{1}.wire_size(), iot::kMessageHeaderBytes);
+}
+
+TEST_P(PropertyFuzz, SketchEstimateWithinErrorBoundOfTruth) {
+  Rng rng(GetParam() + 3000);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(10, 2000));
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.uniform(0.0, 100.0);
+  const estimator::HistogramSketch sketch(values, 0.0, 100.0 + 1e-9, 16);
+  for (int probe = 0; probe < 20; ++probe) {
+    double a = rng.uniform(0.0, 100.0);
+    double b = rng.uniform(0.0, 100.0);
+    if (a > b) std::swap(a, b);
+    const query::RangeQuery q{a, b};
+    const double truth =
+        static_cast<double>(query::exact_range_count(values, q));
+    EXPECT_LE(std::abs(sketch.estimate(q) - truth),
+              sketch.error_bound(q) + 1e-6)
+        << q.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace prc

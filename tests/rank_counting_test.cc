@@ -1,0 +1,308 @@
+#include "estimator/rank_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "estimator/basic_counting.h"
+#include "query/range_query.h"
+#include "sampling/local_sampler.h"
+
+namespace prc::estimator {
+namespace {
+
+using sampling::RankSampleSet;
+using sampling::RankedValue;
+
+// --- exact 4-case behaviour on hand-built samples --------------------------
+
+// Node data: 1..10 (ranks equal values).  Sampled: {2, 5, 9}.
+RankSampleSet hand_sample() {
+  return RankSampleSet({{2.0, 2}, {5.0, 5}, {9.0, 9}});
+}
+
+TEST(RankCountingCases, BothNeighborsExist) {
+  // Query [3.5, 7.5]: pred = 2 (rank 2), succ = 9 (rank 9).
+  // interior = 9 - 2 + 1 = 8; estimate = 8 - 2/p.
+  const double p = 0.5;
+  const double est = rank_counting_node_estimate(hand_sample(), 10, p,
+                                                 {3.5, 7.5});
+  EXPECT_DOUBLE_EQ(est, 8.0 - 2.0 / p);
+}
+
+TEST(RankCountingCases, OnlyPredecessorExists) {
+  // Query [3.5, 9.5]: pred = 2 (rank 2), succ of 9.5 missing.
+  // interior = n - rank(pred) + 1 = 10 - 2 + 1 = 9; estimate = 9 - 1/p.
+  const double p = 0.25;
+  const double est = rank_counting_node_estimate(hand_sample(), 10, p,
+                                                 {3.5, 9.5});
+  EXPECT_DOUBLE_EQ(est, 9.0 - 1.0 / p);
+}
+
+TEST(RankCountingCases, OnlySuccessorExists) {
+  // Query [1.5, 3.5]: pred of 1.5 missing, succ = 5 (rank 5).
+  // interior = rank(succ) = 5; estimate = 5 - 1/p.
+  const double p = 0.2;
+  const double est = rank_counting_node_estimate(hand_sample(), 10, p,
+                                                 {1.5, 3.5});
+  EXPECT_DOUBLE_EQ(est, 5.0 - 1.0 / p);
+}
+
+TEST(RankCountingCases, NoNeighborExists) {
+  // Query [0.5, 9.5] with samples only inside: pred of 0.5 and succ of 9.5
+  // both missing -> estimate = n_i.
+  const double est = rank_counting_node_estimate(hand_sample(), 10, 0.3,
+                                                 {0.5, 9.5});
+  EXPECT_DOUBLE_EQ(est, 10.0);
+}
+
+TEST(RankCountingCases, BoundaryEqualityUsesClosedPredecessor) {
+  // pred(l) admits equality: query [5.0, 7.5] -> pred = 5 itself.
+  const double p = 0.5;
+  const double est = rank_counting_node_estimate(hand_sample(), 10, p,
+                                                 {5.0, 7.5});
+  // interior = 9 - 5 + 1 = 5; estimate = 5 - 2/p.
+  EXPECT_DOUBLE_EQ(est, 5.0 - 2.0 / p);
+}
+
+TEST(RankCountingCases, EmptyNodeIsZero) {
+  const RankSampleSet empty;
+  EXPECT_DOUBLE_EQ(rank_counting_node_estimate(empty, 0, 0.5, {0.0, 1.0}),
+                   0.0);
+}
+
+TEST(RankCountingCases, EmptySampleNonEmptyNodeFallsBackToFullCount) {
+  const RankSampleSet empty;
+  EXPECT_DOUBLE_EQ(rank_counting_node_estimate(empty, 42, 0.5, {0.0, 1.0}),
+                   42.0);
+}
+
+TEST(RankCountingCases, RejectsBadArguments) {
+  EXPECT_THROW(
+      rank_counting_node_estimate(hand_sample(), 10, 0.0, {0.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      rank_counting_node_estimate(hand_sample(), 10, 1.5, {0.0, 1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      rank_counting_node_estimate(hand_sample(), 10, 0.5, {2.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(RankCountingCases, GlobalEstimateSumsNodes) {
+  const RankSampleSet a({{2.0, 2}, {9.0, 9}});
+  const RankSampleSet b({{4.0, 4}});
+  const std::vector<NodeSampleView> views = {{&a, 10}, {&b, 6}};
+  const query::RangeQuery range{3.5, 7.5};
+  const double expected =
+      rank_counting_node_estimate(a, 10, 0.5, range) +
+      rank_counting_node_estimate(b, 6, 0.5, range);
+  EXPECT_DOUBLE_EQ(rank_counting_estimate(views, 0.5, range), expected);
+}
+
+TEST(RankCountingCases, NullViewThrows) {
+  const std::vector<NodeSampleView> views = {{nullptr, 5}};
+  EXPECT_THROW(rank_counting_estimate(views, 0.5, {0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(RankCountingCases, VarianceBounds) {
+  EXPECT_DOUBLE_EQ(rank_counting_node_variance_bound(0.5), 32.0);
+  EXPECT_DOUBLE_EQ(rank_counting_variance_bound(4, 0.5), 128.0);
+  EXPECT_THROW(rank_counting_node_variance_bound(0.0), std::invalid_argument);
+}
+
+// --- Monte-Carlo unbiasedness & variance (Theorem 3.1) ---------------------
+
+struct McCase {
+  double p;
+  double lower;
+  double upper;
+};
+
+class RankCountingMonteCarlo : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(RankCountingMonteCarlo, UnbiasedWithBoundedVariance) {
+  const auto [p, lower, upper] = GetParam();
+  // Node data 1..200 (distinct values; ranks == values).
+  const std::size_t n = 200;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i + 1);
+  const query::RangeQuery range{lower, upper};
+  double truth = 0.0;
+  for (double v : values) {
+    if (range.contains(v)) truth += 1.0;
+  }
+
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 17);
+  RunningStats stats;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    sampling::LocalSampler sampler(values);
+    sampler.raise_probability(p, rng);
+    stats.add(rank_counting_node_estimate(sampler.current_sample(), n, p,
+                                          range));
+  }
+  // Unbiasedness: |mean - truth| within 5 standard errors.
+  const double stderr_bound =
+      5.0 * std::sqrt(rank_counting_node_variance_bound(p) / trials);
+  EXPECT_NEAR(stats.mean(), truth, stderr_bound)
+      << "p=" << p << " range=[" << lower << "," << upper << "]";
+  // Theorem 3.1: Var <= 8/p^2 (empirical, with slack for sampling noise).
+  EXPECT_LE(stats.variance(),
+            rank_counting_node_variance_bound(p) * 1.1)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepsPAndRange, RankCountingMonteCarlo,
+    ::testing::Values(
+        // interior ranges at several sampling probabilities
+        McCase{0.05, 50.5, 150.5}, McCase{0.10, 50.5, 150.5},
+        McCase{0.30, 50.5, 150.5}, McCase{0.60, 50.5, 150.5},
+        // narrow range
+        McCase{0.20, 99.5, 110.5},
+        // ranges touching the domain edges
+        McCase{0.20, 0.5, 100.5}, McCase{0.20, 100.5, 300.0},
+        // full-domain range
+        McCase{0.20, 0.0, 300.0}),
+    [](const ::testing::TestParamInfo<McCase>& info) {
+      const auto& c = info.param;
+      return "p" + std::to_string(static_cast<int>(c.p * 100)) + "_l" +
+             std::to_string(static_cast<int>(c.lower)) + "_u" +
+             std::to_string(static_cast<int>(c.upper));
+    });
+
+TEST(RankCountingMC, GlobalUnbiasedAcrossNodes) {
+  // 5 nodes of 100 items each with overlapping domains.
+  const std::size_t k = 5;
+  std::vector<std::vector<double>> node_values(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (int j = 0; j < 100; ++j) {
+      node_values[i].push_back(static_cast<double>(j) +
+                               static_cast<double>(i) * 20.0);
+    }
+  }
+  const query::RangeQuery range{30.5, 120.5};
+  double truth = 0.0;
+  for (const auto& vals : node_values) {
+    for (double v : vals) {
+      if (range.contains(v)) truth += 1.0;
+    }
+  }
+
+  const double p = 0.15;
+  Rng rng(99);
+  RunningStats stats;
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<RankSampleSet> sets;
+    sets.reserve(k);
+    for (const auto& vals : node_values) {
+      sampling::LocalSampler sampler(vals);
+      sampler.raise_probability(p, rng);
+      sets.push_back(sampler.current_sample());
+    }
+    std::vector<NodeSampleView> views;
+    for (const auto& set : sets) views.push_back({&set, 100});
+    stats.add(rank_counting_estimate(views, p, range));
+  }
+  const double var_bound = rank_counting_variance_bound(k, p);
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * std::sqrt(var_bound / trials));
+  EXPECT_LE(stats.variance(), var_bound * 1.1);
+}
+
+TEST(RankCountingMC, ExactWhenEverythingSampled) {
+  // p = 1 with query endpoints between data points: the estimator must be
+  // exact (every correction term is deterministic).
+  std::vector<double> values;
+  for (int i = 1; i <= 50; ++i) values.push_back(static_cast<double>(i));
+  sampling::LocalSampler sampler(values);
+  Rng rng(7);
+  sampler.raise_probability(1.0, rng);
+  const auto sample = sampler.current_sample();
+  for (const auto& [l, u] : std::vector<std::pair<double, double>>{
+           {10.5, 20.5}, {0.5, 49.5}, {25.5, 26.5}, {-3.0, 100.0}}) {
+    const query::RangeQuery range{l, u};
+    double truth = 0.0;
+    for (double v : values) {
+      if (range.contains(v)) truth += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(
+        rank_counting_node_estimate(sample, values.size(), 1.0, range), truth)
+        << "[" << l << ", " << u << "]";
+  }
+}
+
+// --- comparison against BasicCounting (the paper's §III-A claim) -----------
+
+TEST(BasicCountingTest, NodeEstimateScalesByInverseP) {
+  const RankSampleSet set({{2.0, 2}, {5.0, 5}, {9.0, 9}});
+  EXPECT_DOUBLE_EQ(basic_counting_node_estimate(set, 0.5, {2.0, 5.0}), 4.0);
+  EXPECT_DOUBLE_EQ(basic_counting_node_estimate(set, 0.5, {0.0, 100.0}), 6.0);
+  EXPECT_DOUBLE_EQ(basic_counting_node_estimate(set, 0.5, {6.0, 8.0}), 0.0);
+  EXPECT_THROW(basic_counting_node_estimate(set, 0.0, {0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(BasicCountingTest, PooledEstimate) {
+  const RankSampleSet a({{1.0, 1}});
+  const RankSampleSet b({{2.0, 2}, {3.0, 3}});
+  const std::vector<const RankSampleSet*> nodes = {&a, &b};
+  EXPECT_DOUBLE_EQ(basic_counting_estimate(nodes, 0.25, {0.0, 10.0}), 12.0);
+}
+
+TEST(BasicCountingTest, VarianceFormula) {
+  EXPECT_DOUBLE_EQ(basic_counting_variance(100.0, 0.2), 100.0 * 0.8 / 0.2);
+  EXPECT_THROW(basic_counting_variance(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(BasicCountingTest, UnbiasedMonteCarlo) {
+  const std::size_t n = 300;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i + 1);
+  const query::RangeQuery range{50.5, 250.5};
+  const double truth = 200.0;
+  const double p = 0.2;
+  Rng rng(31);
+  RunningStats stats;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    sampling::LocalSampler sampler(values);
+    sampler.raise_probability(p, rng);
+    stats.add(basic_counting_node_estimate(sampler.current_sample(), p,
+                                           range));
+  }
+  const double var = basic_counting_variance(truth, p);
+  EXPECT_NEAR(stats.mean(), truth, 5.0 * std::sqrt(var / trials));
+  EXPECT_NEAR(stats.variance(), var, var * 0.1);
+}
+
+TEST(EstimatorComparison, RankCountingWinsOnWideRanges) {
+  // The paper's core claim: RankCounting variance (8/p^2) is independent of
+  // the true count, while BasicCounting grows as count*(1-p)/p.  For a wide
+  // range over big data the rank estimator must empirically dominate.
+  const std::size_t n = 5000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i + 1);
+  const query::RangeQuery range{100.5, 4900.5};  // truth = 4800
+  const double p = 0.1;
+  Rng rng(41);
+  RunningStats rank_stats, basic_stats;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    sampling::LocalSampler sampler(values);
+    sampler.raise_probability(p, rng);
+    const auto sample = sampler.current_sample();
+    rank_stats.add(rank_counting_node_estimate(sample, n, p, range));
+    basic_stats.add(basic_counting_node_estimate(sample, p, range));
+  }
+  EXPECT_LT(rank_stats.variance() * 10.0, basic_stats.variance());
+}
+
+}  // namespace
+}  // namespace prc::estimator

@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/statistics.h"
+
+namespace prc {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndVariance) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.5, 2.25);
+    ASSERT_GE(x, -3.5);
+    ASSERT_LT(x, 2.25);
+  }
+}
+
+TEST(RngTest, UniformIntCoversSupportUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonSupport) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntNegativeBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-7, -3);
+    ASSERT_GE(v, -7);
+    ASSERT_LE(v, -3);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(29);
+  const double p = 0.37;
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, p, 0.005);
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, SplitStreamsAreDistinct) {
+  Rng parent(101);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same12 = 0, same1p = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = child1();
+    const auto b = child2();
+    const auto c = parent();
+    if (a == b) ++same12;
+    if (a == c) ++same1p;
+  }
+  EXPECT_LT(same12, 3);
+  EXPECT_LT(same1p, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(55);
+  Rng b(55);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(RngTest, OutputBitsLookBalanced) {
+  Rng rng(61);
+  // Count set bits over many draws; each of the 64 positions should be ~50%.
+  std::vector<int> bit_counts(64, 0);
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t v = rng();
+    for (int b = 0; b < 64; ++b) {
+      if ((v >> b) & 1u) ++bit_counts[static_cast<std::size_t>(b)];
+    }
+  }
+  for (int c : bit_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.02);
+  }
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  // Regression anchor: document the first outputs for seed 0 so accidental
+  // algorithm changes are caught (values from the reference implementation).
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafull);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ull);
+}
+
+}  // namespace
+}  // namespace prc

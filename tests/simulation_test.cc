@@ -1,0 +1,134 @@
+#include "market/simulation.h"
+#include "iot/network.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "data/partition.h"
+#include "dp/private_counting.h"
+
+namespace prc::market {
+namespace {
+
+constexpr std::size_t kNodes = 8;
+constexpr std::size_t kTotal = 20000;
+
+struct SimFixture {
+  SimFixture(double exponent, double cap)
+      : network(make_nodes()),
+        counter(network),
+        broker(counter,
+               std::make_unique<pricing::InverseVariancePricing>(
+                   pricing::VarianceModel(kTotal, kNodes),
+                   query::AccuracySpec{0.1, 0.5}, 100.0, exponent),
+               BrokerConfig{cap}) {}
+
+  static std::vector<std::vector<double>> make_nodes() {
+    std::vector<double> values(kTotal);
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      values[i] = static_cast<double>(i);
+    }
+    Rng rng(3);
+    return data::partition_values(values, kNodes,
+                                  data::PartitionStrategy::kRoundRobin, rng);
+  }
+
+  static std::vector<query::RangeQuery> pool() {
+    return {{100.5, 5000.5}, {2000.5, 18000.5}, {9000.5, 12000.5}};
+  }
+
+  iot::FlatNetwork network;
+  dp::PrivateRangeCounter counter;
+  DataBroker broker;
+};
+
+constexpr double kNoCap = std::numeric_limits<double>::infinity();
+
+TEST(MarketSimulationTest, Validation) {
+  SimFixture fixture(1.0, kNoCap);
+  const pricing::VarianceModel model(kTotal, kNodes);
+  EXPECT_THROW(MarketSimulation(fixture.broker, model, {}),
+               std::invalid_argument);
+  SimulationConfig bad_rounds;
+  bad_rounds.rounds = 0;
+  EXPECT_THROW(
+      MarketSimulation(fixture.broker, model, SimFixture::pool(), bad_rounds),
+      std::invalid_argument);
+  SimulationConfig bad_box;
+  bad_box.alpha_min = 0.5;
+  bad_box.alpha_max = 0.1;
+  EXPECT_THROW(
+      MarketSimulation(fixture.broker, model, SimFixture::pool(), bad_box),
+      std::invalid_argument);
+}
+
+TEST(MarketSimulationTest, DeterministicForSameSeed) {
+  SimulationConfig config;
+  config.rounds = 10;
+  config.seed = 77;
+  SimFixture a(1.0, kNoCap);
+  SimFixture b(1.0, kNoCap);
+  const pricing::VarianceModel model(kTotal, kNodes);
+  const auto ra =
+      MarketSimulation(a.broker, model, SimFixture::pool(), config).run();
+  const auto rb =
+      MarketSimulation(b.broker, model, SimFixture::pool(), config).run();
+  EXPECT_EQ(ra.honest_purchases, rb.honest_purchases);
+  EXPECT_EQ(ra.attacker_targets, rb.attacker_targets);
+  EXPECT_DOUBLE_EQ(ra.revenue, rb.revenue);
+}
+
+TEST(MarketSimulationTest, TheoremPricingEliminatesArbitrage) {
+  SimulationConfig config;
+  config.rounds = 15;
+  config.seed = 5;
+  SimFixture fixture(1.0, kNoCap);
+  const pricing::VarianceModel model(kTotal, kNodes);
+  const auto report =
+      MarketSimulation(fixture.broker, model, SimFixture::pool(), config)
+          .run();
+  EXPECT_GT(report.honest_purchases, 0u);
+  EXPECT_GT(report.attacker_targets, 0u);
+  EXPECT_EQ(report.profitable_attacks, 0u);
+  // Attackers forced honest: one query per acquisition, zero leakage.
+  EXPECT_EQ(report.attacker_queries, report.attacker_targets);
+  EXPECT_NEAR(report.arbitrage_leakage(), 0.0, 1e-6);
+  // Revenue equals what the ledger recorded.
+  EXPECT_DOUBLE_EQ(report.revenue,
+                   fixture.broker.ledger().total_revenue());
+}
+
+TEST(MarketSimulationTest, SteepPricingLeaksRevenue) {
+  SimulationConfig config;
+  config.rounds = 15;
+  config.seed = 5;
+  SimFixture fixture(2.0, kNoCap);
+  const pricing::VarianceModel model(kTotal, kNodes);
+  const auto report =
+      MarketSimulation(fixture.broker, model, SimFixture::pool(), config)
+          .run();
+  EXPECT_GT(report.profitable_attacks, 0u);
+  EXPECT_GT(report.attacker_queries, report.attacker_targets);
+  EXPECT_GT(report.arbitrage_leakage(), 0.0);
+}
+
+TEST(MarketSimulationTest, BudgetCapBoundsExposureAndRefuses) {
+  SimulationConfig config;
+  config.rounds = 40;
+  config.seed = 9;
+  const double cap = 0.015;
+  SimFixture fixture(1.0, cap);
+  const pricing::VarianceModel model(kTotal, kNodes);
+  const auto report =
+      MarketSimulation(fixture.broker, model, SimFixture::pool(), config)
+          .run();
+  EXPECT_GT(report.refused_sales, 0u);
+  EXPECT_LE(report.max_honest_epsilon, cap);
+  EXPECT_LE(report.max_attacker_epsilon, cap);
+}
+
+}  // namespace
+}  // namespace prc::market

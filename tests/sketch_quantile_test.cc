@@ -1,0 +1,172 @@
+// Tests for the histogram-sketch baseline and rank-sample quantile
+// estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "estimator/histogram_sketch.h"
+#include "estimator/quantile.h"
+#include "sampling/local_sampler.h"
+
+namespace prc::estimator {
+namespace {
+
+// --- HistogramSketch --------------------------------------------------------
+
+TEST(HistogramSketchTest, ConstructionValidation) {
+  EXPECT_THROW(HistogramSketch(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(HistogramSketch(1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramSketchTest, ExactOnBinAlignedRanges) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i * 0.1);  // [0, 100)
+  const HistogramSketch sketch(values, 0.0, 100.0, 10);
+  EXPECT_EQ(sketch.total_count(), 1000u);
+  // [10, 30) covers bins 1 and 2 fully: 200 values.
+  EXPECT_NEAR(sketch.estimate({10.0, 30.0 - 1e-9}), 200.0, 1.0);
+  EXPECT_NEAR(sketch.estimate({0.0, 100.0}), 1000.0, 1e-9);
+}
+
+TEST(HistogramSketchTest, InterpolatesPartialBins) {
+  // Uniform data: interpolation is nearly exact.
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i * 0.01);  // [0, 100)
+  const HistogramSketch sketch(values, 0.0, 100.0, 20);
+  const query::RangeQuery q{12.5, 87.5};
+  double truth = 0.0;
+  for (double v : values) {
+    if (q.contains(v)) truth += 1.0;
+  }
+  EXPECT_NEAR(sketch.estimate(q), truth, truth * 0.01);
+}
+
+TEST(HistogramSketchTest, ErrorBoundCoversSkewInsideBins) {
+  // All mass at one point inside a bin: interpolation is badly wrong but
+  // the error bound (boundary-bin mass) covers it.
+  std::vector<double> values(1000, 5.01);
+  const HistogramSketch sketch(values, 0.0, 100.0, 10);
+  const query::RangeQuery q{5.02, 50.0};  // excludes every value
+  const double estimate = sketch.estimate(q);
+  EXPECT_LE(std::abs(estimate - 0.0), sketch.error_bound(q) + 1e-9);
+  EXPECT_EQ(sketch.error_bound(q), 1000.0);
+}
+
+TEST(HistogramSketchTest, MergeAggregatesNodes) {
+  const HistogramSketch a({1.0, 2.0, 3.0}, 0.0, 10.0, 5);
+  const HistogramSketch b({7.0, 8.0}, 0.0, 10.0, 5);
+  HistogramSketch merged(0.0, 10.0, 5);
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.total_count(), 5u);
+  EXPECT_NEAR(merged.estimate({0.0, 10.0}), 5.0, 1e-9);
+  const HistogramSketch mismatched(0.0, 20.0, 5);
+  EXPECT_THROW(merged.merge(mismatched), std::invalid_argument);
+}
+
+TEST(HistogramSketchTest, OutOfDomainValuesClampToEdges) {
+  const HistogramSketch sketch({-5.0, 105.0}, 0.0, 100.0, 10);
+  EXPECT_EQ(sketch.total_count(), 2u);
+  EXPECT_NEAR(sketch.estimate({0.0, 100.0}), 2.0, 1e-9);
+}
+
+TEST(HistogramSketchTest, WireSizeIsFixed) {
+  const HistogramSketch small({1.0}, 0.0, 1.0, 32);
+  std::vector<double> many(100000, 0.5);
+  const HistogramSketch big(many, 0.0, 1.0, 32);
+  EXPECT_EQ(small.wire_size(), big.wire_size());
+  EXPECT_EQ(small.wire_size(), 32u * sizeof(double));
+}
+
+// --- prefix / quantile estimation -------------------------------------------
+
+TEST(PrefixEstimateTest, FormulaCases) {
+  const sampling::RankSampleSet set({{2.0, 2}, {5.0, 5}, {9.0, 9}});
+  // successor of 3.0 is 5 (rank 5): estimate 5 - 1/p.
+  EXPECT_DOUBLE_EQ(prefix_count_estimate(set, 10, 0.5, 3.0), 3.0);
+  // successor of 9.5 missing: estimate n_i.
+  EXPECT_DOUBLE_EQ(prefix_count_estimate(set, 10, 0.5, 9.5), 10.0);
+  // successor of -1 is 2 (rank 2): estimate 2 - 1/p = 0.
+  EXPECT_DOUBLE_EQ(prefix_count_estimate(set, 10, 0.5, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(prefix_count_estimate(set, 0, 0.5, 3.0), 0.0);
+  EXPECT_THROW(prefix_count_estimate(set, 10, 0.0, 3.0),
+               std::invalid_argument);
+}
+
+TEST(PrefixEstimateTest, UnbiasedWithBoundedVariance) {
+  const std::size_t n = 300;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i + 1);
+  const double p = 0.15;
+  const double x = 175.5;  // true prefix = 175
+  Rng rng(11);
+  RunningStats stats;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    sampling::LocalSampler sampler(values);
+    sampler.raise_probability(p, rng);
+    stats.add(prefix_count_estimate(sampler.current_sample(), n, p, x));
+  }
+  EXPECT_NEAR(stats.mean(), 175.0,
+              5.0 * std::sqrt(prefix_variance_bound(p) / trials));
+  EXPECT_LE(stats.variance(), prefix_variance_bound(p) * 1.1);
+}
+
+TEST(QuantileEstimateTest, RecoversQuantilesOfUniformData) {
+  const std::size_t k = 4;
+  const std::size_t per_node = 2500;
+  const double p = 0.2;
+  std::vector<std::vector<double>> node_values(k);
+  double v = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < per_node; ++j) {
+      node_values[i].push_back(v += 1.0);  // global values 1..10000
+    }
+  }
+  Rng rng(13);
+  std::vector<sampling::RankSampleSet> sets;
+  for (const auto& vals : node_values) {
+    sampling::LocalSampler sampler(vals);
+    sampler.raise_probability(p, rng);
+    sets.push_back(sampler.current_sample());
+  }
+  std::vector<NodeSampleView> views;
+  for (const auto& s : sets) views.push_back({&s, per_node});
+
+  const double n = static_cast<double>(k * per_node);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double estimate = quantile_estimate(views, p, q, k * per_node);
+    // Rank error is O(sqrt(k) / p) ~ 50; values are dense (1 per rank).
+    EXPECT_NEAR(estimate, q * n, 6.0 * std::sqrt(4.0 * k) / p)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileEstimateTest, ExtremesAndValidation) {
+  const sampling::RankSampleSet set({{2.0, 2}, {5.0, 5}, {9.0, 9}});
+  const std::vector<NodeSampleView> views = {{&set, 10}};
+  EXPECT_EQ(quantile_estimate(views, 0.5, 0.0, 10), 2.0);
+  EXPECT_EQ(quantile_estimate(views, 0.5, 1.0, 10), 9.0);
+  EXPECT_THROW(quantile_estimate(views, 0.5, 1.5, 10),
+               std::invalid_argument);
+  EXPECT_THROW(quantile_estimate(views, 0.5, 0.5, 0),
+               std::invalid_argument);
+  const sampling::RankSampleSet empty;
+  const std::vector<NodeSampleView> empty_views = {{&empty, 10}};
+  EXPECT_THROW(quantile_estimate(empty_views, 0.5, 0.5, 10),
+               std::invalid_argument);
+}
+
+TEST(QuantileEstimateTest, GlobalPrefixSumsNodes) {
+  const sampling::RankSampleSet a({{2.0, 2}});
+  const sampling::RankSampleSet b({{4.0, 4}, {6.0, 6}});
+  const std::vector<NodeSampleView> views = {{&a, 5}, {&b, 8}};
+  const double expected = prefix_count_estimate(a, 5, 0.5, 3.0) +
+                          prefix_count_estimate(b, 8, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(global_prefix_estimate(views, 0.5, 3.0), expected);
+}
+
+}  // namespace
+}  // namespace prc::estimator

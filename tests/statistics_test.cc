@@ -1,0 +1,151 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace prc {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 4.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 4.5);
+  EXPECT_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> values = {1.0, 2.5, -3.0, 7.25, 0.0, 4.0};
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+
+  double m = 0.0;
+  for (double v : values) m += v;
+  m /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - m) * (v - m);
+  var /= static_cast<double>(values.size());
+
+  EXPECT_NEAR(stats.mean(), m, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_EQ(stats.min(), -3.0);
+  EXPECT_EQ(stats.max(), 7.25);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesBesselCorrection) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-12);         // population
+  EXPECT_NEAR(stats.sample_variance(), 2.0, 1e-12);  // n-1
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(77);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5, 5);
+    all.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(2.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) stats.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.mean(), offset, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(QuantileTest, KnownValues) {
+  const std::vector<double> v = {3.0, 1.0, 2.0, 4.0, 5.0};
+  EXPECT_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_NEAR(quantile(v, 0.25), 2.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.125), 1.5, 1e-12);  // interpolated
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(BatchHelpersTest, MeanVarianceMaxAbs) {
+  const std::vector<double> v = {-4.0, 2.0, 2.0};
+  EXPECT_NEAR(mean(v), 0.0, 1e-12);
+  EXPECT_NEAR(variance(v), 8.0, 1e-12);
+  EXPECT_EQ(max_abs(v), 4.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(variance({}), std::invalid_argument);
+  EXPECT_THROW(max_abs({}), std::invalid_argument);
+}
+
+TEST(ChebyshevTest, ConfidenceAndDeviationAreInverses) {
+  const double var = 4.0;
+  for (double conf : {0.0, 0.5, 0.9, 0.99}) {
+    const double t = chebyshev_deviation(var, conf);
+    EXPECT_NEAR(chebyshev_confidence(var, t), conf, 1e-9);
+  }
+}
+
+TEST(ChebyshevTest, ConfidenceClampsToUnitInterval) {
+  EXPECT_EQ(chebyshev_confidence(100.0, 1.0), 0.0);  // vacuous bound
+  EXPECT_NEAR(chebyshev_confidence(1.0, 100.0), 1.0 - 1e-4, 1e-9);
+  EXPECT_EQ(chebyshev_confidence(1.0, 0.0), 0.0);
+}
+
+TEST(ChebyshevTest, DeviationRejectsBadInput) {
+  EXPECT_THROW(chebyshev_deviation(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chebyshev_deviation(-1.0, 0.5), std::invalid_argument);
+}
+
+// The Chebyshev guarantee that underpins Theorem 3.3, checked empirically on
+// a concrete distribution (uniform).
+TEST(ChebyshevTest, EmpiricalGuaranteeHolds) {
+  Rng rng(123);
+  const double var = 1.0 / 12.0;  // uniform(0,1)
+  const double conf = 0.8;
+  const double t = chebyshev_deviation(var, conf);
+  int inside = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (std::abs(rng.uniform() - 0.5) <= t) ++inside;
+  }
+  EXPECT_GE(static_cast<double>(inside) / trials, conf);
+}
+
+}  // namespace
+}  // namespace prc

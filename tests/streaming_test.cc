@@ -1,0 +1,152 @@
+// Continuous data collection: appends, dirty tracking, full-resync rounds,
+// and estimator correctness over a stream of arrivals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "estimator/rank_counting.h"
+#include "iot/network.h"
+#include "query/range_query.h"
+#include "sampling/local_sampler.h"
+
+namespace prc {
+namespace {
+
+TEST(LocalSamplerAppendTest, GrowsDataAndKeepsRanksSorted) {
+  sampling::LocalSampler sampler({2.0, 6.0, 10.0});
+  Rng rng(1);
+  sampler.raise_probability(1.0, rng);
+  sampler.append({4.0, 8.0}, rng);
+  EXPECT_EQ(sampler.data_count(), 5u);
+  const auto set = sampler.current_sample();
+  ASSERT_EQ(set.size(), 5u);  // p = 1: newcomers all sampled
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.samples()[i].rank, i + 1);
+  }
+  EXPECT_EQ(set.samples()[1].value, 4.0);  // rank 2 after re-sort
+}
+
+TEST(LocalSamplerAppendTest, EmptyAppendIsNoOp) {
+  sampling::LocalSampler sampler({1.0});
+  Rng rng(2);
+  sampler.raise_probability(0.5, rng);
+  const auto count = sampler.sample_count();
+  sampler.append({}, rng);
+  EXPECT_EQ(sampler.data_count(), 1u);
+  EXPECT_EQ(sampler.sample_count(), count);
+}
+
+TEST(LocalSamplerAppendTest, NewcomersSampledAtCurrentProbability) {
+  sampling::LocalSampler sampler(std::vector<double>(1000, 1.0));
+  Rng rng(3);
+  sampler.raise_probability(0.3, rng);
+  const std::size_t before = sampler.sample_count();
+  std::vector<double> fresh(20000, 2.0);
+  sampler.append(fresh, rng);
+  const double newcomer_rate =
+      static_cast<double>(sampler.sample_count() - before) / 20000.0;
+  EXPECT_NEAR(newcomer_rate, 0.3, 0.015);
+}
+
+TEST(LocalSamplerAppendTest, AppendThenTopUpKeepsMarginalInclusion) {
+  // append at p=0.2 then raise to 0.5: every element (old or new) must end
+  // up included with probability 0.5.
+  const std::size_t n = 20000;
+  std::vector<double> base(n, 1.0);
+  sampling::LocalSampler sampler(base);
+  Rng rng(4);
+  sampler.raise_probability(0.2, rng);
+  sampler.append(std::vector<double>(n, 2.0), rng);
+  sampler.raise_probability(0.5, rng);
+  EXPECT_NEAR(static_cast<double>(sampler.sample_count()) /
+                  static_cast<double>(2 * n),
+              0.5, 0.01);
+}
+
+TEST(SensorNodeStreamingTest, DirtyFlagLifecycle) {
+  iot::SensorNode node(0, {1.0, 2.0}, Rng(5));
+  EXPECT_FALSE(node.dirty());
+  node.append_data({3.0});
+  EXPECT_TRUE(node.dirty());
+  const auto report = node.full_report();
+  EXPECT_FALSE(node.dirty());
+  EXPECT_EQ(report.data_count, 3u);
+}
+
+TEST(FlatNetworkStreamingTest, AppendUpdatesTotalsAfterRefresh) {
+  iot::FlatNetwork network({{1.0, 2.0, 3.0}, {4.0, 5.0}});
+  network.ensure_sampling_probability(0.5);
+  EXPECT_EQ(network.base_station().total_data_count(), 5u);
+  network.append_data(0, {10.0, 11.0});
+  EXPECT_EQ(network.total_data_count(), 7u);
+  // The station is stale until refresh.
+  EXPECT_EQ(network.base_station().total_data_count(), 5u);
+  EXPECT_EQ(network.refresh_samples(), 1u);
+  EXPECT_EQ(network.base_station().total_data_count(), 7u);
+  // Nothing dirty left.
+  EXPECT_EQ(network.refresh_samples(), 0u);
+}
+
+TEST(FlatNetworkStreamingTest, RefreshChargesFullResend) {
+  iot::FlatNetwork network({std::vector<double>(2000, 1.0)});
+  network.ensure_sampling_probability(0.5);
+  const auto bytes_before = network.stats().uplink_bytes;
+  network.append_data(0, std::vector<double>(100, 2.0));
+  network.refresh_samples();
+  // Full sample (~1050 values * 16 bytes) re-shipped, not just the delta.
+  EXPECT_GT(network.stats().uplink_bytes - bytes_before, 900u * 16u);
+}
+
+TEST(FlatNetworkStreamingTest, OfflineNodeDefersResync) {
+  iot::FlatNetwork network({{1.0, 2.0}, {3.0, 4.0}});
+  network.ensure_sampling_probability(0.5);
+  network.append_data(1, {5.0});
+  network.set_node_online(1, false);
+  EXPECT_EQ(network.refresh_samples(), 0u);  // deferred
+  network.set_node_online(1, true);
+  EXPECT_EQ(network.refresh_samples(), 1u);
+  EXPECT_EQ(network.base_station().total_data_count(), 5u);
+}
+
+TEST(FlatNetworkStreamingTest, EstimatesStayUnbiasedAcrossArrivals) {
+  // Stream batches into the network and check the estimator tracks the
+  // growing truth: mean estimate over trials stays within CI of the truth.
+  const double p = 0.25;
+  const query::RangeQuery range{100.5, 700.5};
+  RunningStats final_estimates;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::vector<double>> initial(2);
+    for (int v = 0; v < 400; ++v) {
+      initial[v % 2].push_back(static_cast<double>(v));
+    }
+    iot::NetworkConfig config;
+    config.seed = static_cast<std::uint64_t>(t) * 7 + 1;
+    iot::FlatNetwork network(std::move(initial), config);
+    network.ensure_sampling_probability(p);
+    // Two arrival batches extend the domain to 0..799.
+    std::vector<double> batch1, batch2;
+    for (int v = 400; v < 600; ++v) batch1.push_back(static_cast<double>(v));
+    for (int v = 600; v < 800; ++v) batch2.push_back(static_cast<double>(v));
+    network.append_data(0, batch1);
+    network.refresh_samples();
+    network.append_data(1, batch2);
+    network.refresh_samples();
+    final_estimates.add(network.rank_counting_estimate(range));
+  }
+  const double truth = 600.0;  // values 101..700
+  const double var_bound = 8.0 * 2.0 / (p * p);
+  EXPECT_NEAR(final_estimates.mean(), truth,
+              5.0 * std::sqrt(var_bound / trials));
+  EXPECT_LE(final_estimates.variance(), var_bound * 1.1);
+}
+
+TEST(FlatNetworkStreamingTest, AppendToUnknownNodeThrows) {
+  iot::FlatNetwork network(std::vector<std::vector<double>>{{1.0}});
+  EXPECT_THROW(network.append_data(5, {2.0}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prc

@@ -1,0 +1,129 @@
+#include "data/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "estimator/accuracy.h"
+#include "estimator/rank_counting.h"
+#include "sampling/local_sampler.h"
+
+namespace prc::data {
+namespace {
+
+TEST(TrafficTest, ShapeMatchesConfig) {
+  TrafficConfig config;
+  config.record_count = 1000;
+  const auto records = TrafficGenerator(config).generate();
+  ASSERT_EQ(records.size(), 1000u);
+  EXPECT_EQ(records[0].timestamp, config.start_timestamp);
+  EXPECT_EQ(records[1].timestamp - records[0].timestamp, 300);
+}
+
+TEST(TrafficTest, DeterministicPerSeed) {
+  TrafficConfig config;
+  config.record_count = 500;
+  const auto a = TrafficGenerator(config).generate_counts();
+  const auto b = TrafficGenerator(config).generate_counts();
+  EXPECT_EQ(a, b);
+  config.seed += 1;
+  const auto c = TrafficGenerator(config).generate_counts();
+  EXPECT_NE(a, c);
+}
+
+TEST(TrafficTest, CountsAreNonNegativeIntegers) {
+  TrafficConfig config;
+  config.record_count = 3000;
+  for (double v : TrafficGenerator(config).generate_counts()) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_EQ(v, std::round(v));
+  }
+}
+
+TEST(TrafficTest, RushHourBeatsNight) {
+  TrafficConfig config;
+  config.record_count = 288 * 14;  // two weeks
+  const auto records = TrafficGenerator(config).generate();
+  RunningStats rush, night;
+  for (const auto& record : records) {
+    const std::int64_t seconds_of_day = record.timestamp % 86400;
+    const double hour = static_cast<double>(seconds_of_day) / 3600.0;
+    if (hour >= 8.0 && hour < 9.0) rush.add(record.vehicle_count);
+    if (hour >= 2.0 && hour < 4.0) night.add(record.vehicle_count);
+  }
+  EXPECT_GT(rush.mean(), night.mean() * 5.0);
+}
+
+TEST(TrafficTest, WeekendsAreQuieterAtRushHour) {
+  TrafficConfig config;
+  config.record_count = 288 * 28;  // four weeks
+  const auto records = TrafficGenerator(config).generate();
+  RunningStats weekday_rush, weekend_rush;
+  for (const auto& record : records) {
+    const int dow = static_cast<int>((record.timestamp / 86400 + 4) % 7);
+    const double hour =
+        static_cast<double>(record.timestamp % 86400) / 3600.0;
+    if (hour < 8.0 || hour >= 9.0) continue;
+    if (dow == 0 || dow == 6) weekend_rush.add(record.vehicle_count);
+    else weekday_rush.add(record.vehicle_count);
+  }
+  EXPECT_GT(weekday_rush.mean(), weekend_rush.mean() * 1.5);
+}
+
+TEST(TrafficTest, DistributionIsRightSkewed) {
+  TrafficConfig config;
+  config.record_count = 10000;
+  const auto counts = TrafficGenerator(config).generate_counts();
+  const Column column("traffic", counts);
+  // Mean well above median: the hallmark of the bursty count distribution.
+  RunningStats stats;
+  for (double v : counts) stats.add(v);
+  EXPECT_GT(stats.mean(), column.quantile(0.5) * 1.1);
+}
+
+TEST(TrafficTest, RankCountingWorksOnTrafficData) {
+  // The framework is dataset-agnostic: the (alpha, delta) guarantee holds
+  // on the discrete, zero-inflated traffic counts too.
+  TrafficConfig config;
+  config.record_count = 8000;
+  const auto counts = TrafficGenerator(config).generate_counts();
+  const std::size_t k = 4;
+  Rng rng(5);
+  const auto nodes =
+      partition_values(counts, k, PartitionStrategy::kRoundRobin, rng);
+
+  const query::AccuracySpec spec{0.08, 0.8};
+  const double p = std::min(1.0, estimator::required_sampling_probability(
+                                     spec, k, counts.size()));
+  const query::RangeQuery range{10.5, 120.5};
+  double truth = 0.0;
+  for (double v : counts) {
+    if (range.contains(v)) truth += 1.0;
+  }
+  int within = 0;
+  const int trials = 1500;
+  for (int t = 0; t < trials; ++t) {
+    double estimate = 0.0;
+    for (const auto& node : nodes) {
+      sampling::LocalSampler sampler(node);
+      sampler.raise_probability(p, rng);
+      estimate += estimator::rank_counting_node_estimate(
+          sampler.current_sample(), node.size(), p, range);
+    }
+    if (std::abs(estimate - truth) <=
+        spec.alpha * static_cast<double>(counts.size())) {
+      ++within;
+    }
+  }
+  const double margin =
+      3.0 * std::sqrt(spec.delta * (1 - spec.delta) / trials);
+  EXPECT_GE(static_cast<double>(within) / trials, spec.delta - margin);
+}
+
+}  // namespace
+}  // namespace prc::data

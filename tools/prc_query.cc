@@ -1,0 +1,236 @@
+// prc_query: command-line front end to the library.
+//
+//   prc_query generate --out data.csv [--records N] [--seed S]
+//       Write a synthetic CityPulse-like dataset to CSV.
+//
+//   prc_query count --csv data.csv --index ozone --lower 60 --upper 110
+//             [--alpha 0.05] [--delta 0.8] [--nodes 8] [--seed S] [--exact]
+//       Answer a range-counting query privately (default) or exactly
+//       (--exact, for ground truth) over a CSV dataset.
+//
+//   prc_query quote --alpha 0.05 --delta 0.8 [--records N] [--nodes K]
+//             [--base-price 100] [--exponent 1]
+//       Print the Theorem 4.2 price and contract variance without touching
+//       any data.
+//
+//   prc_query quantile --csv data.csv --index ozone --q 0.5
+//             [--p 0.1] [--nodes 8] [--seed S]
+//       Estimate a quantile from one round of rank samples (and print the
+//       exact value for comparison).
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/args.h"
+#include "data/citypulse.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "dp/private_counting.h"
+#include "estimator/quantile.h"
+#include "iot/network.h"
+#include "pricing/pricing.h"
+#include "query/range_query.h"
+
+namespace {
+
+using namespace prc;
+
+[[noreturn]] void die(const std::string& message, const ArgParser& parser) {
+  std::cerr << "error: " << message << "\n\n" << parser.help();
+  std::exit(2);
+}
+
+std::string require(const ArgParser& parser, const std::string& key) {
+  const auto value = parser.get(key);
+  if (!value) die("missing required --" + key, parser);
+  return *value;
+}
+
+double required_double(const ArgParser& parser, const std::string& key) {
+  const std::string text = require(parser, key);
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    die("--" + key + " expects a number, got '" + text + "'", parser);
+  }
+}
+
+std::optional<data::AirQualityIndex> index_by_name(const std::string& name) {
+  for (auto index : data::kAllAirQualityIndexes) {
+    if (data::index_name(index) == name) return index;
+  }
+  return std::nullopt;
+}
+
+data::AirQualityIndex require_index(const ArgParser& parser) {
+  const std::string name = require(parser, "index");
+  const auto index = index_by_name(name);
+  if (!index) {
+    std::string known;
+    for (auto i : data::kAllAirQualityIndexes) {
+      known += std::string(data::index_name(i)) + " ";
+    }
+    die("unknown index '" + name + "' (known: " + known + ")", parser);
+  }
+  return *index;
+}
+
+int cmd_generate(int argc, char** argv) {
+  ArgParser parser("prc_query generate", "write a synthetic dataset to CSV");
+  parser.option("out", "output CSV path (required)")
+      .option("records", "record count (default 17568)")
+      .option("seed", "generator seed (default 20140801)");
+  if (!parser.parse(argc, argv)) return 0;
+  data::CityPulseConfig config;
+  config.record_count =
+      static_cast<std::size_t>(parser.get_uint("records", 17568));
+  config.seed = parser.get_uint("seed", 20140801);
+  const auto records = data::CityPulseGenerator(config).generate();
+  data::write_records_csv(records, require(parser, "out"));
+  std::cout << "wrote " << records.size() << " records to "
+            << require(parser, "out") << "\n";
+  return 0;
+}
+
+int cmd_count(int argc, char** argv) {
+  ArgParser parser("prc_query count",
+                   "answer a range count over a CSV dataset");
+  parser.option("csv", "dataset CSV (required)")
+      .option("index", "air-quality index name (required)")
+      .option("lower", "range lower bound (required)")
+      .option("upper", "range upper bound (required)")
+      .option("alpha", "contract error bound (default 0.05)")
+      .option("delta", "contract confidence (default 0.8)")
+      .option("nodes", "simulated node count (default 8)")
+      .option("seed", "simulation seed (default 1)")
+      .flag("exact", "print the exact count instead (ground truth)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const query::RangeQuery range{required_double(parser, "lower"),
+                                required_double(parser, "upper")};
+  range.validate();
+  const auto records = data::read_records_csv(require(parser, "csv"));
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(require_index(parser));
+
+  if (parser.has("exact")) {
+    std::cout << column.exact_range_count(range.lower, range.upper) << "\n";
+    return 0;
+  }
+  const query::AccuracySpec spec{parser.get_double("alpha", 0.05),
+                                 parser.get_double("delta", 0.8)};
+  spec.validate();
+  const auto nodes =
+      static_cast<std::size_t>(parser.get_uint("nodes", 8));
+  const auto seed = parser.get_uint("seed", 1);
+
+  Rng rng(seed);
+  auto node_data = data::partition_values(
+      column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
+  iot::NetworkConfig net_config;
+  net_config.seed = seed + 1;
+  iot::FlatNetwork network(std::move(node_data), net_config);
+  dp::PrivateRangeCounter counter(network, {}, seed + 2);
+  const auto answer = counter.answer(range, spec);
+
+  std::cout << "private_count " << answer.value << "\n"
+            << "contract " << spec.to_string() << " (error bound "
+            << spec.alpha * static_cast<double>(column.size())
+            << " with prob >= " << spec.delta << ")\n"
+            << "plan " << answer.plan.to_string() << "\n"
+            << "uplink_bytes " << network.stats().uplink_bytes << "\n";
+  return 0;
+}
+
+int cmd_quote(int argc, char** argv) {
+  ArgParser parser("prc_query quote",
+                   "price a contract under Theorem 4.2 pricing");
+  parser.option("alpha", "contract error bound (required)")
+      .option("delta", "contract confidence (required)")
+      .option("records", "dataset size n (default 17568)")
+      .option("nodes", "node count k (default 8)")
+      .option("base-price", "price of the (0.1, 0.5) reference (default 100)")
+      .option("exponent", "power-family exponent q (default 1)");
+  if (!parser.parse(argc, argv)) return 0;
+  const query::AccuracySpec spec{required_double(parser, "alpha"),
+                                 required_double(parser, "delta")};
+  spec.validate();
+  const auto n = static_cast<std::size_t>(parser.get_uint("records", 17568));
+  const auto k = static_cast<std::size_t>(parser.get_uint("nodes", 8));
+  const double base = parser.get_double("base-price", 100.0);
+  const double exponent = parser.get_double("exponent", 1.0);
+
+  const pricing::VarianceModel model(n, k);
+  const pricing::InverseVariancePricing pricing(
+      model, query::AccuracySpec{0.1, 0.5}, base, exponent);
+  std::cout << "contract " << spec.to_string() << "\n"
+            << "contract_variance " << model.contract_variance(spec) << "\n"
+            << "price " << pricing.price(spec) << "  (" << pricing.name()
+            << ", reference (alpha=0.1, delta=0.5) -> " << base << ")\n";
+  if (exponent != 1.0) {
+    std::cout << "warning: exponent != 1 is NOT arbitrage-avoiding "
+                 "(Theorem 4.2)\n";
+  }
+  return 0;
+}
+
+int cmd_quantile(int argc, char** argv) {
+  ArgParser parser("prc_query quantile",
+                   "estimate a quantile from rank samples");
+  parser.option("csv", "dataset CSV (required)")
+      .option("index", "air-quality index name (required)")
+      .option("q", "quantile in [0, 1] (required)")
+      .option("p", "sampling probability (default 0.1)")
+      .option("nodes", "simulated node count (default 8)")
+      .option("seed", "simulation seed (default 1)");
+  if (!parser.parse(argc, argv)) return 0;
+  const double q = required_double(parser, "q");
+  const double p = parser.get_double("p", 0.1);
+  const auto nodes = static_cast<std::size_t>(parser.get_uint("nodes", 8));
+  const auto seed = parser.get_uint("seed", 1);
+
+  const auto records = data::read_records_csv(require(parser, "csv"));
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(require_index(parser));
+
+  Rng rng(seed);
+  auto node_data = data::partition_values(
+      column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
+  iot::NetworkConfig net_config;
+  net_config.seed = seed + 1;
+  iot::FlatNetwork network(std::move(node_data), net_config);
+  network.ensure_sampling_probability(p);
+  const auto views = network.base_station().node_views();
+  std::cout << "quantile_estimate "
+            << estimator::quantile_estimate(views, p, q, column.size())
+            << "\n"
+            << "exact_quantile " << column.quantile(q) << "\n"
+            << "samples_used "
+            << network.base_station().cached_sample_count() << " (p = " << p
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: prc_query {generate|count|quote|quantile} "
+                 "[options]\n       prc_query <command> --help\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parser sees its own options.
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "count") return cmd_count(argc - 1, argv + 1);
+    if (command == "quote") return cmd_quote(argc - 1, argv + 1);
+    if (command == "quantile") return cmd_quantile(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  return 2;
+}
