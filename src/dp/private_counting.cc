@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "dp/amplification.h"
 #include "dp/laplace_mechanism.h"
 
 namespace prc::dp {
@@ -42,19 +43,45 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
   for (;;) {
     network_.ensure_sampling_probability(target_p);
     const double p = network_.base_station().sampling_probability();
-    const auto plan = optimizer_.optimize(
-        spec, p, k, n, max_node_data_count(network_.base_station()));
-    if (plan) return *plan;
+    const auto cov = network_.base_station().coverage();
+    // Accuracy must be argued from the probability every node actually
+    // REACHED, not the round target: a degraded round leaves stragglers at
+    // an older p_i, and the Chebyshev bound is only as good as the worst of
+    // them.  min_probability == 0 means some node never reported — no
+    // finite accuracy statement covers its data.
+    const double p_eff = cov.min_probability;
+    if (p_eff > 0.0) {
+      auto plan = optimizer_.optimize(
+          spec, p_eff, k, n, max_node_data_count(network_.base_station()));
+      if (plan) {
+        if (cov.max_probability > p_eff) {
+          // Privacy amplification is per node and weakest for the MOST
+          // included node; re-derive the effective budget at max p_i (the
+          // optimizer priced it at the conservative accuracy-side p_eff).
+          plan->epsilon_amplified =
+              amplified_epsilon(plan->epsilon, cov.max_probability);
+        }
+        return *plan;
+      }
+    }
     if (p >= 1.0) {
+      if (!cov.complete()) {
+        throw CoverageError(
+            "accuracy contract " + spec.to_string() +
+                " unreachable: degraded collection left coverage at " +
+                std::to_string(cov.coverage),
+            cov);
+      }
       throw std::runtime_error(
           "accuracy contract " + spec.to_string() +
           " infeasible even with every datum sampled");
     }
-    // Escalate: more samples shrink alpha_lo and open the search space.
+    // Escalate: more samples shrink alpha_lo and open the search space
+    // (and re-attempts delivery to nodes that dropped out last round).
     target_p = std::min(1.0, p * 1.5);
     PRC_LOG_INFO << "contract " << spec.to_string()
-                 << " infeasible at p=" << p << "; topping up to "
-                 << target_p;
+                 << " infeasible at effective p=" << p_eff
+                 << "; topping up to " << target_p;
   }
 }
 
@@ -63,6 +90,7 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   range.validate();
   PrivateAnswer out;
   out.plan = ensure_feasible_plan(spec);
+  out.coverage = network_.base_station().coverage();
   out.sampled_estimate = network_.rank_counting_estimate(range);
 
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
@@ -72,6 +100,32 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
         out.value, 0.0, static_cast<double>(network_.total_data_count()));
   }
   return out;
+}
+
+query::AccuracySpec PrivateRangeCounter::degraded_spec(
+    const query::AccuracySpec& requested) const {
+  requested.validate();
+  const std::size_t k = network_.node_count();
+  const std::size_t n = network_.total_data_count();
+  const auto cov = network_.base_station().coverage();
+  const double p_eff = cov.min_probability;
+  if (!(p_eff > 0.0)) {
+    throw CoverageError(
+        "no degraded contract exists: some node never reported at all", cov);
+  }
+  query::AccuracySpec spec = requested;
+  for (;;) {
+    const auto plan = optimizer_.optimize(
+        spec, p_eff, k, n, max_node_data_count(network_.base_station()));
+    if (plan) return spec;
+    if (spec.alpha >= 1.0) {
+      throw CoverageError(
+          "no degraded contract exists even at alpha = 1 (effective p " +
+              std::to_string(p_eff) + ")",
+          cov);
+    }
+    spec.alpha = std::min(1.0, spec.alpha * 1.25);
+  }
 }
 
 PerturbationPlan PrivateRangeCounter::plan_for(

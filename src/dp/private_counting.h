@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.h"
 #include "dp/optimizer.h"
@@ -17,6 +19,22 @@
 #include "query/range_query.h"
 
 namespace prc::dp {
+
+/// Raised when degraded collection (offline nodes, dropped frames) leaves
+/// the sample cache unable to support the requested accuracy contract, even
+/// after escalating the round target all the way to p = 1.  Carries the
+/// coverage snapshot so the caller can decide between refusing the query
+/// and re-quoting a weaker contract the cache CAN support.
+class CoverageError : public std::runtime_error {
+ public:
+  CoverageError(const std::string& what, iot::CoverageSummary coverage)
+      : std::runtime_error(what), coverage_(coverage) {}
+
+  const iot::CoverageSummary& coverage() const noexcept { return coverage_; }
+
+ private:
+  iot::CoverageSummary coverage_;
+};
 
 /// One private release.
 struct PrivateAnswer {
@@ -28,6 +46,10 @@ struct PrivateAnswer {
   double sampled_estimate = 0.0;
   /// The plan the answer was produced under.
   PerturbationPlan plan;
+  /// Cache coverage at answer time.  A complete() summary means the plan's
+  /// contract holds exactly as quoted; otherwise the accuracy phase was run
+  /// against the smallest effective per-node probability.
+  iot::CoverageSummary coverage;
 };
 
 struct PrivateCounterConfig {
@@ -49,13 +71,21 @@ class PrivateRangeCounter {
 
   /// Serves one (alpha, delta)-range counting request.  Throws
   /// std::runtime_error if the contract is infeasible even with every datum
-  /// sampled (p = 1).
+  /// sampled (p = 1), or CoverageError when the cache cannot reach the
+  /// contract because of degraded collection (the caller may retry with
+  /// degraded_spec()).
   PrivateAnswer answer(const query::RangeQuery& range,
                        const query::AccuracySpec& spec);
 
   /// The plan that would currently be used for `spec`, without touching the
   /// network or spending budget (for price quoting).
   PerturbationPlan plan_for(const query::AccuracySpec& spec) const;
+
+  /// The weakest widening of `requested` (alpha grown at fixed delta) that
+  /// the cache supports at its ACHIEVED minimum per-node probability.  This
+  /// is what a broker re-quotes after a CoverageError.  Throws CoverageError
+  /// when no finite widening helps (some node never reported at all).
+  query::AccuracySpec degraded_spec(const query::AccuracySpec& requested) const;
 
   const iot::SamplingNetwork& network() const noexcept { return network_; }
 

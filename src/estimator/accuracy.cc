@@ -47,6 +47,48 @@ double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
   return std::sqrt(8.0 * k / (1.0 - delta_min)) / (p * n);
 }
 
+namespace {
+
+// Shared by the heterogeneous delta/bound: sum of per-node variance bounds
+// 8 / p_i^2 (Theorem 3.1 applied node-by-node).  Rejects any p_i outside
+// (0, 1] — a node with no finite bound must be handled before calling.
+double heterogeneous_variance_bound(std::span<const double> probabilities) {
+  if (probabilities.empty()) {
+    throw std::invalid_argument("need at least one node probability");
+  }
+  double total = 0.0;
+  for (const double p : probabilities) {
+    if (!(p > 0.0) || p > 1.0) {
+      throw std::invalid_argument("each node probability must be in (0, 1]");
+    }
+    total += 8.0 / (p * p);
+  }
+  return total;
+}
+
+}  // namespace
+
+double achieved_delta_heterogeneous(std::span<const double> probabilities,
+                                    double alpha_prime,
+                                    std::size_t total_count) {
+  if (!(alpha_prime > 0.0)) {
+    throw std::invalid_argument("alpha' must be positive");
+  }
+  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  const double n = static_cast<double>(total_count);
+  const double denom = alpha_prime * n;
+  return 1.0 - heterogeneous_variance_bound(probabilities) / (denom * denom);
+}
+
+double heterogeneous_error_bound(std::span<const double> probabilities,
+                                 double confidence) {
+  if (confidence < 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in [0, 1)");
+  }
+  return std::sqrt(heterogeneous_variance_bound(probabilities) /
+                   (1.0 - confidence));
+}
+
 double basic_counting_required_probability(const query::AccuracySpec& spec,
                                            std::size_t total_count) {
   spec.validate();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "query/range_query.h"
 
@@ -42,6 +43,24 @@ double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
 ///   t = sqrt(8k / p^2 / (1 - confidence)).
 /// Requires p in (0, 1], confidence in [0, 1).
 double error_bound_at_confidence(double p, std::size_t node_count,
+                                 double confidence);
+
+/// Heterogeneous-probability analogue of achieved_delta: the confidence
+/// actually achieved at error level alpha' when node i's sample was
+/// collected at its own p_i,
+///   delta' = 1 - (sum_i 8 / p_i^2) / (alpha' * n)^2.
+/// May be negative (the bound is vacuous at this alpha').  Every p_i must
+/// be in (0, 1]; callers with never-reported nodes have no finite bound and
+/// must refuse/degrade before calling.
+double achieved_delta_heterogeneous(std::span<const double> probabilities,
+                                    double alpha_prime,
+                                    std::size_t total_count);
+
+/// Heterogeneous Chebyshev half-width: sqrt(sum_i 8/p_i^2 / (1 - conf)).
+/// This is the error bound a degraded round can still honestly promise,
+/// computed from the per-node probabilities actually ACHIEVED rather than
+/// the round target.
+double heterogeneous_error_bound(std::span<const double> probabilities,
                                  double confidence);
 
 /// The BasicCounting analogue of Theorem 3.3: the smallest p for which the

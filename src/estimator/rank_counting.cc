@@ -52,6 +52,35 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
   return total;
 }
 
+double rank_counting_estimate(std::span<const NodeSampleView> nodes,
+                              std::span<const double> probabilities,
+                              const query::RangeQuery& range) {
+  if (nodes.size() != probabilities.size()) {
+    throw std::invalid_argument(
+        "rank counting: one probability per node required");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& node = nodes[i];
+    if (node.samples == nullptr) {
+      throw std::invalid_argument("rank counting: null node sample view");
+    }
+    // Empty nodes contribute 0 regardless of p; skipping them lets callers
+    // pass probability 0 for nodes that never reported.
+    if (node.data_count == 0) continue;
+    if (node.samples->empty()) {
+      // No cached samples: the 4-case estimator degenerates to
+      // gamma(fst, lst, i) = n_i, which does not involve p at all.  This
+      // also covers nodes the station knows only by cardinality (p_i = 0).
+      total += static_cast<double>(node.data_count);
+      continue;
+    }
+    total += rank_counting_node_estimate(*node.samples, node.data_count,
+                                         probabilities[i], range);
+  }
+  return total;
+}
+
 double rank_counting_node_variance_bound(double p) {
   if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
   return 8.0 / (p * p);
@@ -59,6 +88,14 @@ double rank_counting_node_variance_bound(double p) {
 
 double rank_counting_variance_bound(std::size_t node_count, double p) {
   return static_cast<double>(node_count) * rank_counting_node_variance_bound(p);
+}
+
+double rank_counting_variance_bound(std::span<const double> probabilities) {
+  double total = 0.0;
+  for (const double p : probabilities) {
+    total += rank_counting_node_variance_bound(p);
+  }
+  return total;
 }
 
 }  // namespace prc::estimator

@@ -43,10 +43,28 @@ double rank_counting_node_estimate(const sampling::RankSampleSet& samples,
 double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
                               const query::RangeQuery& range);
 
+/// Heterogeneous-probability overload: node i's sample was collected at its
+/// own inclusion probability probabilities[i] (per-node Horvitz–Thompson
+/// correction).  This keeps the estimate unbiased when a degraded round
+/// left some nodes at an older p than the rest of the fleet.  Nodes with
+/// data_count == 0 contribute nothing and may carry probability 0; a node
+/// with data but an EMPTY cached sample contributes the case-4 estimate
+/// n_i (p never enters that branch, so probability 0 is fine there too); a
+/// node with samples but probability outside (0, 1] throws
+/// std::invalid_argument.
+double rank_counting_estimate(std::span<const NodeSampleView> nodes,
+                              std::span<const double> probabilities,
+                              const query::RangeQuery& range);
+
 /// Theorem 3.1 bound on one node's estimator variance: 8 / p^2.
 double rank_counting_node_variance_bound(double p);
 
 /// Theorem 3.2 bound on the global estimator variance: 8k / p^2.
 double rank_counting_variance_bound(std::size_t node_count, double p);
+
+/// Heterogeneous Theorem 3.2: sum of 8 / p_i^2 over the given per-node
+/// probabilities.  Entries <= 0 throw (a node with unknown data has no
+/// finite variance bound; callers must filter those out first).
+double rank_counting_variance_bound(std::span<const double> probabilities);
 
 }  // namespace prc::estimator

@@ -1,5 +1,6 @@
 #include "iot/base_station.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -24,6 +25,54 @@ std::size_t BaseStation::cached_sample_count() const noexcept {
   std::size_t total = 0;
   for (const auto& entry : entries_) total += entry.samples.size();
   return total;
+}
+
+double BaseStation::node_probability(std::size_t node) const {
+  return entries_.at(node).probability;
+}
+
+bool BaseStation::node_reported(std::size_t node) const {
+  return entries_.at(node).reported;
+}
+
+std::vector<double> BaseStation::node_probabilities() const {
+  std::vector<double> probabilities;
+  probabilities.reserve(entries_.size());
+  for (const auto& entry : entries_) probabilities.push_back(entry.probability);
+  return probabilities;
+}
+
+CoverageSummary BaseStation::coverage() const noexcept {
+  CoverageSummary summary;
+  summary.target_p = p_;
+  summary.node_count = entries_.size();
+  std::size_t known_data = 0;
+  std::size_t fresh_data = 0;
+  bool any_unreported = false;
+  double min_p = 1.0;
+  for (const auto& entry : entries_) {
+    if (!entry.reported) {
+      any_unreported = true;
+      continue;
+    }
+    ++summary.reported_nodes;
+    known_data += entry.data_count;
+    summary.max_probability =
+        std::max(summary.max_probability, entry.probability);
+    if (entry.probability >= p_) {
+      fresh_data += entry.data_count;
+    } else {
+      ++summary.stale_nodes;
+    }
+    if (entry.data_count > 0) min_p = std::min(min_p, entry.probability);
+  }
+  summary.min_probability =
+      (any_unreported || summary.reported_nodes == 0) ? 0.0 : min_p;
+  summary.coverage = known_data == 0
+                         ? 0.0
+                         : static_cast<double>(fresh_data) /
+                               static_cast<double>(known_data);
+  return summary;
 }
 
 void BaseStation::ingest(const SampleReport& report) {
@@ -51,13 +100,25 @@ void BaseStation::replace(const SampleReport& full_report) {
 }
 
 void BaseStation::commit_round(double p) {
+  commit_round(p, std::vector<bool>(entries_.size(), true));
+}
+
+void BaseStation::commit_round(double p, const std::vector<bool>& refreshed) {
   if (!(p > 0.0) || p > 1.0) {
     throw std::invalid_argument("round probability must be in (0, 1]");
   }
   if (p < p_) {
     throw std::invalid_argument("sampling probability cannot decrease");
   }
+  if (refreshed.size() != entries_.size()) {
+    throw std::invalid_argument("refreshed mask size mismatch");
+  }
   p_ = p;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (refreshed[i]) {
+      entries_[i].probability = std::max(entries_[i].probability, p);
+    }
+  }
 }
 
 std::vector<estimator::NodeSampleView> BaseStation::node_views() const {
@@ -76,7 +137,7 @@ double BaseStation::rank_counting_estimate(
     throw std::logic_error("no sampling round committed yet");
   }
   const auto views = node_views();
-  return estimator::rank_counting_estimate(views, p_, range);
+  return estimator::rank_counting_estimate(views, node_probabilities(), range);
 }
 
 double BaseStation::basic_counting_estimate(
@@ -93,7 +154,9 @@ double BaseStation::basic_counting_estimate(
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'P', 'R', 'C', 'S'};
-constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2 added the per-node effective probability (v1 assumed one global
+// p, which is exactly the stale-sample bias the probability field fixes).
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
@@ -149,6 +212,7 @@ std::vector<std::uint8_t> BaseStation::serialize() const {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const auto& entry = entries_[i];
     out.push_back(entry.reported ? 1 : 0);
+    append_f64(out, entry.probability);
     // Reuse the wire codec: one full SampleReport frame per node.
     SampleReport report;
     report.node_id = static_cast<int>(i);
@@ -184,6 +248,10 @@ BaseStation BaseStation::deserialize(const std::vector<std::uint8_t>& bytes) {
       throw std::invalid_argument("checkpoint truncated");
     }
     const bool reported = bytes[offset++] != 0;
+    const double probability = read_f64(bytes, offset);
+    if (probability < 0.0 || probability > 1.0) {
+      throw std::invalid_argument("checkpoint: bad node probability");
+    }
     const std::uint32_t frame_size = read_u32(bytes, offset);
     if (offset + frame_size > bytes.size()) {
       throw std::invalid_argument("checkpoint truncated");
@@ -193,9 +261,17 @@ BaseStation BaseStation::deserialize(const std::vector<std::uint8_t>& bytes) {
         bytes.begin() + static_cast<std::ptrdiff_t>(offset + frame_size));
     offset += frame_size;
     const SampleReport report = decode_sample_report(frame);
-    if (reported) station.replace(report);
+    if (reported) {
+      station.replace(report);
+      station.entries_[i].probability = probability;
+    }
   }
-  if (p > 0.0) station.commit_round(p);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("checkpoint: bad round probability");
+  }
+  // Restore the round target without touching the per-node probabilities
+  // that were just read back.
+  station.p_ = p;
   return station;
 }
 

@@ -1,10 +1,18 @@
 // The base station: caches node samples and answers estimates from them.
 //
-// Holds, per node, the accumulated rank-annotated sample and the reported
-// local cardinality.  The "one sample, multiple queries" property of the
-// paper falls out of this cache: queries are answered from it without
+// Holds, per node, the accumulated rank-annotated sample, the reported
+// local cardinality, and the *effective inclusion probability* p_i the
+// cached sample is valid for.  The "one sample, multiple queries" property
+// of the paper falls out of this cache: queries are answered from it without
 // touching the network, and only a request for a higher sampling
 // probability triggers a top-up round.
+//
+// Per-node probabilities matter under degraded collection: a node that was
+// offline (or whose frames were dropped) across a top-up round keeps a
+// perfectly valid Bernoulli(p_old) sample while the rest of the fleet moved
+// to p_new.  Estimating with one global p would bias that node's
+// contribution; the station therefore records p_i per node and the
+// RankCounting path applies the per-node Horvitz–Thompson correction.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +26,30 @@
 
 namespace prc::iot {
 
+/// Aggregate view of how well the cache covers the fleet; what the DP
+/// session and the broker consult before asserting an accuracy contract.
+struct CoverageSummary {
+  /// The last committed round target.
+  double target_p = 0.0;
+  /// Smallest effective p_i over nodes with known data; 0 when some node
+  /// has never reported (its data is entirely invisible to estimates).
+  double min_probability = 0.0;
+  /// Largest effective p_i (privacy amplification must use this one:
+  /// the most-included node enjoys the least amplification).
+  double max_probability = 0.0;
+  /// Fraction of station-known data held at p_i >= target_p.
+  double coverage = 0.0;
+  std::size_t reported_nodes = 0;
+  /// Reported nodes whose p_i lags the round target.
+  std::size_t stale_nodes = 0;
+  std::size_t node_count = 0;
+
+  /// Every node reported and none lag the round target.
+  bool complete() const noexcept {
+    return node_count > 0 && reported_nodes == node_count && stale_nodes == 0;
+  }
+};
+
 class BaseStation {
  public:
   explicit BaseStation(std::size_t node_count);
@@ -27,8 +59,22 @@ class BaseStation {
   /// Sum of reported n_i over all nodes (0 until first reports arrive).
   std::size_t total_data_count() const noexcept;
 
-  /// Sampling probability the cache is currently valid for.
+  /// The last committed round target (the probability the cache would be
+  /// valid for if every node had delivered).
   double sampling_probability() const noexcept { return p_; }
+
+  /// Effective inclusion probability of one node's cached sample (0 until
+  /// the node first delivers).
+  double node_probability(std::size_t node) const;
+
+  /// True once the node has delivered at least one report.
+  bool node_reported(std::size_t node) const;
+
+  /// All effective probabilities, indexed by node.
+  std::vector<double> node_probabilities() const;
+
+  /// Coverage of the cache relative to the last committed round target.
+  CoverageSummary coverage() const noexcept;
 
   /// Total samples cached across nodes.
   std::size_t cached_sample_count() const noexcept;
@@ -41,26 +87,34 @@ class BaseStation {
   /// stale, so the node retransmits its full sample.
   void replace(const SampleReport& full_report);
 
-  /// Records that a top-up round to probability `p` completed.  Reports from
-  /// offline nodes may be missing; the cache simply keeps their old samples,
-  /// which keeps estimates unbiased for the data that did report.
+  /// Records that a top-up round to probability `p` completed with every
+  /// node delivering (the fault-free convenience form).
   void commit_round(double p);
+
+  /// Records a possibly-partial round: only nodes with refreshed[i] == true
+  /// had their full report/delta delivered, so only their effective p_i is
+  /// raised to `p`.  Everyone else keeps their older p_i — which is what
+  /// keeps estimates unbiased when the round degrades.
+  void commit_round(double p, const std::vector<bool>& refreshed);
 
   /// Views over the cache in the estimator's format.
   std::vector<estimator::NodeSampleView> node_views() const;
 
-  /// RankCounting estimate from the cache.  Requires a completed round
-  /// (sampling_probability() > 0).
+  /// RankCounting estimate from the cache, applying each node's own p_i
+  /// (heterogeneous Horvitz–Thompson correction).  Requires a completed
+  /// round (sampling_probability() > 0).
   double rank_counting_estimate(const query::RangeQuery& range) const;
 
-  /// BasicCounting baseline estimate from the same cache.
+  /// BasicCounting baseline estimate from the same cache.  Deliberately
+  /// kept at the seed-style single global probability: it is the biased
+  /// baseline the degraded-operation benches compare against.
   double basic_counting_estimate(const query::RangeQuery& range) const;
 
   /// Checkpointing: serializes the whole cache (per-node samples, counts,
-  /// current probability) to bytes via the wire codec, so a broker can
-  /// restart without a fresh collection round.  deserialize() reconstructs
-  /// an equivalent station; throws CodecError / std::invalid_argument on
-  /// malformed input.
+  /// effective probabilities, current round target) to bytes via the wire
+  /// codec, so a broker can restart without a fresh collection round.
+  /// deserialize() reconstructs an equivalent station; throws CodecError /
+  /// std::invalid_argument on malformed input.
   std::vector<std::uint8_t> serialize() const;
   static BaseStation deserialize(const std::vector<std::uint8_t>& bytes);
 
@@ -68,6 +122,7 @@ class BaseStation {
   struct NodeEntry {
     sampling::RankSampleSet samples;
     std::size_t data_count = 0;
+    double probability = 0.0;  // effective p_i of the cached sample
     bool reported = false;
   };
 

@@ -1,0 +1,88 @@
+#include "iot/faults.h"
+
+#include <stdexcept>
+
+namespace prc::iot {
+namespace {
+
+void check_probability(double value, const char* name) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string(name) + " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_probability(crash_probability, "crash_probability");
+  check_probability(rejoin_probability, "rejoin_probability");
+  check_probability(good_to_bad, "good_to_bad");
+  check_probability(bad_to_good, "bad_to_good");
+  // Loss in either channel state must leave a delivery path open, otherwise
+  // an unbounded-retry network could spin forever inside one frame.
+  if (loss_good < 0.0 || loss_good >= 1.0) {
+    throw std::invalid_argument("loss_good must be in [0, 1)");
+  }
+  if (loss_bad < 0.0 || loss_bad >= 1.0) {
+    throw std::invalid_argument("loss_bad must be in [0, 1)");
+  }
+  if (good_to_bad > 0.0 && bad_to_good <= 0.0) {
+    throw std::invalid_argument(
+        "bad_to_good must be positive when good_to_bad is (bursts must end)");
+  }
+  check_probability(duplication_probability, "duplication_probability");
+}
+
+FaultSchedule::FaultSchedule(const FaultConfig& config, std::size_t node_count)
+    : config_(config), enabled_(config.enabled()) {
+  config_.validate();
+  if (!enabled_) return;
+  Rng master(config_.seed);
+  schedule_rng_ = master.split();
+  nodes_.resize(node_count);
+  for (auto& node : nodes_) node.rng = master.split();
+}
+
+void FaultSchedule::begin_round() {
+  if (!enabled_) return;
+  ++rounds_;
+  for (auto& node : nodes_) {
+    if (node.offline) {
+      if (node.rng.bernoulli(config_.rejoin_probability)) node.offline = false;
+    } else if (node.rng.bernoulli(config_.crash_probability)) {
+      node.offline = true;
+    }
+  }
+}
+
+bool FaultSchedule::node_offline(std::size_t node) const {
+  if (!enabled_) return false;
+  return nodes_.at(node).offline;
+}
+
+std::size_t FaultSchedule::offline_node_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.offline ? 1 : 0;
+  return count;
+}
+
+bool FaultSchedule::attempt_lost(std::size_t node) {
+  if (!enabled_) return false;
+  auto& state = nodes_.at(node);
+  // Transition first, then draw the loss from the state the attempt sees:
+  // a burst that starts on this attempt already degrades it.
+  if (state.channel_bad) {
+    if (state.rng.bernoulli(config_.bad_to_good)) state.channel_bad = false;
+  } else if (state.rng.bernoulli(config_.good_to_bad)) {
+    state.channel_bad = true;
+  }
+  return state.rng.bernoulli(state.channel_bad ? config_.loss_bad
+                                               : config_.loss_good);
+}
+
+bool FaultSchedule::duplicate_frame() {
+  if (!enabled_) return false;
+  return schedule_rng_.bernoulli(config_.duplication_probability);
+}
+
+}  // namespace prc::iot

@@ -1,0 +1,102 @@
+// Deterministic fault injection for the IoT network simulators.
+//
+// A FaultSchedule drives three failure processes from one seed, so that a
+// degraded run is reproducible bit-for-bit:
+//
+//   * node churn — per-round crash/rejoin windows (a crashed node ignores
+//     the whole top-up round, exactly like a manual set_node_online(false));
+//   * bursty link outages — a per-node two-state Gilbert–Elliott channel
+//     layered ALONGSIDE the i.i.d. Bernoulli loss of NetworkConfig: a frame
+//     attempt is lost if either process says so, which models the short
+//     deep fades real radio links exhibit that i.i.d. loss cannot;
+//   * frame duplication — a delivered frame occasionally arrives twice
+//     (retransmit races); the base station deduplicates by sequence, so
+//     duplicates cost bytes but never corrupt the sample cache.
+//
+// The schedule owns its own RNG streams (split per node), so enabling it
+// never perturbs the sampling or Bernoulli-loss streams: a run with a
+// disabled schedule is byte-identical to the seed simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace prc::iot {
+
+struct FaultConfig {
+  /// Per-round probability that an online node crashes for the round (and
+  /// possibly longer — see rejoin_probability).
+  double crash_probability = 0.0;
+  /// Per-round probability that a crashed node comes back online.
+  double rejoin_probability = 0.5;
+  /// Gilbert–Elliott channel: per-attempt transition probabilities between
+  /// the good and bad state, and the per-attempt loss probability in each.
+  double good_to_bad = 0.0;
+  double bad_to_good = 0.2;
+  double loss_good = 0.0;
+  double loss_bad = 0.8;
+  /// Probability that a delivered frame is duplicated in flight.
+  double duplication_probability = 0.0;
+  /// Seed of the schedule's private RNG streams.
+  std::uint64_t seed = 99;
+
+  /// True when any failure process can fire; a disabled schedule draws no
+  /// randomness at all.
+  bool enabled() const noexcept {
+    return crash_probability > 0.0 || good_to_bad > 0.0 || loss_good > 0.0 ||
+           duplication_probability > 0.0;
+  }
+
+  /// Throws std::invalid_argument unless every probability is in [0, 1]
+  /// and the loss probabilities are < 1 (a channel that never delivers
+  /// would hang an unbounded-retry network).
+  void validate() const;
+};
+
+/// The seeded failure processes of one network instance.
+class FaultSchedule {
+ public:
+  /// A default-constructed schedule is disabled: every query returns the
+  /// fault-free answer and no randomness is consumed.
+  FaultSchedule() = default;
+
+  FaultSchedule(const FaultConfig& config, std::size_t node_count);
+
+  bool enabled() const noexcept { return enabled_; }
+  std::size_t rounds_elapsed() const noexcept { return rounds_; }
+
+  /// Advances node churn by one collection round: crashed nodes may rejoin,
+  /// online nodes may crash.  Call once at the start of each round.
+  void begin_round();
+
+  /// True when churn currently holds `node` offline.
+  bool node_offline(std::size_t node) const;
+
+  std::size_t offline_node_count() const noexcept;
+
+  /// Steps `node`'s Gilbert–Elliott channel one frame attempt and reports
+  /// whether the burst process lost the frame.  (The caller combines this
+  /// with its own i.i.d. loss draw.)
+  bool attempt_lost(std::size_t node);
+
+  /// Whether a just-delivered frame is duplicated in flight.
+  bool duplicate_frame();
+
+ private:
+  struct NodeState {
+    bool offline = false;
+    bool channel_bad = false;
+    Rng rng{0};
+  };
+
+  FaultConfig config_;
+  std::vector<NodeState> nodes_;
+  Rng schedule_rng_{0};
+  std::size_t rounds_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace prc::iot

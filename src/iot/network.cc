@@ -8,11 +8,22 @@
 
 namespace prc::iot {
 
+namespace {
+
+// Exponential backoff after the a-th failed attempt (1-based), capped so a
+// long outage cannot overflow the slot counter: 1, 2, 4, ..., 1024.
+std::size_t backoff_slots_after(std::size_t failed_attempts) {
+  return std::size_t{1} << std::min<std::size_t>(failed_attempts - 1, 10);
+}
+
+}  // namespace
+
 FlatNetwork::FlatNetwork(std::vector<std::vector<double>> node_data,
                          NetworkConfig config)
     : station_(node_data.size()),
       loss_rng_(Rng(config.seed).split()),
-      config_(config) {
+      config_(config),
+      faults_(config.faults, node_data.size()) {
   if (node_data.empty()) {
     throw std::invalid_argument("network needs >= 1 node");
   }
@@ -37,118 +48,243 @@ void FlatNetwork::set_node_online(std::size_t node, bool online) {
   nodes_.at(node).set_online(online);
 }
 
-std::size_t FlatNetwork::transmit(std::size_t frame_bytes, bool uplink) {
-  std::size_t attempts = 1;
-  while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
-    ++attempts;
+FlatNetwork::Delivery FlatNetwork::transmit(std::size_t frame_bytes,
+                                            bool uplink, std::size_t node) {
+  Delivery result;
+  ++stats_.frames_attempted;
+  for (;;) {
+    ++result.attempts;
+    if (uplink) {
+      ++stats_.uplink_messages;
+      stats_.uplink_bytes += frame_bytes;
+    } else {
+      ++stats_.downlink_messages;
+      stats_.downlink_bytes += frame_bytes;
+    }
+    // Draw the i.i.d. loss first: with faults disabled this consumes the
+    // exact Bernoulli sequence of the seed simulator.  The burst channel is
+    // stepped even when the i.i.d. draw already lost the frame — the fade
+    // process evolves with every attempt on the air, not per delivery.
+    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool burst_lost = faults_.attempt_lost(node);
+    if (!iid_lost && !burst_lost) {
+      result.delivered = true;
+      ++stats_.frames_delivered;
+      maybe_duplicate(frame_bytes, uplink);
+      return result;
+    }
     ++stats_.retransmissions;
+    if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
+      ++stats_.dropped_frames;
+      return result;
+    }
+    stats_.backoff_slots += backoff_slots_after(result.attempts);
   }
-  if (uplink) {
-    stats_.uplink_messages += attempts;
-    stats_.uplink_bytes += attempts * frame_bytes;
-  } else {
-    stats_.downlink_messages += attempts;
-    stats_.downlink_bytes += attempts * frame_bytes;
-  }
-  return attempts;
 }
 
-SampleReport FlatNetwork::deliver_frame(const SampleReport& frame) {
+void FlatNetwork::maybe_duplicate(std::size_t frame_bytes, bool uplink) {
+  if (!faults_.duplicate_frame()) return;
+  ++stats_.duplicated_frames;
+  if (uplink) {
+    ++stats_.uplink_messages;
+    stats_.uplink_bytes += frame_bytes;
+  } else {
+    ++stats_.downlink_messages;
+    stats_.downlink_bytes += frame_bytes;
+  }
+}
+
+FlatNetwork::Delivery FlatNetwork::deliver_frame(const SampleReport& frame,
+                                                 SampleReport& out) {
+  const auto node = static_cast<std::size_t>(frame.node_id);
   if (!config_.byte_accurate) {
-    transmit(frame.wire_size(), /*uplink=*/true);
-    return frame;
+    const Delivery result = transmit(frame.wire_size(), /*uplink=*/true, node);
+    if (result.delivered) out = frame;
+    return result;
   }
   // Byte-accurate path: serialize for real, lose/corrupt per attempt, and
-  // keep retransmitting until a frame survives both the channel and the
-  // CRC check.
+  // keep retransmitting (within the budget) until a frame survives both the
+  // channel and the CRC check.
+  Delivery result;
+  ++stats_.frames_attempted;
   for (;;) {
     auto encoded = encode(frame);
+    ++result.attempts;
     stats_.uplink_messages += 1;
     stats_.uplink_bytes += encoded.size();
-    if (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+    bool failed = false;
+    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool burst_lost = faults_.attempt_lost(node);
+    if (iid_lost || burst_lost) {
       ++stats_.retransmissions;
-      continue;
+      failed = true;
+    } else {
+      if (loss_rng_.bernoulli(config_.bit_corruption_probability)) {
+        const auto byte_index = static_cast<std::size_t>(loss_rng_.uniform_int(
+            0, static_cast<std::int64_t>(encoded.size()) - 1));
+        const auto bit =
+            static_cast<std::uint8_t>(1u << loss_rng_.uniform_int(0, 7));
+        encoded[byte_index] ^= bit;
+      }
+      try {
+        out = decode_sample_report(encoded);
+        result.delivered = true;
+        ++stats_.frames_delivered;
+        maybe_duplicate(encoded.size(), /*uplink=*/true);
+        return result;
+      } catch (const CodecError&) {
+        ++stats_.corrupted_frames;
+        ++stats_.retransmissions;
+        failed = true;
+      }
     }
-    if (loss_rng_.bernoulli(config_.bit_corruption_probability)) {
-      const auto byte_index = static_cast<std::size_t>(loss_rng_.uniform_int(
-          0, static_cast<std::int64_t>(encoded.size()) - 1));
-      const auto bit = static_cast<std::uint8_t>(
-          1u << loss_rng_.uniform_int(0, 7));
-      encoded[byte_index] ^= bit;
+    if (failed && config_.max_attempts != 0 &&
+        result.attempts >= config_.max_attempts) {
+      ++stats_.dropped_frames;
+      return result;
     }
-    try {
-      return decode_sample_report(encoded);
-    } catch (const CodecError&) {
-      ++stats_.corrupted_frames;
-      ++stats_.retransmissions;
-    }
+    stats_.backoff_slots += backoff_slots_after(result.attempts);
   }
 }
 
-std::size_t FlatNetwork::ensure_sampling_probability(double p) {
+RoundReport FlatNetwork::ensure_sampling_probability(double p) {
   if (!(p > 0.0) || p > 1.0) {
     throw std::invalid_argument("sampling probability must be in (0, 1]");
   }
-  if (p <= station_.sampling_probability()) return 0;
+  RoundReport report;
+  report.target_p = p;
+  report.outcomes.assign(nodes_.size(), NodeOutcome::kDelivered);
 
-  std::size_t new_samples = 0;
-  for (auto& node : nodes_) {
+  if (p <= station_.sampling_probability()) {
+    // The cache already satisfies the request: no traffic, no churn step.
+    // Report where each node stands relative to the *requested* p.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (station_.node_probability(i) >= p) continue;
+      report.outcomes[i] = station_.node_reported(i) ? NodeOutcome::kStale
+                                                     : NodeOutcome::kOffline;
+    }
+    const CoverageSummary cov = station_.coverage();
+    report.coverage = cov.coverage;
+    report.min_probability = cov.min_probability;
+    return report;
+  }
+
+  faults_.begin_round();
+  const std::size_t retrans_before = stats_.retransmissions;
+  const std::size_t dropped_before = stats_.dropped_frames;
+  std::vector<bool> refreshed(nodes_.size(), false);
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
     const SampleRequest request{node.id(), p};
-    transmit(request.wire_size(), /*uplink=*/false);
-    if (!node.online()) {
-      PRC_LOG_DEBUG << "node " << node.id() << " offline; skipping round";
+    // The station does not know which nodes crashed; the request goes out
+    // regardless (and is charged), exactly like the real downlink.
+    const Delivery down = transmit(request.wire_size(), /*uplink=*/false, i);
+    const bool offline = !node.online() || faults_.node_offline(i);
+    if (!down.delivered) {
+      // The node never heard the request, so its local sampler did not move:
+      // the station cache stays consistent, just older.
+      report.outcomes[i] = NodeOutcome::kDropped;
       continue;
     }
-    SampleReport report = node.handle(request);
+    if (offline) {
+      PRC_LOG_DEBUG << "node " << node.id() << " offline; skipping round";
+      report.outcomes[i] = station_.node_probability(i) > 0.0
+                               ? NodeOutcome::kStale
+                               : NodeOutcome::kOffline;
+      continue;
+    }
+    SampleReport node_report = node.handle(request);
     if (node.dirty()) {
       // Appends since the last resync shifted this node's ranks, so the
       // station's cached deltas are in a stale rank epoch.  The node sends
       // its full current sample instead and the station replaces the cache.
-      report = node.full_report();
-      new_samples += report.new_samples.size();
-      stats_.samples_transferred += report.new_samples.size();
-      transmit_full_report(report);
+      node_report = node.full_report();
+      if (transmit_full_report(node_report)) {
+        report.new_samples += node_report.new_samples.size();
+        stats_.samples_transferred += node_report.new_samples.size();
+        refreshed[i] = true;
+      } else {
+        // The node's sampler already advanced to p, but the station never
+        // saw the refreshed sample: force a full resync next opportunity.
+        node.invalidate_cached_sample();
+        report.outcomes[i] = NodeOutcome::kDropped;
+      }
       continue;
     }
-    new_samples += report.new_samples.size();
-    stats_.samples_transferred += report.new_samples.size();
 
     // Small reports piggyback on the periodic heartbeat: charge only the
     // sample payload, not an extra frame header.  (Byte-accurate mode has
     // no standalone frame for a piggybacked delta, so it always frames.)
     if (!config_.byte_accurate &&
-        report.new_samples.size() <= kHeartbeatPiggybackSamples) {
-      ++stats_.piggybacked_reports;
-      transmit(report.new_samples.size() * kSampleWireBytes +
-                   sizeof(std::uint64_t),
-               /*uplink=*/true);
-      station_.ingest(report);
+        node_report.new_samples.size() <= kHeartbeatPiggybackSamples) {
+      const Delivery up =
+          transmit(node_report.new_samples.size() * kSampleWireBytes +
+                       sizeof(std::uint64_t),
+                   /*uplink=*/true, i);
+      if (up.delivered) {
+        ++stats_.piggybacked_reports;
+        report.new_samples += node_report.new_samples.size();
+        stats_.samples_transferred += node_report.new_samples.size();
+        station_.ingest(node_report);
+        refreshed[i] = true;
+      } else {
+        node.invalidate_cached_sample();
+        report.outcomes[i] = NodeOutcome::kDropped;
+      }
       continue;
     }
     // Otherwise split into frames of kMaxSamplesPerFrame samples each.
+    // Ingestion is atomic per node: a delta is only committed when every
+    // frame delivered — a half-ingested delta would leave the cache in no
+    // well-defined probability state at all.
+    std::vector<SampleReport> arrived;
+    bool all_delivered = true;
     std::size_t offset = 0;
     do {
-      const std::size_t take =
-          std::min(kMaxSamplesPerFrame, report.new_samples.size() - offset);
+      const std::size_t take = std::min(
+          kMaxSamplesPerFrame, node_report.new_samples.size() - offset);
       SampleReport frame;
-      frame.node_id = report.node_id;
-      frame.data_count = report.data_count;
+      frame.node_id = node_report.node_id;
+      frame.data_count = node_report.data_count;
       frame.new_samples.assign(
-          report.new_samples.begin() + static_cast<std::ptrdiff_t>(offset),
-          report.new_samples.begin() +
+          node_report.new_samples.begin() + static_cast<std::ptrdiff_t>(offset),
+          node_report.new_samples.begin() +
               static_cast<std::ptrdiff_t>(offset + take));
-      station_.ingest(deliver_frame(frame));
+      SampleReport delivered;
+      if (!deliver_frame(frame, delivered).delivered) {
+        all_delivered = false;
+        break;  // the sender aborts the rest of the burst
+      }
+      arrived.push_back(std::move(delivered));
       offset += take;
-    } while (offset < report.new_samples.size());
+    } while (offset < node_report.new_samples.size());
+    if (all_delivered) {
+      for (const auto& frame : arrived) station_.ingest(frame);
+      report.new_samples += node_report.new_samples.size();
+      stats_.samples_transferred += node_report.new_samples.size();
+      refreshed[i] = true;
+    } else {
+      node.invalidate_cached_sample();
+      report.outcomes[i] = NodeOutcome::kDropped;
+    }
   }
-  station_.commit_round(p);
-  return new_samples;
+
+  station_.commit_round(p, refreshed);
+  report.retries = stats_.retransmissions - retrans_before;
+  report.dropped_frames = stats_.dropped_frames - dropped_before;
+  const CoverageSummary cov = station_.coverage();
+  report.coverage = cov.coverage;
+  report.min_probability = cov.min_probability;
+  last_round_ = report;
+  return report;
 }
 
-void FlatNetwork::transmit_full_report(const SampleReport& report) {
+bool FlatNetwork::transmit_full_report(const SampleReport& report) {
   // Full resync never piggybacks (it is not a delta); split into frames for
   // delivery, reassemble what actually arrived, then replace the cache
-  // wholesale (per-frame replacement would drop earlier frames).
+  // wholesale — but only if EVERY frame made it (a partial full-sample
+  // would silently shrink the node's apparent sample).
   SampleReport reassembled;
   reassembled.node_id = report.node_id;
   reassembled.data_count = report.data_count;
@@ -163,13 +299,15 @@ void FlatNetwork::transmit_full_report(const SampleReport& report) {
         report.new_samples.begin() + static_cast<std::ptrdiff_t>(offset),
         report.new_samples.begin() +
             static_cast<std::ptrdiff_t>(offset + take));
-    const SampleReport delivered = deliver_frame(frame);
+    SampleReport delivered;
+    if (!deliver_frame(frame, delivered).delivered) return false;
     reassembled.new_samples.insert(reassembled.new_samples.end(),
                                    delivered.new_samples.begin(),
                                    delivered.new_samples.end());
     offset += take;
   } while (offset < report.new_samples.size());
   station_.replace(reassembled);
+  return true;
 }
 
 void FlatNetwork::append_data(std::size_t node,
@@ -185,9 +323,12 @@ std::size_t FlatNetwork::refresh_samples() {
     if (!node.dirty()) continue;
     if (!node.online()) continue;  // resync deferred until the node rejoins
     SampleReport report = node.full_report();
-    ++resynced;
-    stats_.samples_transferred += report.new_samples.size();
-    transmit_full_report(report);
+    if (transmit_full_report(report)) {
+      ++resynced;
+      stats_.samples_transferred += report.new_samples.size();
+    } else {
+      node.invalidate_cached_sample();
+    }
   }
   return resynced;
 }

@@ -2,10 +2,14 @@
 //
 // Wires k sensor nodes to one base station, executes top-up sampling rounds,
 // and accounts every byte that crosses the (simulated) air interface.
-// Unreliable links are modeled as per-frame Bernoulli loss with reliable
+// Unreliable links are modeled as per-frame Bernoulli loss (optionally
+// layered with a bursty Gilbert–Elliott process from a FaultSchedule) with
 // retransmission: a lost frame costs its bytes again, which is how loss
-// shows up in the paper's cost metric (energy/bandwidth), while the protocol
-// state stays consistent.
+// shows up in the paper's cost metric (energy/bandwidth).  With
+// max_attempts == 0 retransmission is unbounded and every round completes
+// fully (the seed behavior); with a bounded budget a frame can be abandoned
+// and the round completes PARTIALLY — the returned RoundReport says which
+// nodes actually reached the round target.
 #pragma once
 
 #include <cstddef>
@@ -13,8 +17,10 @@
 
 #include "common/rng.h"
 #include "iot/base_station.h"
+#include "iot/faults.h"
 #include "iot/messages.h"
 #include "iot/node.h"
+#include "iot/round_report.h"
 #include "iot/sampling_network.h"
 #include "query/range_query.h"
 
@@ -30,6 +36,11 @@ struct CommunicationStats {
   std::size_t corrupted_frames = 0;  // CRC-detected corruptions (byte mode)
   std::size_t samples_transferred = 0;
   std::size_t piggybacked_reports = 0;  // reports that rode on heartbeats
+  std::size_t frames_attempted = 0;   // logical frames handed to the link
+  std::size_t frames_delivered = 0;   // logical frames that got through
+  std::size_t dropped_frames = 0;     // abandoned after max_attempts
+  std::size_t duplicated_frames = 0;  // delivered twice; deduped by station
+  std::size_t backoff_slots = 0;      // exponential-backoff slots waited
 
   std::size_t total_bytes() const noexcept {
     return downlink_bytes + uplink_bytes;
@@ -38,7 +49,7 @@ struct CommunicationStats {
 
 struct NetworkConfig {
   /// Per-frame loss probability on both directions (retransmitted until
-  /// delivered; each attempt is charged).
+  /// delivered or the attempt budget runs out; each attempt is charged).
   double frame_loss_probability = 0.0;
   /// Byte-accurate mode: every uplink report frame is really serialized
   /// through the wire codec and decoded at the base station, so the
@@ -53,6 +64,15 @@ struct NetworkConfig {
   double bit_corruption_probability = 0.0;
   /// Master seed for node sampling streams and the loss process.
   std::uint64_t seed = 7;
+  /// Seeded failure processes (churn, bursty loss, duplication).  The
+  /// default is disabled and draws no randomness, so a fault-free run is
+  /// byte-identical to the seed simulator.
+  FaultConfig faults;
+  /// Per-frame transmission budget.  0 = retransmit until delivered (seed
+  /// behavior; every round is complete).  With a bound, an exhausted frame
+  /// is dropped, the affected node keeps its previous station-side state,
+  /// and the round report records the partial outcome.
+  std::size_t max_attempts = 0;
 };
 
 class FlatNetwork final : public SamplingNetwork {
@@ -78,9 +98,12 @@ class FlatNetwork final : public SamplingNetwork {
   void set_node_online(std::size_t node, bool online);
 
   /// Runs a top-up round raising every node's inclusion probability to `p`.
-  /// No-op if p <= current probability.  Returns the number of new samples
-  /// collected.
-  std::size_t ensure_sampling_probability(double p) override;
+  /// Generates no traffic when p <= the current probability.  Returns the
+  /// round's report; under faults / bounded retries it may be partial.
+  RoundReport ensure_sampling_probability(double p) override;
+
+  /// The report of the most recent round (default-constructed before any).
+  const RoundReport& last_round() const noexcept { return last_round_; }
 
   /// Continuous collection: node `node` observes new readings.  The node
   /// samples them locally at the current probability; the base station's
@@ -103,24 +126,37 @@ class FlatNetwork final : public SamplingNetwork {
   }
 
  private:
-  /// Charges one logical frame, simulating loss + retransmission; returns
-  /// attempts made.
-  std::size_t transmit(std::size_t frame_bytes, bool uplink);
+  /// Outcome of one logical frame on the link.
+  struct Delivery {
+    std::size_t attempts = 0;
+    bool delivered = false;
+  };
 
-  /// Charges a full-sample resync (framed, never piggybacked) and replaces
-  /// the station's cache for that node.
-  void transmit_full_report(const SampleReport& report);
+  /// Charges one logical frame, simulating i.i.d. loss + the node's burst
+  /// channel, retransmitting within the attempt budget.  `node` keys the
+  /// Gilbert–Elliott state.
+  Delivery transmit(std::size_t frame_bytes, bool uplink, std::size_t node);
+
+  /// Charges a full-sample resync (framed, never piggybacked); replaces the
+  /// station's cache only when EVERY frame delivered.  Returns success.
+  bool transmit_full_report(const SampleReport& report);
 
   /// Delivers one report frame: models loss and (in byte-accurate mode)
   /// encode -> corrupt -> decode with CRC-triggered retransmission.
-  /// Returns the frame as the base station received it.
-  SampleReport deliver_frame(const SampleReport& frame);
+  /// On success `out` holds the frame as the base station received it.
+  Delivery deliver_frame(const SampleReport& frame, SampleReport& out);
+
+  /// Post-delivery duplication: charge the duplicate's bytes; the station
+  /// discards it by sequence number, so it is never ingested twice.
+  void maybe_duplicate(std::size_t frame_bytes, bool uplink);
 
   std::vector<SensorNode> nodes_;
   BaseStation station_;
   CommunicationStats stats_;
   Rng loss_rng_;
   NetworkConfig config_;
+  FaultSchedule faults_;
+  RoundReport last_round_;
   std::size_t total_data_count_ = 0;
 };
 

@@ -40,6 +40,13 @@ class SensorNode {
   /// True when an append invalidated the base station's cached copy.
   bool dirty() const noexcept { return dirty_; }
 
+  /// Marks the station's cached copy of this node as unusable, forcing a
+  /// full resync on the next refresh.  The network calls this when a
+  /// partially delivered delta had to be discarded: the node's local sampler
+  /// already advanced to the new probability, so the missing samples can
+  /// only be recovered by retransmitting the whole sample.
+  void invalidate_cached_sample() noexcept { dirty_ = true; }
+
   /// The full-resync report (entire current sample + updated n_i); clears
   /// the dirty flag.  Used by the network's refresh round.
   SampleReport full_report();

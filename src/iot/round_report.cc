@@ -1,0 +1,34 @@
+#include "iot/round_report.h"
+
+#include <sstream>
+
+namespace prc::iot {
+
+const char* to_string(NodeOutcome outcome) noexcept {
+  switch (outcome) {
+    case NodeOutcome::kDelivered: return "delivered";
+    case NodeOutcome::kDropped: return "dropped";
+    case NodeOutcome::kOffline: return "offline";
+    case NodeOutcome::kStale: return "stale";
+  }
+  return "?";
+}
+
+std::size_t RoundReport::count(NodeOutcome outcome) const noexcept {
+  std::size_t total = 0;
+  for (const auto o : outcomes) total += (o == outcome) ? 1 : 0;
+  return total;
+}
+
+std::string RoundReport::to_string() const {
+  std::ostringstream out;
+  out << "round(target_p=" << target_p << ", delivered=" << delivered_nodes()
+      << "/" << outcomes.size() << ", dropped=" << dropped_nodes()
+      << ", offline=" << offline_nodes() << ", stale=" << stale_nodes()
+      << ", retries=" << retries << ", dropped_frames=" << dropped_frames
+      << ", severed=" << severed_reports << ", coverage=" << coverage
+      << ", min_p=" << min_probability << ")";
+  return out.str();
+}
+
+}  // namespace prc::iot

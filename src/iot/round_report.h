@@ -1,0 +1,76 @@
+// What actually happened during one collection round.
+//
+// The seed simulator retransmitted forever, so a round could only ever end
+// one way and nothing above iot/ could observe degradation.  With bounded
+// retries and fault injection a round can complete *partially*; RoundReport
+// is the record the estimator, DP session, and market layers consult before
+// asserting an accuracy contract that the collected samples may no longer
+// support.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prc::iot {
+
+/// Outcome of one node's participation in a round.
+enum class NodeOutcome : std::uint8_t {
+  /// The node's report (delta or full resync) fully reached the station;
+  /// its effective inclusion probability now equals the round target.
+  kDelivered,
+  /// Retry budgets ran out on the request or on report frames; the station
+  /// kept the node's previous cache and the node will resync next round.
+  kDropped,
+  /// The node was offline (manually or by churn) and has never reported:
+  /// the station knows nothing about its data.
+  kOffline,
+  /// The node was offline/severed but the station holds samples from an
+  /// earlier round — valid, but at an OLDER inclusion probability.  These
+  /// are the nodes that bias a global-p estimate.
+  kStale,
+};
+
+const char* to_string(NodeOutcome outcome) noexcept;
+
+struct RoundReport {
+  /// The probability the round was raising the cache to.
+  double target_p = 0.0;
+  /// New samples the station actually ingested this round.
+  std::size_t new_samples = 0;
+  /// Per-node outcome, indexed by node id.
+  std::vector<NodeOutcome> outcomes;
+  /// Retransmissions performed during this round (across all frames).
+  std::size_t retries = 0;
+  /// Frames abandoned after max_attempts this round.
+  std::size_t dropped_frames = 0;
+  /// Tree model only: reports lost because an offline interior node severed
+  /// the subtree containing their origin for the round.
+  std::size_t severed_reports = 0;
+  /// Fraction of the station-known data held by nodes whose effective
+  /// inclusion probability reached target_p.
+  double coverage = 0.0;
+  /// Smallest effective inclusion probability over nodes with known data
+  /// (0 when some node has never reported at all).
+  double min_probability = 0.0;
+
+  std::size_t delivered_nodes() const noexcept { return count(NodeOutcome::kDelivered); }
+  std::size_t dropped_nodes() const noexcept { return count(NodeOutcome::kDropped); }
+  std::size_t offline_nodes() const noexcept {
+    return count(NodeOutcome::kOffline) + count(NodeOutcome::kStale);
+  }
+  std::size_t stale_nodes() const noexcept { return count(NodeOutcome::kStale); }
+
+  /// True when every node delivered at the round target.
+  bool complete() const noexcept {
+    return delivered_nodes() == outcomes.size();
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::size_t count(NodeOutcome outcome) const noexcept;
+};
+
+}  // namespace prc::iot

@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "iot/base_station.h"
+#include "iot/round_report.h"
 #include "query/range_query.h"
 
 namespace prc::iot {
@@ -24,9 +25,11 @@ class SamplingNetwork {
   virtual const BaseStation& base_station() const = 0;
 
   /// Runs a top-up round raising every node's inclusion probability to `p`
-  /// (no-op when p <= the current probability).  Returns the number of new
-  /// samples collected.
-  virtual std::size_t ensure_sampling_probability(double p) = 0;
+  /// (when p <= the current probability the cache is already good enough
+  /// and no traffic is generated).  Returns the round's RoundReport; under
+  /// faults or bounded retries the round may complete partially, and the
+  /// report is the only honest record of which nodes actually reached `p`.
+  virtual RoundReport ensure_sampling_probability(double p) = 0;
 
   /// RankCounting estimate from the base-station cache.
   virtual double rank_counting_estimate(

@@ -12,13 +12,18 @@ std::size_t parent_slot(std::size_t slot, std::size_t fanout) {
   return (slot - 1) / fanout;
 }
 
+std::size_t backoff_slots_after(std::size_t failed_attempts) {
+  return std::size_t{1} << std::min<std::size_t>(failed_attempts - 1, 10);
+}
+
 }  // namespace
 
 TreeNetwork::TreeNetwork(std::vector<std::vector<double>> node_data,
                          TreeConfig config)
     : station_(node_data.size()),
       loss_rng_(Rng(config.seed).split()),
-      config_(config) {
+      config_(config),
+      faults_(config.faults, node_data.size()) {
   if (node_data.empty()) {
     throw std::invalid_argument("tree network needs >= 1 node");
   }
@@ -53,6 +58,21 @@ std::size_t TreeNetwork::depth(std::size_t node) const {
   return d;
 }
 
+void TreeNetwork::set_node_online(std::size_t node, bool online) {
+  nodes_.at(node).set_online(online);
+}
+
+bool TreeNetwork::route_to_root_alive(std::size_t node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node index");
+  std::size_t slot = parent_slot(node + 1, config_.fanout);
+  while (slot != 0) {
+    const std::size_t relay = slot - 1;
+    if (!nodes_[relay].online() || faults_.node_offline(relay)) return false;
+    slot = parent_slot(slot, config_.fanout);
+  }
+  return true;
+}
+
 std::size_t TreeNetwork::transmit_link(std::size_t frame_bytes,
                                        std::size_t level) {
   std::size_t attempts = 1;
@@ -62,17 +82,98 @@ std::size_t TreeNetwork::transmit_link(std::size_t frame_bytes,
   }
   stats_.uplink_messages += attempts;
   stats_.uplink_bytes += attempts * frame_bytes;
+  stats_.frames_attempted += 1;
+  stats_.frames_delivered += 1;
   auto& lvl = level_stats_.at(level);
   lvl.links_crossed += attempts;
   lvl.bytes += attempts * frame_bytes;
   return attempts;
 }
 
-std::size_t TreeNetwork::ensure_sampling_probability(double p) {
+TreeNetwork::Delivery TreeNetwork::transmit_link_bounded(
+    std::size_t frame_bytes, std::size_t level, std::size_t origin) {
+  Delivery result;
+  ++stats_.frames_attempted;
+  auto& lvl = level_stats_.at(level);
+  for (;;) {
+    ++result.attempts;
+    ++stats_.uplink_messages;
+    stats_.uplink_bytes += frame_bytes;
+    ++lvl.links_crossed;
+    lvl.bytes += frame_bytes;
+    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool burst_lost = faults_.attempt_lost(origin);
+    if (!iid_lost && !burst_lost) {
+      result.delivered = true;
+      ++stats_.frames_delivered;
+      if (faults_.duplicate_frame()) {
+        ++stats_.duplicated_frames;
+        ++stats_.uplink_messages;
+        stats_.uplink_bytes += frame_bytes;
+      }
+      return result;
+    }
+    ++stats_.retransmissions;
+    if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
+      ++stats_.dropped_frames;
+      return result;
+    }
+    stats_.backoff_slots += backoff_slots_after(result.attempts);
+  }
+}
+
+TreeNetwork::Delivery TreeNetwork::transmit_downlink_bounded(
+    std::size_t frame_bytes, std::size_t node) {
+  Delivery result;
+  ++stats_.frames_attempted;
+  for (;;) {
+    ++result.attempts;
+    ++stats_.downlink_messages;
+    stats_.downlink_bytes += frame_bytes;
+    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool burst_lost = faults_.attempt_lost(node);
+    if (!iid_lost && !burst_lost) {
+      result.delivered = true;
+      ++stats_.frames_delivered;
+      return result;
+    }
+    ++stats_.retransmissions;
+    if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
+      ++stats_.dropped_frames;
+      return result;
+    }
+    stats_.backoff_slots += backoff_slots_after(result.attempts);
+  }
+}
+
+RoundReport TreeNetwork::ensure_sampling_probability(double p) {
   if (!(p > 0.0) || p > 1.0) {
     throw std::invalid_argument("sampling probability must be in (0, 1]");
   }
-  if (p <= station_.sampling_probability()) return 0;
+  RoundReport report;
+  report.target_p = p;
+  report.outcomes.assign(nodes_.size(), NodeOutcome::kDelivered);
+
+  if (p <= station_.sampling_probability()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (station_.node_probability(i) >= p) continue;
+      report.outcomes[i] = station_.node_reported(i) ? NodeOutcome::kStale
+                                                     : NodeOutcome::kOffline;
+    }
+    const CoverageSummary cov = station_.coverage();
+    report.coverage = cov.coverage;
+    report.min_probability = cov.min_probability;
+    return report;
+  }
+
+  const bool all_online = std::all_of(
+      nodes_.begin(), nodes_.end(),
+      [](const SensorNode& node) { return node.online(); });
+  if (faults_.enabled() || config_.max_attempts != 0 || !all_online) {
+    return run_degraded_round(p);
+  }
+
+  // ---- Fault-free path: the seed accounting, byte for byte. ----
 
   // Downlink: the request floods the tree, one frame per parent->child
   // link (k links total).
@@ -85,6 +186,8 @@ std::size_t TreeNetwork::ensure_sampling_probability(double p) {
     }
     stats_.downlink_messages += attempts;
     stats_.downlink_bytes += attempts * probe.wire_size();
+    stats_.frames_attempted += 1;
+    stats_.frames_delivered += 1;
   }
 
   // Every node tops up locally; the base station receives all payloads
@@ -92,15 +195,26 @@ std::size_t TreeNetwork::ensure_sampling_probability(double p) {
   std::vector<std::size_t> new_samples_per_node(nodes_.size(), 0);
   std::size_t total_new = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    SampleReport report = nodes_[i].handle(SampleRequest{
+    SampleReport node_report = nodes_[i].handle(SampleRequest{
         static_cast<int>(i), p});
-    new_samples_per_node[i] = report.new_samples.size();
-    total_new += report.new_samples.size();
-    stats_.samples_transferred += report.new_samples.size();
-    station_.ingest(report);
+    if (nodes_[i].dirty()) {
+      // A drop in an earlier degraded round left the cache behind the
+      // node's sampler; resync in full before merging any further deltas.
+      node_report = nodes_[i].full_report();
+      new_samples_per_node[i] = node_report.new_samples.size();
+      total_new += node_report.new_samples.size();
+      stats_.samples_transferred += node_report.new_samples.size();
+      station_.replace(node_report);
+      continue;
+    }
+    new_samples_per_node[i] = node_report.new_samples.size();
+    total_new += node_report.new_samples.size();
+    stats_.samples_transferred += node_report.new_samples.size();
+    station_.ingest(node_report);
   }
 
   // Uplink accounting.
+  const std::size_t retrans_before = stats_.retransmissions;
   if (config_.aggregate_frames) {
     // Coalesced convergecast: process slots bottom-up; each node forwards
     // its subtree's samples (plus one n_i scalar per subtree node) to its
@@ -141,7 +255,95 @@ std::size_t TreeNetwork::ensure_sampling_probability(double p) {
     }
   }
   station_.commit_round(p);
-  return total_new;
+  report.new_samples = total_new;
+  report.retries = stats_.retransmissions - retrans_before;
+  const CoverageSummary cov = station_.coverage();
+  report.coverage = cov.coverage;
+  report.min_probability = cov.min_probability;
+  last_round_ = report;
+  return report;
+}
+
+RoundReport TreeNetwork::run_degraded_round(double p) {
+  RoundReport report;
+  report.target_p = p;
+  report.outcomes.assign(nodes_.size(), NodeOutcome::kDelivered);
+  faults_.begin_round();
+  const std::size_t retrans_before = stats_.retransmissions;
+  const std::size_t dropped_before = stats_.dropped_frames;
+  std::vector<bool> refreshed(nodes_.size(), false);
+
+  const SampleRequest probe{0, p};
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto& node = nodes_[i];
+    const bool offline = !node.online() || faults_.node_offline(i);
+    const bool severed = !route_to_root_alive(i);
+    const auto prior_outcome = station_.node_probability(i) > 0.0
+                                   ? NodeOutcome::kStale
+                                   : NodeOutcome::kOffline;
+    if (severed) {
+      // A dead relay cuts the node off in both directions: the request never
+      // arrives and nothing the node sends can reach the root.
+      ++report.severed_reports;
+      report.outcomes[i] = prior_outcome;
+      continue;
+    }
+    const Delivery down = transmit_downlink_bounded(probe.wire_size(), i);
+    if (offline) {
+      report.outcomes[i] = prior_outcome;
+      continue;
+    }
+    if (!down.delivered) {
+      // The node never heard the request; its sampler did not move.
+      report.outcomes[i] = NodeOutcome::kDropped;
+      continue;
+    }
+    SampleReport node_report = node.handle(SampleRequest{node.id(), p});
+    bool full_resync = false;
+    if (node.dirty()) {
+      // A previous drop left the station's cache behind the node's sampler;
+      // a delta on top of that gap would under-count.  Send the full sample.
+      node_report = node.full_report();
+      full_resync = true;
+    }
+    // Degraded uplink: the report is relayed store-and-forward across every
+    // link on the path to the root (aggregation is not attempted while the
+    // topology is unstable), one bounded frame chain per link.  Delivery is
+    // atomic: a drop on any link discards the whole report.
+    const std::size_t samples = node_report.new_samples.size();
+    const std::size_t frames = std::max<std::size_t>(
+        1, (samples + kMaxSamplesPerFrame - 1) / kMaxSamplesPerFrame);
+    const std::size_t bytes = frames * kMessageHeaderBytes +
+                              samples * kSampleWireBytes +
+                              sizeof(std::uint64_t);
+    bool delivered = true;
+    const std::size_t node_depth = depth(i);
+    for (std::size_t level = node_depth; level >= 1 && delivered; --level) {
+      delivered = transmit_link_bounded(bytes, level, i).delivered;
+    }
+    if (delivered) {
+      if (full_resync) {
+        station_.replace(node_report);
+      } else {
+        station_.ingest(node_report);
+      }
+      report.new_samples += samples;
+      stats_.samples_transferred += samples;
+      refreshed[i] = true;
+    } else {
+      node.invalidate_cached_sample();
+      report.outcomes[i] = NodeOutcome::kDropped;
+    }
+  }
+
+  station_.commit_round(p, refreshed);
+  report.retries = stats_.retransmissions - retrans_before;
+  report.dropped_frames = stats_.dropped_frames - dropped_before;
+  const CoverageSummary cov = station_.coverage();
+  report.coverage = cov.coverage;
+  report.min_probability = cov.min_probability;
+  last_round_ = report;
+  return report;
 }
 
 }  // namespace prc::iot

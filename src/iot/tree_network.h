@@ -37,6 +37,10 @@ struct TreeConfig {
   /// re-charged, like FlatNetwork.
   double frame_loss_probability = 0.0;
   std::uint64_t seed = 7;
+  /// Seeded failure processes; disabled by default (no randomness drawn).
+  FaultConfig faults;
+  /// Per-frame transmission budget; 0 = unbounded (seed behavior).
+  std::size_t max_attempts = 0;
 };
 
 /// Per-depth traffic accounting.
@@ -73,9 +77,25 @@ class TreeNetwork final : public SamplingNetwork {
     return level_stats_;
   }
 
+  /// Marks a sensor offline/online.  An offline LEAF just skips rounds; an
+  /// offline INTERIOR node also severs its whole subtree — descendants stay
+  /// alive and sample locally, but their reports cannot reach the root and
+  /// are counted as severed in the round report.
+  void set_node_online(std::size_t node, bool online);
+
+  /// True when every sensor on `node`'s path to the root is offline-free
+  /// (the node itself not included).
+  bool route_to_root_alive(std::size_t node) const;
+
   /// Runs a top-up round to probability `p`, routing every report up the
-  /// tree.  Returns the number of new samples collected.
-  std::size_t ensure_sampling_probability(double p) override;
+  /// tree.  With faults disabled, unbounded retries, and all nodes online
+  /// this is the exact seed accounting (including in-network aggregation);
+  /// a degraded round falls back to per-node store-and-forward accounting so
+  /// each report's delivery can succeed or fail independently.
+  RoundReport ensure_sampling_probability(double p) override;
+
+  /// The report of the most recent round (default-constructed before any).
+  const RoundReport& last_round() const noexcept { return last_round_; }
 
   double rank_counting_estimate(
       const query::RangeQuery& range) const override {
@@ -83,7 +103,24 @@ class TreeNetwork final : public SamplingNetwork {
   }
 
  private:
+  struct Delivery {
+    std::size_t attempts = 0;
+    bool delivered = false;
+  };
+
   std::size_t transmit_link(std::size_t frame_bytes, std::size_t level);
+
+  /// Bounded-attempt link crossing for the degraded path; `origin` keys the
+  /// Gilbert–Elliott channel of the report's source node.
+  Delivery transmit_link_bounded(std::size_t frame_bytes, std::size_t level,
+                                 std::size_t origin);
+
+  /// Bounded-attempt downlink frame toward `node` (not level-accounted, to
+  /// match the seed's downlink flood).
+  Delivery transmit_downlink_bounded(std::size_t frame_bytes,
+                                     std::size_t node);
+
+  RoundReport run_degraded_round(double p);
 
   std::vector<SensorNode> nodes_;
   BaseStation station_;
@@ -91,6 +128,8 @@ class TreeNetwork final : public SamplingNetwork {
   std::vector<TreeLevelStats> level_stats_;
   Rng loss_rng_;
   TreeConfig config_;
+  FaultSchedule faults_;
+  RoundReport last_round_;
   std::size_t total_data_count_ = 0;
   std::size_t height_ = 0;
 };

@@ -43,15 +43,68 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
                               config_.per_consumer_epsilon_cap);
   }
 
-  const dp::PrivateAnswer answer = counter_.answer(range, spec);
+  // The coverage floor is checked against the current cache BEFORE any
+  // answer is attempted: an estimate blind to too much of the fleet's data
+  // is refused regardless of policy, with nothing spent.
+  {
+    const auto cov = counter_.network().base_station().coverage();
+    if (cov.target_p > 0.0 && cov.coverage < config_.min_coverage) {
+      throw InsufficientCoverageError(
+          "coverage " + std::to_string(cov.coverage) +
+              " below the broker floor " +
+              std::to_string(config_.min_coverage),
+          cov);
+    }
+  }
+
+  query::AccuracySpec sold_spec = spec;
+  bool degraded = false;
+  dp::PrivateAnswer answer;
+  try {
+    answer = counter_.answer(range, spec);
+  } catch (const dp::CoverageError& err) {
+    // ensure_feasible_plan failed before any noise was drawn: nothing has
+    // been released yet, so refusing here spends no budget.
+    if (config_.degraded_policy == DegradedSalePolicy::kRefuse) {
+      throw InsufficientCoverageError(
+          std::string("sale refused: ") + err.what(), err.coverage());
+    }
+    if (err.coverage().coverage < config_.min_coverage) {
+      throw InsufficientCoverageError(
+          "coverage " + std::to_string(err.coverage().coverage) +
+              " below the broker floor " +
+              std::to_string(config_.min_coverage),
+          err.coverage());
+    }
+    try {
+      sold_spec = counter_.degraded_spec(spec);
+    } catch (const dp::CoverageError& inner) {
+      throw InsufficientCoverageError(
+          std::string("repricing impossible: ") + inner.what(),
+          inner.coverage());
+    }
+    degraded = true;
+    answer = counter_.answer(range, sold_spec);
+  }
+
   PurchaseReceipt receipt;
   receipt.value = answer.value;
-  receipt.price = pricing_->price(spec);
+  // A degraded sale is priced at the weaker contract actually delivered.
+  receipt.price = pricing_->price(sold_spec);
   receipt.range = range;
-  receipt.spec = spec;
-  receipt.transaction_id = ledger_.record(Transaction{
-      0, consumer_id, range, spec, receipt.price,
-      answer.plan.epsilon_amplified});
+  receipt.spec = sold_spec;
+  receipt.requested = spec;
+  receipt.degraded = degraded;
+  receipt.coverage = answer.coverage.coverage;
+  Transaction transaction{0,
+                          consumer_id,
+                          range,
+                          sold_spec,
+                          receipt.price,
+                          answer.plan.epsilon_amplified};
+  transaction.coverage = answer.coverage.coverage;
+  transaction.degraded = degraded;
+  receipt.transaction_id = ledger_.record(std::move(transaction));
   return receipt;
 }
 

@@ -40,9 +40,42 @@ class BudgetExceededError : public std::runtime_error {
   double cap_;
 };
 
+/// What the broker does when degraded collection cannot support the
+/// requested contract.
+enum class DegradedSalePolicy {
+  /// Refuse the sale outright (no budget spent, nothing recorded).
+  kRefuse,
+  /// Re-quote: widen the contract to the strongest one the cache actually
+  /// supports, sell that instead, and mark the transaction degraded.
+  kReprice,
+};
+
+/// Thrown by DataBroker::sell when the sample cache's coverage cannot
+/// support the requested contract and the broker's policy is to refuse (or
+/// repricing is impossible because some node never reported at all).  Like
+/// BudgetExceededError, the refusal happens BEFORE any noisy answer is
+/// produced, so no budget is spent.
+class InsufficientCoverageError : public std::runtime_error {
+ public:
+  InsufficientCoverageError(const std::string& what,
+                            iot::CoverageSummary coverage)
+      : std::runtime_error(what), coverage_(coverage) {}
+
+  const iot::CoverageSummary& coverage() const noexcept { return coverage_; }
+
+ private:
+  iot::CoverageSummary coverage_;
+};
+
 struct BrokerConfig {
   /// Maximum cumulative epsilon' released to any single consumer.
   double per_consumer_epsilon_cap = std::numeric_limits<double>::infinity();
+  /// What to do when coverage cannot support the requested contract.
+  DegradedSalePolicy degraded_policy = DegradedSalePolicy::kRefuse;
+  /// Hard floor on acceptable coverage: below it the broker refuses even
+  /// under kReprice (an estimate blind to a large data fraction is not
+  /// worth selling at any accuracy).  0 disables the floor.
+  double min_coverage = 0.0;
 };
 
 /// What a consumer receives for their money.
@@ -50,8 +83,13 @@ struct PurchaseReceipt {
   double value = 0.0;  ///< the noisy (alpha, delta)-range counting
   double price = 0.0;
   query::RangeQuery range;
-  query::AccuracySpec spec;
+  query::AccuracySpec spec;       ///< the contract actually delivered
+  query::AccuracySpec requested;  ///< the contract originally asked for
   std::size_t transaction_id = 0;
+  /// True when spec is weaker than requested (a kReprice degraded sale).
+  bool degraded = false;
+  /// Coverage of the cache when the answer was produced.
+  double coverage = 1.0;
 };
 
 class DataBroker {
@@ -67,8 +105,10 @@ class DataBroker {
 
   /// Serves a request: computes the private answer, charges, records.
   /// Throws BudgetExceededError when the sale would push the consumer past
-  /// the per-consumer epsilon cap (the answer is NOT computed in that case,
-  /// so no budget is spent).
+  /// the per-consumer epsilon cap, and InsufficientCoverageError when
+  /// degraded collection cannot support the contract and the policy forbids
+  /// (or coverage is too low for) repricing.  In both refusal cases the
+  /// answer is NOT computed, so no budget is spent.
   PurchaseReceipt sell(const std::string& consumer_id,
                        const query::RangeQuery& range,
                        const query::AccuracySpec& spec);

@@ -8,7 +8,11 @@ std::size_t Ledger::record(Transaction transaction) {
   if (transaction.price < 0.0 || transaction.epsilon_amplified < 0.0) {
     throw std::invalid_argument("ledger: negative price or budget");
   }
+  if (transaction.coverage < 0.0 || transaction.coverage > 1.0) {
+    throw std::invalid_argument("ledger: coverage must be in [0, 1]");
+  }
   transaction.sequence = transactions_.size();
+  if (transaction.degraded) ++degraded_sales_;
   total_revenue_ += transaction.price;
   total_epsilon_ += transaction.epsilon_amplified;
   spend_by_consumer_[transaction.consumer_id] += transaction.price;

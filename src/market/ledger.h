@@ -21,6 +21,12 @@ struct Transaction {
   query::AccuracySpec spec;
   double price = 0.0;
   double epsilon_amplified = 0.0;
+  /// Fraction of station-known data collected at the round target when the
+  /// answer was produced (1 for a fully healthy round).
+  double coverage = 1.0;
+  /// True when the sale was re-quoted to a weaker contract than requested
+  /// because degraded collection could not support the original one.
+  bool degraded = false;
 };
 
 class Ledger {
@@ -50,8 +56,12 @@ class Ledger {
   /// composition of the amplified epsilons; 0 for unknown ids).
   double consumer_epsilon(const std::string& consumer_id) const;
 
+  /// Number of recorded sales that were re-quoted due to degraded coverage.
+  std::size_t degraded_sales() const noexcept { return degraded_sales_; }
+
  private:
   std::vector<Transaction> transactions_;
+  std::size_t degraded_sales_ = 0;
   double total_revenue_ = 0.0;
   double total_epsilon_ = 0.0;
   std::unordered_map<std::string, double> spend_by_consumer_;

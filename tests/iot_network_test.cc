@@ -78,7 +78,7 @@ TEST(FlatNetworkTest, SamplingRoundPopulatesBaseStation) {
   FlatNetwork network(grid_node_data(4, 100));
   EXPECT_EQ(network.node_count(), 4u);
   EXPECT_EQ(network.total_data_count(), 400u);
-  const std::size_t added = network.ensure_sampling_probability(0.25);
+  const std::size_t added = network.ensure_sampling_probability(0.25).new_samples;
   EXPECT_GT(added, 0u);
   EXPECT_EQ(network.base_station().cached_sample_count(), added);
   EXPECT_EQ(network.base_station().total_data_count(), 400u);
@@ -87,10 +87,10 @@ TEST(FlatNetworkTest, SamplingRoundPopulatesBaseStation) {
 
 TEST(FlatNetworkTest, RepeatRoundsAreIncremental) {
   FlatNetwork network(grid_node_data(2, 500));
-  const std::size_t first = network.ensure_sampling_probability(0.1);
-  const std::size_t again = network.ensure_sampling_probability(0.1);
+  const std::size_t first = network.ensure_sampling_probability(0.1).new_samples;
+  const std::size_t again = network.ensure_sampling_probability(0.1).new_samples;
   EXPECT_EQ(again, 0u);  // same p: nothing new
-  const std::size_t second = network.ensure_sampling_probability(0.3);
+  const std::size_t second = network.ensure_sampling_probability(0.3).new_samples;
   EXPECT_GT(second, 0u);
   EXPECT_EQ(network.base_station().cached_sample_count(), first + second);
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "estimator/accuracy.h"
 #include "iot/network.h"
 #include "query/range_query.h"
 
@@ -146,6 +147,158 @@ TEST_P(NetworkFuzz, InvariantsHoldUnderRandomOperations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Same shadow-model idea under an adversarial environment: random fault
+// schedules (churn + bursty loss + duplication) and bounded retry budgets.
+// The model no longer knows WHICH nodes a round reaches, so it reads the
+// RoundReport outcomes — the exact contract the estimator and DP layers
+// rely on — and checks that everything the report claims is consistent
+// with the station's state.
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, DegradedRoundsKeepEveryInvariant) {
+  Rng fuzz_rng(GetParam() * 7919 + 17);
+  const std::size_t k = 2 + static_cast<std::size_t>(fuzz_rng.uniform_int(0, 4));
+
+  std::vector<std::vector<double>> model_data(k);
+  std::vector<std::size_t> station_counts(k, 0);
+  std::vector<bool> model_dirty(k, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto count = static_cast<std::size_t>(fuzz_rng.uniform_int(20, 200));
+    for (std::size_t j = 0; j < count; ++j) {
+      model_data[i].push_back(fuzz_rng.uniform(0.0, 1000.0));
+    }
+  }
+
+  iot::NetworkConfig config;
+  config.seed = GetParam() * 101 + 3;
+  config.frame_loss_probability = fuzz_rng.bernoulli(0.5) ? 0.2 : 0.0;
+  const std::size_t budgets[] = {1, 3, 0};  // 0 = unbounded
+  config.max_attempts =
+      budgets[static_cast<std::size_t>(fuzz_rng.uniform_int(0, 2))];
+  config.faults.seed = GetParam() * 53 + 29;
+  config.faults.crash_probability = fuzz_rng.uniform(0.05, 0.3);
+  config.faults.rejoin_probability = 0.5;
+  config.faults.good_to_bad = fuzz_rng.uniform(0.05, 0.3);
+  config.faults.bad_to_good = 0.3;
+  config.faults.loss_bad = 0.6;
+  config.faults.duplication_probability = fuzz_rng.bernoulli(0.5) ? 0.1 : 0.0;
+  iot::FlatNetwork network(model_data, config);
+
+  std::size_t last_bytes = 0;
+  double last_p = 0.0;
+  std::vector<double> last_probs(k, 0.0);
+
+  const auto check_invariants = [&] {
+    const auto& stats = network.stats();
+    // The frame ledger balances: every attempted frame either delivered or
+    // was dropped after exhausting its budget.
+    ASSERT_EQ(stats.frames_attempted,
+              stats.frames_delivered + stats.dropped_frames);
+    if (config.max_attempts == 0) {
+      ASSERT_EQ(stats.dropped_frames, 0u);
+    }
+
+    const double p = network.base_station().sampling_probability();
+    ASSERT_GE(p, last_p);
+    last_p = p;
+    ASSERT_GE(stats.total_bytes(), last_bytes);
+    last_bytes = stats.total_bytes();
+
+    // Per-node effective probabilities only ever move up, and never past
+    // the committed round target.
+    for (std::size_t i = 0; i < k; ++i) {
+      const double p_i = network.base_station().node_probability(i);
+      ASSERT_GE(p_i, last_probs[i]);
+      ASSERT_LE(p_i, p);
+      last_probs[i] = p_i;
+    }
+
+    std::size_t expected_station_total = 0;
+    for (auto c : station_counts) expected_station_total += c;
+    ASSERT_EQ(network.base_station().total_data_count(),
+              expected_station_total);
+
+    // Full-domain queries are exact regardless of degradation: the 4-case
+    // estimator returns n_i for every known node and p never enters.
+    if (p > 0.0) {
+      const double estimate =
+          network.rank_counting_estimate(query::RangeQuery{-1e18, 1e18});
+      ASSERT_DOUBLE_EQ(estimate, static_cast<double>(expected_station_total));
+    }
+  };
+
+  const int operations = 80;
+  double model_p = 0.0;
+  for (int op = 0; op < operations; ++op) {
+    switch (fuzz_rng.uniform_int(0, 2)) {
+      case 0: {  // top-up round; the report says who made it
+        const double target =
+            std::min(1.0, model_p + fuzz_rng.uniform(0.05, 0.3));
+        if (target <= model_p) break;
+        const auto report = network.ensure_sampling_probability(target);
+        model_p = target;
+        ASSERT_EQ(report.outcomes.size(), k);
+        for (std::size_t i = 0; i < k; ++i) {
+          if (report.outcomes[i] == iot::NodeOutcome::kDelivered) {
+            station_counts[i] = model_data[i].size();
+            model_dirty[i] = false;
+          }
+        }
+        break;
+      }
+      case 1: {  // append data to a random node
+        const auto node = static_cast<std::size_t>(
+            fuzz_rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+        const auto extra =
+            static_cast<std::size_t>(fuzz_rng.uniform_int(1, 40));
+        std::vector<double> values;
+        for (std::size_t j = 0; j < extra; ++j) {
+          values.push_back(fuzz_rng.uniform(0.0, 1000.0));
+        }
+        network.append_data(node, values);
+        for (const double v : values) model_data[node].push_back(v);
+        model_dirty[node] = true;
+        break;
+      }
+      case 2: {  // random range query against ground truth
+        if (model_p <= 0.0) break;
+        double a = fuzz_rng.uniform(0.0, 1000.0);
+        double b = fuzz_rng.uniform(0.0, 1000.0);
+        if (a > b) std::swap(a, b);
+        const double estimate =
+            network.rank_counting_estimate(query::RangeQuery{a, b});
+        ASSERT_TRUE(std::isfinite(estimate));
+        // When the cache is in sync with every node (everyone reported,
+        // nothing dirty), the heterogeneous Chebyshev bound applies to the
+        // true count.  99.9% per check is loose enough to be deterministic
+        // in practice (the estimator is far inside the bound).
+        const auto probs = network.base_station().node_probabilities();
+        bool in_sync = true;
+        for (std::size_t i = 0; i < k; ++i) {
+          in_sync = in_sync && !model_dirty[i] && probs[i] > 0.0 &&
+                    station_counts[i] == model_data[i].size();
+        }
+        if (in_sync) {
+          std::size_t truth = 0;
+          for (const auto& values : model_data) {
+            for (const double v : values) {
+              if (v >= a && v <= b) ++truth;
+            }
+          }
+          const double bound =
+              estimator::heterogeneous_error_bound(probs, 0.999);
+          ASSERT_NEAR(estimate, static_cast<double>(truth), bound);
+        }
+        break;
+      }
+    }
+    check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
 }  // namespace

@@ -136,9 +136,9 @@ TEST(TreeNetworkTest, LossIsChargedAndConsistent) {
 
 TEST(TreeNetworkTest, IncrementalRoundsAccumulate) {
   TreeNetwork network(grid_node_data(4, 500));
-  const auto first = network.ensure_sampling_probability(0.1);
-  EXPECT_EQ(network.ensure_sampling_probability(0.1), 0u);
-  const auto second = network.ensure_sampling_probability(0.3);
+  const auto first = network.ensure_sampling_probability(0.1).new_samples;
+  EXPECT_EQ(network.ensure_sampling_probability(0.1).new_samples, 0u);
+  const auto second = network.ensure_sampling_probability(0.3).new_samples;
   EXPECT_GT(second, 0u);
   EXPECT_EQ(network.base_station().cached_sample_count(), first + second);
 }

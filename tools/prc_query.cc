@@ -5,8 +5,11 @@
 //
 //   prc_query count --csv data.csv --index ozone --lower 60 --upper 110
 //             [--alpha 0.05] [--delta 0.8] [--nodes 8] [--seed S] [--exact]
+//             [--frame-loss 0.3] [--max-attempts 3]
 //       Answer a range-counting query privately (default) or exactly
-//       (--exact, for ground truth) over a CSV dataset.
+//       (--exact, for ground truth) over a CSV dataset.  --frame-loss and
+//       --max-attempts simulate a lossy channel with a bounded retry
+//       budget; the output then reports the achieved coverage.
 //
 //   prc_query quote --alpha 0.05 --delta 0.8 [--records N] [--nodes K]
 //             [--base-price 100] [--exponent 1]
@@ -15,8 +18,10 @@
 //
 //   prc_query quantile --csv data.csv --index ozone --q 0.5
 //             [--p 0.1] [--nodes 8] [--seed S]
+//             [--frame-loss 0.3] [--max-attempts 3]
 //       Estimate a quantile from one round of rank samples (and print the
-//       exact value for comparison).
+//       exact value for comparison).  Warns when the bounded retry budget
+//       left the round partial.
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -104,6 +109,9 @@ int cmd_count(int argc, char** argv) {
       .option("delta", "contract confidence (default 0.8)")
       .option("nodes", "simulated node count (default 8)")
       .option("seed", "simulation seed (default 1)")
+      .option("frame-loss", "i.i.d. frame loss probability (default 0)")
+      .option("max-attempts",
+              "per-frame transmission budget, 0 = retry forever (default 0)")
       .flag("exact", "print the exact count instead (ground truth)");
   if (!parser.parse(argc, argv)) return 0;
 
@@ -130,9 +138,22 @@ int cmd_count(int argc, char** argv) {
       column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
   iot::NetworkConfig net_config;
   net_config.seed = seed + 1;
+  net_config.frame_loss_probability = parser.get_double("frame-loss", 0.0);
+  net_config.max_attempts =
+      static_cast<std::size_t>(parser.get_uint("max-attempts", 0));
   iot::FlatNetwork network(std::move(node_data), net_config);
   dp::PrivateRangeCounter counter(network, {}, seed + 2);
-  const auto answer = counter.answer(range, spec);
+  dp::PrivateAnswer answer;
+  try {
+    answer = counter.answer(range, spec);
+  } catch (const dp::CoverageError& e) {
+    std::cerr << "refused: " << e.what() << "\n"
+              << "the lossy channel (coverage " << e.coverage().coverage
+              << ", min p_i " << e.coverage().min_probability
+              << ") cannot support this contract; widen --alpha or raise "
+                 "--max-attempts\n";
+    return 1;
+  }
 
   std::cout << "private_count " << answer.value << "\n"
             << "contract " << spec.to_string() << " (error bound "
@@ -140,6 +161,12 @@ int cmd_count(int argc, char** argv) {
             << " with prob >= " << spec.delta << ")\n"
             << "plan " << answer.plan.to_string() << "\n"
             << "uplink_bytes " << network.stats().uplink_bytes << "\n";
+  if (net_config.max_attempts != 0 ||
+      net_config.frame_loss_probability > 0.0) {
+    std::cout << "coverage " << answer.coverage.coverage << " (min p_i "
+              << answer.coverage.min_probability << ", dropped_frames "
+              << network.stats().dropped_frames << ")\n";
+  }
   return 0;
 }
 
@@ -183,7 +210,10 @@ int cmd_quantile(int argc, char** argv) {
       .option("q", "quantile in [0, 1] (required)")
       .option("p", "sampling probability (default 0.1)")
       .option("nodes", "simulated node count (default 8)")
-      .option("seed", "simulation seed (default 1)");
+      .option("seed", "simulation seed (default 1)")
+      .option("frame-loss", "i.i.d. frame loss probability (default 0)")
+      .option("max-attempts",
+              "per-frame transmission budget, 0 = retry forever (default 0)");
   if (!parser.parse(argc, argv)) return 0;
   const double q = required_double(parser, "q");
   const double p = parser.get_double("p", 0.1);
@@ -199,8 +229,11 @@ int cmd_quantile(int argc, char** argv) {
       column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
   iot::NetworkConfig net_config;
   net_config.seed = seed + 1;
+  net_config.frame_loss_probability = parser.get_double("frame-loss", 0.0);
+  net_config.max_attempts =
+      static_cast<std::size_t>(parser.get_uint("max-attempts", 0));
   iot::FlatNetwork network(std::move(node_data), net_config);
-  network.ensure_sampling_probability(p);
+  const auto report = network.ensure_sampling_probability(p);
   const auto views = network.base_station().node_views();
   std::cout << "quantile_estimate "
             << estimator::quantile_estimate(views, p, q, column.size())
@@ -209,6 +242,12 @@ int cmd_quantile(int argc, char** argv) {
             << "samples_used "
             << network.base_station().cached_sample_count() << " (p = " << p
             << ")\n";
+  if (!report.complete()) {
+    std::cout << "warning: partial round (delivered "
+              << report.delivered_nodes() << "/" << report.outcomes.size()
+              << " nodes, dropped_frames " << report.dropped_frames
+              << "); the estimate only covers delivered nodes\n";
+  }
   return 0;
 }
 
