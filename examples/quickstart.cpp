@@ -47,7 +47,8 @@ int main() {
             << "  private answer : " << answer.value << "\n"
             << "  exact count    : " << truth << " (never leaves the broker)\n"
             << "  abs error      : " << std::abs(answer.value - truth)
-            << "  (contract allows " << contract.alpha * ozone.size()
+            << "  (contract allows "
+            << contract.alpha * static_cast<double>(ozone.size())
             << ")\n";
 
   // 4. The plan behind the answer and the communication bill.

@@ -1,0 +1,47 @@
+// Clang thread-safety annotation macros (compile away elsewhere).
+//
+// Groundwork for the parallel collection/market PRs: the mutable state
+// those PRs will contend on — the base station's sample cache and the
+// broker's ledger — is annotated now, so that the moment a clang build
+// enables -Wthread-safety (CMake option PRC_THREAD_SAFETY_ANALYSIS) the
+// compiler enforces the locking discipline instead of reviewers.  Under
+// GCC (the default toolchain here) every macro expands to nothing.
+//
+// Spelling follows the clang attribute names; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PRC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PRC_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+/// Declares a class to be a lockable capability (e.g. a mutex wrapper).
+#define PRC_CAPABILITY(x) PRC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Member data protected by the given capability expression.
+#define PRC_GUARDED_BY(x) PRC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define PRC_PT_GUARDED_BY(x) PRC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define PRC_REQUIRES(...) \
+  PRC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define PRC_ACQUIRE(...) \
+  PRC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define PRC_RELEASE(...) \
+  PRC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define PRC_EXCLUDES(...) \
+  PRC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for functions checked by other means.
+#define PRC_NO_THREAD_SAFETY_ANALYSIS \
+  PRC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "common/distributions.h"
 
 namespace prc::dp {
@@ -13,13 +13,12 @@ HierarchicalMechanism::HierarchicalMechanism(const std::vector<double>& values,
                                              HierarchicalConfig config,
                                              Rng& rng)
     : config_(config), lo_(lo), hi_(hi) {
-  if (!(lo < hi)) throw std::invalid_argument("domain requires lo < hi");
-  if (config_.levels < 1 || config_.levels > 24) {
-    throw std::invalid_argument("levels must be in [1, 24]");
-  }
-  if (!(config_.epsilon > 0.0)) {
-    throw std::invalid_argument("epsilon must be positive");
-  }
+  PRC_CHECK(std::isfinite(lo) && std::isfinite(hi) && lo < hi)
+      << "domain requires finite lo < hi, got [" << lo << ", " << hi << "]";
+  PRC_CHECK(config_.levels >= 1 && config_.levels <= 24)
+      << "levels must be in [1, 24], got " << config_.levels;
+  PRC_CHECK(std::isfinite(config_.epsilon) && config_.epsilon > 0.0)
+      << "epsilon must be positive, got " << config_.epsilon;
   const std::size_t leaves = leaf_count();
   leaf_width_ = (hi_ - lo_) / static_cast<double>(leaves);
   tree_.assign(2 * leaves, 0.0);

@@ -1,6 +1,8 @@
 #include "dp/laplace_mechanism.h"
 
-#include <stdexcept>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace prc::dp {
 
@@ -8,13 +10,14 @@ LaplaceMechanism::LaplaceMechanism(double sensitivity, double epsilon)
     : sensitivity_(sensitivity),
       epsilon_(epsilon),
       noise_([&] {
-        if (!(sensitivity > 0.0)) {
-          throw std::invalid_argument("sensitivity must be positive");
-        }
-        if (!(epsilon > 0.0)) {
-          throw std::invalid_argument("epsilon must be positive");
-        }
-        return Laplace(sensitivity / epsilon);
+        PRC_CHECK(std::isfinite(sensitivity) && sensitivity > 0.0)
+            << "sensitivity must be positive, got " << sensitivity;
+        PRC_CHECK(std::isfinite(epsilon) && epsilon > 0.0)
+            << "epsilon must be positive, got " << epsilon;
+        const double scale = sensitivity / epsilon;
+        PRC_CHECK(std::isfinite(scale) && scale > 0.0)
+            << "Laplace scale must be positive and finite, got " << scale;
+        return Laplace(scale);
       }()) {}
 
 double LaplaceMechanism::perturb(double value, Rng& rng) const noexcept {
@@ -30,15 +33,14 @@ double sensitivity_for(SensitivityPolicy policy, double p,
                        std::size_t max_node_count) {
   switch (policy) {
     case SensitivityPolicy::kExpected:
-      if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+      PRC_CHECK_PROB(p);
       return 1.0 / p;
     case SensitivityPolicy::kWorstCase:
-      if (max_node_count == 0) {
-        throw std::invalid_argument("worst-case sensitivity needs n_i > 0");
-      }
+      PRC_CHECK(max_node_count > 0) << "worst-case sensitivity needs n_i > 0";
       return static_cast<double>(max_node_count);
   }
-  throw std::invalid_argument("unknown sensitivity policy");
+  PRC_CHECK(false) << "unknown sensitivity policy";
+  return 0.0;  // unreachable
 }
 
 }  // namespace prc::dp

@@ -1,9 +1,9 @@
 #include "dp/membership_attack.h"
 
 #include <cmath>
-#include <stdexcept>
 #include <vector>
 
+#include "common/check.h"
 #include "common/distributions.h"
 
 namespace prc::dp {
@@ -39,20 +39,18 @@ double mixture_density(const std::vector<double>& pmf, const Laplace& noise,
 }  // namespace
 
 double dp_advantage_bound(double epsilon) {
-  if (epsilon < 0.0) throw std::invalid_argument("epsilon must be >= 0");
+  PRC_CHECK(std::isfinite(epsilon) && epsilon >= 0.0)
+      << "epsilon must be >= 0, got " << epsilon;
   return std::expm1(epsilon) / (std::exp(epsilon) + 1.0);
 }
 
 AttackAdvantage run_membership_attack(std::size_t base_count, double p,
                                       double epsilon, std::size_t trials,
                                       Rng& rng) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("p must be in (0, 1]");
-  }
-  if (!(epsilon > 0.0)) {
-    throw std::invalid_argument("epsilon must be positive");
-  }
-  if (trials == 0) throw std::invalid_argument("need >= 1 trial");
+  PRC_CHECK_PROB(p);
+  PRC_CHECK(std::isfinite(epsilon) && epsilon > 0.0)
+      << "epsilon must be positive, got " << epsilon;
+  PRC_CHECK(trials > 0) << "need >= 1 trial";
 
   // The mechanism: subsample the matching records at p, release the sampled
   // count + Lap(1/epsilon) (sensitivity 1 on the sample — exactly the

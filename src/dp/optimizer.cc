@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "dp/amplification.h"
 #include "estimator/accuracy.h"
 #include "estimator/rank_counting.h"
@@ -29,21 +29,16 @@ std::string PerturbationPlan::to_string() const {
 
 PerturbationOptimizer::PerturbationOptimizer(OptimizerConfig config)
     : config_(config) {
-  if (config_.grid_points < 2) {
-    throw std::invalid_argument("optimizer needs >= 2 grid points");
-  }
+  PRC_CHECK(config_.grid_points >= 2) << "optimizer needs >= 2 grid points";
 }
 
 std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
     const query::AccuracySpec& spec, double p, std::size_t node_count,
     std::size_t total_count, std::size_t max_node_count) const {
   spec.validate();
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("p must be in (0, 1]");
-  }
-  if (node_count == 0 || total_count == 0) {
-    throw std::invalid_argument("need node_count > 0 and total_count > 0");
-  }
+  PRC_CHECK_PROB(p);
+  PRC_CHECK(node_count > 0 && total_count > 0)
+      << "need node_count > 0 and total_count > 0";
   const double n = static_cast<double>(total_count);
   const double sensitivity =
       sensitivity_for(config_.sensitivity_policy, p, max_node_count);
@@ -85,15 +80,28 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
       best = plan;
     }
   }
+  if (best) {
+    // The plan the market layer audits must sit strictly inside the
+    // theorem's feasible region: the split leaves room for both phases
+    // and sub-sampling amplification only ever shrinks the budget.
+    PRC_DCHECK(best->alpha_prime > alpha_lo && best->alpha_prime < spec.alpha)
+        << "alpha' must lie in (alpha_lo, alpha): " << best->to_string();
+    PRC_DCHECK(best->delta_prime > spec.delta)
+        << "delta' must exceed delta: " << best->to_string();
+    PRC_DCHECK(best->epsilon_amplified <= best->epsilon * (1.0 + 1e-12))
+        << "amplified budget must not exceed the base budget: "
+        << best->to_string();
+    PRC_DCHECK(std::isfinite(best->laplace_scale) && best->laplace_scale > 0.0)
+        << "plan needs a positive finite noise scale: " << best->to_string();
+  }
   return best;
 }
 
 double PerturbationOptimizer::minimum_feasible_probability(
     const query::AccuracySpec& spec, std::size_t node_count,
     std::size_t total_count, double headroom) const {
-  if (!(headroom >= 1.0)) {
-    throw std::invalid_argument("headroom must be >= 1");
-  }
+  PRC_CHECK(std::isfinite(headroom) && headroom >= 1.0)
+      << "headroom must be >= 1, got " << headroom;
   const double required = estimator::required_sampling_probability(
       spec, node_count, total_count);
   return std::min(1.0, required * headroom);

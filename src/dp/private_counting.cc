@@ -1,8 +1,10 @@
 #include "dp/private_counting.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/logging.h"
 #include "dp/amplification.h"
 #include "dp/laplace_mechanism.h"
@@ -25,9 +27,10 @@ PrivateRangeCounter::PrivateRangeCounter(iot::SamplingNetwork& network,
                                          std::uint64_t seed)
     : network_(network), config_(config), optimizer_(config.optimizer),
       noise_rng_(seed) {
-  if (!(config_.probability_headroom >= 1.0)) {
-    throw std::invalid_argument("probability headroom must be >= 1");
-  }
+  PRC_CHECK(std::isfinite(config_.probability_headroom) &&
+            config_.probability_headroom >= 1.0)
+      << "probability headroom must be >= 1, got "
+      << config_.probability_headroom;
 }
 
 PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
@@ -93,8 +96,15 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   out.coverage = network_.base_station().coverage();
   out.sampled_estimate = network_.rank_counting_estimate(range);
 
+  PRC_CHECK_FINITE(out.sampled_estimate);
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
   out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
+  // The release the market audits: a non-finite value or an amplified
+  // budget above the base budget would void both the contract and the
+  // ledger's composition accounting.
+  PRC_CHECK_FINITE(out.value);
+  PRC_CHECK(out.plan.epsilon_amplified <= out.plan.epsilon * (1.0 + 1e-12))
+      << "amplified budget exceeds base budget: " << out.plan.to_string();
   if (config_.clamp_to_domain) {
     out.value = std::clamp(
         out.value, 0.0, static_cast<double>(network_.total_data_count()));

@@ -1,8 +1,8 @@
 #include "dp/workload_answerer.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "common/check.h"
 #include "dp/amplification.h"
 #include "dp/laplace_mechanism.h"
 
@@ -12,17 +12,13 @@ WorkloadResult WorkloadAnswerer::answer(
     iot::SamplingNetwork& network, const std::vector<query::RangeQuery>& ranges,
     double total_epsilon, BudgetSplit split, Rng& rng,
     const std::vector<double>& weights) const {
-  if (ranges.empty()) throw std::invalid_argument("empty workload");
-  if (!(total_epsilon > 0.0)) {
-    throw std::invalid_argument("total epsilon must be positive");
-  }
+  PRC_CHECK(!ranges.empty()) << "empty workload";
+  PRC_CHECK(std::isfinite(total_epsilon) && total_epsilon > 0.0)
+      << "total epsilon must be positive, got " << total_epsilon;
   const double p = network.base_station().sampling_probability();
-  if (!(p > 0.0)) {
-    throw std::logic_error("no sampling round committed yet");
-  }
-  if (!weights.empty() && weights.size() != ranges.size()) {
-    throw std::invalid_argument("weights must match workload size");
-  }
+  PRC_CHECK(p > 0.0) << "no sampling round committed yet";
+  PRC_CHECK(weights.empty() || weights.size() == ranges.size())
+      << "weights must match workload size";
 
   // Per-query budget allocation.
   std::vector<double> epsilons(ranges.size());
@@ -40,9 +36,8 @@ WorkloadResult WorkloadAnswerer::answer(
       std::vector<double> shares(ranges.size());
       for (std::size_t i = 0; i < ranges.size(); ++i) {
         const double w = weights.empty() ? 1.0 : weights[i];
-        if (!(w > 0.0)) {
-          throw std::invalid_argument("weights must be positive");
-        }
+        PRC_CHECK(std::isfinite(w) && w > 0.0)
+            << "weights must be positive, got " << w;
         shares[i] = std::cbrt(w);
         norm += shares[i];
       }

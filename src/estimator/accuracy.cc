@@ -1,7 +1,8 @@
 #include "estimator/accuracy.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::estimator {
 
@@ -9,9 +10,8 @@ double required_sampling_probability(const query::AccuracySpec& spec,
                                      std::size_t node_count,
                                      std::size_t total_count) {
   spec.validate();
-  if (node_count == 0 || total_count == 0) {
-    throw std::invalid_argument("need node_count > 0 and total_count > 0");
-  }
+  PRC_CHECK(node_count > 0 && total_count > 0)
+      << "need node_count > 0 and total_count > 0";
   const double k = static_cast<double>(node_count);
   const double n = static_cast<double>(total_count);
   return (std::sqrt(2.0 * k) / (spec.alpha * n)) * 2.0 /
@@ -20,13 +20,10 @@ double required_sampling_probability(const query::AccuracySpec& spec,
 
 double achieved_delta(double p, double alpha_prime, std::size_t node_count,
                       std::size_t total_count) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("p must be in (0, 1]");
-  }
-  if (!(alpha_prime > 0.0)) {
-    throw std::invalid_argument("alpha' must be positive");
-  }
-  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  PRC_CHECK_PROB(p);
+  PRC_CHECK(std::isfinite(alpha_prime) && alpha_prime > 0.0)
+      << "alpha' must be positive, got " << alpha_prime;
+  PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double k = static_cast<double>(node_count);
   const double n = static_cast<double>(total_count);
   const double denom = p * alpha_prime * n;
@@ -35,13 +32,10 @@ double achieved_delta(double p, double alpha_prime, std::size_t node_count,
 
 double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
                           std::size_t total_count) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("p must be in (0, 1]");
-  }
-  if (delta_min < 0.0 || delta_min >= 1.0) {
-    throw std::invalid_argument("delta_min must be in [0, 1)");
-  }
-  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  PRC_CHECK_PROB(p);
+  PRC_CHECK(delta_min >= 0.0 && delta_min < 1.0)
+      << "delta_min must be in [0, 1), got " << delta_min;
+  PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double k = static_cast<double>(node_count);
   const double n = static_cast<double>(total_count);
   return std::sqrt(8.0 * k / (1.0 - delta_min)) / (p * n);
@@ -53,14 +47,10 @@ namespace {
 // 8 / p_i^2 (Theorem 3.1 applied node-by-node).  Rejects any p_i outside
 // (0, 1] — a node with no finite bound must be handled before calling.
 double heterogeneous_variance_bound(std::span<const double> probabilities) {
-  if (probabilities.empty()) {
-    throw std::invalid_argument("need at least one node probability");
-  }
+  PRC_CHECK(!probabilities.empty()) << "need at least one node probability";
   double total = 0.0;
   for (const double p : probabilities) {
-    if (!(p > 0.0) || p > 1.0) {
-      throw std::invalid_argument("each node probability must be in (0, 1]");
-    }
+    PRC_CHECK_PROB(p);
     total += 8.0 / (p * p);
   }
   return total;
@@ -71,10 +61,9 @@ double heterogeneous_variance_bound(std::span<const double> probabilities) {
 double achieved_delta_heterogeneous(std::span<const double> probabilities,
                                     double alpha_prime,
                                     std::size_t total_count) {
-  if (!(alpha_prime > 0.0)) {
-    throw std::invalid_argument("alpha' must be positive");
-  }
-  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  PRC_CHECK(std::isfinite(alpha_prime) && alpha_prime > 0.0)
+      << "alpha' must be positive, got " << alpha_prime;
+  PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double n = static_cast<double>(total_count);
   const double denom = alpha_prime * n;
   return 1.0 - heterogeneous_variance_bound(probabilities) / (denom * denom);
@@ -82,9 +71,8 @@ double achieved_delta_heterogeneous(std::span<const double> probabilities,
 
 double heterogeneous_error_bound(std::span<const double> probabilities,
                                  double confidence) {
-  if (confidence < 0.0 || confidence >= 1.0) {
-    throw std::invalid_argument("confidence must be in [0, 1)");
-  }
+  PRC_CHECK(confidence >= 0.0 && confidence < 1.0)
+      << "confidence must be in [0, 1), got " << confidence;
   return std::sqrt(heterogeneous_variance_bound(probabilities) /
                    (1.0 - confidence));
 }
@@ -92,19 +80,16 @@ double heterogeneous_error_bound(std::span<const double> probabilities,
 double basic_counting_required_probability(const query::AccuracySpec& spec,
                                            std::size_t total_count) {
   spec.validate();
-  if (total_count == 0) throw std::invalid_argument("total_count must be > 0");
+  PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double n = static_cast<double>(total_count);
   return 1.0 / (1.0 + spec.alpha * spec.alpha * n * (1.0 - spec.delta));
 }
 
 double error_bound_at_confidence(double p, std::size_t node_count,
                                  double confidence) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("p must be in (0, 1]");
-  }
-  if (confidence < 0.0 || confidence >= 1.0) {
-    throw std::invalid_argument("confidence must be in [0, 1)");
-  }
+  PRC_CHECK_PROB(p);
+  PRC_CHECK(confidence >= 0.0 && confidence < 1.0)
+      << "confidence must be in [0, 1), got " << confidence;
   const double variance =
       8.0 * static_cast<double>(node_count) / (p * p);
   return std::sqrt(variance / (1.0 - confidence));

@@ -1,6 +1,6 @@
 #include "estimator/basic_counting.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace prc::estimator {
 namespace {
@@ -18,9 +18,7 @@ std::size_t in_range_count(const sampling::RankSampleSet& samples,
 
 double basic_counting_node_estimate(const sampling::RankSampleSet& samples,
                                     double p, const query::RangeQuery& range) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("basic counting requires p in (0, 1]");
-  }
+  PRC_CHECK_PROB(p);
   range.validate();
   return static_cast<double>(in_range_count(samples, range)) / p;
 }
@@ -28,24 +26,18 @@ double basic_counting_node_estimate(const sampling::RankSampleSet& samples,
 double basic_counting_estimate(
     std::span<const sampling::RankSampleSet* const> nodes, double p,
     const query::RangeQuery& range) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("basic counting requires p in (0, 1]");
-  }
+  PRC_CHECK_PROB(p);
   range.validate();
   std::size_t pooled = 0;
   for (const auto* node : nodes) {
-    if (node == nullptr) {
-      throw std::invalid_argument("basic counting: null node sample");
-    }
+    PRC_CHECK(node != nullptr) << "basic counting: null node sample";
     pooled += in_range_count(*node, range);
   }
   return static_cast<double>(pooled) / p;
 }
 
 double basic_counting_variance(double true_count, double p) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("basic counting requires p in (0, 1]");
-  }
+  PRC_CHECK_PROB(p);
   return true_count * (1.0 - p) / p;
 }
 

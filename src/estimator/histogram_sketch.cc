@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::estimator {
 
 HistogramSketch::HistogramSketch(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi) {
-  if (bins < 1) throw std::invalid_argument("sketch needs >= 1 bin");
-  if (!(lo < hi)) throw std::invalid_argument("sketch needs lo < hi");
+  PRC_CHECK(bins >= 1) << "sketch needs >= 1 bin";
+  PRC_CHECK(std::isfinite(lo) && std::isfinite(hi) && lo < hi)
+      << "sketch needs finite lo < hi, got [" << lo << ", " << hi << "]";
   width_ = (hi - lo) / static_cast<double>(bins);
   counts_.assign(bins, 0.0);
 }
@@ -33,10 +35,11 @@ HistogramSketch::HistogramSketch(const std::vector<double>& values, double lo,
 }
 
 void HistogramSketch::merge(const HistogramSketch& other) {
-  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
-      other.hi_ != hi_) {
-    throw std::invalid_argument("sketch binning mismatch");
-  }
+  // Exact double comparison is intentional: merging is only defined for
+  // sketches built from the identical binning constants.
+  PRC_CHECK(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+            other.hi_ == hi_)  // lint:allow float-eq
+      << "sketch binning mismatch";
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <vector>
+
+#include "common/check.h"
 
 namespace prc::estimator {
 
 double prefix_count_estimate(const sampling::RankSampleSet& samples,
                              std::size_t data_count, double p, double x) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("prefix estimate requires p in (0, 1]");
-  }
+  PRC_CHECK_PROB(p);
   if (data_count == 0) return 0.0;
   const auto succ = samples.successor(x);
   if (!succ) return static_cast<double>(data_count);
@@ -22,37 +21,29 @@ double global_prefix_estimate(std::span<const NodeSampleView> nodes, double p,
                               double x) {
   double total = 0.0;
   for (const auto& node : nodes) {
-    if (node.samples == nullptr) {
-      throw std::invalid_argument("prefix estimate: null node sample view");
-    }
+    PRC_CHECK(node.samples != nullptr)
+        << "prefix estimate: null node sample view";
     total += prefix_count_estimate(*node.samples, node.data_count, p, x);
   }
   return total;
 }
 
 double prefix_variance_bound(double p) {
-  if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+  PRC_CHECK(p > 0.0) << "p must be positive, got " << p;
   return 4.0 / (p * p);
 }
 
 double quantile_estimate(std::span<const NodeSampleView> nodes, double p,
                          double q, std::size_t total_count) {
-  if (q < 0.0 || q > 1.0) {
-    throw std::invalid_argument("quantile requires q in [0, 1]");
-  }
-  if (total_count == 0) {
-    throw std::invalid_argument("quantile requires total_count > 0");
-  }
+  PRC_CHECK(q >= 0.0 && q <= 1.0)
+      << "quantile requires q in [0, 1], got " << q;
+  PRC_CHECK(total_count > 0) << "quantile requires total_count > 0";
   std::vector<double> pooled;
   for (const auto& node : nodes) {
-    if (node.samples == nullptr) {
-      throw std::invalid_argument("quantile: null node sample view");
-    }
+    PRC_CHECK(node.samples != nullptr) << "quantile: null node sample view";
     for (const auto& s : node.samples->samples()) pooled.push_back(s.value);
   }
-  if (pooled.empty()) {
-    throw std::invalid_argument("quantile requires a non-empty sample");
-  }
+  PRC_CHECK(!pooled.empty()) << "quantile requires a non-empty sample";
   std::sort(pooled.begin(), pooled.end());
 
   const double target = q * static_cast<double>(total_count);

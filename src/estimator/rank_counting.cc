@@ -1,15 +1,13 @@
 #include "estimator/rank_counting.h"
 
-#include <stdexcept>
+#include "common/check.h"
 
 namespace prc::estimator {
 
 double rank_counting_node_estimate(const sampling::RankSampleSet& samples,
                                    std::size_t data_count, double p,
                                    const query::RangeQuery& range) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("rank counting requires p in (0, 1]");
-  }
+  PRC_CHECK_PROB(p);
   range.validate();
   if (data_count == 0) return 0.0;
 
@@ -43,9 +41,7 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
                               const query::RangeQuery& range) {
   double total = 0.0;
   for (const auto& node : nodes) {
-    if (node.samples == nullptr) {
-      throw std::invalid_argument("rank counting: null node sample view");
-    }
+    PRC_CHECK(node.samples != nullptr) << "rank counting: null node sample view";
     total +=
         rank_counting_node_estimate(*node.samples, node.data_count, p, range);
   }
@@ -55,16 +51,14 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
 double rank_counting_estimate(std::span<const NodeSampleView> nodes,
                               std::span<const double> probabilities,
                               const query::RangeQuery& range) {
-  if (nodes.size() != probabilities.size()) {
-    throw std::invalid_argument(
-        "rank counting: one probability per node required");
-  }
+  PRC_CHECK(nodes.size() == probabilities.size())
+      << "rank counting: one probability per node required, got "
+      << nodes.size() << " nodes and " << probabilities.size()
+      << " probabilities";
   double total = 0.0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const auto& node = nodes[i];
-    if (node.samples == nullptr) {
-      throw std::invalid_argument("rank counting: null node sample view");
-    }
+    PRC_CHECK(node.samples != nullptr) << "rank counting: null node sample view";
     // Empty nodes contribute 0 regardless of p; skipping them lets callers
     // pass probability 0 for nodes that never reported.
     if (node.data_count == 0) continue;
@@ -82,7 +76,7 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes,
 }
 
 double rank_counting_node_variance_bound(double p) {
-  if (!(p > 0.0)) throw std::invalid_argument("p must be positive");
+  PRC_CHECK(p > 0.0) << "p must be positive, got " << p;
   return 8.0 / (p * p);
 }
 

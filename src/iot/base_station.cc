@@ -1,41 +1,86 @@
 #include "iot/base_station.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "estimator/basic_counting.h"
 #include "iot/codec.h"
 
 namespace prc::iot {
 
 BaseStation::BaseStation(std::size_t node_count) : entries_(node_count) {
-  if (node_count == 0) {
-    throw std::invalid_argument("base station needs >= 1 node");
+  PRC_CHECK(node_count > 0) << "base station needs >= 1 node";
+}
+
+BaseStation::BaseStation(const BaseStation& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  entries_ = other.entries_;
+  p_ = other.p_;
+}
+
+BaseStation& BaseStation::operator=(const BaseStation& other) {
+  if (this == &other) return *this;
+  // Copy out under the source lock first; never hold both mutexes at once.
+  std::vector<NodeEntry> entries;
+  double p = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    entries = other.entries_;
+    p = other.p_;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(entries);
+  p_ = p;
+  return *this;
+}
+
+std::size_t BaseStation::node_count() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+double BaseStation::sampling_probability() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return p_;
 }
 
 std::size_t BaseStation::total_data_count() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_data_count_locked();
+}
+
+std::size_t BaseStation::total_data_count_locked() const {
   std::size_t total = 0;
   for (const auto& entry : entries_) total += entry.data_count;
   return total;
 }
 
 std::size_t BaseStation::cached_sample_count() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& entry : entries_) total += entry.samples.size();
   return total;
 }
 
 double BaseStation::node_probability(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.at(node).probability;
 }
 
 bool BaseStation::node_reported(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.at(node).reported;
 }
 
 std::vector<double> BaseStation::node_probabilities() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node_probabilities_locked();
+}
+
+std::vector<double> BaseStation::node_probabilities_locked() const {
   std::vector<double> probabilities;
   probabilities.reserve(entries_.size());
   for (const auto& entry : entries_) probabilities.push_back(entry.probability);
@@ -43,6 +88,11 @@ std::vector<double> BaseStation::node_probabilities() const {
 }
 
 CoverageSummary BaseStation::coverage() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coverage_locked();
+}
+
+CoverageSummary BaseStation::coverage_locked() const {
   CoverageSummary summary;
   summary.target_p = p_;
   summary.node_count = entries_.size();
@@ -76,6 +126,7 @@ CoverageSummary BaseStation::coverage() const noexcept {
 }
 
 void BaseStation::ingest(const SampleReport& report) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (report.node_id < 0 ||
       static_cast<std::size_t>(report.node_id) >= entries_.size()) {
     throw std::out_of_range("sample report from unknown node");
@@ -89,6 +140,11 @@ void BaseStation::ingest(const SampleReport& report) {
 }
 
 void BaseStation::replace(const SampleReport& full_report) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replace_locked(full_report);
+}
+
+void BaseStation::replace_locked(const SampleReport& full_report) {
   if (full_report.node_id < 0 ||
       static_cast<std::size_t>(full_report.node_id) >= entries_.size()) {
     throw std::out_of_range("sample report from unknown node");
@@ -100,19 +156,26 @@ void BaseStation::replace(const SampleReport& full_report) {
 }
 
 void BaseStation::commit_round(double p) {
-  commit_round(p, std::vector<bool>(entries_.size(), true));
+  std::lock_guard<std::mutex> lock(mutex_);
+  commit_round_locked(p, std::vector<bool>(entries_.size(), true));
 }
 
 void BaseStation::commit_round(double p, const std::vector<bool>& refreshed) {
-  if (!(p > 0.0) || p > 1.0) {
-    throw std::invalid_argument("round probability must be in (0, 1]");
-  }
-  if (p < p_) {
-    throw std::invalid_argument("sampling probability cannot decrease");
-  }
-  if (refreshed.size() != entries_.size()) {
-    throw std::invalid_argument("refreshed mask size mismatch");
-  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  commit_round_locked(p, refreshed);
+}
+
+void BaseStation::commit_round_locked(double p,
+                                      const std::vector<bool>& refreshed) {
+  PRC_CHECK_PROB(p);
+  // Monotone round targets are what make the cached sample reusable: the
+  // incremental top-up argument (Bernoulli(p_old) extended to
+  // Bernoulli(p_new)) only runs forward.
+  PRC_CHECK(p >= p_) << "sampling probability cannot decrease (have " << p_
+                     << ", got " << p << ")";
+  PRC_CHECK(refreshed.size() == entries_.size())
+      << "refreshed mask size mismatch: " << refreshed.size() << " vs "
+      << entries_.size() << " nodes";
   p_ = p;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (refreshed[i]) {
@@ -122,6 +185,11 @@ void BaseStation::commit_round(double p, const std::vector<bool>& refreshed) {
 }
 
 std::vector<estimator::NodeSampleView> BaseStation::node_views() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node_views_locked();
+}
+
+std::vector<estimator::NodeSampleView> BaseStation::node_views_locked() const {
   std::vector<estimator::NodeSampleView> views;
   views.reserve(entries_.size());
   for (const auto& entry : entries_) {
@@ -133,18 +201,17 @@ std::vector<estimator::NodeSampleView> BaseStation::node_views() const {
 
 double BaseStation::rank_counting_estimate(
     const query::RangeQuery& range) const {
-  if (!(p_ > 0.0)) {
-    throw std::logic_error("no sampling round committed yet");
-  }
-  const auto views = node_views();
-  return estimator::rank_counting_estimate(views, node_probabilities(), range);
+  std::lock_guard<std::mutex> lock(mutex_);
+  PRC_CHECK(p_ > 0.0) << "no sampling round committed yet";
+  const auto views = node_views_locked();
+  return estimator::rank_counting_estimate(views, node_probabilities_locked(),
+                                           range);
 }
 
 double BaseStation::basic_counting_estimate(
     const query::RangeQuery& range) const {
-  if (!(p_ > 0.0)) {
-    throw std::logic_error("no sampling round committed yet");
-  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  PRC_CHECK(p_ > 0.0) << "no sampling round committed yet";
   std::vector<const sampling::RankSampleSet*> nodes;
   nodes.reserve(entries_.size());
   for (const auto& entry : entries_) nodes.push_back(&entry.samples);
@@ -204,8 +271,13 @@ double read_f64(const std::vector<std::uint8_t>& in, std::size_t& offset) {
 }  // namespace
 
 std::vector<std::uint8_t> BaseStation::serialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::uint8_t> out;
-  out.insert(out.end(), kCheckpointMagic, kCheckpointMagic + 4);
+  // Byte-wise push instead of a range insert: GCC 12's -Wstringop-overflow
+  // misfires on char* range-inserts into an empty byte vector.
+  for (char byte : kCheckpointMagic) {
+    out.push_back(static_cast<std::uint8_t>(byte));
+  }
   append_u32(out, kCheckpointVersion);
   append_u32(out, static_cast<std::uint32_t>(entries_.size()));
   append_f64(out, p_);
@@ -262,7 +334,8 @@ BaseStation BaseStation::deserialize(const std::vector<std::uint8_t>& bytes) {
     offset += frame_size;
     const SampleReport report = decode_sample_report(frame);
     if (reported) {
-      station.replace(report);
+      std::lock_guard<std::mutex> lock(station.mutex_);
+      station.replace_locked(report);
       station.entries_[i].probability = probability;
     }
   }
@@ -271,7 +344,10 @@ BaseStation BaseStation::deserialize(const std::vector<std::uint8_t>& bytes) {
   }
   // Restore the round target without touching the per-node probabilities
   // that were just read back.
-  station.p_ = p;
+  {
+    std::lock_guard<std::mutex> lock(station.mutex_);
+    station.p_ = p;
+  }
   return station;
 }
 

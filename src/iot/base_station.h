@@ -17,8 +17,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "estimator/rank_counting.h"
 #include "iot/messages.h"
 #include "query/range_query.h"
@@ -50,18 +52,30 @@ struct CoverageSummary {
   }
 };
 
+/// Thread-safety: every public method takes the internal mutex, so scalar
+/// queries and ingest/commit calls may race freely once collection goes
+/// parallel.  The exceptions are node_views() (the returned views alias the
+/// cache — keep the station quiescent while an estimator consumes them) and
+/// the reference returned by SamplingNetwork::base_station().  The
+/// PRC_GUARDED_BY annotations make clang's -Wthread-safety enforce the
+/// discipline on the _locked helpers when PRC_THREAD_SAFETY_ANALYSIS is on.
 class BaseStation {
  public:
   explicit BaseStation(std::size_t node_count);
 
-  std::size_t node_count() const noexcept { return entries_.size(); }
+  // Copyable (checkpoint restore returns by value); the mutex itself is
+  // never copied — each station guards its own cache.
+  BaseStation(const BaseStation& other);
+  BaseStation& operator=(const BaseStation& other);
+
+  std::size_t node_count() const noexcept;
 
   /// Sum of reported n_i over all nodes (0 until first reports arrive).
   std::size_t total_data_count() const noexcept;
 
   /// The last committed round target (the probability the cache would be
   /// valid for if every node had delivered).
-  double sampling_probability() const noexcept { return p_; }
+  double sampling_probability() const noexcept;
 
   /// Effective inclusion probability of one node's cached sample (0 until
   /// the node first delivers).
@@ -126,8 +140,20 @@ class BaseStation {
     bool reported = false;
   };
 
-  std::vector<NodeEntry> entries_;
-  double p_ = 0.0;
+  // Unlocked bodies shared by the public methods (which lock) and by
+  // internal callers that already hold the mutex.
+  std::size_t total_data_count_locked() const PRC_REQUIRES(mutex_);
+  std::vector<double> node_probabilities_locked() const PRC_REQUIRES(mutex_);
+  CoverageSummary coverage_locked() const PRC_REQUIRES(mutex_);
+  std::vector<estimator::NodeSampleView> node_views_locked() const
+      PRC_REQUIRES(mutex_);
+  void replace_locked(const SampleReport& full_report) PRC_REQUIRES(mutex_);
+  void commit_round_locked(double p, const std::vector<bool>& refreshed)
+      PRC_REQUIRES(mutex_);
+
+  mutable std::mutex mutex_;
+  std::vector<NodeEntry> entries_ PRC_GUARDED_BY(mutex_);
+  double p_ PRC_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace prc::iot

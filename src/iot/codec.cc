@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 
+#include "common/check.h"
+
 namespace prc::iot {
 namespace {
 
@@ -36,6 +38,9 @@ const std::array<std::uint32_t, 256>& crc_table() {
 
 void put_u32(std::vector<std::uint8_t>& out, std::size_t offset,
              std::uint32_t value) {
+  PRC_DCHECK(offset + 4 <= out.size())
+      << "put_u32 out of bounds: offset " << offset << " in frame of "
+      << out.size();
   for (int i = 0; i < 4; ++i) {
     out[offset + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(value >> (8 * i));
@@ -56,6 +61,9 @@ void put_f64(std::vector<std::uint8_t>& out, double value) {
 
 std::uint32_t get_u32(const std::vector<std::uint8_t>& in,
                       std::size_t offset) {
+  PRC_DCHECK(offset + 4 <= in.size())
+      << "get_u32 out of bounds: offset " << offset << " in frame of "
+      << in.size();
   std::uint32_t value = 0;
   for (int i = 0; i < 4; ++i) {
     value |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)])
@@ -66,6 +74,9 @@ std::uint32_t get_u32(const std::vector<std::uint8_t>& in,
 
 std::uint64_t get_u64(const std::vector<std::uint8_t>& in,
                       std::size_t offset) {
+  PRC_DCHECK(offset + 8 <= in.size())
+      << "get_u64 out of bounds: offset " << offset << " in frame of "
+      << in.size();
   std::uint64_t value = 0;
   for (int i = 0; i < 8; ++i) {
     value |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)])

@@ -1,14 +1,15 @@
 #include "iot/faults.h"
 
-#include <stdexcept>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace prc::iot {
 namespace {
 
 void check_probability(double value, const char* name) {
-  if (value < 0.0 || value > 1.0) {
-    throw std::invalid_argument(std::string(name) + " must be in [0, 1]");
-  }
+  PRC_CHECK(std::isfinite(value) && value >= 0.0 && value <= 1.0)
+      << name << " must be in [0, 1], got " << value;
 }
 
 }  // namespace
@@ -20,16 +21,12 @@ void FaultConfig::validate() const {
   check_probability(bad_to_good, "bad_to_good");
   // Loss in either channel state must leave a delivery path open, otherwise
   // an unbounded-retry network could spin forever inside one frame.
-  if (loss_good < 0.0 || loss_good >= 1.0) {
-    throw std::invalid_argument("loss_good must be in [0, 1)");
-  }
-  if (loss_bad < 0.0 || loss_bad >= 1.0) {
-    throw std::invalid_argument("loss_bad must be in [0, 1)");
-  }
-  if (good_to_bad > 0.0 && bad_to_good <= 0.0) {
-    throw std::invalid_argument(
-        "bad_to_good must be positive when good_to_bad is (bursts must end)");
-  }
+  PRC_CHECK(loss_good >= 0.0 && loss_good < 1.0)
+      << "loss_good must be in [0, 1), got " << loss_good;
+  PRC_CHECK(loss_bad >= 0.0 && loss_bad < 1.0)
+      << "loss_bad must be in [0, 1), got " << loss_bad;
+  PRC_CHECK(!(good_to_bad > 0.0) || bad_to_good > 0.0)
+      << "bad_to_good must be positive when good_to_bad is (bursts must end)";
   check_probability(duplication_probability, "duplication_probability");
 }
 

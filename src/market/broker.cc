@@ -1,7 +1,9 @@
 #include "market/broker.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace prc::market {
 
@@ -9,10 +11,12 @@ DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
                        std::unique_ptr<pricing::PricingFunction> pricing,
                        BrokerConfig config)
     : counter_(counter), pricing_(std::move(pricing)), config_(config) {
-  if (!pricing_) throw std::invalid_argument("broker needs a pricing function");
-  if (!(config_.per_consumer_epsilon_cap > 0.0)) {
-    throw std::invalid_argument("per-consumer epsilon cap must be positive");
-  }
+  PRC_CHECK(pricing_ != nullptr) << "broker needs a pricing function";
+  PRC_CHECK(config_.per_consumer_epsilon_cap > 0.0)
+      << "per-consumer epsilon cap must be positive, got "
+      << config_.per_consumer_epsilon_cap;
+  PRC_CHECK(config_.min_coverage >= 0.0 && config_.min_coverage <= 1.0)
+      << "min_coverage must be in [0, 1], got " << config_.min_coverage;
 }
 
 double DataBroker::quote(const query::AccuracySpec& spec) const {
@@ -91,6 +95,12 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   receipt.value = answer.value;
   // A degraded sale is priced at the weaker contract actually delivered.
   receipt.price = pricing_->price(sold_spec);
+  // Lemma 4.1 precondition for everything downstream: a non-positive or
+  // non-finite price breaks both the revenue accounting and the arbitrage
+  // argument (a free contract can be averaged into any stronger one).
+  PRC_CHECK(std::isfinite(receipt.price) && receipt.price > 0.0)
+      << "pricing function returned a non-positive price "
+      << receipt.price << " for " << sold_spec.to_string();
   receipt.range = range;
   receipt.spec = sold_spec;
   receipt.requested = spec;

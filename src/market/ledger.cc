@@ -1,16 +1,22 @@
 #include "market/ledger.h"
 
-#include <stdexcept>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
 
 namespace prc::market {
 
 std::size_t Ledger::record(Transaction transaction) {
-  if (transaction.price < 0.0 || transaction.epsilon_amplified < 0.0) {
-    throw std::invalid_argument("ledger: negative price or budget");
-  }
-  if (transaction.coverage < 0.0 || transaction.coverage > 1.0) {
-    throw std::invalid_argument("ledger: coverage must be in [0, 1]");
-  }
+  PRC_CHECK(std::isfinite(transaction.price) && transaction.price >= 0.0)
+      << "ledger: price must be >= 0, got " << transaction.price;
+  PRC_CHECK(std::isfinite(transaction.epsilon_amplified) &&
+            transaction.epsilon_amplified >= 0.0)
+      << "ledger: released budget must be >= 0, got "
+      << transaction.epsilon_amplified;
+  PRC_CHECK(transaction.coverage >= 0.0 && transaction.coverage <= 1.0)
+      << "ledger: coverage must be in [0, 1], got " << transaction.coverage;
+  std::lock_guard<std::mutex> lock(mutex_);
   transaction.sequence = transactions_.size();
   if (transaction.degraded) ++degraded_sales_;
   total_revenue_ += transaction.price;
@@ -19,15 +25,43 @@ std::size_t Ledger::record(Transaction transaction) {
   epsilon_by_consumer_[transaction.consumer_id] +=
       transaction.epsilon_amplified;
   transactions_.push_back(std::move(transaction));
+  // Budget conservation (sequential composition audit): every epsilon'
+  // released globally must be attributed to exactly one consumer.  The
+  // tolerance scales with the running total because both sides accumulate
+  // independent fp rounding.
+  PRC_DCHECK(conservation_discrepancy_locked() <=
+             1e-9 * (1.0 + total_epsilon_ + total_revenue_))
+      << "ledger lost track of released budget: discrepancy "
+      << conservation_discrepancy_locked();
   return transactions_.back().sequence;
 }
 
+double Ledger::conservation_discrepancy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return conservation_discrepancy_locked();
+}
+
+double Ledger::conservation_discrepancy_locked() const {
+  double epsilon_sum = 0.0;
+  for (const auto& [consumer, epsilon] : epsilon_by_consumer_) {
+    epsilon_sum += epsilon;
+  }
+  double spend_sum = 0.0;
+  for (const auto& [consumer, spend] : spend_by_consumer_) {
+    spend_sum += spend;
+  }
+  return std::abs(epsilon_sum - total_epsilon_) +
+         std::abs(spend_sum - total_revenue_);
+}
+
 double Ledger::consumer_spend(const std::string& consumer_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = spend_by_consumer_.find(consumer_id);
   return it == spend_by_consumer_.end() ? 0.0 : it->second;
 }
 
 double Ledger::consumer_epsilon(const std::string& consumer_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = epsilon_by_consumer_.find(consumer_id);
   return it == epsilon_by_consumer_.end() ? 0.0 : it->second;
 }

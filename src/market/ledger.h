@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "query/range_query.h"
 
 namespace prc::market {
@@ -29,25 +31,40 @@ struct Transaction {
   bool degraded = false;
 };
 
+/// Thread-safety: record() and the scalar accessors take the internal
+/// mutex (parallel brokers will hammer both).  transactions() hands out a
+/// reference to the underlying log and therefore requires the ledger to be
+/// quiescent — callers that need a stable view while sales continue should
+/// copy under their own arrangement.
 class Ledger {
  public:
   /// Appends a transaction; assigns and returns its sequence number.
+  /// PRC_CHECKs the money/budget invariants (non-negative price and
+  /// epsilon', coverage in [0, 1]) and, in debug builds, re-audits budget
+  /// conservation after the append.
   std::size_t record(Transaction transaction);
 
   std::size_t transaction_count() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
     return transactions_.size();
   }
   const std::vector<Transaction>& transactions() const noexcept {
     return transactions_;
   }
 
-  double total_revenue() const noexcept { return total_revenue_; }
+  double total_revenue() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_revenue_;
+  }
 
   /// Total amplified budget released across ALL consumers — the dataset's
   /// cumulative exposure under sequential composition (adversaries may
   /// collude, so the broker audits the global sum, not just per-consumer
   /// totals).
-  double total_epsilon() const noexcept { return total_epsilon_; }
+  double total_epsilon() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_epsilon_;
+  }
 
   /// Sum of prices paid by one consumer (0 for unknown ids).
   double consumer_spend(const std::string& consumer_id) const;
@@ -57,15 +74,30 @@ class Ledger {
   double consumer_epsilon(const std::string& consumer_id) const;
 
   /// Number of recorded sales that were re-quoted due to degraded coverage.
-  std::size_t degraded_sales() const noexcept { return degraded_sales_; }
+  std::size_t degraded_sales() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_sales_;
+  }
+
+  /// Budget conservation audit: the global released budget must equal the
+  /// sum of the per-consumer composition totals (a mismatch means some
+  /// released epsilon' escaped the per-consumer caps — the double-spend the
+  /// paper's market model forbids).  Returns the absolute discrepancy;
+  /// record() PRC_DCHECKs it stays within fp rounding of zero.
+  double conservation_discrepancy() const;
 
  private:
-  std::vector<Transaction> transactions_;
-  std::size_t degraded_sales_ = 0;
-  double total_revenue_ = 0.0;
-  double total_epsilon_ = 0.0;
-  std::unordered_map<std::string, double> spend_by_consumer_;
-  std::unordered_map<std::string, double> epsilon_by_consumer_;
+  double conservation_discrepancy_locked() const PRC_REQUIRES(mutex_);
+
+  mutable std::mutex mutex_;
+  std::vector<Transaction> transactions_ PRC_GUARDED_BY(mutex_);
+  std::size_t degraded_sales_ PRC_GUARDED_BY(mutex_) = 0;
+  double total_revenue_ PRC_GUARDED_BY(mutex_) = 0.0;
+  double total_epsilon_ PRC_GUARDED_BY(mutex_) = 0.0;
+  std::unordered_map<std::string, double> spend_by_consumer_
+      PRC_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, double> epsilon_by_consumer_
+      PRC_GUARDED_BY(mutex_);
 };
 
 }  // namespace prc::market

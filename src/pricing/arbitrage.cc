@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::pricing {
 namespace {
@@ -29,14 +30,15 @@ ArbitrageChecker::ArbitrageChecker(VarianceModel model)
 
 ArbitrageChecker::ArbitrageChecker(VarianceModel model, Grid grid)
     : model_(model), grid_(grid) {
-  if (grid_.alpha_steps < 2 || grid_.delta_steps < 2) {
-    throw std::invalid_argument("checker grid needs >= 2 steps per axis");
-  }
-  if (!(grid_.alpha_min > 0.0) || !(grid_.alpha_min < grid_.alpha_max) ||
-      grid_.alpha_max > 1.0 || grid_.delta_min < 0.0 ||
-      !(grid_.delta_min < grid_.delta_max) || grid_.delta_max >= 1.0) {
-    throw std::invalid_argument("checker grid bounds invalid");
-  }
+  PRC_CHECK(grid_.alpha_steps >= 2 && grid_.delta_steps >= 2)
+      << "checker grid needs >= 2 steps per axis, got alpha_steps="
+      << grid_.alpha_steps << " delta_steps=" << grid_.delta_steps;
+  PRC_CHECK(grid_.alpha_min > 0.0 && grid_.alpha_min < grid_.alpha_max &&
+            grid_.alpha_max <= 1.0)
+      << "checker grid needs 0 < alpha_min < alpha_max <= 1";
+  PRC_CHECK(grid_.delta_min >= 0.0 && grid_.delta_min < grid_.delta_max &&
+            grid_.delta_max < 1.0)
+      << "checker grid needs 0 <= delta_min < delta_max < 1";
 }
 
 CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
@@ -68,7 +70,9 @@ CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
       const query::AccuracySpec spec{alpha, delta};
       const double v = model_.contract_variance(spec);
       for (double other_delta : deltas) {
-        if (other_delta == delta) continue;
+        // Exact copies from the same grid vector, so identity compare
+        // is the intended duplicate filter.
+        if (other_delta == delta) continue;  // lint:allow float-eq
         const double other_alpha = model_.alpha_for_variance(v, other_delta);
         if (!(other_alpha > 0.0) || other_alpha > 1.0) continue;
         const query::AccuracySpec other{other_alpha, other_delta};
@@ -128,13 +132,11 @@ AttackSimulator::AttackSimulator(VarianceModel model)
 
 AttackSimulator::AttackSimulator(VarianceModel model, SearchSpace space)
     : model_(model), space_(space) {
-  if (space_.max_copies < 2 || space_.alpha_steps < 2 ||
-      space_.delta_steps < 1) {
-    throw std::invalid_argument("attack search space too small");
-  }
-  if (!(space_.alpha_max > 0.0) || space_.alpha_max > 1.0) {
-    throw std::invalid_argument("alpha_max must be in (0, 1]");
-  }
+  PRC_CHECK(space_.max_copies >= 2 && space_.alpha_steps >= 2 &&
+            space_.delta_steps >= 1)
+      << "attack search space too small";
+  PRC_CHECK(space_.alpha_max > 0.0 && space_.alpha_max <= 1.0)
+      << "alpha_max must be in (0, 1], got " << space_.alpha_max;
 }
 
 AttackResult AttackSimulator::best_attack(

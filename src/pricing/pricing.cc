@@ -4,9 +4,58 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::pricing {
+namespace {
+
+// Coarse audit grid; deliberately smaller than ArbitrageChecker's default
+// so the re-validation cost on every menu construction stays negligible.
+constexpr double kAuditAlpha[] = {0.05, 0.2, 0.5, 0.9};
+constexpr double kAuditDelta[] = {0.05, 0.3, 0.6, 0.9};
+
+}  // namespace
+
+void validate_arbitrage_conditions(const VarianceModel& model,
+                                   const PricingFunction& pricing) {
+  double product_min = std::numeric_limits<double>::infinity();
+  double product_max = 0.0;
+  double prev_v_alpha = 0.0;
+  for (double alpha : kAuditAlpha) {
+    // Monotonicity in alpha at fixed delta (first audit delta).
+    const double v_alpha =
+        model.contract_variance(query::AccuracySpec{alpha, kAuditDelta[0]});
+    PRC_CHECK(v_alpha > prev_v_alpha)
+        << "V(alpha, delta) must be strictly increasing in alpha; "
+        << "V(" << alpha << ") = " << v_alpha << " <= " << prev_v_alpha;
+    prev_v_alpha = v_alpha;
+    double prev_v_delta = std::numeric_limits<double>::infinity();
+    for (double delta : kAuditDelta) {
+      const query::AccuracySpec spec{alpha, delta};
+      const double v = model.contract_variance(spec);
+      PRC_CHECK(std::isfinite(v) && v > 0.0)
+          << "contract variance must be positive at " << spec.to_string()
+          << ", got " << v;
+      PRC_CHECK(v < prev_v_delta)
+          << "V(alpha, delta) must be strictly decreasing in delta at "
+          << spec.to_string();
+      prev_v_delta = v;
+      const double price = pricing.price(spec);
+      PRC_CHECK(std::isfinite(price) && price > 0.0)
+          << pricing.name() << " must price " << spec.to_string()
+          << " positive, got " << price;
+      const double product = price * v;
+      product_min = std::min(product_min, product);
+      product_max = std::max(product_max, product);
+    }
+  }
+  // Theorem 4.2: psi(V) * V constant <=> properties 2 and 3 hold with
+  // equality, i.e. the averaging adversary exactly breaks even.
+  PRC_CHECK(product_max - product_min <= 1e-6 * product_max)
+      << pricing.name() << " is not in the psi(V) = c/V family: "
+      << "psi(V)*V spans [" << product_min << ", " << product_max << "]";
+}
 
 InverseVariancePricing::InverseVariancePricing(
     VarianceModel model, query::AccuracySpec reference_spec, double base_price,
@@ -15,12 +64,13 @@ InverseVariancePricing::InverseVariancePricing(
       reference_variance_(model.contract_variance(reference_spec)),
       base_price_(base_price),
       exponent_(exponent) {
-  if (!(base_price > 0.0)) {
-    throw std::invalid_argument("base price must be positive");
-  }
-  if (!(exponent > 0.0)) {
-    throw std::invalid_argument("exponent must be positive");
-  }
+  PRC_CHECK(std::isfinite(base_price) && base_price > 0.0)
+      << "base price must be positive, got " << base_price;
+  PRC_CHECK(std::isfinite(exponent) && exponent > 0.0)
+      << "exponent must be positive, got " << exponent;
+  // Only q == 1 claims membership in the arbitrage-avoiding family; the
+  // other exponents exist to exercise the failure modes and are exempt.
+  if (exponent_ == 1.0) validate_arbitrage_conditions(model_, *this);
 }
 
 double InverseVariancePricing::price(const query::AccuracySpec& spec) const {
@@ -39,9 +89,8 @@ LinearDiscountPricing::LinearDiscountPricing(double base, double accuracy_rate,
     : base_(base),
       accuracy_rate_(accuracy_rate),
       confidence_rate_(confidence_rate) {
-  if (!(base > 0.0) || accuracy_rate < 0.0 || confidence_rate < 0.0) {
-    throw std::invalid_argument("linear pricing needs base > 0, rates >= 0");
-  }
+  PRC_CHECK(base > 0.0 && accuracy_rate >= 0.0 && confidence_rate >= 0.0)
+      << "linear pricing needs base > 0, rates >= 0";
 }
 
 double LinearDiscountPricing::price(const query::AccuracySpec& spec) const {
@@ -55,13 +104,13 @@ std::string LinearDiscountPricing::name() const { return "linear-discount"; }
 MenuFit fit_theorem_pricing(
     const VarianceModel& model,
     const std::vector<std::pair<query::AccuracySpec, double>>& menu) {
-  if (menu.empty()) throw std::invalid_argument("empty price menu");
+  PRC_CHECK(!menu.empty()) << "empty price menu";
   MenuFit fit;
   fit.scale = std::numeric_limits<double>::infinity();
   for (const auto& [spec, price] : menu) {
-    if (!(price > 0.0)) {
-      throw std::invalid_argument("menu prices must be positive");
-    }
+    PRC_CHECK(std::isfinite(price) && price > 0.0)
+        << "menu prices must be positive, got " << price << " at "
+        << spec.to_string();
     fit.scale = std::min(fit.scale, price * model.contract_variance(spec));
   }
   for (const auto& [spec, price] : menu) {
@@ -69,12 +118,21 @@ MenuFit fit_theorem_pricing(
     fit.max_relative_concession = std::max(
         fit.max_relative_concession, (price - fitted) / price);
   }
+  PRC_CHECK(std::isfinite(fit.scale) && fit.scale > 0.0)
+      << "fitted menu scale must be positive and finite, got " << fit.scale;
+  // Materializing the fitted function runs validate_arbitrage_conditions in
+  // its constructor, so every repaired menu re-proves Theorem 4.2 before
+  // the fit is handed back.
+  (void)FittedTheoremPricing(model, fit.scale);
   return fit;
 }
 
 FittedTheoremPricing::FittedTheoremPricing(VarianceModel model, double scale)
     : model_(model), scale_(scale) {
-  if (!(scale > 0.0)) throw std::invalid_argument("scale must be positive");
+  PRC_CHECK(std::isfinite(scale) && scale > 0.0)
+      << "scale must be positive, got " << scale;
+  // Every fitted menu re-proves its own arbitrage-freeness on construction.
+  validate_arbitrage_conditions(model_, *this);
 }
 
 double FittedTheoremPricing::price(const query::AccuracySpec& spec) const {

@@ -40,6 +40,22 @@ class PricingFunction {
   virtual std::string name() const = 0;
 };
 
+/// Contract audit for a pricing function that claims to sit in the
+/// Theorem 4.2 family psi(V) = c / V.  Evaluates a coarse (alpha, delta)
+/// grid and PRC_CHECKs the q = 1 arbitrage conditions:
+///   - V(alpha, delta) is positive, finite, strictly increasing in alpha
+///     and strictly decreasing in delta (the Chebyshev contract variance
+///     monotonicity the theorem manipulates);
+///   - every price is positive and finite;
+///   - psi(V) * V is constant across the grid (relative spread <= 1e-6),
+///     which is exactly properties 2 + 3 holding with equality.
+/// Called automatically whenever a theorem-family menu is constructed
+/// (FittedTheoremPricing, InverseVariancePricing with exponent == 1, and
+/// fit_theorem_pricing).  Throws prc::ContractViolation on failure, so it
+/// doubles as an explicit guard for hand-built menus.
+void validate_arbitrage_conditions(const VarianceModel& model,
+                                   const PricingFunction& pricing);
+
 /// The power family psi(V) = base_price * (reference_variance / V)^exponent.
 /// Arbitrage-avoiding (per Theorem 4.2) exactly when exponent == 1; other
 /// exponents are constructible on purpose so the checker and attack

@@ -1,31 +1,37 @@
 #include "pricing/variance_model.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::pricing {
 
 VarianceModel::VarianceModel(std::size_t total_count, std::size_t node_count)
     : total_count_(total_count), node_count_(node_count) {
-  if (total_count == 0 || node_count == 0) {
-    throw std::invalid_argument("variance model needs n > 0 and k > 0");
-  }
+  PRC_CHECK(total_count > 0 && node_count > 0)
+      << "variance model needs n > 0 and k > 0, got n=" << total_count
+      << " k=" << node_count;
 }
 
 double VarianceModel::contract_variance(
     const query::AccuracySpec& spec) const {
   spec.validate();
   const double scaled = spec.alpha * static_cast<double>(total_count_);
-  return scaled * scaled * (1.0 - spec.delta);
+  const double variance = scaled * scaled * (1.0 - spec.delta);
+  // V(alpha, delta) = (alpha n)^2 (1 - delta) is strictly positive on the
+  // valid spec domain; a zero or infinite variance would poison every
+  // psi(V) = c/V price downstream.
+  PRC_DCHECK(std::isfinite(variance) && variance > 0.0)
+      << "contract variance must be positive and finite, got " << variance
+      << " for " << spec.to_string();
+  return variance;
 }
 
 double VarianceModel::alpha_for_variance(double variance, double delta) const {
-  if (!(variance > 0.0)) {
-    throw std::invalid_argument("variance must be positive");
-  }
-  if (delta < 0.0 || delta >= 1.0) {
-    throw std::invalid_argument("delta must be in [0, 1)");
-  }
+  PRC_CHECK(std::isfinite(variance) && variance > 0.0)
+      << "variance must be positive, got " << variance;
+  PRC_CHECK(delta >= 0.0 && delta < 1.0)
+      << "delta must be in [0, 1), got " << delta;
   return std::sqrt(variance / (1.0 - delta)) /
          static_cast<double>(total_count_);
 }

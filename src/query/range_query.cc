@@ -2,17 +2,16 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/check.h"
 
 namespace prc::query {
 
 void RangeQuery::validate() const {
-  if (!std::isfinite(lower) || !std::isfinite(upper)) {
-    throw std::invalid_argument("range bounds must be finite");
-  }
-  if (lower > upper) {
-    throw std::invalid_argument("range requires lower <= upper");
-  }
+  PRC_CHECK_FINITE(lower);
+  PRC_CHECK_FINITE(upper);
+  PRC_CHECK(lower <= upper) << "range [" << lower << ", " << upper
+                            << "] requires lower <= upper";
 }
 
 std::string RangeQuery::to_string() const {
@@ -22,12 +21,10 @@ std::string RangeQuery::to_string() const {
 }
 
 void AccuracySpec::validate() const {
-  if (!(alpha > 0.0) || alpha > 1.0) {
-    throw std::invalid_argument("alpha must be in (0, 1]");
-  }
-  if (!(delta > 0.0) || delta >= 1.0) {
-    throw std::invalid_argument("delta must be in (0, 1)");
-  }
+  PRC_CHECK(std::isfinite(alpha) && alpha > 0.0 && alpha <= 1.0)
+      << "alpha must be in (0, 1], got " << alpha;
+  PRC_CHECK(std::isfinite(delta) && delta > 0.0 && delta < 1.0)
+      << "delta must be in (0, 1), got " << delta;
 }
 
 bool AccuracySpec::is_implied_by(const AccuracySpec& other) const noexcept {

@@ -1,7 +1,9 @@
 #include "sampling/local_sampler.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+
+#include "common/check.h"
 
 namespace prc::sampling {
 
@@ -11,9 +13,8 @@ LocalSampler::LocalSampler(std::vector<double> values)
 }
 
 std::vector<RankedValue> LocalSampler::raise_probability(double p, Rng& rng) {
-  if (p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("inclusion probability must be in [0, 1]");
-  }
+  PRC_CHECK(std::isfinite(p) && p >= 0.0 && p <= 1.0)
+      << "inclusion probability must be in [0, 1], got " << p;
   std::vector<RankedValue> added;
   if (p <= p_) return added;
   // Conditional inclusion probability for elements not yet selected.
@@ -68,12 +69,12 @@ RankSampleSet LocalSampler::current_sample() const {
 }
 
 double LocalSampler::first_value() const {
-  if (sorted_.empty()) throw std::logic_error("first_value of empty node");
+  PRC_CHECK(!sorted_.empty()) << "first_value of empty node";
   return sorted_.front();
 }
 
 double LocalSampler::last_value() const {
-  if (sorted_.empty()) throw std::logic_error("last_value of empty node");
+  PRC_CHECK(!sorted_.empty()) << "last_value of empty node";
   return sorted_.back();
 }
 

@@ -1,8 +1,9 @@
 #include "sampling/rank_sample.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace prc::sampling {
 namespace {
@@ -24,12 +25,9 @@ void RankSampleSet::check_invariants() const {
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(samples_.size());
   for (const auto& s : samples_) {
-    if (s.rank == 0) {
-      throw std::invalid_argument("rank sample: ranks are 1-based");
-    }
-    if (!seen.insert(s.rank).second) {
-      throw std::invalid_argument("rank sample: duplicate rank");
-    }
+    PRC_CHECK(s.rank != 0) << "rank sample: ranks are 1-based";
+    PRC_CHECK(seen.insert(s.rank).second)
+        << "rank sample: duplicate rank " << s.rank;
   }
 }
 

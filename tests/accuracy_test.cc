@@ -182,9 +182,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ContractCase{0.05, 0.5}, ContractCase{0.05, 0.9},
                       ContractCase{0.10, 0.7}, ContractCase{0.20, 0.8},
                       ContractCase{0.15, 0.95}),
-    [](const ::testing::TestParamInfo<ContractCase>& info) {
-      return "a" + std::to_string(static_cast<int>(info.param.alpha * 100)) +
-             "_d" + std::to_string(static_cast<int>(info.param.delta * 100));
+    [](const ::testing::TestParamInfo<ContractCase>& case_info) {
+      return "a" + std::to_string(static_cast<int>(case_info.param.alpha * 100)) +
+             "_d" + std::to_string(static_cast<int>(case_info.param.delta * 100));
     });
 
 }  // namespace

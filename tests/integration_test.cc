@@ -32,8 +32,11 @@ struct Pipeline {
     Rng rng(seed + 1);
     auto node_data = data::partition_values(column.values(), 8, strategy, rng);
     network = std::make_unique<iot::FlatNetwork>(
-        std::move(node_data), iot::NetworkConfig{.frame_loss_probability = 0.0,
-                                      .seed = seed + 2});
+        std::move(node_data),
+        iot::NetworkConfig{.frame_loss_probability = 0.0,
+                           .seed = seed + 2,
+                           .faults = {},
+                           .max_attempts = 0});
     counter = std::make_unique<dp::PrivateRangeCounter>(*network,
                                                         dp::PrivateCounterConfig{},
                                                         seed + 3);
@@ -124,7 +127,9 @@ TEST(IntegrationTest, LossyNetworkStillMeetsContract) {
         column.values(), 6, data::PartitionStrategy::kRoundRobin, rng);
     iot::FlatNetwork network(std::move(node_data),
                              iot::NetworkConfig{.frame_loss_probability = 0.3,
-                                              .seed = config.seed + 2});
+                                                .seed = config.seed + 2,
+                                                .faults = {},
+                                                .max_attempts = 0});
     dp::PrivateRangeCounter counter(network, {}, config.seed + 3);
     const query::RangeQuery range{column.quantile(0.2),
                                   column.quantile(0.8)};

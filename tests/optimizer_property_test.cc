@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
         GridCase{0.20, 0.7, 0.02}, GridCase{0.20, 0.7, 1.0},
         GridCase{0.01, 0.9, 0.001},  // infeasible: below threshold
         GridCase{0.30, 0.4, 0.01}),
-    [](const ::testing::TestParamInfo<GridCase>& info) {
-      const auto& c = info.param;
+    [](const ::testing::TestParamInfo<GridCase>& case_info) {
+      const auto& c = case_info.param;
       return "a" + std::to_string(static_cast<int>(c.alpha * 1000)) + "_d" +
              std::to_string(static_cast<int>(c.delta * 100)) + "_p" +
              std::to_string(static_cast<int>(c.p * 1000));

@@ -158,9 +158,9 @@ INSTANTIATE_TEST_SUITE_P(
         ExponentVerdict{1.5, false, true},
         ExponentVerdict{2.0, false, true},
         ExponentVerdict{3.0, false, true}),
-    [](const ::testing::TestParamInfo<ExponentVerdict>& info) {
+    [](const ::testing::TestParamInfo<ExponentVerdict>& case_info) {
       return "q" + std::to_string(
-                       static_cast<int>(info.param.exponent * 100));
+                       static_cast<int>(case_info.param.exponent * 100));
     });
 
 TEST(ArbitrageCheckerTest, GridValidation) {

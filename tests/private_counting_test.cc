@@ -117,7 +117,9 @@ TEST_P(PrivatePipelineContract, ContractHolds) {
   for (int t = 0; t < trials; ++t) {
     iot::FlatNetwork network(make_node_data(8, total),
                              {.frame_loss_probability = 0.0,
-                              .seed = static_cast<std::uint64_t>(t) * 31 + 1});
+                              .seed = static_cast<std::uint64_t>(t) * 31 + 1,
+                              .faults = {},
+                              .max_attempts = 0});
     PrivateRangeCounter counter(network, {},
                                 static_cast<std::uint64_t>(t) * 17 + 3);
     const auto answer = counter.answer(range, {alpha, delta});
@@ -134,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(
     ContractSweep, PrivatePipelineContract,
     ::testing::Values(PipelineCase{0.05, 0.6}, PipelineCase{0.10, 0.8},
                       PipelineCase{0.15, 0.9}, PipelineCase{0.08, 0.5}),
-    [](const ::testing::TestParamInfo<PipelineCase>& info) {
-      return "a" + std::to_string(static_cast<int>(info.param.alpha * 100)) +
-             "_d" + std::to_string(static_cast<int>(info.param.delta * 100));
+    [](const ::testing::TestParamInfo<PipelineCase>& case_info) {
+      return "a" + std::to_string(static_cast<int>(case_info.param.alpha * 100)) +
+             "_d" + std::to_string(static_cast<int>(case_info.param.delta * 100));
     });
 
 }  // namespace

@@ -79,7 +79,9 @@ TEST_P(PropertyFuzz, RankSampleNeighborInvariants) {
       EXPECT_LE(pred->value, x);
       // Predecessor is the largest sampled value <= x.
       for (const auto& s : set.samples()) {
-        if (s.value <= x) EXPECT_LE(s.value, pred->value);
+        if (s.value <= x) {
+          EXPECT_LE(s.value, pred->value);
+        }
       }
     } else {
       for (const auto& s : set.samples()) EXPECT_GT(s.value, x);
@@ -87,13 +89,17 @@ TEST_P(PropertyFuzz, RankSampleNeighborInvariants) {
     if (succ) {
       EXPECT_GT(succ->value, x);
       for (const auto& s : set.samples()) {
-        if (s.value > x) EXPECT_GE(s.value, succ->value);
+        if (s.value > x) {
+          EXPECT_GE(s.value, succ->value);
+        }
       }
     } else {
       for (const auto& s : set.samples()) EXPECT_LE(s.value, x);
     }
     // Pred and succ bracket x and never cross.
-    if (pred && succ) EXPECT_LT(pred->value, succ->value + 1e-12);
+    if (pred && succ) {
+      EXPECT_LT(pred->value, succ->value + 1e-12);
+    }
   }
 }
 

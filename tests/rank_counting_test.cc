@@ -170,8 +170,8 @@ INSTANTIATE_TEST_SUITE_P(
         McCase{0.20, 0.5, 100.5}, McCase{0.20, 100.5, 300.0},
         // full-domain range
         McCase{0.20, 0.0, 300.0}),
-    [](const ::testing::TestParamInfo<McCase>& info) {
-      const auto& c = info.param;
+    [](const ::testing::TestParamInfo<McCase>& case_info) {
+      const auto& c = case_info.param;
       return "p" + std::to_string(static_cast<int>(c.p * 100)) + "_l" +
              std::to_string(static_cast<int>(c.lower)) + "_u" +
              std::to_string(static_cast<int>(c.upper));

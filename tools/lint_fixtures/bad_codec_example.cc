@@ -1,0 +1,33 @@
+// Deliberately broken codec fixture for `prc_lint --self-test`.
+//
+// The basename contains "codec", so checked-byte-access applies: raw
+// subscripts must sit in a function that establishes bounds.  NOT compiled.
+
+#include <cstdint>
+#include <vector>
+
+namespace prc_lint_fixture {
+
+// checked-byte-access: indexes four bytes with no guard anywhere in the
+// enclosing function.
+std::uint32_t unchecked_read_u32(const std::vector<std::uint8_t>& in,
+                                 std::size_t offset) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+// Clean control: the same read with a bounds guard must NOT be flagged.
+std::uint32_t clean_read_u32(const std::vector<std::uint8_t>& in,
+                             std::size_t offset) {
+  if (offset + 4 > in.size()) return 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(in[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace prc_lint_fixture

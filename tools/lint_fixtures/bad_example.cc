@@ -1,0 +1,46 @@
+// Deliberately broken fixture for `prc_lint --self-test`.
+//
+// Every project rule must fire at least once on this file, and the one
+// clean_* function must stay finding-free.  This file is NOT compiled —
+// it exists purely so the linter's regexes cannot rot silently.
+//
+// The filename ends in _codec-style naming via the comment below?  No:
+// checked-byte-access keys on "codec" in the basename, so that rule is
+// exercised by bad_codec_example.cc next door.
+
+#include <cassert>
+#include <cstdlib>
+#include <random>
+
+namespace prc_lint_fixture {
+
+// no-raw-random: both the C and C++ flavors.
+double unseeded_noise() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<double>(rand()) / static_cast<double>(RAND_MAX);
+}
+
+// no-bare-assert: vanishes under NDEBUG, which is the default build here.
+double bare_assert_probability(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  return 1.0 / p;
+}
+
+// no-float-eq-budget: accumulated doubles are never exactly equal.
+bool budget_exhausted(double epsilon_spent, double epsilon_cap) {
+  return epsilon_spent == epsilon_cap;
+}
+
+bool price_matches(double price, double quoted_price) {
+  return price != quoted_price;
+}
+
+// Clean control: tolerance compare plus an explicitly allowed exact
+// compare must NOT be flagged.
+bool clean_budget_check(double epsilon_spent, double epsilon_cap) {
+  if (epsilon_spent == epsilon_cap) return true;  // lint:allow float-eq
+  return epsilon_cap - epsilon_spent < 1e-9;
+}
+
+}  // namespace prc_lint_fixture
