@@ -2,15 +2,20 @@
 //
 // Every binary reproduces one paper figure/table, runs with no arguments on
 // the synthetic CityPulse-like dataset, and accepts:
-//   --csv <path>     use a real CityPulse export instead of the generator
-//   --trials <n>     trials per configuration (default per-binary)
-//   --seed <n>       master seed
-//   --output-csv     also print machine-readable CSV after the table
+//   --csv <path>            use a real CityPulse export instead of the
+//                           generator
+//   --trials <n>            trials per configuration (default per-binary)
+//   --seed <n>              master seed
+//   --output-csv            also print machine-readable CSV after the table
+//   --telemetry-json <path> write the run's TelemetrySnapshot as JSON
+//                           (default <binary>.telemetry.json)
+//   --no-telemetry          skip the snapshot export
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -21,6 +26,8 @@
 #include "common/args.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/citypulse.h"
 #include "data/dataset.h"
 #include "data/partition.h"
@@ -34,6 +41,8 @@ struct Options {
   std::size_t trials = 0;  // 0 = binary default
   std::uint64_t seed = 20140801;
   bool output_csv = false;
+  /// Where emit() writes the run's TelemetrySnapshot; empty = disabled.
+  std::string telemetry_json_path;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -42,7 +51,10 @@ inline Options parse_options(int argc, char** argv) {
   parser.option("csv", "run on a real CityPulse CSV export")
       .option("trials", "trials per configuration (0 = binary default)")
       .option("seed", "master seed")
-      .flag("output-csv", "also print machine-readable CSV");
+      .flag("output-csv", "also print machine-readable CSV")
+      .option("telemetry-json",
+              "telemetry snapshot path (default <binary>.telemetry.json)")
+      .flag("no-telemetry", "skip the telemetry snapshot export");
   try {
     if (!parser.parse(argc, argv)) std::exit(0);  // --help
   } catch (const std::invalid_argument& e) {
@@ -54,6 +66,17 @@ inline Options parse_options(int argc, char** argv) {
   options.trials = static_cast<std::size_t>(parser.get_uint("trials", 0));
   options.seed = parser.get_uint("seed", options.seed);
   options.output_csv = parser.has("output-csv");
+  if (!parser.has("no-telemetry")) {
+    if (const auto path = parser.get("telemetry-json")) {
+      options.telemetry_json_path = *path;
+    } else {
+      // Default: <binary>.telemetry.json next to the working directory.
+      std::string program = argv[0];
+      const auto slash = program.find_last_of('/');
+      if (slash != std::string::npos) program = program.substr(slash + 1);
+      options.telemetry_json_path = program + ".telemetry.json";
+    }
+  }
   return options;
 }
 
@@ -61,6 +84,9 @@ inline Options parse_options(int argc, char** argv) {
 /// otherwise the paper-shaped synthetic generator.
 inline std::vector<data::AirQualityRecord> load_records(
     const Options& options) {
+  PRC_TRACE_SPAN("bench.load_records");
+  telemetry::ScopedTimer timer(
+      telemetry::histogram("bench.load_records_duration_us"));
   if (options.csv_path) {
     std::cout << "# dataset: " << *options.csv_path << "\n";
     return data::read_records_csv(*options.csv_path);
@@ -76,6 +102,9 @@ inline std::vector<data::AirQualityRecord> load_records(
 /// Builds a k-node flat network holding one column's values.
 inline iot::FlatNetwork make_network(const data::Column& column,
                                      std::size_t nodes, std::uint64_t seed) {
+  PRC_TRACE_SPAN("bench.make_network");
+  telemetry::ScopedTimer timer(
+      telemetry::histogram("bench.make_network_duration_us"));
   Rng rng(seed);
   auto node_data = data::partition_values(
       column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
@@ -98,6 +127,18 @@ inline void emit(const TextTable& table, const Options& options) {
   std::cout << table.to_string();
   if (options.output_csv) {
     std::cout << "\n# CSV\n" << table.to_csv();
+  }
+  if (!options.telemetry_json_path.empty()) {
+    const auto snapshot = telemetry::Telemetry::registry().snapshot();
+    std::ofstream out(options.telemetry_json_path);
+    out << snapshot.to_json() << "\n";
+    if (out) {
+      std::cout << "# telemetry: " << options.telemetry_json_path << " ("
+                << snapshot.metric_count() << " metrics)\n";
+    } else {
+      std::cerr << "# telemetry: cannot write "
+                << options.telemetry_json_path << "\n";
+    }
   }
 }
 

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Schema gate for prc_query --telemetry exports.
+
+Validates that a TelemetrySnapshot JSON file has the documented shape
+(counters/gauges/histograms with the right field types) and — because CI
+runs it on a full `prc_query session` — that the export meets the
+observability floor: at least MIN_METRICS distinct metrics covering all
+four pipeline layers.
+
+Usage: check_telemetry_schema.py snapshot.json [--min-metrics N]
+Exit status: 0 when valid, 1 on any schema or coverage violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_LAYERS = ("iot.", "dp.", "pricing.", "market.")
+HISTOGRAM_NUMBER_FIELDS = ("sum", "min", "max", "p50", "p95", "p99")
+
+
+def fail(message):
+    print(f"check_telemetry_schema: FAIL: {message}")
+    return 1
+
+
+def check(path, min_metrics):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"cannot parse {path}: {error}")
+
+    if not isinstance(snapshot, dict):
+        return fail("top level must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            return fail(f"missing or non-object section '{section}'")
+
+    names = []
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            return fail(f"counter {name} must be a non-negative integer, "
+                        f"got {value!r}")
+        names.append(name)
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, (int, float)):
+            return fail(f"gauge {name} must be a number, got {value!r}")
+        names.append(name)
+    for name, hist in snapshot["histograms"].items():
+        if not isinstance(hist, dict):
+            return fail(f"histogram {name} must be an object")
+        if not isinstance(hist.get("count"), int) or hist["count"] < 0:
+            return fail(f"histogram {name}.count must be a non-negative "
+                        "integer")
+        for field in HISTOGRAM_NUMBER_FIELDS:
+            if not isinstance(hist.get(field), (int, float)):
+                return fail(f"histogram {name}.{field} must be a number")
+        bounds = hist.get("bounds")
+        buckets = hist.get("bucket_counts")
+        if not isinstance(bounds, list) or not bounds:
+            return fail(f"histogram {name}.bounds must be a non-empty list")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            return fail(f"histogram {name}.bounds must be strictly "
+                        "increasing")
+        if not isinstance(buckets, list) \
+                or len(buckets) != len(bounds) + 1:
+            return fail(f"histogram {name}.bucket_counts must have "
+                        "len(bounds)+1 entries (incl. the overflow bucket)")
+        if sum(buckets) != hist["count"]:
+            return fail(f"histogram {name}: bucket_counts sum "
+                        f"{sum(buckets)} != count {hist['count']}")
+        names.append(name)
+
+    if len(names) != len(set(names)):
+        return fail("metric names must be unique across sections")
+    if len(names) < min_metrics:
+        return fail(f"only {len(names)} metrics; expected >= {min_metrics}")
+    missing = [layer for layer in REQUIRED_LAYERS
+               if not any(name.startswith(layer) for name in names)]
+    if missing:
+        return fail(f"no metrics from layer(s): {', '.join(missing)}")
+
+    print(f"check_telemetry_schema: OK ({len(names)} metrics, "
+          f"all of {', '.join(layer.rstrip('.') for layer in REQUIRED_LAYERS)}"
+          " covered)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(prog="check_telemetry_schema")
+    parser.add_argument("snapshot", help="TelemetrySnapshot JSON file")
+    parser.add_argument("--min-metrics", type=int, default=20,
+                        help="minimum distinct metric count (default 20)")
+    args = parser.parse_args(argv)
+    return check(args.snapshot, args.min_metrics)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,6 +21,15 @@ LogLevel log_level();
 /// global filter.
 void log_message(LogLevel level, const std::string& message);
 
+/// True when a message at `level` would pass the global filter.  The
+/// PRC_LOG_* macros consult this BEFORE constructing the LogLine, so
+/// streamed operands are never formatted (or even evaluated) for a level
+/// that is filtered out — logging below the threshold costs one atomic
+/// load, nothing else.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
 namespace detail {
 
 /// Stream-style one-shot builder: LogLine(kInfo) << "x=" << x; logs at
@@ -43,11 +52,24 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Lower-precedence-than-<< sink giving the short-circuit macros void type.
+struct LogVoidify {
+  void operator&(const LogLine&) const noexcept {}
+};
+
 }  // namespace detail
 
-#define PRC_LOG_DEBUG ::prc::detail::LogLine(::prc::LogLevel::kDebug)
-#define PRC_LOG_INFO ::prc::detail::LogLine(::prc::LogLevel::kInfo)
-#define PRC_LOG_WARN ::prc::detail::LogLine(::prc::LogLevel::kWarn)
-#define PRC_LOG_ERROR ::prc::detail::LogLine(::prc::LogLevel::kError)
+/// Short-circuiting leveled log statement: the whole `<<` chain is skipped
+/// (operands unevaluated) when `level` is below the global threshold.
+#define PRC_LOG_AT(level)                      \
+  !::prc::log_enabled(level)                   \
+      ? (void)0                                \
+      : ::prc::detail::LogVoidify() &          \
+            ::prc::detail::LogLine(level)
+
+#define PRC_LOG_DEBUG PRC_LOG_AT(::prc::LogLevel::kDebug)
+#define PRC_LOG_INFO PRC_LOG_AT(::prc::LogLevel::kInfo)
+#define PRC_LOG_WARN PRC_LOG_AT(::prc::LogLevel::kWarn)
+#define PRC_LOG_ERROR PRC_LOG_AT(::prc::LogLevel::kError)
 
 }  // namespace prc

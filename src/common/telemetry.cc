@@ -1,0 +1,440 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace prc::telemetry {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_double(std::ostringstream& out, double value) {
+  // max_digits10 keeps snapshot -> JSON -> snapshot lossless.
+  const auto previous = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  out.precision(previous);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Minimal cursor over the JSON dialect to_json() emits.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      throw std::invalid_argument(std::string("telemetry JSON: expected '") +
+                                  c + "' at offset " + std::to_string(pos_));
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      throw std::invalid_argument("telemetry JSON: expected a number at "
+                                  "offset " + std::to_string(pos_));
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const std::vector<double>& default_bounds() {
+  static const std::vector<double> bounds = [] {
+    // 1-2-5 series over 10^-6 .. 10^9.
+    std::vector<double> out;
+    for (int exponent = -6; exponent <= 9; ++exponent) {
+      const double decade = std::pow(10.0, exponent);
+      for (double mantissa : {1.0, 2.0, 5.0}) {
+        out.push_back(mantissa * decade);
+      }
+    }
+    return out;
+  }();
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PRC_CHECK(!bounds_.empty()) << "histogram needs >= 1 bucket bound";
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    PRC_CHECK(bounds_[i] < bounds_[i + 1])
+        << "histogram bounds must be strictly increasing at index " << i;
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  PRC_CHECK_FINITE(value);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  sum_ += value;
+  min_ = count_ == 0 ? value : std::min(min_, value);
+  max_ = count_ == 0 ? value : std::max(max_, value);
+  ++count_;
+}
+
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (rank <= next) {
+      // Linear interpolation inside the bucket; the edge buckets use the
+      // exact observed min/max as their finite ends.
+      const double lo = i == 0 ? min_ : bounds_[i - 1];
+      const double hi = i == bounds_.size() ? max_ : bounds_[i];
+      const double fraction =
+          (rank - seen) / static_cast<double>(counts_[i]);
+      const double value = lo + (hi - lo) * fraction;
+      return std::clamp(value, min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  out.p50 = quantile_locked(0.50);
+  out.p95 = quantile_locked(0.95);
+  out.p99 = quantile_locked(0.99);
+  out.bucket_counts = counts_;
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+std::size_t TelemetrySnapshot::metric_count() const noexcept {
+  return counters.size() + gauges.size() + histograms.size();
+}
+
+bool TelemetrySnapshot::has_prefix(const std::string& prefix) const {
+  const auto starts = [&prefix](const std::string& name) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  for (const auto& [name, value] : counters) {
+    if (starts(name)) return true;
+  }
+  for (const auto& [name, value] : gauges) {
+    if (starts(name)) return true;
+  }
+  for (const auto& histogram : histograms) {
+    if (starts(histogram.name)) return true;
+  }
+  return false;
+}
+
+std::string TelemetrySnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(counters[i].first) << "\": " << counters[i].second;
+  }
+  out << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(gauges[i].first) << "\": ";
+    append_double(out, gauges[i].second);
+  }
+  out << (gauges.empty() ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name)
+        << "\": {\"count\": " << h.count << ", \"sum\": ";
+    append_double(out, h.sum);
+    out << ", \"min\": ";
+    append_double(out, h.min);
+    out << ", \"max\": ";
+    append_double(out, h.max);
+    out << ", \"p50\": ";
+    append_double(out, h.p50);
+    out << ", \"p95\": ";
+    append_double(out, h.p95);
+    out << ", \"p99\": ";
+    append_double(out, h.p99);
+    out << ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b != 0) out << ", ";
+      append_double(out, h.bounds[b]);
+    }
+    out << "], \"bucket_counts\": [";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b != 0) out << ", ";
+      out << h.bucket_counts[b];
+    }
+    out << "]}";
+  }
+  out << (histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+std::string TelemetrySnapshot::to_csv() const {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : counters) {
+    out << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge," << name << ",value,";
+    append_double(out, value);
+    out << "\n";
+  }
+  for (const auto& h : histograms) {
+    out << "histogram," << h.name << ",count," << h.count << "\n";
+    const std::pair<const char*, double> fields[] = {
+        {"sum", h.sum},   {"min", h.min}, {"max", h.max},
+        {"mean", h.mean()}, {"p50", h.p50}, {"p95", h.p95},
+        {"p99", h.p99}};
+    for (const auto& [field, value] : fields) {
+      out << "histogram," << h.name << "," << field << ",";
+      append_double(out, value);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+TelemetrySnapshot TelemetrySnapshot::from_json(const std::string& json) {
+  TelemetrySnapshot out;
+  JsonCursor cursor(json);
+  cursor.expect('{');
+
+  const auto parse_section = [&cursor](const std::string& expected_key) {
+    const std::string key = cursor.parse_string();
+    if (key != expected_key) {
+      throw std::invalid_argument("telemetry JSON: expected section '" +
+                                  expected_key + "', got '" + key + "'");
+    }
+    cursor.expect(':');
+    cursor.expect('{');
+  };
+
+  parse_section("counters");
+  while (cursor.peek() == '"') {
+    const std::string name = cursor.parse_string();
+    cursor.expect(':');
+    out.counters.emplace_back(
+        name, static_cast<std::uint64_t>(cursor.parse_number()));
+    if (!cursor.consume(',')) break;
+  }
+  cursor.expect('}');
+  cursor.expect(',');
+
+  parse_section("gauges");
+  while (cursor.peek() == '"') {
+    const std::string name = cursor.parse_string();
+    cursor.expect(':');
+    out.gauges.emplace_back(name, cursor.parse_number());
+    if (!cursor.consume(',')) break;
+  }
+  cursor.expect('}');
+  cursor.expect(',');
+
+  parse_section("histograms");
+  while (cursor.peek() == '"') {
+    HistogramSnapshot h;
+    h.name = cursor.parse_string();
+    cursor.expect(':');
+    cursor.expect('{');
+    while (cursor.peek() == '"') {
+      const std::string field = cursor.parse_string();
+      cursor.expect(':');
+      if (field == "bounds" || field == "bucket_counts") {
+        cursor.expect('[');
+        while (cursor.peek() != ']') {
+          const double value = cursor.parse_number();
+          if (field == "bounds") {
+            h.bounds.push_back(value);
+          } else {
+            h.bucket_counts.push_back(static_cast<std::uint64_t>(value));
+          }
+          if (!cursor.consume(',')) break;
+        }
+        cursor.expect(']');
+      } else {
+        const double value = cursor.parse_number();
+        if (field == "count") {
+          h.count = static_cast<std::uint64_t>(value);
+        } else if (field == "sum") {
+          h.sum = value;
+        } else if (field == "min") {
+          h.min = value;
+        } else if (field == "max") {
+          h.max = value;
+        } else if (field == "p50") {
+          h.p50 = value;
+        } else if (field == "p95") {
+          h.p95 = value;
+        } else if (field == "p99") {
+          h.p99 = value;
+        } else {
+          throw std::invalid_argument(
+              "telemetry JSON: unknown histogram field '" + field + "'");
+        }
+      }
+      if (!cursor.consume(',')) break;
+    }
+    cursor.expect('}');
+    out.histograms.push_back(std::move(h));
+    if (!cursor.consume(',')) break;
+  }
+  cursor.expect('}');
+  cursor.expect('}');
+  return out;
+}
+
+Telemetry& Telemetry::registry() {
+  static Telemetry instance;
+  return instance;
+}
+
+Counter& Telemetry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Telemetry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Telemetry::histogram(const std::string& name,
+                                std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? default_bounds() : std::move(bounds));
+  }
+  return *slot;
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    auto h = histogram->snapshot();
+    h.name = name;
+    out.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+ScopedTimer::ScopedTimer(Histogram& sink)
+    : sink_(sink), start_ns_(steady_now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const double elapsed_us =
+      static_cast<double>(steady_now_ns() - start_ns_) / 1000.0;
+  sink_.record(elapsed_us);
+}
+
+}  // namespace prc::telemetry

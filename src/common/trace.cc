@@ -1,0 +1,111 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
+namespace prc::trace {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread stack of open span ids; parent/child links are intra-thread.
+thread_local std::vector<std::uint64_t> t_open_spans;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_now_ns()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Tracer::record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::flame_text() const {
+  auto spans = snapshot();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::ostringstream out;
+  out << "# trace (" << spans.size() << " spans";
+  const std::uint64_t evicted = dropped();
+  if (evicted != 0) out << ", " << evicted << " evicted";
+  out << ")\n";
+  out << std::fixed << std::setprecision(3);
+  for (const auto& span : spans) {
+    out << std::string(2 * span.depth, ' ') << span.name << "  "
+        << static_cast<double>(span.duration_ns) / 1e6 << " ms  @ +"
+        << static_cast<double>(span.start_ns) / 1e6 << " ms\n";
+  }
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  auto& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  id_ = tracer.next_id();
+  parent_id_ = t_open_spans.empty() ? 0 : t_open_spans.back();
+  depth_ = static_cast<std::uint32_t>(t_open_spans.size());
+  t_open_spans.push_back(id_);
+  start_ns_ = tracer.now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  auto& tracer = Tracer::instance();
+  SpanRecord span;
+  span.id = id_;
+  span.parent_id = parent_id_;
+  span.depth = depth_;
+  span.name = name_;
+  span.start_ns = start_ns_;
+  span.duration_ns = tracer.now_ns() - start_ns_;
+  t_open_spans.pop_back();
+  tracer.record(std::move(span));
+}
+
+}  // namespace prc::trace

@@ -3,10 +3,17 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace prc::dp {
 
 double amplified_epsilon(double epsilon, double p) {
+  // Called once per optimizer grid point; cache the registry reference
+  // (stable across reset(), which zeroes in place) to keep the hot path at
+  // one relaxed atomic increment.
+  static telemetry::Counter& amplification_calls =
+      telemetry::counter("dp.amplification_calls");
+  amplification_calls.increment();
   PRC_CHECK(std::isfinite(epsilon) && epsilon >= 0.0)
       << "epsilon must be >= 0, got " << epsilon;
   PRC_CHECK(std::isfinite(p) && p >= 0.0 && p <= 1.0)

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "dp/amplification.h"
 #include "estimator/accuracy.h"
 #include "estimator/rank_counting.h"
@@ -39,6 +41,10 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
   PRC_CHECK_PROB(p);
   PRC_CHECK(node_count > 0 && total_count > 0)
       << "need node_count > 0 and total_count > 0";
+  PRC_TRACE_SPAN("dp.optimize");
+  telemetry::ScopedTimer optimize_timer(
+      telemetry::histogram("dp.optimize_duration_us"));
+  telemetry::counter("dp.optimize_calls").increment();
   const double n = static_cast<double>(total_count);
   const double sensitivity =
       sensitivity_for(config_.sensitivity_policy, p, max_node_count);
@@ -47,10 +53,14 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
   // at the cached p; it must stay below alpha to leave room for noise.
   const double alpha_lo =
       estimator::min_feasible_alpha(p, spec.delta, node_count, total_count);
-  if (!(alpha_lo < spec.alpha)) return std::nullopt;
+  if (!(alpha_lo < spec.alpha)) {
+    telemetry::counter("dp.optimize_infeasible").increment();
+    return std::nullopt;
+  }
 
   std::optional<PerturbationPlan> best;
   const std::size_t grid = config_.grid_points;
+  telemetry::counter("dp.grid_evaluations").increment(grid);
   for (std::size_t i = 1; i <= grid; ++i) {
     // Open interval (alpha_lo, alpha): both endpoints are degenerate
     // (delta' == delta at alpha_lo; zero noise headroom at alpha).
@@ -93,6 +103,9 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
         << best->to_string();
     PRC_DCHECK(std::isfinite(best->laplace_scale) && best->laplace_scale > 0.0)
         << "plan needs a positive finite noise scale: " << best->to_string();
+    telemetry::histogram("dp.epsilon_amplified").record(best->epsilon_amplified);
+  } else {
+    telemetry::counter("dp.optimize_infeasible").increment();
   }
   return best;
 }

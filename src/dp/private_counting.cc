@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "dp/amplification.h"
 #include "dp/laplace_mechanism.h"
 
@@ -36,6 +38,7 @@ PrivateRangeCounter::PrivateRangeCounter(iot::SamplingNetwork& network,
 PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
     const query::AccuracySpec& spec) {
   spec.validate();
+  PRC_TRACE_SPAN("dp.ensure_feasible_plan");
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
 
@@ -68,6 +71,7 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
       }
     }
     if (p >= 1.0) {
+      telemetry::counter("dp.coverage_errors").increment();
       if (!cov.complete()) {
         throw CoverageError(
             "accuracy contract " + spec.to_string() +
@@ -81,6 +85,7 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
     }
     // Escalate: more samples shrink alpha_lo and open the search space
     // (and re-attempts delivery to nodes that dropped out last round).
+    telemetry::counter("dp.topups").increment();
     target_p = std::min(1.0, p * 1.5);
     PRC_LOG_INFO << "contract " << spec.to_string()
                  << " infeasible at effective p=" << p_eff
@@ -91,6 +96,9 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
 PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
                                           const query::AccuracySpec& spec) {
   range.validate();
+  PRC_TRACE_SPAN("dp.answer");
+  telemetry::ScopedTimer answer_timer(
+      telemetry::histogram("dp.answer_duration_us"));
   PrivateAnswer out;
   out.plan = ensure_feasible_plan(spec);
   out.coverage = network_.base_station().coverage();
@@ -99,6 +107,10 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   PRC_CHECK_FINITE(out.sampled_estimate);
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
   out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
+  telemetry::counter("dp.answers").increment();
+  telemetry::counter("dp.laplace_draws").increment();
+  telemetry::gauge("dp.epsilon_spent_total").add(out.plan.epsilon_amplified);
+  telemetry::histogram("dp.laplace_scale").record(out.plan.laplace_scale);
   // The release the market audits: a non-finite value or an amplified
   // budget above the base budget would void both the contract and the
   // ledger's composition accounting.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "estimator/basic_counting.h"
 #include "iot/codec.h"
 
@@ -137,6 +138,7 @@ void BaseStation::ingest(const SampleReport& report) {
   if (!report.new_samples.empty()) {
     entry.samples.merge(sampling::RankSampleSet(report.new_samples));
   }
+  telemetry::counter("iot.station.reports_ingested").increment();
 }
 
 void BaseStation::replace(const SampleReport& full_report) {
@@ -153,6 +155,7 @@ void BaseStation::replace_locked(const SampleReport& full_report) {
   entry.data_count = full_report.data_count;
   entry.reported = true;
   entry.samples = sampling::RankSampleSet(full_report.new_samples);
+  telemetry::counter("iot.station.cache_replacements").increment();
 }
 
 void BaseStation::commit_round(double p) {
@@ -177,11 +180,17 @@ void BaseStation::commit_round_locked(double p,
       << "refreshed mask size mismatch: " << refreshed.size() << " vs "
       << entries_.size() << " nodes";
   p_ = p;
+  std::size_t cached = 0;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (refreshed[i]) {
       entries_[i].probability = std::max(entries_[i].probability, p);
     }
+    cached += entries_[i].samples.size();
   }
+  telemetry::counter("iot.station.rounds_committed").increment();
+  telemetry::gauge("iot.station.cached_samples")
+      .set(static_cast<double>(cached));
+  telemetry::gauge("iot.station.sampling_probability").set(p);
 }
 
 std::vector<estimator::NodeSampleView> BaseStation::node_views() const {

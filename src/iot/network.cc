@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "iot/codec.h"
 
 namespace prc::iot {
@@ -17,6 +19,30 @@ std::size_t backoff_slots_after(std::size_t failed_attempts) {
 }
 
 }  // namespace
+
+void publish_round_metrics(const CommunicationStats& before,
+                           const CommunicationStats& after,
+                           const RoundReport& report) {
+  auto& registry = telemetry::Telemetry::registry();
+  registry.counter("iot.rounds").increment();
+  registry.counter("iot.frames_attempted")
+      .increment(after.frames_attempted - before.frames_attempted);
+  registry.counter("iot.frames_delivered")
+      .increment(after.frames_delivered - before.frames_delivered);
+  registry.counter("iot.frames_dropped")
+      .increment(after.dropped_frames - before.dropped_frames);
+  registry.counter("iot.retransmissions")
+      .increment(after.retransmissions - before.retransmissions);
+  registry.counter("iot.uplink_bytes")
+      .increment(after.uplink_bytes - before.uplink_bytes);
+  registry.counter("iot.downlink_bytes")
+      .increment(after.downlink_bytes - before.downlink_bytes);
+  registry.counter("iot.samples_transferred").increment(report.new_samples);
+  registry.gauge("iot.round_coverage").set(report.coverage);
+  registry.gauge("iot.round_min_probability").set(report.min_probability);
+  registry.histogram("iot.round_new_samples")
+      .record(static_cast<double>(report.new_samples));
+}
 
 FlatNetwork::FlatNetwork(std::vector<std::vector<double>> node_data,
                          NetworkConfig config)
@@ -158,6 +184,7 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
   if (p <= station_.sampling_probability()) {
     // The cache already satisfies the request: no traffic, no churn step.
     // Report where each node stands relative to the *requested* p.
+    telemetry::counter("iot.rounds_noop").increment();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (station_.node_probability(i) >= p) continue;
       report.outcomes[i] = station_.node_reported(i) ? NodeOutcome::kStale
@@ -169,6 +196,10 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
     return report;
   }
 
+  PRC_TRACE_SPAN("iot.round");
+  telemetry::ScopedTimer round_timer(
+      telemetry::histogram("iot.round_duration_us"));
+  const CommunicationStats stats_before = stats_;
   faults_.begin_round();
   const std::size_t retrans_before = stats_.retransmissions;
   const std::size_t dropped_before = stats_.dropped_frames;
@@ -277,6 +308,7 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
   report.coverage = cov.coverage;
   report.min_probability = cov.min_probability;
   last_round_ = report;
+  publish_round_metrics(stats_before, stats_, report);
   return report;
 }
 

@@ -47,6 +47,14 @@ struct CommunicationStats {
   }
 };
 
+/// Publishes one collection round's frame/byte deltas and resulting
+/// coverage to the metrics registry ("iot.*" catalog; see DESIGN.md
+/// "Telemetry").  Event counts, sizes and coverage only — no sample values
+/// cross this boundary.  Shared by FlatNetwork and TreeNetwork.
+void publish_round_metrics(const CommunicationStats& before,
+                           const CommunicationStats& after,
+                           const RoundReport& report);
+
 struct NetworkConfig {
   /// Per-frame loss probability on both directions (retransmitted until
   /// delivered or the attempt budget runs out; each attempt is charged).

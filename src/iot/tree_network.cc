@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace prc::iot {
 namespace {
 
@@ -163,6 +166,7 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
     const CoverageSummary cov = station_.coverage();
     report.coverage = cov.coverage;
     report.min_probability = cov.min_probability;
+    telemetry::counter("iot.rounds_noop").increment();
     return report;
   }
 
@@ -172,6 +176,11 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
   if (faults_.enabled() || config_.max_attempts != 0 || !all_online) {
     return run_degraded_round(p);
   }
+
+  PRC_TRACE_SPAN("iot.round");
+  telemetry::ScopedTimer round_timer(
+      telemetry::histogram("iot.round_duration_us"));
+  const CommunicationStats stats_before = stats_;
 
   // ---- Fault-free path: the seed accounting, byte for byte. ----
 
@@ -261,10 +270,15 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
   report.coverage = cov.coverage;
   report.min_probability = cov.min_probability;
   last_round_ = report;
+  publish_round_metrics(stats_before, stats_, report);
   return report;
 }
 
 RoundReport TreeNetwork::run_degraded_round(double p) {
+  PRC_TRACE_SPAN("iot.round");
+  telemetry::ScopedTimer round_timer(
+      telemetry::histogram("iot.round_duration_us"));
+  const CommunicationStats stats_before = stats_;
   RoundReport report;
   report.target_p = p;
   report.outcomes.assign(nodes_.size(), NodeOutcome::kDelivered);
@@ -343,6 +357,7 @@ RoundReport TreeNetwork::run_degraded_round(double p) {
   report.coverage = cov.coverage;
   report.min_probability = cov.min_probability;
   last_round_ = report;
+  publish_round_metrics(stats_before, stats_, report);
   return report;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace prc::market {
 
@@ -20,6 +22,7 @@ DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
 }
 
 double DataBroker::quote(const query::AccuracySpec& spec) const {
+  telemetry::counter("market.quotes").increment();
   return pricing_->price(spec);
 }
 
@@ -31,6 +34,10 @@ double DataBroker::remaining_budget(const std::string& consumer_id) const {
 PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
                                  const query::RangeQuery& range,
                                  const query::AccuracySpec& spec) {
+  PRC_TRACE_SPAN("market.sell");
+  telemetry::ScopedTimer sell_timer(
+      telemetry::histogram("market.sell_duration_us"));
+  telemetry::counter("market.sale_attempts").increment();
   // Check the budget against the projected plan BEFORE computing the
   // answer, so a refused sale releases nothing.
   const double spent = ledger_.consumer_epsilon(consumer_id);
@@ -38,11 +45,13 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     const auto projected = counter_.plan_for(spec);
     if (spent + projected.epsilon_amplified >
         config_.per_consumer_epsilon_cap) {
+      telemetry::counter("market.refusals_budget").increment();
       throw BudgetExceededError(consumer_id,
                                 spent + projected.epsilon_amplified,
                                 config_.per_consumer_epsilon_cap);
     }
   } else {
+    telemetry::counter("market.refusals_budget").increment();
     throw BudgetExceededError(consumer_id, spent,
                               config_.per_consumer_epsilon_cap);
   }
@@ -53,6 +62,7 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   {
     const auto cov = counter_.network().base_station().coverage();
     if (cov.target_p > 0.0 && cov.coverage < config_.min_coverage) {
+      telemetry::counter("market.refusals_coverage").increment();
       throw InsufficientCoverageError(
           "coverage " + std::to_string(cov.coverage) +
               " below the broker floor " +
@@ -70,10 +80,12 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     // ensure_feasible_plan failed before any noise was drawn: nothing has
     // been released yet, so refusing here spends no budget.
     if (config_.degraded_policy == DegradedSalePolicy::kRefuse) {
+      telemetry::counter("market.refusals_coverage").increment();
       throw InsufficientCoverageError(
           std::string("sale refused: ") + err.what(), err.coverage());
     }
     if (err.coverage().coverage < config_.min_coverage) {
+      telemetry::counter("market.refusals_coverage").increment();
       throw InsufficientCoverageError(
           "coverage " + std::to_string(err.coverage().coverage) +
               " below the broker floor " +
@@ -83,6 +95,7 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     try {
       sold_spec = counter_.degraded_spec(spec);
     } catch (const dp::CoverageError& inner) {
+      telemetry::counter("market.refusals_coverage").increment();
       throw InsufficientCoverageError(
           std::string("repricing impossible: ") + inner.what(),
           inner.coverage());
@@ -115,6 +128,13 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   transaction.coverage = answer.coverage.coverage;
   transaction.degraded = degraded;
   receipt.transaction_id = ledger_.record(std::move(transaction));
+  telemetry::counter("market.sales").increment();
+  if (degraded) telemetry::counter("market.degraded_sales").increment();
+  telemetry::histogram("market.sale_price").record(receipt.price);
+  telemetry::histogram("market.sale_epsilon")
+      .record(answer.plan.epsilon_amplified);
+  telemetry::gauge("market.revenue_total").set(ledger_.total_revenue());
+  telemetry::gauge("market.epsilon_spent_total").set(ledger_.total_epsilon());
   return receipt;
 }
 

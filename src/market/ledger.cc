@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace prc::market {
 
@@ -33,6 +34,9 @@ std::size_t Ledger::record(Transaction transaction) {
              1e-9 * (1.0 + total_epsilon_ + total_revenue_))
       << "ledger lost track of released budget: discrepancy "
       << conservation_discrepancy_locked();
+  telemetry::counter("market.ledger_transactions").increment();
+  telemetry::gauge("market.ledger_conservation_discrepancy")
+      .set(conservation_discrepancy_locked());
   return transactions_.back().sequence;
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace prc::pricing {
 namespace {
@@ -43,6 +45,8 @@ ArbitrageChecker::ArbitrageChecker(VarianceModel model, Grid grid)
 
 CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
                                     std::size_t max_violations) const {
+  PRC_TRACE_SPAN("pricing.arbitrage_check");
+  telemetry::counter("pricing.arbitrage_checks").increment();
   CheckReport report;
   const auto record = [&](PropertyViolation violation) {
     report.arbitrage_avoiding = false;
@@ -118,6 +122,12 @@ CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
       ++report.checks_performed;
       if (lhs > rhs + kRelTolerance) record({3, lo, hi, lhs, rhs});
     }
+  }
+  telemetry::counter("pricing.arbitrage_grid_checks")
+      .increment(report.checks_performed);
+  if (!report.arbitrage_avoiding) {
+    telemetry::counter("pricing.arbitrage_violations")
+        .increment(report.violations.size());
   }
   return report;
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace prc::pricing {
 namespace {
@@ -19,6 +20,7 @@ constexpr double kAuditDelta[] = {0.05, 0.3, 0.6, 0.9};
 
 void validate_arbitrage_conditions(const VarianceModel& model,
                                    const PricingFunction& pricing) {
+  telemetry::counter("pricing.menu_validations").increment();
   double product_min = std::numeric_limits<double>::infinity();
   double product_max = 0.0;
   double prev_v_alpha = 0.0;
@@ -75,7 +77,10 @@ InverseVariancePricing::InverseVariancePricing(
 
 double InverseVariancePricing::price(const query::AccuracySpec& spec) const {
   const double v = model_.contract_variance(spec);
-  return base_price_ * std::pow(reference_variance_ / v, exponent_);
+  const double price = base_price_ * std::pow(reference_variance_ / v, exponent_);
+  telemetry::counter("pricing.quotes").increment();
+  telemetry::histogram("pricing.price").record(price);
+  return price;
 }
 
 std::string InverseVariancePricing::name() const {
@@ -95,8 +100,11 @@ LinearDiscountPricing::LinearDiscountPricing(double base, double accuracy_rate,
 
 double LinearDiscountPricing::price(const query::AccuracySpec& spec) const {
   spec.validate();
-  return base_ + accuracy_rate_ * (1.0 - spec.alpha) +
-         confidence_rate_ * spec.delta;
+  const double price = base_ + accuracy_rate_ * (1.0 - spec.alpha) +
+                       confidence_rate_ * spec.delta;
+  telemetry::counter("pricing.quotes").increment();
+  telemetry::histogram("pricing.price").record(price);
+  return price;
 }
 
 std::string LinearDiscountPricing::name() const { return "linear-discount"; }
@@ -136,7 +144,10 @@ FittedTheoremPricing::FittedTheoremPricing(VarianceModel model, double scale)
 }
 
 double FittedTheoremPricing::price(const query::AccuracySpec& spec) const {
-  return scale_ / model_.contract_variance(spec);
+  const double price = scale_ / model_.contract_variance(spec);
+  telemetry::counter("pricing.quotes").increment();
+  telemetry::histogram("pricing.price").record(price);
+  return price;
 }
 
 std::string FittedTheoremPricing::name() const {

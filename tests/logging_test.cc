@@ -51,6 +51,47 @@ TEST_F(LoggingTest, StreamStyleComposesValues) {
   EXPECT_NE(out.find("[INFO] x=42 y=1.5"), std::string::npos);
 }
 
+// Expensive-to-format type that counts how many times it is streamed.
+struct CountingOperand {
+  mutable int* formats;
+};
+
+std::ostream& operator<<(std::ostream& out, const CountingOperand& operand) {
+  ++*operand.formats;
+  return out << "formatted";
+}
+
+TEST_F(LoggingTest, NoFormattingBelowThreshold) {
+  // The level gate runs BEFORE the LogLine is built: a suppressed statement
+  // must not evaluate its operands, let alone format them.
+  set_log_level(LogLevel::kWarn);
+  int formats = 0;
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return CountingOperand{&formats};
+  };
+  PRC_LOG_DEBUG << expensive();
+  PRC_LOG_INFO << expensive();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(formats, 0);
+  const std::string out =
+      capture_stderr([&] { PRC_LOG_WARN << expensive(); });
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(formats, 1);
+  EXPECT_NE(out.find("[WARN] formatted"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogEnabledMatchesTheFilter) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
 TEST_F(LoggingTest, LevelRoundTrips) {
   set_log_level(LogLevel::kDebug);
   EXPECT_EQ(log_level(), LogLevel::kDebug);

@@ -1,0 +1,238 @@
+// Metrics registry: counters/gauges/histograms, quantile accuracy against
+// an exact sort, snapshot JSON round-trip, reset-in-place reference
+// stability, and registry thread-safety (run under TSan by CI).
+
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace prc::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  counter.increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::exception);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::exception);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::exception);
+}
+
+TEST(HistogramTest, TracksCountSumMinMax) {
+  Histogram hist({1.0, 10.0, 100.0});
+  hist.record(0.5);
+  hist.record(5.0);
+  hist.record(500.0);  // overflow bucket
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 505.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+  ASSERT_EQ(snap.bucket_counts.size(), snap.bounds.size() + 1);
+  EXPECT_EQ(snap.bucket_counts.back(), 1u);  // the 500.0 overflow
+  EXPECT_DOUBLE_EQ(snap.mean(), 505.5 / 3.0);
+}
+
+TEST(HistogramTest, QuantilesTrackExactSort) {
+  // Bucketed quantiles are estimates; with the default 1-2-5 bounds the
+  // interpolated p50/p95/p99 must land within one bucket width of the
+  // exact order statistics.
+  Histogram hist(default_bounds());
+  Rng rng(7);
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.uniform() * 8.0);  // spans many buckets
+    values.push_back(v);
+    hist.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto exact = [&](double q) {
+    return values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+  };
+  const auto snap = hist.snapshot();
+  for (const auto& [estimate, q] :
+       {std::pair{snap.p50, 0.50}, {snap.p95, 0.95}, {snap.p99, 0.99}}) {
+    const double truth = exact(q);
+    // 1-2-5 spacing: neighboring bounds are within a factor 2.5.
+    EXPECT_GE(estimate, truth / 2.5) << "q=" << q;
+    EXPECT_LE(estimate, truth * 2.5) << "q=" << q;
+  }
+  // Quantiles are clamped to the observed range.
+  EXPECT_GE(snap.p50, snap.min);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(HistogramTest, SingleValueQuantilesAreExact) {
+  Histogram hist({1.0, 10.0});
+  hist.record(3.0);
+  const auto snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50, 3.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 3.0);
+}
+
+TEST(RegistryTest, ReferencesStableAcrossResetAndRehash) {
+  Telemetry registry;
+  Counter& counter = registry.counter("stable.counter");
+  Gauge& gauge = registry.gauge("stable.gauge");
+  counter.increment(5);
+  gauge.set(1.25);
+  // Force rehashing by registering many more metrics.
+  for (int i = 0; i < 200; ++i) {
+    registry.counter("filler." + std::to_string(i)).increment();
+  }
+  EXPECT_EQ(counter.value(), 5u);
+  EXPECT_EQ(&registry.counter("stable.counter"), &counter);
+  registry.reset();
+  // reset() zeroes in place: the old references still work.
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  EXPECT_EQ(registry.counter("stable.counter").value(), 1u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(RegistryTest, SnapshotSortsNamesAndCountsMetrics) {
+  Telemetry registry;
+  registry.counter("b.two").increment(2);
+  registry.counter("a.one").increment(1);
+  registry.gauge("c.three").set(3.0);
+  registry.histogram("d.four").record(4.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.one");
+  EXPECT_EQ(snap.counters[1].first, "b.two");
+  EXPECT_EQ(snap.metric_count(), 4u);
+  EXPECT_TRUE(snap.has_prefix("a."));
+  EXPECT_TRUE(snap.has_prefix("d."));
+  EXPECT_FALSE(snap.has_prefix("zzz."));
+}
+
+TEST(RegistryTest, ConcurrentAccessIsSafe) {
+  // 4 threads hammer one shared counter/gauge/histogram plus per-thread
+  // metrics (exercising concurrent creation).  Run under TSan in CI.
+  Telemetry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.counter("shared.counter").increment();
+        registry.gauge("shared.gauge").set(static_cast<double>(i));
+        registry.histogram("shared.hist").record(static_cast<double>(i));
+        registry.counter("thread." + std::to_string(t)).increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("shared.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.histogram("shared.hist").snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("thread." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(kIterations));
+  }
+}
+
+TEST(SnapshotTest, JsonRoundTripPreservesEverything) {
+  Telemetry registry;
+  registry.counter("iot.rounds").increment(3);
+  registry.gauge("dp.epsilon_spent_total").set(0.12345678901234567);
+  auto& hist = registry.histogram("market.sale_price");
+  hist.record(10.0);
+  hist.record(99.5);
+  hist.record(1e6);
+
+  const auto snap = registry.snapshot();
+  const auto parsed = TelemetrySnapshot::from_json(snap.to_json());
+
+  ASSERT_EQ(parsed.counters.size(), snap.counters.size());
+  EXPECT_EQ(parsed.counters[0].first, "iot.rounds");
+  EXPECT_EQ(parsed.counters[0].second, 3u);
+  ASSERT_EQ(parsed.gauges.size(), 1u);
+  // max_digits10 serialization: doubles survive bit-exactly.
+  EXPECT_EQ(parsed.gauges[0].second, snap.gauges[0].second);
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  const auto& h0 = parsed.histograms[0];
+  const auto& h1 = snap.histograms[0];
+  EXPECT_EQ(h0.name, h1.name);
+  EXPECT_EQ(h0.count, h1.count);
+  EXPECT_EQ(h0.sum, h1.sum);
+  EXPECT_EQ(h0.min, h1.min);
+  EXPECT_EQ(h0.max, h1.max);
+  EXPECT_EQ(h0.p50, h1.p50);
+  EXPECT_EQ(h0.bounds, h1.bounds);
+  EXPECT_EQ(h0.bucket_counts, h1.bucket_counts);
+}
+
+TEST(SnapshotTest, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(TelemetrySnapshot::from_json(""), std::invalid_argument);
+  EXPECT_THROW(TelemetrySnapshot::from_json("not json"),
+               std::invalid_argument);
+  EXPECT_THROW(TelemetrySnapshot::from_json("{\"counters\": ["),
+               std::invalid_argument);
+}
+
+TEST(SnapshotTest, CsvHasOneRowPerScalar) {
+  Telemetry registry;
+  registry.counter("a.count").increment();
+  registry.gauge("b.gauge").set(1.0);
+  registry.histogram("c.hist").record(2.0);
+  const std::string csv = registry.snapshot().to_csv();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,a.count,value,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,b.gauge,value,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.hist,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.hist,p99,"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedMicroseconds) {
+  Telemetry registry;
+  auto& hist = registry.histogram("timer.us");
+  { ScopedTimer timer(hist); }
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.min, 0.0);
+  EXPECT_LT(snap.max, 1e6);  // an empty scope takes far less than a second
+}
+
+TEST(DefaultBoundsTest, StrictlyIncreasingAndWide) {
+  const auto& bounds = default_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_LE(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 1e9);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prc::telemetry

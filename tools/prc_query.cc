@@ -22,19 +22,38 @@
 //       Estimate a quantile from one round of rank samples (and print the
 //       exact value for comparison).  Warns when the bounded retry budget
 //       left the round partial.
+//
+//   prc_query session --csv data.csv --index ozone --lower 60 --upper 110
+//             [--sales 3] [--alpha 0.05] [--delta 0.8] [--nodes 8]
+//             [--budget 5] [--base-price 100] [--seed S]
+//             [--frame-loss 0.3] [--max-attempts 3]
+//       Run a full market session — collection rounds, private answers,
+//       Theorem 4.2 pricing, and ledgered sales — so one invocation
+//       exercises every layer of the pipeline.
+//
+// Every data-touching subcommand accepts:
+//   --telemetry path.json     write a TelemetrySnapshot (JSON) on exit
+//   --telemetry-csv path.csv  write the same snapshot as CSV
+//   --trace                   print a flamegraph-style span dump to stderr
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/args.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/citypulse.h"
 #include "data/dataset.h"
 #include "data/partition.h"
 #include "dp/private_counting.h"
 #include "estimator/quantile.h"
 #include "iot/network.h"
+#include "market/broker.h"
 #include "pricing/pricing.h"
+#include "pricing/variance_model.h"
 #include "query/range_query.h"
 
 namespace {
@@ -66,6 +85,41 @@ std::optional<data::AirQualityIndex> index_by_name(const std::string& name) {
     if (data::index_name(index) == name) return index;
   }
   return std::nullopt;
+}
+
+ArgParser& add_telemetry_options(ArgParser& parser) {
+  return parser
+      .option("telemetry", "write a telemetry snapshot (JSON) to this path")
+      .option("telemetry-csv", "write a telemetry snapshot (CSV) to this path")
+      .flag("trace", "print a flamegraph-style span dump to stderr");
+}
+
+/// Writes the process-wide metrics snapshot / span dump as requested by
+/// --telemetry / --telemetry-csv / --trace.  Returns false (and reports on
+/// stderr) when an output file cannot be written.
+bool export_telemetry(const ArgParser& parser) {
+  bool ok = true;
+  const auto snapshot = telemetry::Telemetry::registry().snapshot();
+  if (const auto path = parser.get("telemetry")) {
+    std::ofstream out(*path);
+    out << snapshot.to_json() << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write telemetry JSON to " << *path << "\n";
+      ok = false;
+    }
+  }
+  if (const auto path = parser.get("telemetry-csv")) {
+    std::ofstream out(*path);
+    out << snapshot.to_csv();
+    if (!out) {
+      std::cerr << "error: cannot write telemetry CSV to " << *path << "\n";
+      ok = false;
+    }
+  }
+  if (parser.has("trace")) {
+    std::cerr << trace::Tracer::instance().flame_text();
+  }
+  return ok;
 }
 
 data::AirQualityIndex require_index(const ArgParser& parser) {
@@ -113,6 +167,7 @@ int cmd_count(int argc, char** argv) {
       .option("max-attempts",
               "per-frame transmission budget, 0 = retry forever (default 0)")
       .flag("exact", "print the exact count instead (ground truth)");
+  add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
 
   const query::RangeQuery range{required_double(parser, "lower"),
@@ -152,6 +207,7 @@ int cmd_count(int argc, char** argv) {
               << ", min p_i " << e.coverage().min_probability
               << ") cannot support this contract; widen --alpha or raise "
                  "--max-attempts\n";
+    export_telemetry(parser);
     return 1;
   }
 
@@ -167,7 +223,7 @@ int cmd_count(int argc, char** argv) {
               << answer.coverage.min_probability << ", dropped_frames "
               << network.stats().dropped_frames << ")\n";
   }
-  return 0;
+  return export_telemetry(parser) ? 0 : 1;
 }
 
 int cmd_quote(int argc, char** argv) {
@@ -179,6 +235,7 @@ int cmd_quote(int argc, char** argv) {
       .option("nodes", "node count k (default 8)")
       .option("base-price", "price of the (0.1, 0.5) reference (default 100)")
       .option("exponent", "power-family exponent q (default 1)");
+  add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   const query::AccuracySpec spec{required_double(parser, "alpha"),
                                  required_double(parser, "delta")};
@@ -199,7 +256,7 @@ int cmd_quote(int argc, char** argv) {
     std::cout << "warning: exponent != 1 is NOT arbitrage-avoiding "
                  "(Theorem 4.2)\n";
   }
-  return 0;
+  return export_telemetry(parser) ? 0 : 1;
 }
 
 int cmd_quantile(int argc, char** argv) {
@@ -214,6 +271,7 @@ int cmd_quantile(int argc, char** argv) {
       .option("frame-loss", "i.i.d. frame loss probability (default 0)")
       .option("max-attempts",
               "per-frame transmission budget, 0 = retry forever (default 0)");
+  add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   const double q = required_double(parser, "q");
   const double p = parser.get_double("p", 0.1);
@@ -248,14 +306,91 @@ int cmd_quantile(int argc, char** argv) {
               << " nodes, dropped_frames " << report.dropped_frames
               << "); the estimate only covers delivered nodes\n";
   }
-  return 0;
+  return export_telemetry(parser) ? 0 : 1;
+}
+
+int cmd_session(int argc, char** argv) {
+  ArgParser parser("prc_query session",
+                   "run a full collection -> DP -> pricing -> market session");
+  parser.option("csv", "dataset CSV (required)")
+      .option("index", "air-quality index name (required)")
+      .option("lower", "range lower bound (required)")
+      .option("upper", "range upper bound (required)")
+      .option("sales", "number of purchases to attempt (default 3)")
+      .option("alpha", "contract error bound (default 0.05)")
+      .option("delta", "contract confidence (default 0.8)")
+      .option("nodes", "simulated node count (default 8)")
+      .option("budget", "per-consumer epsilon cap (default 5)")
+      .option("base-price", "price of the (0.1, 0.5) reference (default 100)")
+      .option("seed", "simulation seed (default 1)")
+      .option("frame-loss", "i.i.d. frame loss probability (default 0)")
+      .option("max-attempts",
+              "per-frame transmission budget, 0 = retry forever (default 0)");
+  add_telemetry_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+
+  const query::RangeQuery range{required_double(parser, "lower"),
+                                required_double(parser, "upper")};
+  range.validate();
+  const query::AccuracySpec spec{parser.get_double("alpha", 0.05),
+                                 parser.get_double("delta", 0.8)};
+  spec.validate();
+  const auto nodes = static_cast<std::size_t>(parser.get_uint("nodes", 8));
+  const auto sales = static_cast<std::size_t>(parser.get_uint("sales", 3));
+  const auto seed = parser.get_uint("seed", 1);
+
+  const auto records = data::read_records_csv(require(parser, "csv"));
+  const data::Dataset dataset(records);
+  const auto& column = dataset.column(require_index(parser));
+
+  Rng rng(seed);
+  auto node_data = data::partition_values(
+      column.values(), nodes, data::PartitionStrategy::kRoundRobin, rng);
+  iot::NetworkConfig net_config;
+  net_config.seed = seed + 1;
+  net_config.frame_loss_probability = parser.get_double("frame-loss", 0.0);
+  net_config.max_attempts =
+      static_cast<std::size_t>(parser.get_uint("max-attempts", 0));
+  iot::FlatNetwork network(std::move(node_data), net_config);
+  dp::PrivateRangeCounter counter(network, {}, seed + 2);
+
+  const pricing::VarianceModel model(column.size(), nodes);
+  auto pricing_fn = std::make_unique<pricing::InverseVariancePricing>(
+      model, query::AccuracySpec{0.1, 0.5},
+      parser.get_double("base-price", 100.0), 1.0);
+  market::BrokerConfig broker_config;
+  broker_config.per_consumer_epsilon_cap = parser.get_double("budget", 5.0);
+  market::DataBroker broker(counter, std::move(pricing_fn), broker_config);
+
+  std::cout << "quote " << broker.quote(spec) << " for " << spec.to_string()
+            << "\n";
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < sales; ++i) {
+    const std::string consumer = "consumer-" + std::to_string(i);
+    try {
+      const auto receipt = broker.sell(consumer, range, spec);
+      ++completed;
+      std::cout << "sale " << receipt.transaction_id << " " << consumer
+                << " value " << receipt.value << " price " << receipt.price
+                << (receipt.degraded ? " (degraded)" : "") << "\n";
+    } catch (const market::BudgetExceededError& e) {
+      std::cout << "sale refused (" << consumer << "): " << e.what() << "\n";
+    } catch (const market::InsufficientCoverageError& e) {
+      std::cout << "sale refused (" << consumer << "): " << e.what() << "\n";
+    }
+  }
+  std::cout << "completed_sales " << completed << "/" << sales << "\n"
+            << "revenue " << broker.ledger().total_revenue() << "\n"
+            << "epsilon_released " << broker.ledger().total_epsilon() << "\n"
+            << "uplink_bytes " << network.stats().uplink_bytes << "\n";
+  return export_telemetry(parser) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: prc_query {generate|count|quote|quantile} "
+    std::cerr << "usage: prc_query {generate|count|quote|quantile|session} "
                  "[options]\n       prc_query <command> --help\n";
     return 2;
   }
@@ -266,6 +401,7 @@ int main(int argc, char** argv) {
     if (command == "count") return cmd_count(argc - 1, argv + 1);
     if (command == "quote") return cmd_quote(argc - 1, argv + 1);
     if (command == "quantile") return cmd_quantile(argc - 1, argv + 1);
+    if (command == "session") return cmd_session(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
