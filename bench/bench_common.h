@@ -10,8 +10,12 @@
 //   --telemetry-json <path> write the run's TelemetrySnapshot as JSON
 //                           (default <binary>.telemetry.json)
 //   --no-telemetry          skip the snapshot export
+//   --threads <n>           worker threads for the parallel sections
+//                           (default: PRC_THREADS env or 1; results are
+//                           bit-identical for every value)
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/telemetry.h"
@@ -43,6 +48,14 @@ struct Options {
   bool output_csv = false;
   /// Where emit() writes the run's TelemetrySnapshot; empty = disabled.
   std::string telemetry_json_path;
+  /// Worker threads the run was configured with (parallel::thread_count()
+  /// after --threads was applied).
+  std::size_t threads = 1;
+  /// Sensor node count override; 0 = the binary's default scenario.
+  std::size_t nodes = 0;
+  /// Set by parse_options; emit() turns it into bench.wall_clock_us so the
+  /// snapshot carries the run's end-to-end wall time next to its counters.
+  std::chrono::steady_clock::time_point start_time;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -54,7 +67,11 @@ inline Options parse_options(int argc, char** argv) {
       .flag("output-csv", "also print machine-readable CSV")
       .option("telemetry-json",
               "telemetry snapshot path (default <binary>.telemetry.json)")
-      .flag("no-telemetry", "skip the telemetry snapshot export");
+      .flag("no-telemetry", "skip the telemetry snapshot export")
+      .option("threads",
+              "worker threads for parallel sections (default: PRC_THREADS "
+              "env or 1)")
+      .option("nodes", "sensor node count (0 = binary default)");
   try {
     if (!parser.parse(argc, argv)) std::exit(0);  // --help
   } catch (const std::invalid_argument& e) {
@@ -62,6 +79,12 @@ inline Options parse_options(int argc, char** argv) {
     std::exit(2);
   }
   Options options;
+  options.start_time = std::chrono::steady_clock::now();
+  if (const auto threads = parser.get_uint("threads", 0); threads > 0) {
+    parallel::set_thread_count(static_cast<std::size_t>(threads));
+  }
+  options.threads = parallel::thread_count();
+  options.nodes = static_cast<std::size_t>(parser.get_uint("nodes", 0));
   options.csv_path = parser.get("csv");
   options.trials = static_cast<std::size_t>(parser.get_uint("trials", 0));
   options.seed = parser.get_uint("seed", options.seed);
@@ -129,6 +152,15 @@ inline void emit(const TextTable& table, const Options& options) {
     std::cout << "\n# CSV\n" << table.to_csv();
   }
   if (!options.telemetry_json_path.empty()) {
+    // Stamp the run shape into the snapshot so scripts/bench_compare.py can
+    // compare like with like: wall-clock is informational (machines and
+    // thread counts differ), the counters are the exact contract.
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - options.start_time);
+    telemetry::gauge("bench.wall_clock_us")
+        .set(static_cast<double>(wall.count()));
+    telemetry::gauge("bench.threads")
+        .set(static_cast<double>(options.threads));
     const auto snapshot = telemetry::Telemetry::registry().snapshot();
     std::ofstream out(options.telemetry_json_path);
     out << snapshot.to_json() << "\n";

@@ -1,11 +1,16 @@
 // google-benchmark micro-benchmarks of the hot paths: per-node estimation,
-// global estimation, sampling top-up, the perturbation optimizer, Laplace
-// draws and CSV parsing.
+// global estimation, batched multi-query estimation, sampling top-up, the
+// perturbation optimizer, Laplace draws, CSV parsing and the (retired)
+// per-ingest rank audit.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "data/citypulse.h"
 #include "dp/laplace_mechanism.h"
@@ -69,6 +74,59 @@ void BM_GlobalEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_GlobalEstimate)->Arg(8)->Arg(64)->Arg(512);
 
+std::vector<query::RangeQuery> make_ranges(std::size_t count) {
+  std::vector<query::RangeQuery> ranges;
+  ranges.reserve(count);
+  Rng rng(41);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double lo = rng.uniform(0.0, 150.0);
+    ranges.push_back({lo, lo + rng.uniform(5.0, 50.0)});
+  }
+  return ranges;
+}
+
+// The workload path before this layer existed: Q independent single-query
+// calls.  Compare against BM_BatchEstimate at the same (queries, threads=1)
+// to see the pass-fusion win, and against threads>1 for the parallel win —
+// the batch is bit-identical to the loop in all cases.
+void BM_SingleEstimateLoop(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  std::vector<sampling::RankSampleSet> sets;
+  std::vector<estimator::NodeSampleView> views;
+  for (std::size_t i = 0; i < 64; ++i) sets.push_back(make_sample(2000, 0.2));
+  for (const auto& s : sets) views.push_back({&s, 2000});
+  const auto ranges = make_ranges(queries);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& range : ranges) {
+      acc += estimator::rank_counting_estimate(views, 0.2, range);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SingleEstimateLoop)->Arg(10)->Arg(100);
+
+void BM_BatchEstimate(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  parallel::set_thread_count(threads);
+  std::vector<sampling::RankSampleSet> sets;
+  std::vector<estimator::NodeSampleView> views;
+  for (std::size_t i = 0; i < 64; ++i) sets.push_back(make_sample(2000, 0.2));
+  for (const auto& s : sets) views.push_back({&s, 2000});
+  const auto ranges = make_ranges(queries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimator::rank_counting_estimate_batch(views, 0.2, ranges));
+  }
+  parallel::set_thread_count(1);
+}
+BENCHMARK(BM_BatchEstimate)
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 8});
+
 void BM_SamplerTopUp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto values = make_values(n);
@@ -110,6 +168,43 @@ void BM_CityPulseGenerate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CityPulseGenerate)->Arg(1000)->Arg(17568);
+
+// The station ingests one RankSampleSet per report; construction is the
+// sort, nothing else (rank validation is PRC_DCHECK-gated since the
+// parallel-collection change).
+void BM_RankSampleConstruct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<sampling::RankedValue> values =
+      make_sample(n, 0.5).samples();
+  for (auto _ : state) {
+    auto copy = values;
+    sampling::RankSampleSet set(std::move(copy));
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_RankSampleConstruct)->Arg(1000)->Arg(10000);
+
+// What every release-build ingest used to pay on top: the always-on
+// duplicate-rank audit (hash-set insert per sample).  The gap between this
+// and BM_RankSampleConstruct is the win from demoting the audit to
+// PRC_DCHECK.
+void BM_RankSampleConstructPlusAudit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<sampling::RankedValue> values =
+      make_sample(n, 0.5).samples();
+  for (auto _ : state) {
+    auto copy = values;
+    sampling::RankSampleSet set(std::move(copy));
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(set.size());
+    bool ok = true;
+    for (const auto& s : set.samples()) {
+      ok = ok && s.rank != 0 && seen.insert(s.rank).second;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_RankSampleConstructPlusAudit)->Arg(1000)->Arg(10000);
 
 void BM_CsvParse(benchmark::State& state) {
   data::CityPulseConfig config;

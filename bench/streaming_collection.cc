@@ -29,7 +29,9 @@ struct PolicyResult {
 
 int main(int argc, char** argv) {
   const auto options = bench::parse_options(argc, argv);
-  const std::size_t kNodes = 8;
+  // --nodes scales the fleet (e.g. 1000 for the parallel-collection
+  // speedup scenario); the default stays the paper-sized 8-node setup.
+  const std::size_t kNodes = options.nodes != 0 ? options.nodes : 8;
   const double p = 0.15;
   const std::size_t kBatches = 30;
 

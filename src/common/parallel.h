@@ -1,0 +1,102 @@
+// Deterministic parallel execution primitives.
+//
+// A small fixed-size thread pool drives two loop shapes:
+//
+//   parallel_for(n, body)        — body(begin, end) over contiguous chunks
+//                                  of [0, n); chunk→thread assignment is
+//                                  dynamic, so the body must only write
+//                                  state owned by its index range.
+//   parallel_reduce(n, chunk,    — associative merge over a FIXED chunk
+//                   id, map, op)   grid: map(begin, end) produces one
+//                                  partial per chunk and op folds the
+//                                  partials in chunk-index order.
+//
+// Determinism is the design contract: the reduce chunk grid depends only on
+// (n, chunk), never on the thread count, and partials are folded serially
+// in index order — so a reduction returns the same bits at threads=1 and
+// threads=64.  parallel_for carries no ordering of its own; callers get
+// determinism by writing per-index slots and merging serially afterwards
+// (the pattern the collection round and the batched estimator use).
+//
+// The pool is process-global and lazily built at the configured
+// thread_count().  The default is 1 (fully serial — byte-identical to the
+// pre-parallel library); benches and tools opt in via --threads, and the
+// PRC_THREADS environment variable seeds the default for processes that
+// never call set_thread_count().  Nested parallel_for calls from inside a
+// pool worker (or from a region the caller is already driving) run inline
+// on the calling thread, so composed parallel code cannot deadlock the
+// fixed-size pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace prc::parallel {
+
+/// Hardware concurrency, clamped to >= 1.
+std::size_t hardware_threads() noexcept;
+
+/// The current global thread count (>= 1).  Initialized from PRC_THREADS
+/// when set (0 there means "hardware"), else 1.
+std::size_t thread_count() noexcept;
+
+/// Sets the global thread count.  0 = hardware_threads().  The shared pool
+/// is (re)built lazily on the next parallel call.  Not safe to call while a
+/// parallel region is running.
+void set_thread_count(std::size_t count);
+
+/// True when the calling thread is already inside a parallel region (pool
+/// worker or a caller currently driving one); nested loops run inline.
+bool in_parallel_region() noexcept;
+
+/// Runs body(begin, end) over a partition of [0, n) on the shared pool.
+/// Blocks until every chunk completed; rethrows the first exception any
+/// chunk raised.  With thread_count() == 1, n == 0/1, or when nested,
+/// runs body(0, n) inline.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Per-index convenience over parallel_for.
+template <typename Fn>
+void parallel_for_each(std::size_t n, Fn&& fn) {
+  parallel_for(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Default reduce chunk: small enough to expose parallelism on big inputs,
+/// large enough that inputs under one chunk fold exactly like the plain
+/// serial loop (so estimates over <= 256 nodes are bit-identical to the
+/// pre-parallel library).
+inline constexpr std::size_t kDefaultReduceChunk = 256;
+
+/// Chunked associative reduction with a thread-count-independent grid:
+/// ceil(n / chunk) chunks, map_chunk(begin, end) evaluated (possibly in
+/// parallel) per chunk, partials folded serially in chunk-index order via
+/// combine(accumulator, partial).  Bit-deterministic for any thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t n, std::size_t chunk, T identity,
+                  MapFn&& map_chunk, CombineFn&& combine) {
+  if (n == 0 || chunk == 0) return identity;
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks == 1) {
+    return combine(std::move(identity), map_chunk(std::size_t{0}, n));
+  }
+  std::vector<T> partials(chunks);
+  parallel_for(chunks, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = lo + chunk < n ? lo + chunk : n;
+      partials[c] = map_chunk(lo, hi);
+    }
+  });
+  T total = std::move(identity);
+  for (auto& partial : partials) {
+    total = combine(std::move(total), std::move(partial));
+  }
+  return total;
+}
+
+}  // namespace prc::parallel

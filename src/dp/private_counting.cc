@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 #include "common/check.h"
@@ -39,6 +40,9 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
     const query::AccuracySpec& spec) {
   spec.validate();
   PRC_TRACE_SPAN("dp.ensure_feasible_plan");
+  static telemetry::Counter& coverage_errors =
+      telemetry::counter("dp.coverage_errors");
+  static telemetry::Counter& topups = telemetry::counter("dp.topups");
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
 
@@ -71,7 +75,7 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
       }
     }
     if (p >= 1.0) {
-      telemetry::counter("dp.coverage_errors").increment();
+      coverage_errors.increment();
       if (!cov.complete()) {
         throw CoverageError(
             "accuracy contract " + spec.to_string() +
@@ -85,7 +89,7 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
     }
     // Escalate: more samples shrink alpha_lo and open the search space
     // (and re-attempts delivery to nodes that dropped out last round).
-    telemetry::counter("dp.topups").increment();
+    topups.increment();
     target_p = std::min(1.0, p * 1.5);
     PRC_LOG_INFO << "contract " << spec.to_string()
                  << " infeasible at effective p=" << p_eff
@@ -99,6 +103,9 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   PRC_TRACE_SPAN("dp.answer");
   telemetry::ScopedTimer answer_timer(
       telemetry::histogram("dp.answer_duration_us"));
+  // One release at a time: the noise stream stays serial and the top-up
+  // below never interleaves with another seller's.
+  std::lock_guard<std::mutex> lock(mutex_);
   PrivateAnswer out;
   out.plan = ensure_feasible_plan(spec);
   out.coverage = network_.base_station().coverage();
@@ -127,6 +134,7 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
 query::AccuracySpec PrivateRangeCounter::degraded_spec(
     const query::AccuracySpec& requested) const {
   requested.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
   const auto cov = network_.base_station().coverage();
@@ -153,6 +161,7 @@ query::AccuracySpec PrivateRangeCounter::degraded_spec(
 PerturbationPlan PrivateRangeCounter::plan_for(
     const query::AccuracySpec& spec) const {
   spec.validate();
+  std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
   double p = std::max(

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "dp/optimizer.h"
 #include "iot/sampling_network.h"
 #include "query/range_query.h"
@@ -61,6 +63,15 @@ struct PrivateCounterConfig {
   bool clamp_to_domain = true;
 };
 
+/// Thread-safety: answer(), plan_for() and degraded_spec() serialize on an
+/// internal mutex — concurrent sellers (market::MarketSimulation's
+/// concurrent-consumers mode) may share one counter.  The lock covers both
+/// the shared noise stream (every Laplace draw must come from ONE serial
+/// stream or the privacy accounting of the released values falls apart) and
+/// the network top-ups answer() performs (the sample cache is mutated
+/// through a plain reference).  Const readers that bypass the counter and
+/// touch the network directly are safe only through the BaseStation's own
+/// mutex (coverage(), estimates); anything else requires quiescence.
 class PrivateRangeCounter {
  public:
   /// The counter drives `network` (tops up its samples); the network must
@@ -90,12 +101,16 @@ class PrivateRangeCounter {
   const iot::SamplingNetwork& network() const noexcept { return network_; }
 
  private:
-  PerturbationPlan ensure_feasible_plan(const query::AccuracySpec& spec);
+  PerturbationPlan ensure_feasible_plan(const query::AccuracySpec& spec)
+      PRC_REQUIRES(mutex_);
 
+  mutable std::mutex mutex_;
+  /// Guarded by mutex_ too: answer() mutates the cache via top-up rounds,
+  /// and plan_for()/degraded_spec() must not observe a half-finished round.
   iot::SamplingNetwork& network_;
   PrivateCounterConfig config_;
   PerturbationOptimizer optimizer_;
-  Rng noise_rng_;
+  Rng noise_rng_ PRC_GUARDED_BY(mutex_);
 };
 
 }  // namespace prc::dp

@@ -49,6 +49,12 @@ WorkloadResult WorkloadAnswerer::answer(
   }
 
   const double sensitivity = 1.0 / p;
+  // One batched pass over the station cache answers the whole workload
+  // (parallel across queries/nodes); the Laplace draws below then consume
+  // `rng` serially in query order, so the noise stream is identical to the
+  // old one-query-at-a-time loop.
+  const std::vector<double> estimates =
+      network.rank_counting_estimate_batch(ranges);
   WorkloadResult result;
   result.answers.reserve(ranges.size());
   std::vector<double> amplified;
@@ -57,8 +63,7 @@ WorkloadResult WorkloadAnswerer::answer(
     const LaplaceMechanism mechanism(sensitivity, epsilons[i]);
     WorkloadAnswer answer;
     answer.range = ranges[i];
-    answer.value =
-        mechanism.perturb(network.rank_counting_estimate(ranges[i]), rng);
+    answer.value = mechanism.perturb(estimates[i], rng);
     answer.epsilon = epsilons[i];
     answer.epsilon_amplified = amplified_epsilon(epsilons[i], p);
     answer.noise_variance = mechanism.noise_variance();

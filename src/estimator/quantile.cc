@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace prc::estimator {
 
@@ -19,13 +20,21 @@ double prefix_count_estimate(const sampling::RankSampleSet& samples,
 
 double global_prefix_estimate(std::span<const NodeSampleView> nodes, double p,
                               double x) {
-  double total = 0.0;
-  for (const auto& node : nodes) {
-    PRC_CHECK(node.samples != nullptr)
-        << "prefix estimate: null node sample view";
-    total += prefix_count_estimate(*node.samples, node.data_count, p, x);
-  }
-  return total;
+  // Same fixed chunk grid as the rank-counting sums: parallel over nodes
+  // for large fleets, bit-identical at any thread count.
+  return parallel::parallel_reduce(
+      nodes.size(), parallel::kDefaultReduceChunk, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          PRC_CHECK(nodes[i].samples != nullptr)
+              << "prefix estimate: null node sample view";
+          partial += prefix_count_estimate(*nodes[i].samples,
+                                           nodes[i].data_count, p, x);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
 double prefix_variance_bound(double p) {

@@ -1,8 +1,44 @@
 #include "estimator/rank_counting.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace prc::estimator {
+namespace {
+
+/// Sum of per-node estimates over the fixed reduce chunk grid.  Both the
+/// single-query entry points and the batch go through this helper, so a
+/// batched answer is bit-identical to the corresponding single-query call
+/// at any thread count.
+template <typename NodeEstimateFn>
+double chunked_node_sum(std::size_t node_count, NodeEstimateFn&& estimate) {
+  return parallel::parallel_reduce(
+      node_count, parallel::kDefaultReduceChunk, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) partial += estimate(i);
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
+}
+
+double hetero_node_estimate(const NodeSampleView& node, double probability,
+                            const query::RangeQuery& range) {
+  PRC_CHECK(node.samples != nullptr) << "rank counting: null node sample view";
+  // Empty nodes contribute 0 regardless of p; skipping them lets callers
+  // pass probability 0 for nodes that never reported.
+  if (node.data_count == 0) return 0.0;
+  if (node.samples->empty()) {
+    // No cached samples: the 4-case estimator degenerates to
+    // gamma(fst, lst, i) = n_i, which does not involve p at all.  This
+    // also covers nodes the station knows only by cardinality (p_i = 0).
+    return static_cast<double>(node.data_count);
+  }
+  return rank_counting_node_estimate(*node.samples, node.data_count,
+                                     probability, range);
+}
+
+}  // namespace
 
 double rank_counting_node_estimate(const sampling::RankSampleSet& samples,
                                    std::size_t data_count, double p,
@@ -39,13 +75,12 @@ double rank_counting_node_estimate(const sampling::RankSampleSet& samples,
 
 double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
                               const query::RangeQuery& range) {
-  double total = 0.0;
-  for (const auto& node : nodes) {
-    PRC_CHECK(node.samples != nullptr) << "rank counting: null node sample view";
-    total +=
-        rank_counting_node_estimate(*node.samples, node.data_count, p, range);
-  }
-  return total;
+  return chunked_node_sum(nodes.size(), [&](std::size_t i) {
+    PRC_CHECK(nodes[i].samples != nullptr)
+        << "rank counting: null node sample view";
+    return rank_counting_node_estimate(*nodes[i].samples, nodes[i].data_count,
+                                       p, range);
+  });
 }
 
 double rank_counting_estimate(std::span<const NodeSampleView> nodes,
@@ -55,24 +90,39 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes,
       << "rank counting: one probability per node required, got "
       << nodes.size() << " nodes and " << probabilities.size()
       << " probabilities";
-  double total = 0.0;
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const auto& node = nodes[i];
-    PRC_CHECK(node.samples != nullptr) << "rank counting: null node sample view";
-    // Empty nodes contribute 0 regardless of p; skipping them lets callers
-    // pass probability 0 for nodes that never reported.
-    if (node.data_count == 0) continue;
-    if (node.samples->empty()) {
-      // No cached samples: the 4-case estimator degenerates to
-      // gamma(fst, lst, i) = n_i, which does not involve p at all.  This
-      // also covers nodes the station knows only by cardinality (p_i = 0).
-      total += static_cast<double>(node.data_count);
-      continue;
-    }
-    total += rank_counting_node_estimate(*node.samples, node.data_count,
-                                         probabilities[i], range);
-  }
-  return total;
+  return chunked_node_sum(nodes.size(), [&](std::size_t i) {
+    return hetero_node_estimate(nodes[i], probabilities[i], range);
+  });
+}
+
+std::vector<double> rank_counting_estimate_batch(
+    std::span<const NodeSampleView> nodes, double p,
+    std::span<const query::RangeQuery> ranges) {
+  std::vector<double> estimates(ranges.size());
+  // Parallel over queries; when Q is too small to fill the pool the inner
+  // node sum parallelizes instead (nested regions inline, so exactly one
+  // level fans out).
+  parallel::parallel_for_each(ranges.size(), [&](std::size_t q) {
+    estimates[q] = rank_counting_estimate(nodes, p, ranges[q]);
+  });
+  return estimates;
+}
+
+std::vector<double> rank_counting_estimate_batch(
+    std::span<const NodeSampleView> nodes,
+    std::span<const double> probabilities,
+    std::span<const query::RangeQuery> ranges) {
+  PRC_CHECK(nodes.size() == probabilities.size())
+      << "rank counting: one probability per node required, got "
+      << nodes.size() << " nodes and " << probabilities.size()
+      << " probabilities";
+  std::vector<double> estimates(ranges.size());
+  parallel::parallel_for_each(ranges.size(), [&](std::size_t q) {
+    estimates[q] = chunked_node_sum(nodes.size(), [&](std::size_t i) {
+      return hetero_node_estimate(nodes[i], probabilities[i], ranges[q]);
+    });
+  });
+  return estimates;
 }
 
 double rank_counting_node_variance_bound(double p) {

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 #include "query/range_query.h"
 #include "sampling/rank_sample.h"
@@ -55,6 +56,23 @@ double rank_counting_estimate(std::span<const NodeSampleView> nodes, double p,
 double rank_counting_estimate(std::span<const NodeSampleView> nodes,
                               std::span<const double> probabilities,
                               const query::RangeQuery& range);
+
+/// Batched estimate: answers Q ranges in one pass over the node views.
+/// Parallelizes over queries for large Q and over nodes for large N (the
+/// inner node sum uses the fixed reduce chunk grid), and returns exactly
+/// the values Q single-query calls would: result[q] ==
+/// rank_counting_estimate(nodes, p, ranges[q]) bit for bit, at any thread
+/// count.
+std::vector<double> rank_counting_estimate_batch(
+    std::span<const NodeSampleView> nodes, double p,
+    std::span<const query::RangeQuery> ranges);
+
+/// Heterogeneous-probability batch (see the single-query overload for the
+/// per-node probability semantics).
+std::vector<double> rank_counting_estimate_batch(
+    std::span<const NodeSampleView> nodes,
+    std::span<const double> probabilities,
+    std::span<const query::RangeQuery> ranges);
 
 /// Theorem 3.1 bound on one node's estimator variance: 8 / p^2.
 double rank_counting_node_variance_bound(double p);

@@ -217,6 +217,15 @@ double BaseStation::rank_counting_estimate(
                                            range);
 }
 
+std::vector<double> BaseStation::rank_counting_estimate_batch(
+    std::span<const query::RangeQuery> ranges) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PRC_CHECK(p_ > 0.0) << "no sampling round committed yet";
+  const auto views = node_views_locked();
+  return estimator::rank_counting_estimate_batch(
+      views, node_probabilities_locked(), ranges);
+}
+
 double BaseStation::basic_counting_estimate(
     const query::RangeQuery& range) const {
   std::lock_guard<std::mutex> lock(mutex_);

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "common/thread_annotations.h"
@@ -118,6 +119,13 @@ class BaseStation {
   /// (heterogeneous Horvitz–Thompson correction).  Requires a completed
   /// round (sampling_probability() > 0).
   double rank_counting_estimate(const query::RangeQuery& range) const;
+
+  /// Batched RankCounting: answers all ranges against ONE consistent cache
+  /// snapshot (the mutex is held for the whole batch) and returns exactly
+  /// the values per-range rank_counting_estimate() calls would, bit for
+  /// bit, at any thread count.
+  std::vector<double> rank_counting_estimate_batch(
+      std::span<const query::RangeQuery> ranges) const;
 
   /// BasicCounting baseline estimate from the same cache.  Deliberately
   /// kept at the seed-style single global probability: it is the biased

@@ -35,7 +35,10 @@ FaultSchedule::FaultSchedule(const FaultConfig& config, std::size_t node_count)
   config_.validate();
   if (!enabled_) return;
   Rng master(config_.seed);
-  schedule_rng_ = master.split();
+  // The retired shared duplication stream is still split off first so the
+  // per-node stream layout (churn + burst sequences) is unchanged from
+  // earlier releases; duplication now draws from the per-node streams.
+  (void)master.split();
   nodes_.resize(node_count);
   for (auto& node : nodes_) node.rng = master.split();
 }
@@ -77,9 +80,9 @@ bool FaultSchedule::attempt_lost(std::size_t node) {
                                                : config_.loss_good);
 }
 
-bool FaultSchedule::duplicate_frame() {
+bool FaultSchedule::duplicate_frame(std::size_t node) {
   if (!enabled_) return false;
-  return schedule_rng_.bernoulli(config_.duplication_probability);
+  return nodes_.at(node).rng.bernoulli(config_.duplication_probability);
 }
 
 }  // namespace prc::iot

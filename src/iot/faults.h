@@ -82,8 +82,10 @@ class FaultSchedule {
   /// with its own i.i.d. loss draw.)
   bool attempt_lost(std::size_t node);
 
-  /// Whether a just-delivered frame is duplicated in flight.
-  bool duplicate_frame();
+  /// Whether a frame just delivered from `node` is duplicated in flight.
+  /// Draws from the node's own stream (like attempt_lost), so per-node
+  /// draw sequences stay fixed no matter how rounds are threaded.
+  bool duplicate_frame(std::size_t node);
 
  private:
   struct NodeState {
@@ -94,7 +96,6 @@ class FaultSchedule {
 
   FaultConfig config_;
   std::vector<NodeState> nodes_;
-  Rng schedule_rng_{0};
   std::size_t rounds_ = 0;
   bool enabled_ = false;
 };

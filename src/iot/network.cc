@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "iot/codec.h"
@@ -47,7 +48,6 @@ void publish_round_metrics(const CommunicationStats& before,
 FlatNetwork::FlatNetwork(std::vector<std::vector<double>> node_data,
                          NetworkConfig config)
     : station_(node_data.size()),
-      loss_rng_(Rng(config.seed).split()),
       config_(config),
       faults_(config.faults, node_data.size()) {
   if (node_data.empty()) {
@@ -68,6 +68,14 @@ FlatNetwork::FlatNetwork(std::vector<std::vector<double>> node_data,
     nodes_.emplace_back(static_cast<int>(i), std::move(node_data[i]),
                         master.split());
   }
+  // Channel streams come from the SAME master, after the k sampling splits:
+  // node sampling streams keep their historical values, and every node's
+  // link randomness is an independent child a parallel round can consume
+  // without ordering constraints.
+  channel_rngs_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    channel_rngs_.push_back(master.split());
+  }
 }
 
 void FlatNetwork::set_node_online(std::size_t node, bool online) {
@@ -75,101 +83,108 @@ void FlatNetwork::set_node_online(std::size_t node, bool online) {
 }
 
 FlatNetwork::Delivery FlatNetwork::transmit(std::size_t frame_bytes,
-                                            bool uplink, std::size_t node) {
+                                            bool uplink, std::size_t node,
+                                            CommunicationStats& stats) {
+  Rng& rng = channel_rngs_[node];
   Delivery result;
-  ++stats_.frames_attempted;
+  ++stats.frames_attempted;
   for (;;) {
     ++result.attempts;
     if (uplink) {
-      ++stats_.uplink_messages;
-      stats_.uplink_bytes += frame_bytes;
+      ++stats.uplink_messages;
+      stats.uplink_bytes += frame_bytes;
     } else {
-      ++stats_.downlink_messages;
-      stats_.downlink_bytes += frame_bytes;
+      ++stats.downlink_messages;
+      stats.downlink_bytes += frame_bytes;
     }
-    // Draw the i.i.d. loss first: with faults disabled this consumes the
-    // exact Bernoulli sequence of the seed simulator.  The burst channel is
-    // stepped even when the i.i.d. draw already lost the frame — the fade
-    // process evolves with every attempt on the air, not per delivery.
-    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    // Draw the i.i.d. loss first, from the node's own channel stream.  The
+    // burst channel is stepped even when the i.i.d. draw already lost the
+    // frame — the fade process evolves with every attempt on the air, not
+    // per delivery.
+    const bool iid_lost = rng.bernoulli(config_.frame_loss_probability);
     const bool burst_lost = faults_.attempt_lost(node);
     if (!iid_lost && !burst_lost) {
       result.delivered = true;
-      ++stats_.frames_delivered;
-      maybe_duplicate(frame_bytes, uplink);
+      ++stats.frames_delivered;
+      maybe_duplicate(frame_bytes, uplink, node, stats);
       return result;
     }
-    ++stats_.retransmissions;
+    ++stats.retransmissions;
     if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
-      ++stats_.dropped_frames;
+      ++stats.dropped_frames;
       return result;
     }
-    stats_.backoff_slots += backoff_slots_after(result.attempts);
+    stats.backoff_slots += backoff_slots_after(result.attempts);
   }
 }
 
-void FlatNetwork::maybe_duplicate(std::size_t frame_bytes, bool uplink) {
-  if (!faults_.duplicate_frame()) return;
-  ++stats_.duplicated_frames;
+void FlatNetwork::maybe_duplicate(std::size_t frame_bytes, bool uplink,
+                                  std::size_t node,
+                                  CommunicationStats& stats) {
+  if (!faults_.duplicate_frame(node)) return;
+  ++stats.duplicated_frames;
   if (uplink) {
-    ++stats_.uplink_messages;
-    stats_.uplink_bytes += frame_bytes;
+    ++stats.uplink_messages;
+    stats.uplink_bytes += frame_bytes;
   } else {
-    ++stats_.downlink_messages;
-    stats_.downlink_bytes += frame_bytes;
+    ++stats.downlink_messages;
+    stats.downlink_bytes += frame_bytes;
   }
 }
 
 FlatNetwork::Delivery FlatNetwork::deliver_frame(const SampleReport& frame,
-                                                 SampleReport& out) {
+                                                 SampleReport& out,
+                                                 CommunicationStats& stats) {
   const auto node = static_cast<std::size_t>(frame.node_id);
   if (!config_.byte_accurate) {
-    const Delivery result = transmit(frame.wire_size(), /*uplink=*/true, node);
+    const Delivery result =
+        transmit(frame.wire_size(), /*uplink=*/true, node, stats);
     if (result.delivered) out = frame;
     return result;
   }
   // Byte-accurate path: serialize for real, lose/corrupt per attempt, and
   // keep retransmitting (within the budget) until a frame survives both the
   // channel and the CRC check.
+  Rng& rng = channel_rngs_[node];
   Delivery result;
-  ++stats_.frames_attempted;
+  ++stats.frames_attempted;
   for (;;) {
     auto encoded = encode(frame);
     ++result.attempts;
-    stats_.uplink_messages += 1;
-    stats_.uplink_bytes += encoded.size();
+    stats.uplink_messages += 1;
+    stats.uplink_bytes += encoded.size();
     bool failed = false;
-    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool iid_lost = rng.bernoulli(config_.frame_loss_probability);
     const bool burst_lost = faults_.attempt_lost(node);
     if (iid_lost || burst_lost) {
-      ++stats_.retransmissions;
+      ++stats.retransmissions;
       failed = true;
     } else {
-      if (loss_rng_.bernoulli(config_.bit_corruption_probability)) {
-        const auto byte_index = static_cast<std::size_t>(loss_rng_.uniform_int(
+      if (rng.bernoulli(config_.bit_corruption_probability)) {
+        const auto byte_index = static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(encoded.size()) - 1));
         const auto bit =
-            static_cast<std::uint8_t>(1u << loss_rng_.uniform_int(0, 7));
+            static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
         encoded[byte_index] ^= bit;
       }
       try {
         out = decode_sample_report(encoded);
         result.delivered = true;
-        ++stats_.frames_delivered;
-        maybe_duplicate(encoded.size(), /*uplink=*/true);
+        ++stats.frames_delivered;
+        maybe_duplicate(encoded.size(), /*uplink=*/true, node, stats);
         return result;
       } catch (const CodecError&) {
-        ++stats_.corrupted_frames;
-        ++stats_.retransmissions;
+        ++stats.corrupted_frames;
+        ++stats.retransmissions;
         failed = true;
       }
     }
     if (failed && config_.max_attempts != 0 &&
         result.attempts >= config_.max_attempts) {
-      ++stats_.dropped_frames;
+      ++stats.dropped_frames;
       return result;
     }
-    stats_.backoff_slots += backoff_slots_after(result.attempts);
+    stats.backoff_slots += backoff_slots_after(result.attempts);
   }
 }
 
@@ -205,25 +220,40 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
   const std::size_t dropped_before = stats_.dropped_frames;
   std::vector<bool> refreshed(nodes_.size(), false);
 
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  // Per-node lanes: each node's report generation + channel simulation runs
+  // independently (its own channel RNG, burst state, and stats lane; the
+  // station is internally mutexed and its per-node entries are disjoint),
+  // so the loop parallelizes with no cross-node ordering.  Lanes are merged
+  // serially in node order below, making the round bit-identical at any
+  // thread count.
+  struct NodeLane {
+    CommunicationStats stats;
+    std::size_t new_samples = 0;
+    bool refreshed = false;
+  };
+  std::vector<NodeLane> lanes(nodes_.size());
+
+  parallel::parallel_for_each(nodes_.size(), [&](std::size_t i) {
     auto& node = nodes_[i];
+    auto& lane = lanes[i];
     const SampleRequest request{node.id(), p};
     // The station does not know which nodes crashed; the request goes out
     // regardless (and is charged), exactly like the real downlink.
-    const Delivery down = transmit(request.wire_size(), /*uplink=*/false, i);
+    const Delivery down =
+        transmit(request.wire_size(), /*uplink=*/false, i, lane.stats);
     const bool offline = !node.online() || faults_.node_offline(i);
     if (!down.delivered) {
       // The node never heard the request, so its local sampler did not move:
       // the station cache stays consistent, just older.
       report.outcomes[i] = NodeOutcome::kDropped;
-      continue;
+      return;
     }
     if (offline) {
       PRC_LOG_DEBUG << "node " << node.id() << " offline; skipping round";
       report.outcomes[i] = station_.node_probability(i) > 0.0
                                ? NodeOutcome::kStale
                                : NodeOutcome::kOffline;
-      continue;
+      return;
     }
     SampleReport node_report = node.handle(request);
     if (node.dirty()) {
@@ -231,17 +261,17 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
       // station's cached deltas are in a stale rank epoch.  The node sends
       // its full current sample instead and the station replaces the cache.
       node_report = node.full_report();
-      if (transmit_full_report(node_report)) {
-        report.new_samples += node_report.new_samples.size();
-        stats_.samples_transferred += node_report.new_samples.size();
-        refreshed[i] = true;
+      if (transmit_full_report(node_report, lane.stats)) {
+        lane.new_samples = node_report.new_samples.size();
+        lane.stats.samples_transferred += node_report.new_samples.size();
+        lane.refreshed = true;
       } else {
         // The node's sampler already advanced to p, but the station never
         // saw the refreshed sample: force a full resync next opportunity.
         node.invalidate_cached_sample();
         report.outcomes[i] = NodeOutcome::kDropped;
       }
-      continue;
+      return;
     }
 
     // Small reports piggyback on the periodic heartbeat: charge only the
@@ -252,18 +282,18 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
       const Delivery up =
           transmit(node_report.new_samples.size() * kSampleWireBytes +
                        sizeof(std::uint64_t),
-                   /*uplink=*/true, i);
+                   /*uplink=*/true, i, lane.stats);
       if (up.delivered) {
-        ++stats_.piggybacked_reports;
-        report.new_samples += node_report.new_samples.size();
-        stats_.samples_transferred += node_report.new_samples.size();
+        ++lane.stats.piggybacked_reports;
+        lane.new_samples = node_report.new_samples.size();
+        lane.stats.samples_transferred += node_report.new_samples.size();
         station_.ingest(node_report);
-        refreshed[i] = true;
+        lane.refreshed = true;
       } else {
         node.invalidate_cached_sample();
         report.outcomes[i] = NodeOutcome::kDropped;
       }
-      continue;
+      return;
     }
     // Otherwise split into frames of kMaxSamplesPerFrame samples each.
     // Ingestion is atomic per node: a delta is only committed when every
@@ -283,7 +313,7 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
           node_report.new_samples.begin() +
               static_cast<std::ptrdiff_t>(offset + take));
       SampleReport delivered;
-      if (!deliver_frame(frame, delivered).delivered) {
+      if (!deliver_frame(frame, delivered, lane.stats).delivered) {
         all_delivered = false;
         break;  // the sender aborts the rest of the burst
       }
@@ -292,13 +322,20 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
     } while (offset < node_report.new_samples.size());
     if (all_delivered) {
       for (const auto& frame : arrived) station_.ingest(frame);
-      report.new_samples += node_report.new_samples.size();
-      stats_.samples_transferred += node_report.new_samples.size();
-      refreshed[i] = true;
+      lane.new_samples = node_report.new_samples.size();
+      lane.stats.samples_transferred += node_report.new_samples.size();
+      lane.refreshed = true;
     } else {
       node.invalidate_cached_sample();
       report.outcomes[i] = NodeOutcome::kDropped;
     }
+  });
+
+  // Serial merge in node index order.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    stats_ += lanes[i].stats;
+    report.new_samples += lanes[i].new_samples;
+    refreshed[i] = lanes[i].refreshed;
   }
 
   station_.commit_round(p, refreshed);
@@ -312,7 +349,8 @@ RoundReport FlatNetwork::ensure_sampling_probability(double p) {
   return report;
 }
 
-bool FlatNetwork::transmit_full_report(const SampleReport& report) {
+bool FlatNetwork::transmit_full_report(const SampleReport& report,
+                                       CommunicationStats& stats) {
   // Full resync never piggybacks (it is not a delta); split into frames for
   // delivery, reassemble what actually arrived, then replace the cache
   // wholesale — but only if EVERY frame made it (a partial full-sample
@@ -332,7 +370,7 @@ bool FlatNetwork::transmit_full_report(const SampleReport& report) {
         report.new_samples.begin() +
             static_cast<std::ptrdiff_t>(offset + take));
     SampleReport delivered;
-    if (!deliver_frame(frame, delivered).delivered) return false;
+    if (!deliver_frame(frame, delivered, stats).delivered) return false;
     reassembled.new_samples.insert(reassembled.new_samples.end(),
                                    delivered.new_samples.begin(),
                                    delivered.new_samples.end());
@@ -355,7 +393,7 @@ std::size_t FlatNetwork::refresh_samples() {
     if (!node.dirty()) continue;
     if (!node.online()) continue;  // resync deferred until the node rejoins
     SampleReport report = node.full_report();
-    if (transmit_full_report(report)) {
+    if (transmit_full_report(report, stats_)) {
       ++resynced;
       stats_.samples_transferred += report.new_samples.size();
     } else {

@@ -45,6 +45,26 @@ struct CommunicationStats {
   std::size_t total_bytes() const noexcept {
     return downlink_bytes + uplink_bytes;
   }
+
+  /// Accumulates another lane's counters.  Parallel rounds account each
+  /// node's traffic into a private CommunicationStats and merge the lanes
+  /// serially in node order afterwards.
+  CommunicationStats& operator+=(const CommunicationStats& other) noexcept {
+    downlink_messages += other.downlink_messages;
+    downlink_bytes += other.downlink_bytes;
+    uplink_messages += other.uplink_messages;
+    uplink_bytes += other.uplink_bytes;
+    retransmissions += other.retransmissions;
+    corrupted_frames += other.corrupted_frames;
+    samples_transferred += other.samples_transferred;
+    piggybacked_reports += other.piggybacked_reports;
+    frames_attempted += other.frames_attempted;
+    frames_delivered += other.frames_delivered;
+    dropped_frames += other.dropped_frames;
+    duplicated_frames += other.duplicated_frames;
+    backoff_slots += other.backoff_slots;
+    return *this;
+  }
 };
 
 /// Publishes one collection round's frame/byte deltas and resulting
@@ -129,6 +149,10 @@ class FlatNetwork final : public SamplingNetwork {
       const query::RangeQuery& range) const override {
     return station_.rank_counting_estimate(range);
   }
+  std::vector<double> rank_counting_estimate_batch(
+      std::span<const query::RangeQuery> ranges) const override {
+    return station_.rank_counting_estimate_batch(ranges);
+  }
   double basic_counting_estimate(const query::RangeQuery& range) const {
     return station_.basic_counting_estimate(range);
   }
@@ -141,27 +165,38 @@ class FlatNetwork final : public SamplingNetwork {
   };
 
   /// Charges one logical frame, simulating i.i.d. loss + the node's burst
-  /// channel, retransmitting within the attempt budget.  `node` keys the
-  /// Gilbert–Elliott state.
-  Delivery transmit(std::size_t frame_bytes, bool uplink, std::size_t node);
+  /// channel, retransmitting within the attempt budget.  `node` keys both
+  /// the Gilbert–Elliott state and the node's private channel RNG stream;
+  /// traffic is accounted into `stats` (a per-node lane during a parallel
+  /// round, stats_ on serial paths).
+  Delivery transmit(std::size_t frame_bytes, bool uplink, std::size_t node,
+                    CommunicationStats& stats);
 
   /// Charges a full-sample resync (framed, never piggybacked); replaces the
   /// station's cache only when EVERY frame delivered.  Returns success.
-  bool transmit_full_report(const SampleReport& report);
+  bool transmit_full_report(const SampleReport& report,
+                            CommunicationStats& stats);
 
   /// Delivers one report frame: models loss and (in byte-accurate mode)
   /// encode -> corrupt -> decode with CRC-triggered retransmission.
   /// On success `out` holds the frame as the base station received it.
-  Delivery deliver_frame(const SampleReport& frame, SampleReport& out);
+  Delivery deliver_frame(const SampleReport& frame, SampleReport& out,
+                         CommunicationStats& stats);
 
   /// Post-delivery duplication: charge the duplicate's bytes; the station
   /// discards it by sequence number, so it is never ingested twice.
-  void maybe_duplicate(std::size_t frame_bytes, bool uplink);
+  void maybe_duplicate(std::size_t frame_bytes, bool uplink, std::size_t node,
+                       CommunicationStats& stats);
 
   std::vector<SensorNode> nodes_;
   BaseStation station_;
   CommunicationStats stats_;
-  Rng loss_rng_;
+  /// One channel RNG per node, split from the same master as the sampling
+  /// streams.  Each node's link randomness (i.i.d. loss, corruption) is an
+  /// independent stream, so a round is bit-identical no matter how many
+  /// threads execute it.  (Replaces the shared loss_rng_; see DESIGN.md
+  /// "Threading model" for the one-time seed-compat note.)
+  std::vector<Rng> channel_rngs_;
   NetworkConfig config_;
   FaultSchedule faults_;
   RoundReport last_round_;

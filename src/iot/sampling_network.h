@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "iot/base_station.h"
 #include "iot/round_report.h"
@@ -34,6 +36,20 @@ class SamplingNetwork {
   /// RankCounting estimate from the base-station cache.
   virtual double rank_counting_estimate(
       const query::RangeQuery& range) const = 0;
+
+  /// Batched RankCounting over one cache snapshot.  The default simply
+  /// loops the single-query virtual; the concrete networks override it with
+  /// the station's one-pass batch (same values bit for bit, one lock
+  /// acquisition, and intra-batch parallelism).
+  virtual std::vector<double> rank_counting_estimate_batch(
+      std::span<const query::RangeQuery> ranges) const {
+    std::vector<double> estimates;
+    estimates.reserve(ranges.size());
+    for (const auto& range : ranges) {
+      estimates.push_back(rank_counting_estimate(range));
+    }
+    return estimates;
+  }
 };
 
 }  // namespace prc::iot

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 
@@ -24,7 +25,6 @@ std::size_t backoff_slots_after(std::size_t failed_attempts) {
 TreeNetwork::TreeNetwork(std::vector<std::vector<double>> node_data,
                          TreeConfig config)
     : station_(node_data.size()),
-      loss_rng_(Rng(config.seed).split()),
       config_(config),
       faults_(config.faults, node_data.size()) {
   if (node_data.empty()) {
@@ -43,6 +43,12 @@ TreeNetwork::TreeNetwork(std::vector<std::vector<double>> node_data,
     total_data_count_ += node_data[i].size();
     nodes_.emplace_back(static_cast<int>(i), std::move(node_data[i]),
                         master.split());
+  }
+  // Channel streams: same master, split after the k sampling streams (see
+  // FlatNetwork's constructor for the layout rationale).
+  channel_rngs_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    channel_rngs_.push_back(master.split());
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     height_ = std::max(height_, depth(i));
@@ -77,9 +83,10 @@ bool TreeNetwork::route_to_root_alive(std::size_t node) const {
 }
 
 std::size_t TreeNetwork::transmit_link(std::size_t frame_bytes,
-                                       std::size_t level) {
+                                       std::size_t level, std::size_t origin) {
+  Rng& rng = channel_rngs_[origin];
   std::size_t attempts = 1;
-  while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+  while (rng.bernoulli(config_.frame_loss_probability)) {
     ++attempts;
     ++stats_.retransmissions;
   }
@@ -94,58 +101,61 @@ std::size_t TreeNetwork::transmit_link(std::size_t frame_bytes,
 }
 
 TreeNetwork::Delivery TreeNetwork::transmit_link_bounded(
-    std::size_t frame_bytes, std::size_t level, std::size_t origin) {
+    std::size_t frame_bytes, std::size_t level, std::size_t origin,
+    CommunicationStats& stats, std::vector<TreeLevelStats>& levels) {
+  Rng& rng = channel_rngs_[origin];
   Delivery result;
-  ++stats_.frames_attempted;
-  auto& lvl = level_stats_.at(level);
+  ++stats.frames_attempted;
+  auto& lvl = levels.at(level);
   for (;;) {
     ++result.attempts;
-    ++stats_.uplink_messages;
-    stats_.uplink_bytes += frame_bytes;
+    ++stats.uplink_messages;
+    stats.uplink_bytes += frame_bytes;
     ++lvl.links_crossed;
     lvl.bytes += frame_bytes;
-    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    const bool iid_lost = rng.bernoulli(config_.frame_loss_probability);
     const bool burst_lost = faults_.attempt_lost(origin);
     if (!iid_lost && !burst_lost) {
       result.delivered = true;
-      ++stats_.frames_delivered;
-      if (faults_.duplicate_frame()) {
-        ++stats_.duplicated_frames;
-        ++stats_.uplink_messages;
-        stats_.uplink_bytes += frame_bytes;
+      ++stats.frames_delivered;
+      if (faults_.duplicate_frame(origin)) {
+        ++stats.duplicated_frames;
+        ++stats.uplink_messages;
+        stats.uplink_bytes += frame_bytes;
       }
       return result;
     }
-    ++stats_.retransmissions;
+    ++stats.retransmissions;
     if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
-      ++stats_.dropped_frames;
+      ++stats.dropped_frames;
       return result;
     }
-    stats_.backoff_slots += backoff_slots_after(result.attempts);
+    stats.backoff_slots += backoff_slots_after(result.attempts);
   }
 }
 
 TreeNetwork::Delivery TreeNetwork::transmit_downlink_bounded(
-    std::size_t frame_bytes, std::size_t node) {
+    std::size_t frame_bytes, std::size_t node, CommunicationStats& stats) {
+  Rng& rng = channel_rngs_[node];
   Delivery result;
-  ++stats_.frames_attempted;
+  ++stats.frames_attempted;
   for (;;) {
     ++result.attempts;
-    ++stats_.downlink_messages;
-    stats_.downlink_bytes += frame_bytes;
-    const bool iid_lost = loss_rng_.bernoulli(config_.frame_loss_probability);
+    ++stats.downlink_messages;
+    stats.downlink_bytes += frame_bytes;
+    const bool iid_lost = rng.bernoulli(config_.frame_loss_probability);
     const bool burst_lost = faults_.attempt_lost(node);
     if (!iid_lost && !burst_lost) {
       result.delivered = true;
-      ++stats_.frames_delivered;
+      ++stats.frames_delivered;
       return result;
     }
-    ++stats_.retransmissions;
+    ++stats.retransmissions;
     if (config_.max_attempts != 0 && result.attempts >= config_.max_attempts) {
-      ++stats_.dropped_frames;
+      ++stats.dropped_frames;
       return result;
     }
-    stats_.backoff_slots += backoff_slots_after(result.attempts);
+    stats.backoff_slots += backoff_slots_after(result.attempts);
   }
 }
 
@@ -185,11 +195,11 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
   // ---- Fault-free path: the seed accounting, byte for byte. ----
 
   // Downlink: the request floods the tree, one frame per parent->child
-  // link (k links total).
+  // link (k links total), each drawn from the target node's channel stream.
   const SampleRequest probe{0, p};
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     std::size_t attempts = 1;
-    while (loss_rng_.bernoulli(config_.frame_loss_probability)) {
+    while (channel_rngs_[i].bernoulli(config_.frame_loss_probability)) {
       ++attempts;
       ++stats_.retransmissions;
     }
@@ -200,10 +210,12 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
   }
 
   // Every node tops up locally; the base station receives all payloads
-  // regardless of routing (reliable links), so ingest directly.
+  // regardless of routing (reliable links), so ingest directly.  Node
+  // top-up is the compute-heavy phase and is embarrassingly parallel: each
+  // node touches only its own sampler, its own slot here, and the mutexed
+  // station (whose per-node entries are disjoint).
   std::vector<std::size_t> new_samples_per_node(nodes_.size(), 0);
-  std::size_t total_new = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  parallel::parallel_for_each(nodes_.size(), [&](std::size_t i) {
     SampleReport node_report = nodes_[i].handle(SampleRequest{
         static_cast<int>(i), p});
     if (nodes_[i].dirty()) {
@@ -211,16 +223,15 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
       // node's sampler; resync in full before merging any further deltas.
       node_report = nodes_[i].full_report();
       new_samples_per_node[i] = node_report.new_samples.size();
-      total_new += node_report.new_samples.size();
-      stats_.samples_transferred += node_report.new_samples.size();
       station_.replace(node_report);
-      continue;
+      return;
     }
     new_samples_per_node[i] = node_report.new_samples.size();
-    total_new += node_report.new_samples.size();
-    stats_.samples_transferred += node_report.new_samples.size();
     station_.ingest(node_report);
-  }
+  });
+  std::size_t total_new = 0;
+  for (const std::size_t count : new_samples_per_node) total_new += count;
+  stats_.samples_transferred += total_new;
 
   // Uplink accounting.
   const std::size_t retrans_before = stats_.retransmissions;
@@ -240,7 +251,7 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
       const std::size_t frames = std::max<std::size_t>(
           1, (subtree_samples[slot] + kMaxSamplesPerFrame - 1) /
                  kMaxSamplesPerFrame);
-      transmit_link(frames * kMessageHeaderBytes + payload, depth(node));
+      transmit_link(frames * kMessageHeaderBytes + payload, depth(node), node);
       const std::size_t parent = parent_slot(slot, config_.fanout);
       subtree_samples[parent] += subtree_samples[slot];
       subtree_nodes[parent] += subtree_nodes[slot];
@@ -259,7 +270,7 @@ RoundReport TreeNetwork::ensure_sampling_probability(double p) {
       // The report crosses node_depth links, charged at levels
       // node_depth, node_depth-1, ..., 1.
       for (std::size_t level = node_depth; level >= 1; --level) {
-        transmit_link(bytes, level);
+        transmit_link(bytes, level, node);
       }
     }
   }
@@ -288,8 +299,24 @@ RoundReport TreeNetwork::run_degraded_round(double p) {
   std::vector<bool> refreshed(nodes_.size(), false);
 
   const SampleRequest probe{0, p};
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  // Per-node lanes, merged serially in node order after the parallel
+  // region; every stochastic draw a node makes comes from its own channel /
+  // fault streams, so the round is bit-identical at any thread count.
+  // Relay liveness (route_to_root_alive) reads churn state frozen by
+  // begin_round() above — no node mutates it during the round.
+  struct NodeLane {
+    CommunicationStats stats;
+    std::vector<TreeLevelStats> levels;
+    std::size_t new_samples = 0;
+    bool refreshed = false;
+    bool severed = false;
+  };
+  std::vector<NodeLane> lanes(nodes_.size());
+
+  parallel::parallel_for_each(nodes_.size(), [&](std::size_t i) {
     auto& node = nodes_[i];
+    auto& lane = lanes[i];
+    lane.levels.assign(height_ + 1, TreeLevelStats{});
     const bool offline = !node.online() || faults_.node_offline(i);
     const bool severed = !route_to_root_alive(i);
     const auto prior_outcome = station_.node_probability(i) > 0.0
@@ -298,19 +325,20 @@ RoundReport TreeNetwork::run_degraded_round(double p) {
     if (severed) {
       // A dead relay cuts the node off in both directions: the request never
       // arrives and nothing the node sends can reach the root.
-      ++report.severed_reports;
+      lane.severed = true;
       report.outcomes[i] = prior_outcome;
-      continue;
+      return;
     }
-    const Delivery down = transmit_downlink_bounded(probe.wire_size(), i);
+    const Delivery down =
+        transmit_downlink_bounded(probe.wire_size(), i, lane.stats);
     if (offline) {
       report.outcomes[i] = prior_outcome;
-      continue;
+      return;
     }
     if (!down.delivered) {
       // The node never heard the request; its sampler did not move.
       report.outcomes[i] = NodeOutcome::kDropped;
-      continue;
+      return;
     }
     SampleReport node_report = node.handle(SampleRequest{node.id(), p});
     bool full_resync = false;
@@ -333,7 +361,9 @@ RoundReport TreeNetwork::run_degraded_round(double p) {
     bool delivered = true;
     const std::size_t node_depth = depth(i);
     for (std::size_t level = node_depth; level >= 1 && delivered; --level) {
-      delivered = transmit_link_bounded(bytes, level, i).delivered;
+      delivered =
+          transmit_link_bounded(bytes, level, i, lane.stats, lane.levels)
+              .delivered;
     }
     if (delivered) {
       if (full_resync) {
@@ -341,13 +371,26 @@ RoundReport TreeNetwork::run_degraded_round(double p) {
       } else {
         station_.ingest(node_report);
       }
-      report.new_samples += samples;
-      stats_.samples_transferred += samples;
-      refreshed[i] = true;
+      lane.new_samples = samples;
+      lane.stats.samples_transferred += samples;
+      lane.refreshed = true;
     } else {
       node.invalidate_cached_sample();
       report.outcomes[i] = NodeOutcome::kDropped;
     }
+  });
+
+  // Serial merge in node index order.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& lane = lanes[i];
+    stats_ += lane.stats;
+    for (std::size_t level = 0; level < lane.levels.size(); ++level) {
+      level_stats_[level].links_crossed += lane.levels[level].links_crossed;
+      level_stats_[level].bytes += lane.levels[level].bytes;
+    }
+    report.new_samples += lane.new_samples;
+    if (lane.severed) ++report.severed_reports;
+    refreshed[i] = lane.refreshed;
   }
 
   station_.commit_round(p, refreshed);

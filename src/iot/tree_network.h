@@ -102,23 +102,34 @@ class TreeNetwork final : public SamplingNetwork {
     return station_.rank_counting_estimate(range);
   }
 
+  std::vector<double> rank_counting_estimate_batch(
+      std::span<const query::RangeQuery> ranges) const override {
+    return station_.rank_counting_estimate_batch(ranges);
+  }
+
  private:
   struct Delivery {
     std::size_t attempts = 0;
     bool delivered = false;
   };
 
-  std::size_t transmit_link(std::size_t frame_bytes, std::size_t level);
+  /// Unbounded link crossing (fault-free path); `origin` keys the
+  /// transmitting node's channel RNG stream.
+  std::size_t transmit_link(std::size_t frame_bytes, std::size_t level,
+                            std::size_t origin);
 
   /// Bounded-attempt link crossing for the degraded path; `origin` keys the
-  /// Gilbert–Elliott channel of the report's source node.
+  /// Gilbert–Elliott channel and channel RNG of the report's source node.
+  /// Traffic is accounted into the given stats/level lanes (per-node during
+  /// a parallel round).
   Delivery transmit_link_bounded(std::size_t frame_bytes, std::size_t level,
-                                 std::size_t origin);
+                                 std::size_t origin, CommunicationStats& stats,
+                                 std::vector<TreeLevelStats>& levels);
 
   /// Bounded-attempt downlink frame toward `node` (not level-accounted, to
   /// match the seed's downlink flood).
-  Delivery transmit_downlink_bounded(std::size_t frame_bytes,
-                                     std::size_t node);
+  Delivery transmit_downlink_bounded(std::size_t frame_bytes, std::size_t node,
+                                     CommunicationStats& stats);
 
   RoundReport run_degraded_round(double p);
 
@@ -126,7 +137,9 @@ class TreeNetwork final : public SamplingNetwork {
   BaseStation station_;
   CommunicationStats stats_;
   std::vector<TreeLevelStats> level_stats_;
-  Rng loss_rng_;
+  /// Per-node channel RNG streams split from the master seed (see
+  /// FlatNetwork::channel_rngs_ and DESIGN.md "Threading model").
+  std::vector<Rng> channel_rngs_;
   TreeConfig config_;
   FaultSchedule faults_;
   RoundReport last_round_;

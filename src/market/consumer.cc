@@ -7,8 +7,8 @@ namespace prc::market {
 HonestConsumer::HonestConsumer(std::string id, DataBroker& broker)
     : id_(std::move(id)), broker_(broker) {}
 
-StrategyOutcome HonestConsumer::acquire(const query::RangeQuery& range,
-                                        const query::AccuracySpec& spec) {
+StrategyOutcome HonestConsumer::acquire(
+    const query::RangeQuery& range, const query::AccuracySpec& spec) const {
   const PurchaseReceipt receipt = broker_.sell(id_, range, spec);
   StrategyOutcome outcome;
   outcome.answer = receipt.value;
@@ -25,27 +25,39 @@ ArbitrageAttacker::ArbitrageAttacker(std::string id, DataBroker& broker,
 
 StrategyOutcome ArbitrageAttacker::acquire(const query::RangeQuery& range,
                                            const query::AccuracySpec& target) {
-  last_ = simulator_.best_attack(broker_.pricing(), target);
+  return acquire(range, target,
+                 simulator_.best_attack(broker_.pricing(), target));
+}
+
+StrategyOutcome ArbitrageAttacker::acquire(const query::RangeQuery& range,
+                                           const query::AccuracySpec& target,
+                                           const pricing::AttackResult& plan) {
+  last_ = plan;
+  return execute_plan(range, target, plan);
+}
+
+StrategyOutcome ArbitrageAttacker::execute_plan(
+    const query::RangeQuery& range, const query::AccuracySpec& target,
+    const pricing::AttackResult& plan) const {
   StrategyOutcome outcome;
-  if (!last_.profitable) {
+  if (!plan.profitable) {
     // No arbitrage available: pay full price like everyone else.
     const PurchaseReceipt receipt = broker_.sell(id_, range, target);
     outcome.answer = receipt.value;
     outcome.total_cost = receipt.price;
     outcome.queries_issued = 1;
-    outcome.effective_variance = last_.combined_variance;
+    outcome.effective_variance = plan.combined_variance;
     return outcome;
   }
   double sum = 0.0;
-  for (std::size_t i = 0; i < last_.copies; ++i) {
-    const PurchaseReceipt receipt =
-        broker_.sell(id_, range, last_.weaker_spec);
+  for (std::size_t i = 0; i < plan.copies; ++i) {
+    const PurchaseReceipt receipt = broker_.sell(id_, range, plan.weaker_spec);
     sum += receipt.value;
     outcome.total_cost += receipt.price;
     ++outcome.queries_issued;
   }
-  outcome.answer = sum / static_cast<double>(last_.copies);
-  outcome.effective_variance = last_.combined_variance;
+  outcome.answer = sum / static_cast<double>(plan.copies);
+  outcome.effective_variance = plan.combined_variance;
   return outcome;
 }
 

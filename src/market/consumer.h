@@ -22,13 +22,15 @@ struct StrategyOutcome {
   double effective_variance = 0.0;
 };
 
-/// Buys exactly the contract it needs, once.
+/// Buys exactly the contract it needs, once.  Stateless beyond its id, so
+/// one consumer's acquire() calls may run concurrently (the broker and
+/// ledger carry their own locks).
 class HonestConsumer {
  public:
   HonestConsumer(std::string id, DataBroker& broker);
 
   StrategyOutcome acquire(const query::RangeQuery& range,
-                          const query::AccuracySpec& spec);
+                          const query::AccuracySpec& spec) const;
 
   const std::string& id() const noexcept { return id_; }
 
@@ -49,6 +51,22 @@ class ArbitrageAttacker {
 
   StrategyOutcome acquire(const query::RangeQuery& range,
                           const query::AccuracySpec& target);
+
+  /// Deliberation/commit split for pipelined simulations: executes the
+  /// purchases of a plan computed elsewhere (the deliberation —
+  /// AttackSimulator::best_attack — is pure in (pricing, target), so a
+  /// simulation can run it off-thread and commit later).  Records the plan
+  /// as last_plan() before buying.
+  StrategyOutcome acquire(const query::RangeQuery& range,
+                          const query::AccuracySpec& target,
+                          const pricing::AttackResult& plan);
+
+  /// Like the 3-argument acquire() but does NOT touch last_plan() — the
+  /// member-write-free variant concurrent simulations need when several of
+  /// one attacker's purchases are in flight at once.
+  StrategyOutcome execute_plan(const query::RangeQuery& range,
+                               const query::AccuracySpec& target,
+                               const pricing::AttackResult& plan) const;
 
   /// The attack plan used on the last acquire() (copies == 0 if honest).
   const pricing::AttackResult& last_plan() const noexcept { return last_; }

@@ -4,8 +4,31 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace prc::market {
+namespace {
+
+/// One consumer arrival, fully determined by the pre-draw phase.
+struct Ticket {
+  bool attacker = false;
+  std::size_t consumer = 0;  // index into the honest/attacker population
+  query::AccuracySpec spec;
+  const query::RangeQuery* range = nullptr;
+  /// Filled by the parallel deliberation phase for attacker tickets.
+  pricing::AttackResult plan;
+};
+
+/// What one committed ticket contributes to the report (merged serially in
+/// arrival order, so tallies are identical in both commit modes' shapes).
+struct TicketOutcome {
+  bool refused = false;
+  StrategyOutcome outcome;
+  double honest_value = 0.0;  // what the attacker WOULD have paid
+  bool profitable = false;
+};
+
+}  // namespace
 
 MarketSimulation::MarketSimulation(DataBroker& broker,
                                    pricing::VarianceModel model,
@@ -56,31 +79,93 @@ SimulationReport MarketSimulation::run() {
         0, static_cast<std::int64_t>(query_pool_.size()) - 1))];
   };
 
+  // Phase 1 — serial pre-draw.  Consumes the simulation RNG in exactly the
+  // order the all-in-one loop did (arrival gate, contract, range; honest
+  // before attackers each round), so the ticket list is independent of how
+  // the later phases are scheduled.
+  std::vector<Ticket> tickets;
   for (std::size_t round = 0; round < config_.rounds; ++round) {
-    for (auto& consumer : honest) {
+    for (std::size_t i = 0; i < honest.size(); ++i) {
       if (!rng.bernoulli(config_.arrival_probability)) continue;
-      const auto spec = draw_contract(rng);
-      try {
-        const auto outcome = consumer.acquire(draw_range(), spec);
-        ++report.honest_purchases;
-        report.honest_spend += outcome.total_cost;
-      } catch (const BudgetExceededError&) {
-        ++report.refused_sales;
-      }
+      Ticket ticket;
+      ticket.consumer = i;
+      ticket.spec = draw_contract(rng);
+      ticket.range = &draw_range();
+      tickets.push_back(ticket);
     }
-    for (auto& attacker : attackers) {
+    for (std::size_t i = 0; i < attackers.size(); ++i) {
       if (!rng.bernoulli(config_.arrival_probability)) continue;
-      const auto spec = draw_contract(rng);
-      try {
-        const auto outcome = attacker.acquire(draw_range(), spec);
-        ++report.attacker_targets;
-        report.attacker_queries += outcome.queries_issued;
-        report.attacker_spend += outcome.total_cost;
-        report.attacker_honest_value += broker_.quote(spec);
-        if (attacker.last_plan().profitable) ++report.profitable_attacks;
-      } catch (const BudgetExceededError&) {
-        ++report.refused_sales;
+      Ticket ticket;
+      ticket.attacker = true;
+      ticket.consumer = i;
+      ticket.spec = draw_contract(rng);
+      ticket.range = &draw_range();
+      tickets.push_back(ticket);
+    }
+  }
+
+  // Phase 2 — parallel deliberation.  best_attack is a pure grid search in
+  // (pricing, target) — the dominant cost of an attacker-heavy simulation —
+  // so every ticket's plan can be computed concurrently with no effect on
+  // the committed stream.
+  const pricing::AttackSimulator simulator(model_);
+  parallel::parallel_for_each(tickets.size(), [&](std::size_t t) {
+    if (!tickets[t].attacker) return;
+    tickets[t].plan = simulator.best_attack(broker_.pricing(), tickets[t].spec);
+  });
+
+  // Phase 3 — commit.  Arrival order by default (the broker's noise stream
+  // and ledger sequence match the serial simulator bit for bit); under
+  // concurrent_consumers the same per-ticket body runs on the pool instead,
+  // deliberately racing the broker/counter/ledger locks.
+  const auto execute = [&](const Ticket& ticket) -> TicketOutcome {
+    TicketOutcome out;
+    try {
+      if (ticket.attacker) {
+        out.outcome = config_.concurrent_consumers
+                          ? attackers[ticket.consumer].execute_plan(
+                                *ticket.range, ticket.spec, ticket.plan)
+                          : attackers[ticket.consumer].acquire(
+                                *ticket.range, ticket.spec, ticket.plan);
+        out.honest_value = broker_.quote(ticket.spec);
+        out.profitable = ticket.plan.profitable;
+      } else {
+        out.outcome = honest[ticket.consumer].acquire(*ticket.range,
+                                                      ticket.spec);
       }
+    } catch (const BudgetExceededError&) {
+      out.refused = true;
+    }
+    return out;
+  };
+
+  std::vector<TicketOutcome> outcomes(tickets.size());
+  if (config_.concurrent_consumers) {
+    parallel::parallel_for_each(tickets.size(), [&](std::size_t t) {
+      outcomes[t] = execute(tickets[t]);
+    });
+  } else {
+    for (std::size_t t = 0; t < tickets.size(); ++t) {
+      outcomes[t] = execute(tickets[t]);
+    }
+  }
+
+  for (std::size_t t = 0; t < tickets.size(); ++t) {
+    const Ticket& ticket = tickets[t];
+    const TicketOutcome& out = outcomes[t];
+    if (out.refused) {
+      ++report.refused_sales;
+      continue;
+    }
+    if (ticket.attacker) {
+      ++report.attacker_targets;
+      report.attacker_queries += out.outcome.queries_issued;
+      report.attacker_spend += out.outcome.total_cost;
+      report.attacker_honest_value += out.honest_value;
+      if (out.profitable) ++report.profitable_attacks;
+    } else {
+      ++report.honest_purchases;
+      report.honest_spend += out.outcome.total_cost;
     }
   }
 

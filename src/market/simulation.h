@@ -31,6 +31,15 @@ struct SimulationConfig {
   double alpha_min = 0.03, alpha_max = 0.25;
   double delta_min = 0.4, delta_max = 0.9;
   std::uint64_t seed = 1;
+  /// Commit purchases concurrently (parallel::thread_count() workers)
+  /// instead of in arrival order.  This hammers the broker/counter/ledger
+  /// locks but makes the RUN NONDETERMINISTIC: sales interleave, so noise
+  /// values, refusal counts, and ledger ordering vary run to run.  Only the
+  /// conserved quantities (transaction count vs. purchases, revenue vs.
+  /// prices paid, budget conservation) are stable — use it for contention
+  /// tests, never for figures.  Default off: arrival-order commit is
+  /// bit-identical for every thread count.
+  bool concurrent_consumers = false;
 };
 
 struct SimulationReport {
@@ -63,7 +72,13 @@ class MarketSimulation {
                    std::vector<query::RangeQuery> query_pool,
                    SimulationConfig config = {});
 
-  /// Runs all rounds and returns the tally.  Deterministic in config.seed.
+  /// Runs all rounds and returns the tally.  Deterministic in config.seed
+  /// for any parallel::thread_count(): arrivals, contracts and ranges are
+  /// drawn serially up front, the attackers' plan searches (the expensive,
+  /// pure part) run in parallel, and purchases commit in arrival order so
+  /// the broker's noise stream and ledger sequence match the serial run
+  /// bit for bit.  config.concurrent_consumers trades that determinism for
+  /// genuine lock contention (see its comment).
   SimulationReport run();
 
  private:

@@ -76,10 +76,14 @@ InverseVariancePricing::InverseVariancePricing(
 }
 
 double InverseVariancePricing::price(const query::AccuracySpec& spec) const {
+  // price() is the attacker grid search's inner loop; cache the registry
+  // lookups (name hash + registry lock) once per process.
+  static telemetry::Counter& quotes = telemetry::counter("pricing.quotes");
+  static telemetry::Histogram& prices = telemetry::histogram("pricing.price");
   const double v = model_.contract_variance(spec);
   const double price = base_price_ * std::pow(reference_variance_ / v, exponent_);
-  telemetry::counter("pricing.quotes").increment();
-  telemetry::histogram("pricing.price").record(price);
+  quotes.increment();
+  prices.record(price);
   return price;
 }
 
@@ -99,11 +103,13 @@ LinearDiscountPricing::LinearDiscountPricing(double base, double accuracy_rate,
 }
 
 double LinearDiscountPricing::price(const query::AccuracySpec& spec) const {
+  static telemetry::Counter& quotes = telemetry::counter("pricing.quotes");
+  static telemetry::Histogram& prices = telemetry::histogram("pricing.price");
   spec.validate();
   const double price = base_ + accuracy_rate_ * (1.0 - spec.alpha) +
                        confidence_rate_ * spec.delta;
-  telemetry::counter("pricing.quotes").increment();
-  telemetry::histogram("pricing.price").record(price);
+  quotes.increment();
+  prices.record(price);
   return price;
 }
 
@@ -144,9 +150,11 @@ FittedTheoremPricing::FittedTheoremPricing(VarianceModel model, double scale)
 }
 
 double FittedTheoremPricing::price(const query::AccuracySpec& spec) const {
+  static telemetry::Counter& quotes = telemetry::counter("pricing.quotes");
+  static telemetry::Histogram& prices = telemetry::histogram("pricing.price");
   const double price = scale_ / model_.contract_variance(spec);
-  telemetry::counter("pricing.quotes").increment();
-  telemetry::histogram("pricing.price").record(price);
+  quotes.increment();
+  prices.record(price);
   return price;
 }
 

@@ -21,14 +21,22 @@ RankSampleSet::RankSampleSet(std::vector<RankedValue> samples)
   check_invariants();
 }
 
+// Every station-side ingest constructs or merges a RankSampleSet, so this
+// validation sits squarely on the collection hot path; the hash-set walk
+// costs an allocation plus O(n) hashing per call (see the
+// rank_sample_validation micro-benchmark).  It therefore rides PRC_DCHECK:
+// debug and sanitizer builds verify every set, release builds trust the
+// LocalSampler/codec contracts that produced the ranks.
 void RankSampleSet::check_invariants() const {
+#if PRC_DCHECK_IS_ON()
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(samples_.size());
   for (const auto& s : samples_) {
-    PRC_CHECK(s.rank != 0) << "rank sample: ranks are 1-based";
-    PRC_CHECK(seen.insert(s.rank).second)
+    PRC_DCHECK(s.rank != 0) << "rank sample: ranks are 1-based";
+    PRC_DCHECK(seen.insert(s.rank).second)
         << "rank sample: duplicate rank " << s.rank;
   }
+#endif
 }
 
 std::optional<RankedValue> RankSampleSet::predecessor(double x) const {

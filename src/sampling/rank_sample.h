@@ -28,8 +28,12 @@ class RankSampleSet {
  public:
   RankSampleSet() = default;
 
-  /// Takes samples in any order; sorts by (value, rank).  Throws
-  /// std::invalid_argument if two samples share a rank or any rank is 0.
+  /// Takes samples in any order; sorts by (value, rank).  Rank validity
+  /// (1-based, collision-free) is verified only when PRC_DCHECK is on
+  /// (debug / sanitizer builds), raising prc::ContractViolation (a
+  /// std::invalid_argument); release builds trust the sampler/codec
+  /// contracts and skip the check — it sits on the station's per-report
+  /// ingest path.
   explicit RankSampleSet(std::vector<RankedValue> samples);
 
   std::size_t size() const noexcept { return samples_.size(); }
@@ -44,11 +48,12 @@ class RankSampleSet {
   /// rank).  nullopt if none.
   std::optional<RankedValue> successor(double x) const;
 
-  /// Merges additional samples (e.g. from a top-up round).  Throws on rank
-  /// collisions.
+  /// Merges additional samples (e.g. from a top-up round).  Rank collisions
+  /// are caught only when PRC_DCHECK is on, like the constructor.
   void merge(const RankSampleSet& other);
 
  private:
+  /// Debug-only full validation (see constructor comment).
   void check_invariants() const;
 
   std::vector<RankedValue> samples_;  // sorted by (value, rank)

@@ -70,7 +70,7 @@ TEST(FaultScheduleTest, DisabledScheduleIsInert) {
   EXPECT_EQ(schedule.rounds_elapsed(), 0u);
   EXPECT_FALSE(schedule.node_offline(0));
   EXPECT_FALSE(schedule.attempt_lost(0));
-  EXPECT_FALSE(schedule.duplicate_frame());
+  EXPECT_FALSE(schedule.duplicate_frame(0));
 }
 
 TEST(FaultScheduleTest, SameSeedSameSchedule) {
@@ -88,7 +88,7 @@ TEST(FaultScheduleTest, SameSeedSameSchedule) {
       ASSERT_EQ(a.node_offline(node), b.node_offline(node));
       ASSERT_EQ(a.attempt_lost(node), b.attempt_lost(node));
     }
-    ASSERT_EQ(a.duplicate_frame(), b.duplicate_frame());
+    ASSERT_EQ(a.duplicate_frame(0), b.duplicate_frame(0));
   }
   EXPECT_EQ(a.offline_node_count(), b.offline_node_count());
 }
@@ -135,7 +135,10 @@ TEST(BoundedRetryTest, HeavyLossWithOneAttemptTerminatesPartially) {
   EXPECT_LT(report.delivered_nodes(), 8u);
   EXPECT_GT(report.dropped_nodes(), 0u);
   EXPECT_FALSE(report.complete());
-  EXPECT_LT(report.coverage, 1.0);
+  // Some node missed the round entirely, so its data is invisible to
+  // estimates (coverage is computed over station-KNOWN data and can read
+  // 1.0 when the dropped nodes never reported at all).
+  EXPECT_EQ(report.min_probability, 0.0);
 
   const auto& stats = network.stats();
   EXPECT_EQ(stats.frames_attempted,

@@ -1,0 +1,187 @@
+// Unit tests of the parallel execution layer: pool scheduling, nested
+// inlining, exception propagation, and the determinism contract of the
+// fixed-grid parallel_reduce.
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace prc {
+namespace {
+
+/// Restores the global thread count on scope exit so tests do not leak
+/// configuration into each other.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t count)
+      : previous_(parallel::thread_count()) {
+    parallel::set_thread_count(count);
+  }
+  ~ThreadCountGuard() { parallel::set_thread_count(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+TEST(ParallelConfig, ThreadCountDefaultsAndOverrides) {
+  EXPECT_GE(parallel::hardware_threads(), 1u);
+  ThreadCountGuard guard(3);
+  EXPECT_EQ(parallel::thread_count(), 3u);
+  parallel::set_thread_count(0);  // 0 = hardware
+  EXPECT_EQ(parallel::thread_count(), parallel::hardware_threads());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel::parallel_for_each(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndTinyRanges) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> calls{0};
+  parallel::parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  parallel::parallel_for_each(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, ChunksAreContiguousAndDisjoint) {
+  ThreadCountGuard guard(4);
+  constexpr std::size_t kN = 997;  // prime: uneven block boundaries
+  std::vector<int> owner(kN, -1);
+  std::atomic<int> next_chunk{0};
+  parallel::parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    const int id = next_chunk.fetch_add(1);
+    for (std::size_t i = begin; i < end; ++i) owner[i] = id;
+  });
+  // Every index owned, and ownership changes only at chunk boundaries.
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_NE(owner[i], -1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadCountGuard guard(4);
+  EXPECT_THROW(
+      parallel::parallel_for_each(1000,
+                                  [&](std::size_t i) {
+                                    if (i == 513) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> ok{0};
+  parallel::parallel_for_each(100, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> inner_total{0};
+  parallel::parallel_for_each(8, [&](std::size_t) {
+    EXPECT_TRUE(parallel::in_parallel_region());
+    // A nested region must not try to re-enter the fixed pool.
+    parallel::parallel_for_each(10, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+  EXPECT_FALSE(parallel::in_parallel_region());
+}
+
+TEST(ParallelFor, SafeFromExternalThreads) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      parallel::parallel_for_each(
+          1000, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(total.load(), 4000);
+}
+
+double chunked_sum(std::size_t n, std::size_t chunk,
+                   const std::vector<double>& values) {
+  return parallel::parallel_reduce(
+      n, chunk, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) partial += values[i];
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kN = 5000;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);  // order-sensitive sum
+  }
+  double serial;
+  {
+    ThreadCountGuard guard(1);
+    serial = chunked_sum(kN, 64, values);
+  }
+  for (std::size_t threads : {2, 4, 8}) {
+    ThreadCountGuard guard(threads);
+    const double parallel_sum = chunked_sum(kN, 64, values);
+    // Bitwise equality, not tolerance: the grid and fold order are fixed.
+    EXPECT_EQ(serial, parallel_sum) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, SingleChunkMatchesPlainLoop) {
+  ThreadCountGuard guard(8);
+  std::vector<double> values(100);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.1 * static_cast<double>(i);
+  }
+  double plain = 0.0;
+  for (const double v : values) plain += v;
+  // chunk >= n: exactly the serial left fold, bit for bit.
+  EXPECT_EQ(plain, chunked_sum(values.size(), 256, values));
+}
+
+TEST(ParallelReduce, EmptyInputReturnsIdentity) {
+  EXPECT_EQ(chunked_sum(0, 64, {}), 0.0);
+}
+
+TEST(ParallelReduce, NonCommutativeMergeKeepsChunkOrder) {
+  ThreadCountGuard guard(4);
+  constexpr std::size_t kN = 1000;
+  const auto concat = parallel::parallel_reduce(
+      kN, 100, std::vector<std::size_t>{},
+      [](std::size_t begin, std::size_t end) {
+        std::vector<std::size_t> ids;
+        for (std::size_t i = begin; i < end; ++i) ids.push_back(i);
+        return ids;
+      },
+      [](std::vector<std::size_t> acc, std::vector<std::size_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  ASSERT_EQ(concat.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(concat[i], i);
+}
+
+}  // namespace
+}  // namespace prc

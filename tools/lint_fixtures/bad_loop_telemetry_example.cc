@@ -1,0 +1,40 @@
+// Deliberately broken hot-loop fixture for `prc_lint --self-test`.
+//
+// no-telemetry-lookup-in-loop must fire on name-keyed registry lookups
+// inside for/while bodies (and on loop header lines), and must stay silent
+// on the clean_* function that hoists the lookup into a local static
+// reference.  NOT compiled.
+
+#include <cstddef>
+
+#include "common/telemetry.h"
+
+namespace prc_lint_fixture {
+
+// no-telemetry-lookup-in-loop: re-hashes "iot.frames_attempted" and locks
+// the registry on every iteration.
+void lookup_per_iteration(std::size_t frames) {
+  for (std::size_t i = 0; i < frames; ++i) {
+    prc::telemetry::counter("iot.frames_attempted").increment();
+  }
+}
+
+// no-telemetry-lookup-in-loop: while loops and histogram lookups count too.
+void lookup_in_while(std::size_t budget) {
+  while (budget > 0) {
+    prc::telemetry::histogram("iot.backoff_slots").record(1.0);
+    --budget;
+  }
+}
+
+// Clean control: the static reference resolves the name once per process;
+// the loop body touches only the (atomic) counter itself.
+void clean_hoisted_lookup(std::size_t frames) {
+  static prc::telemetry::Counter& attempted =
+      prc::telemetry::counter("iot.frames_attempted");
+  for (std::size_t i = 0; i < frames; ++i) {
+    attempted.increment();
+  }
+}
+
+}  // namespace prc_lint_fixture

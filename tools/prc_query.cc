@@ -35,6 +35,9 @@
 //   --telemetry path.json     write a TelemetrySnapshot (JSON) on exit
 //   --telemetry-csv path.csv  write the same snapshot as CSV
 //   --trace                   print a flamegraph-style span dump to stderr
+//   --threads N               worker threads for the parallel sections
+//                             (default: PRC_THREADS env or 1; answers are
+//                             bit-identical for every value)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -43,6 +46,7 @@
 #include <string>
 
 #include "common/args.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "data/citypulse.h"
@@ -91,7 +95,18 @@ ArgParser& add_telemetry_options(ArgParser& parser) {
   return parser
       .option("telemetry", "write a telemetry snapshot (JSON) to this path")
       .option("telemetry-csv", "write a telemetry snapshot (CSV) to this path")
-      .flag("trace", "print a flamegraph-style span dump to stderr");
+      .flag("trace", "print a flamegraph-style span dump to stderr")
+      .option("threads",
+              "worker threads for parallel sections (default: PRC_THREADS "
+              "env or 1)");
+}
+
+/// Applies --threads to the process-wide pool (no-op when absent, so the
+/// PRC_THREADS default stands).
+void apply_thread_option(const ArgParser& parser) {
+  if (const auto threads = parser.get_uint("threads", 0); threads > 0) {
+    parallel::set_thread_count(static_cast<std::size_t>(threads));
+  }
 }
 
 /// Writes the process-wide metrics snapshot / span dump as requested by
@@ -169,6 +184,7 @@ int cmd_count(int argc, char** argv) {
       .flag("exact", "print the exact count instead (ground truth)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  apply_thread_option(parser);
 
   const query::RangeQuery range{required_double(parser, "lower"),
                                 required_double(parser, "upper")};
@@ -237,6 +253,7 @@ int cmd_quote(int argc, char** argv) {
       .option("exponent", "power-family exponent q (default 1)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  apply_thread_option(parser);
   const query::AccuracySpec spec{required_double(parser, "alpha"),
                                  required_double(parser, "delta")};
   spec.validate();
@@ -273,6 +290,7 @@ int cmd_quantile(int argc, char** argv) {
               "per-frame transmission budget, 0 = retry forever (default 0)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  apply_thread_option(parser);
   const double q = required_double(parser, "q");
   const double p = parser.get_double("p", 0.1);
   const auto nodes = static_cast<std::size_t>(parser.get_uint("nodes", 8));
@@ -328,6 +346,7 @@ int cmd_session(int argc, char** argv) {
               "per-frame transmission budget, 0 = retry forever (default 0)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
+  apply_thread_option(parser);
 
   const query::RangeQuery range{required_double(parser, "lower"),
                                 required_double(parser, "upper")};
