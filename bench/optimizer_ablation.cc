@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       const double eps =
           (1.0 / p) / ((spec.alpha - alpha_prime) * static_cast<double>(n)) *
           std::log(delta_prime / (delta_prime - spec.delta));
-      return dp::amplified_epsilon(eps, p);
+      return dp::amplified_epsilon(eps, p).value();
     };
     const double mid = naive(0.5);
     const double quarter = naive(0.25);
@@ -82,8 +82,10 @@ int main(int argc, char** argv) {
       amp_table.add_row({amp_table.format(pr), "infeasible", "-", "-"});
       continue;
     }
-    amp_table.add_numeric_row({pr, plan->epsilon, plan->epsilon_amplified,
-                               plan->epsilon / plan->epsilon_amplified});
+    amp_table.add_numeric_row(
+        {pr, plan->epsilon, plan->epsilon_amplified,
+         // Cross-unit ratio on purpose: the amplification factor.
+         plan->epsilon.value() / plan->epsilon_amplified.value()});
   }
   bench::emit(amp_table, options);
   std::cout << "\n# shape check: optimization beats fixed splits; the worst-\n"

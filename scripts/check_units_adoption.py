@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""units-adoption gate: no NEW bare-double privacy parameters in the DP and
+pricing layers.
+
+The phantom unit types in src/common/units.h (Epsilon, EffectiveEpsilon,
+Delta, Alpha, Probability) only pay off if the public surfaces keep using
+them: one bare `double epsilon` parameter reopens every swap the types
+closed.  This script reuses prc_lint's token engine (so comments, strings
+and preprocessor lines can't fool it) and fails if any parameter or class
+field under src/dp or src/pricing spells a privacy quantity as a bare
+double.
+
+This is the same check as prc_lint's `unit-suffix-consistency` rule,
+exposed as a standalone, dependency-free gate so CI (and pre-commit hooks)
+can run it without the clang-tidy layer, and so its scope — the DP and
+pricing public surfaces — is pinned even if the lint default paths change.
+
+Exit status: 0 when fully adopted, 1 when a bare-double privacy parameter
+or field exists, 2 on usage error.
+"""
+
+import importlib.machinery
+import importlib.util
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATED_DIRS = (os.path.join("src", "dp"), os.path.join("src", "pricing"))
+
+
+def load_lint_module():
+    path = os.path.join(REPO_ROOT, "tools", "prc_lint")
+    spec = importlib.util.spec_from_loader(
+        "prc_lint", importlib.machinery.SourceFileLoader("prc_lint", path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    lint = load_lint_module()
+    findings = []
+    scanned = 0
+    for gated in GATED_DIRS:
+        root = os.path.join(REPO_ROOT, gated)
+        if not os.path.isdir(root):
+            print(f"check_units_adoption: missing directory {gated}",
+                  file=sys.stderr)
+            return 2
+        for dirpath, _, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(lint.SOURCE_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    model = lint.FileModel(os.path.relpath(path, REPO_ROOT),
+                                           f.read())
+                scanned += 1
+                findings.extend(lint.check_unit_suffix_consistency(model))
+    for finding in findings:
+        print(finding)
+    verdict = "fully unit-typed" if not findings else \
+        f"{len(findings)} bare-double privacy declaration(s)"
+    print(f"check_units_adoption: {scanned} files under "
+          f"{' and '.join(GATED_DIRS)}: {verdict}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@
 
 namespace prc::dp {
 
-double amplified_epsilon(double epsilon, double p) {
+units::EffectiveEpsilon amplified_epsilon(units::Epsilon epsilon_in,
+                                          units::Probability p_in) {
+  const double epsilon = epsilon_in.value();
+  const double p = p_in.value();
   // Called once per optimizer grid point; cache the registry reference
   // (stable across reset(), which zeroes in place) to keep the hot path at
   // one relaxed atomic increment.
@@ -39,7 +42,10 @@ double amplified_epsilon(double epsilon, double p) {
   return amplified;
 }
 
-double base_epsilon_for_amplified(double target, double p) {
+units::Epsilon base_epsilon_for_amplified(units::EffectiveEpsilon target_in,
+                                          units::Probability p_in) {
+  const double target = target_in.value();
+  const double p = p_in.value();
   PRC_CHECK(std::isfinite(target) && target >= 0.0)
       << "target must be >= 0, got " << target;
   PRC_CHECK_PROB(p);
@@ -57,9 +63,10 @@ double base_epsilon_for_amplified(double target, double p) {
   return base;
 }
 
-double compose_sequential(std::span<const double> epsilons) {
+units::EffectiveEpsilon compose_sequential(
+    std::span<const units::EffectiveEpsilon> epsilons) {
   double total = 0.0;
-  for (double eps : epsilons) {
+  for (const double eps : epsilons) {
     PRC_CHECK(std::isfinite(eps) && eps >= 0.0)
         << "composed epsilon must be >= 0, got " << eps;
     total += eps;

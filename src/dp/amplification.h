@@ -9,18 +9,23 @@
 #include <cstddef>
 #include <span>
 
+#include "common/units.h"
+
 namespace prc::dp {
 
 /// epsilon' = ln(1 - p + p * e^epsilon).  Requires epsilon >= 0, p in [0, 1].
-double amplified_epsilon(double epsilon, double p);
+units::EffectiveEpsilon amplified_epsilon(units::Epsilon epsilon,
+                                          units::Probability p);
 
 /// Inverse: the base epsilon whose amplification at probability p equals
 /// `target`.  Requires target >= 0 and p in (0, 1].
-double base_epsilon_for_amplified(double target, double p);
+units::Epsilon base_epsilon_for_amplified(units::EffectiveEpsilon target,
+                                          units::Probability p);
 
 /// Sequential composition: total budget of independent releases is the sum
 /// of their budgets.  (Used by the ledger to audit cumulative leakage per
 /// consumer.)
-double compose_sequential(std::span<const double> epsilons);
+units::EffectiveEpsilon compose_sequential(
+    std::span<const units::EffectiveEpsilon> epsilons);
 
 }  // namespace prc::dp

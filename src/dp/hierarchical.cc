@@ -69,12 +69,15 @@ double HierarchicalMechanism::decompose(std::size_t first, std::size_t last,
   return acc;
 }
 
-double HierarchicalMechanism::query(const query::RangeQuery& range) const {
+units::Released<double> HierarchicalMechanism::query(
+    const query::RangeQuery& range) const {
   range.validate();
-  if (range.upper < lo_ || range.lower > hi_) return 0.0;
+  if (range.upper < lo_ || range.lower > hi_) {
+    return units::Released<double>(0.0);
+  }
   const std::size_t first = leaf_of(range.lower);
   const std::size_t last = leaf_of(range.upper);
-  return decompose(first, last, /*count_only=*/false);
+  return units::Released<double>(decompose(first, last, /*count_only=*/false));
 }
 
 std::size_t HierarchicalMechanism::canonical_nodes(

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "query/range_query.h"
 
 namespace prc::dp {
@@ -30,7 +31,7 @@ struct HierarchicalConfig {
   /// Tree depth: 2^levels leaves.  Depth 10 -> 1024 leaves.
   std::size_t levels = 10;
   /// Total privacy budget for the whole tree (split evenly per level).
-  double epsilon = 1.0;
+  units::Epsilon epsilon = 1.0;
   /// When true no noise is added (exact mode, used by tests to check the
   /// decomposition logic in isolation).
   bool disable_noise = false;
@@ -46,15 +47,17 @@ class HierarchicalMechanism {
 
   std::size_t levels() const noexcept { return config_.levels; }
   std::size_t leaf_count() const noexcept { return std::size_t{1} << config_.levels; }
-  double epsilon() const noexcept { return config_.epsilon; }
+  units::Epsilon epsilon() const noexcept { return config_.epsilon; }
 
   /// Laplace scale applied to every node: (levels + 1) / epsilon.
   double noise_scale() const noexcept;
 
   /// Noisy count of values in [range.lower, range.upper].  The range is
   /// snapped to leaf boundaries (the mechanism's resolution); the snapping
-  /// error is data-dependent and separate from the noise error.
-  double query(const query::RangeQuery& range) const;
+  /// error is data-dependent and separate from the noise error.  Released:
+  /// every tree node already carries calibrated Laplace noise (exact mode,
+  /// disable_noise, is a test-only bypass and documented as such).
+  units::Released<double> query(const query::RangeQuery& range) const;
 
   /// Number of canonical nodes the range decomposes into (wire/variance
   /// accounting; <= 2 * levels).

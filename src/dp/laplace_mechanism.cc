@@ -6,7 +6,8 @@
 
 namespace prc::dp {
 
-LaplaceMechanism::LaplaceMechanism(double sensitivity, double epsilon)
+LaplaceMechanism::LaplaceMechanism(double sensitivity,
+                                   units::Epsilon epsilon)
     : sensitivity_(sensitivity),
       epsilon_(epsilon),
       noise_([&] {
@@ -29,7 +30,7 @@ double LaplaceMechanism::noise_variance() const noexcept {
   return 2.0 * b * b;
 }
 
-double sensitivity_for(SensitivityPolicy policy, double p,
+double sensitivity_for(SensitivityPolicy policy, units::Probability p,
                        std::size_t max_node_count) {
   switch (policy) {
     case SensitivityPolicy::kExpected:

@@ -4,6 +4,7 @@
 
 #include "common/distributions.h"
 #include "common/rng.h"
+#include "common/units.h"
 
 namespace prc::dp {
 
@@ -13,13 +14,22 @@ namespace prc::dp {
 class LaplaceMechanism {
  public:
   /// Requires sensitivity > 0 and epsilon > 0.
-  LaplaceMechanism(double sensitivity, double epsilon);
+  LaplaceMechanism(double sensitivity, units::Epsilon epsilon);
 
   double sensitivity() const noexcept { return sensitivity_; }
-  double epsilon() const noexcept { return epsilon_; }
+  units::Epsilon epsilon() const noexcept { return epsilon_; }
   double scale() const noexcept { return noise_.scale(); }
 
-  /// One perturbed release.
+  /// One perturbed release across the taint boundary: the only public
+  /// Raw -> Released conversion in the codebase.
+  units::Released<double> perturb(const units::Raw<double>& value,
+                                  Rng& rng) const noexcept {
+    return units::Released<double>(perturb(value.get(), rng));
+  }
+
+  /// Numeric kernel of the release (noise-law tests sample it directly).
+  /// The returned double is NOT marked released; pipeline code must use
+  /// the Raw -> Released overload above.
   double perturb(double value, Rng& rng) const noexcept;
 
   /// Pr[|noise| <= t]; the optimizer's tail constraint
@@ -36,7 +46,7 @@ class LaplaceMechanism {
 
  private:
   double sensitivity_;
-  double epsilon_;
+  units::Epsilon epsilon_;
   Laplace noise_;
 };
 
@@ -52,7 +62,7 @@ enum class SensitivityPolicy {
 
 /// Sensitivity value under a policy.  `p` is the sampling probability,
 /// `max_node_count` the largest n_i (only used by kWorstCase).
-double sensitivity_for(SensitivityPolicy policy, double p,
+double sensitivity_for(SensitivityPolicy policy, units::Probability p,
                        std::size_t max_node_count);
 
 }  // namespace prc::dp

@@ -38,15 +38,19 @@ double mixture_density(const std::vector<double>& pmf, const Laplace& noise,
 
 }  // namespace
 
-double dp_advantage_bound(double epsilon) {
+double dp_advantage_bound(units::Epsilon epsilon_in) {
+  const double epsilon = epsilon_in.value();
   PRC_CHECK(std::isfinite(epsilon) && epsilon >= 0.0)
       << "epsilon must be >= 0, got " << epsilon;
   return std::expm1(epsilon) / (std::exp(epsilon) + 1.0);
 }
 
-AttackAdvantage run_membership_attack(std::size_t base_count, double p,
-                                      double epsilon, std::size_t trials,
-                                      Rng& rng) {
+AttackAdvantage run_membership_attack(std::size_t base_count,
+                                      units::Probability p_in,
+                                      units::Epsilon epsilon_in,
+                                      std::size_t trials, Rng& rng) {
+  const double p = p_in.value();
+  const double epsilon = epsilon_in.value();
   PRC_CHECK_PROB(p);
   PRC_CHECK(std::isfinite(epsilon) && epsilon > 0.0)
       << "epsilon must be positive, got " << epsilon;

@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "common/rng.h"
+#include "common/units.h"
 
 namespace prc::dp {
 
@@ -30,7 +31,7 @@ struct AttackAdvantage {
 
 /// The theoretical ceiling on any attacker's advantage under eps-DP:
 /// (e^eps - 1) / (e^eps + 1).
-double dp_advantage_bound(double epsilon);
+double dp_advantage_bound(units::Epsilon epsilon);
 
 /// Runs the likelihood-ratio membership attack against the paper's
 /// sample-then-Laplace release of a counting query.
@@ -46,8 +47,9 @@ double dp_advantage_bound(double epsilon);
 /// For tractability the attacker uses the exact convolution of the
 /// Binomial subsample with the Laplace noise, evaluated by enumeration
 /// (base_count is small in tests).  Requires p in (0, 1], epsilon > 0.
-AttackAdvantage run_membership_attack(std::size_t base_count, double p,
-                                      double epsilon, std::size_t trials,
-                                      Rng& rng);
+AttackAdvantage run_membership_attack(std::size_t base_count,
+                                      units::Probability p,
+                                      units::Epsilon epsilon,
+                                      std::size_t trials, Rng& rng);
 
 }  // namespace prc::dp

@@ -35,8 +35,9 @@ PerturbationOptimizer::PerturbationOptimizer(OptimizerConfig config)
 }
 
 std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
-    const query::AccuracySpec& spec, double p, std::size_t node_count,
-    std::size_t total_count, std::size_t max_node_count) const {
+    const query::AccuracySpec& spec, units::Probability p,
+    std::size_t node_count, std::size_t total_count,
+    std::size_t max_node_count) const {
   spec.validate();
   PRC_CHECK_PROB(p);
   PRC_CHECK(node_count > 0 && total_count > 0)
@@ -75,7 +76,7 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
     const double epsilon = sensitivity / headroom *
                            std::log(delta_prime / (delta_prime - spec.delta));
     if (!std::isfinite(epsilon) || !(epsilon > 0.0)) continue;
-    const double eps_amp = amplified_epsilon(epsilon, p);
+    const units::EffectiveEpsilon eps_amp = amplified_epsilon(epsilon, p);
     if (!best || eps_amp < best->epsilon_amplified) {
       PerturbationPlan plan;
       plan.alpha = spec.alpha;
@@ -110,7 +111,7 @@ std::optional<PerturbationPlan> PerturbationOptimizer::optimize(
   return best;
 }
 
-double PerturbationOptimizer::minimum_feasible_probability(
+units::Probability PerturbationOptimizer::minimum_feasible_probability(
     const query::AccuracySpec& spec, std::size_t node_count,
     std::size_t total_count, double headroom) const {
   PRC_CHECK(std::isfinite(headroom) && headroom >= 1.0)

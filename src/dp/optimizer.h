@@ -27,15 +27,16 @@ namespace prc::dp {
 
 /// The optimizer's output: a concrete two-phase plan.
 struct PerturbationPlan {
-  double alpha = 0.0;         ///< customer error bound
-  double delta = 0.0;         ///< customer confidence
-  double alpha_prime = 0.0;   ///< sampling-phase error bound
-  double delta_prime = 0.0;   ///< sampling-phase confidence
-  double epsilon = 0.0;       ///< Laplace budget before amplification
-  double epsilon_amplified = 0.0;  ///< effective budget  ln(1 + p(e^eps - 1))
+  units::Alpha alpha = 0.0;        ///< customer error bound
+  units::Delta delta = 0.0;        ///< customer confidence
+  units::Alpha alpha_prime = 0.0;  ///< sampling-phase error bound
+  units::Delta delta_prime = 0.0;  ///< sampling-phase confidence
+  units::Epsilon epsilon = 0.0;    ///< Laplace budget before amplification
+  /// Effective budget ln(1 + p(e^eps - 1)) — what the ledger composes.
+  units::EffectiveEpsilon epsilon_amplified = 0.0;
   double sensitivity = 0.0;   ///< Delta gamma_hat used for the noise scale
   double laplace_scale = 0.0; ///< sensitivity / epsilon
-  double sampling_probability = 0.0;
+  units::Probability sampling_probability = 0.0;
 
   /// Total variance of the released answer under this plan: the sampling
   /// variance bound 8k/p^2 plus the Laplace noise variance 2 (sens/eps)^2.
@@ -60,7 +61,8 @@ class PerturbationOptimizer {
   /// `max_node_count` is only consulted by the worst-case sensitivity
   /// policy.  Requires p in (0, 1], node_count > 0, total_count > 0.
   std::optional<PerturbationPlan> optimize(const query::AccuracySpec& spec,
-                                           double p, std::size_t node_count,
+                                           units::Probability p,
+                                           std::size_t node_count,
                                            std::size_t total_count,
                                            std::size_t max_node_count = 0) const;
 
@@ -68,10 +70,9 @@ class PerturbationOptimizer {
   /// `spec` — i.e. some alpha' < alpha achieves delta' > delta with room for
   /// noise.  Used by the broker to decide how far to top up the samples.
   /// A small headroom factor (> 1) leaves slack for the noise phase.
-  double minimum_feasible_probability(const query::AccuracySpec& spec,
-                                      std::size_t node_count,
-                                      std::size_t total_count,
-                                      double headroom = 2.0) const;
+  units::Probability minimum_feasible_probability(
+      const query::AccuracySpec& spec, std::size_t node_count,
+      std::size_t total_count, double headroom = 2.0) const;
 
  private:
   OptimizerConfig config_;

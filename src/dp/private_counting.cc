@@ -46,7 +46,7 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
 
-  double target_p = std::max(
+  double target_p = std::max<double>(
       network_.base_station().sampling_probability(),
       optimizer_.minimum_feasible_probability(spec, k, n,
                                               config_.probability_headroom));
@@ -109,9 +109,10 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   PrivateAnswer out;
   out.plan = ensure_feasible_plan(spec);
   out.coverage = network_.base_station().coverage();
-  out.sampled_estimate = network_.rank_counting_estimate(range);
+  out.sampled_estimate =
+      units::Raw<double>(network_.rank_counting_estimate(range));
 
-  PRC_CHECK_FINITE(out.sampled_estimate);
+  PRC_CHECK_FINITE(out.sampled_estimate.get());
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
   out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
   telemetry::counter("dp.answers").increment();
@@ -125,8 +126,11 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   PRC_CHECK(out.plan.epsilon_amplified <= out.plan.epsilon * (1.0 + 1e-12))
       << "amplified budget exceeds base budget: " << out.plan.to_string();
   if (config_.clamp_to_domain) {
-    out.value = std::clamp(
-        out.value, 0.0, static_cast<double>(network_.total_data_count()));
+    // Clamping a released value is post-processing; re-minting it here is
+    // legitimate (PrivateRangeCounter is inside the friend boundary).
+    out.value = units::Released<double>(std::clamp(
+        out.value.value(), 0.0,
+        static_cast<double>(network_.total_data_count())));
   }
   return out;
 }
@@ -164,7 +168,7 @@ PerturbationPlan PrivateRangeCounter::plan_for(
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t k = network_.node_count();
   const std::size_t n = network_.total_data_count();
-  double p = std::max(
+  double p = std::max<double>(
       network_.base_station().sampling_probability(),
       optimizer_.minimum_feasible_probability(spec, k, n,
                                               config_.probability_headroom));

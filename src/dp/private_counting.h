@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/thread_annotations.h"
+#include "common/units.h"
 #include "dp/optimizer.h"
 #include "iot/sampling_network.h"
 #include "query/range_query.h"
@@ -42,10 +43,13 @@ class CoverageError : public std::runtime_error {
 struct PrivateAnswer {
   /// The released count (clamped to >= 0 when configured; counts are
   /// nonnegative and clamping is post-processing, so DP is unaffected).
-  double value = 0.0;
+  /// Released<double>: minting happens only inside the DP layer, so a
+  /// PrivateAnswer can never carry an unperturbed value here.
+  units::Released<double> value;
   /// The pre-noise sampling estimate (internal; never released to consumers
-  /// by the market layer).
-  double sampled_estimate = 0.0;
+  /// by the market layer).  Raw<double>: does not convert to double, so it
+  /// cannot silently flow into a receipt, ledger entry or telemetry call.
+  units::Raw<double> sampled_estimate;
   /// The plan the answer was produced under.
   PerturbationPlan plan;
   /// Cache coverage at answer time.  A complete() summary means the plan's

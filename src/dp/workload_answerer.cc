@@ -10,7 +10,7 @@ namespace prc::dp {
 
 WorkloadResult WorkloadAnswerer::answer(
     iot::SamplingNetwork& network, const std::vector<query::RangeQuery>& ranges,
-    double total_epsilon, BudgetSplit split, Rng& rng,
+    units::Epsilon total_epsilon, BudgetSplit split, Rng& rng,
     const std::vector<double>& weights) const {
   PRC_CHECK(!ranges.empty()) << "empty workload";
   PRC_CHECK(std::isfinite(total_epsilon) && total_epsilon > 0.0)
@@ -57,13 +57,13 @@ WorkloadResult WorkloadAnswerer::answer(
       network.rank_counting_estimate_batch(ranges);
   WorkloadResult result;
   result.answers.reserve(ranges.size());
-  std::vector<double> amplified;
+  std::vector<units::EffectiveEpsilon> amplified;
   amplified.reserve(ranges.size());
   for (std::size_t i = 0; i < ranges.size(); ++i) {
     const LaplaceMechanism mechanism(sensitivity, epsilons[i]);
     WorkloadAnswer answer;
     answer.range = ranges[i];
-    answer.value = mechanism.perturb(estimates[i], rng);
+    answer.value = mechanism.perturb(units::Raw<double>(estimates[i]), rng);
     answer.epsilon = epsilons[i];
     answer.epsilon_amplified = amplified_epsilon(epsilons[i], p);
     answer.noise_variance = mechanism.noise_variance();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "iot/sampling_network.h"
 #include "query/range_query.h"
 
@@ -36,16 +37,16 @@ enum class BudgetSplit {
 
 struct WorkloadAnswer {
   query::RangeQuery range;
-  double value = 0.0;
-  double epsilon = 0.0;            ///< Laplace budget spent on this answer
-  double epsilon_amplified = 0.0;  ///< after sampling amplification
+  units::Released<double> value;
+  units::Epsilon epsilon = 0.0;  ///< Laplace budget spent on this answer
+  units::EffectiveEpsilon epsilon_amplified = 0.0;  ///< after amplification
   double noise_variance = 0.0;
 };
 
 struct WorkloadResult {
   std::vector<WorkloadAnswer> answers;
-  double total_epsilon = 0.0;            ///< sum of per-answer budgets
-  double total_epsilon_amplified = 0.0;  ///< composed amplified budget
+  units::Epsilon total_epsilon = 0.0;  ///< sum of per-answer budgets
+  units::EffectiveEpsilon total_epsilon_amplified = 0.0;  ///< composed
 };
 
 class WorkloadAnswerer {
@@ -56,7 +57,7 @@ class WorkloadAnswerer {
   /// (when given) positive and matching ranges.size().
   WorkloadResult answer(iot::SamplingNetwork& network,
                         const std::vector<query::RangeQuery>& ranges,
-                        double total_epsilon, BudgetSplit split,
+                        units::Epsilon total_epsilon, BudgetSplit split,
                         Rng& rng,
                         const std::vector<double>& weights = {}) const;
 };

@@ -18,27 +18,29 @@ double required_sampling_probability(const query::AccuracySpec& spec,
          std::sqrt(1.0 - spec.delta);
 }
 
-double achieved_delta(double p, double alpha_prime, std::size_t node_count,
-                      std::size_t total_count) {
+units::Delta achieved_delta(units::Probability p, units::Alpha alpha_prime,
+                            std::size_t node_count,
+                            std::size_t total_count) {
   PRC_CHECK_PROB(p);
   PRC_CHECK(std::isfinite(alpha_prime) && alpha_prime > 0.0)
       << "alpha' must be positive, got " << alpha_prime;
   PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double k = static_cast<double>(node_count);
   const double n = static_cast<double>(total_count);
-  const double denom = p * alpha_prime * n;
+  const double denom = p.value() * alpha_prime.value() * n;
   return 1.0 - 8.0 * k / (denom * denom);
 }
 
-double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
-                          std::size_t total_count) {
+units::Alpha min_feasible_alpha(units::Probability p, units::Delta delta_min,
+                                std::size_t node_count,
+                                std::size_t total_count) {
   PRC_CHECK_PROB(p);
   PRC_CHECK(delta_min >= 0.0 && delta_min < 1.0)
       << "delta_min must be in [0, 1), got " << delta_min;
   PRC_CHECK(total_count > 0) << "total_count must be > 0";
   const double k = static_cast<double>(node_count);
   const double n = static_cast<double>(total_count);
-  return std::sqrt(8.0 * k / (1.0 - delta_min)) / (p * n);
+  return std::sqrt(8.0 * k / (1.0 - delta_min)) / (p.value() * n);
 }
 
 namespace {
@@ -58,9 +60,9 @@ double heterogeneous_variance_bound(std::span<const double> probabilities) {
 
 }  // namespace
 
-double achieved_delta_heterogeneous(std::span<const double> probabilities,
-                                    double alpha_prime,
-                                    std::size_t total_count) {
+units::Delta achieved_delta_heterogeneous(
+    std::span<const double> probabilities, units::Alpha alpha_prime,
+    std::size_t total_count) {
   PRC_CHECK(std::isfinite(alpha_prime) && alpha_prime > 0.0)
       << "alpha' must be positive, got " << alpha_prime;
   PRC_CHECK(total_count > 0) << "total_count must be > 0";
@@ -70,7 +72,7 @@ double achieved_delta_heterogeneous(std::span<const double> probabilities,
 }
 
 double heterogeneous_error_bound(std::span<const double> probabilities,
-                                 double confidence) {
+                                 units::Delta confidence) {
   PRC_CHECK(confidence >= 0.0 && confidence < 1.0)
       << "confidence must be in [0, 1), got " << confidence;
   return std::sqrt(heterogeneous_variance_bound(probabilities) /
@@ -85,13 +87,15 @@ double basic_counting_required_probability(const query::AccuracySpec& spec,
   return 1.0 / (1.0 + spec.alpha * spec.alpha * n * (1.0 - spec.delta));
 }
 
-double error_bound_at_confidence(double p, std::size_t node_count,
-                                 double confidence) {
+double error_bound_at_confidence(units::Probability p,
+                                 std::size_t node_count,
+                                 units::Delta confidence) {
   PRC_CHECK_PROB(p);
   PRC_CHECK(confidence >= 0.0 && confidence < 1.0)
       << "confidence must be in [0, 1), got " << confidence;
+  const double p_v = p.value();
   const double variance =
-      8.0 * static_cast<double>(node_count) / (p * p);
+      8.0 * static_cast<double>(node_count) / (p_v * p_v);
   return std::sqrt(variance / (1.0 - confidence));
 }
 

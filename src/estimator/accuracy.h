@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <span>
 
+#include "common/units.h"
+
 #include "query/range_query.h"
 
 namespace prc::estimator {
@@ -29,21 +31,23 @@ double required_sampling_probability(const query::AccuracySpec& spec,
 ///   delta' = 1 - 8k / (p * alpha' * n)^2.
 /// May be negative, meaning alpha' is not achievable at this p (the
 /// Chebyshev bound is vacuous).  Requires p in (0,1], alpha' > 0, n > 0.
-double achieved_delta(double p, double alpha_prime, std::size_t node_count,
-                      std::size_t total_count);
+units::Delta achieved_delta(units::Probability p, units::Alpha alpha_prime,
+                            std::size_t node_count, std::size_t total_count);
 
 /// Smallest alpha' for which achieved_delta(..) >= delta_min:
 ///   alpha' = sqrt(8k / (1 - delta_min)) / (p * n).
 /// Requires delta_min in [0, 1).
-double min_feasible_alpha(double p, double delta_min, std::size_t node_count,
-                          std::size_t total_count);
+units::Alpha min_feasible_alpha(units::Probability p, units::Delta delta_min,
+                                std::size_t node_count,
+                                std::size_t total_count);
 
 /// Chebyshev half-width of a confidence interval around a RankCounting
 /// estimate: the absolute error not exceeded with probability `confidence`,
 ///   t = sqrt(8k / p^2 / (1 - confidence)).
 /// Requires p in (0, 1], confidence in [0, 1).
-double error_bound_at_confidence(double p, std::size_t node_count,
-                                 double confidence);
+double error_bound_at_confidence(units::Probability p,
+                                 std::size_t node_count,
+                                 units::Delta confidence);
 
 /// Heterogeneous-probability analogue of achieved_delta: the confidence
 /// actually achieved at error level alpha' when node i's sample was
@@ -52,16 +56,16 @@ double error_bound_at_confidence(double p, std::size_t node_count,
 /// May be negative (the bound is vacuous at this alpha').  Every p_i must
 /// be in (0, 1]; callers with never-reported nodes have no finite bound and
 /// must refuse/degrade before calling.
-double achieved_delta_heterogeneous(std::span<const double> probabilities,
-                                    double alpha_prime,
-                                    std::size_t total_count);
+units::Delta achieved_delta_heterogeneous(
+    std::span<const double> probabilities, units::Alpha alpha_prime,
+    std::size_t total_count);
 
 /// Heterogeneous Chebyshev half-width: sqrt(sum_i 8/p_i^2 / (1 - conf)).
 /// This is the error bound a degraded round can still honestly promise,
 /// computed from the per-node probabilities actually ACHIEVED rather than
 /// the round target.
 double heterogeneous_error_bound(std::span<const double> probabilities,
-                                 double confidence);
+                                 units::Delta confidence);
 
 /// The BasicCounting analogue of Theorem 3.3: the smallest p for which the
 /// Horvitz-Thompson estimator's worst-case variance n(1-p)/p meets the

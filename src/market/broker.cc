@@ -26,7 +26,8 @@ double DataBroker::quote(const query::AccuracySpec& spec) const {
   return pricing_->price(spec);
 }
 
-double DataBroker::remaining_budget(const std::string& consumer_id) const {
+units::EffectiveEpsilon DataBroker::remaining_budget(
+    const std::string& consumer_id) const {
   return std::max(0.0, config_.per_consumer_epsilon_cap -
                            ledger_.consumer_epsilon(consumer_id));
 }

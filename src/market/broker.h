@@ -25,19 +25,20 @@ namespace prc::market {
 /// broker caps the total it is willing to leak per consumer.
 class BudgetExceededError : public std::runtime_error {
  public:
-  BudgetExceededError(const std::string& consumer, double spent, double cap)
+  BudgetExceededError(const std::string& consumer, units::EffectiveEpsilon spent,
+                      units::EffectiveEpsilon cap)
       : std::runtime_error("privacy budget exceeded for '" + consumer +
-                           "': spent " + std::to_string(spent) + " of " +
-                           std::to_string(cap)),
+                           "': spent " + std::to_string(spent.value()) +
+                           " of " + std::to_string(cap.value())),
         spent_(spent),
         cap_(cap) {}
 
-  double spent() const noexcept { return spent_; }
-  double cap() const noexcept { return cap_; }
+  units::EffectiveEpsilon spent() const noexcept { return spent_; }
+  units::EffectiveEpsilon cap() const noexcept { return cap_; }
 
  private:
-  double spent_;
-  double cap_;
+  units::EffectiveEpsilon spent_;
+  units::EffectiveEpsilon cap_;
 };
 
 /// What the broker does when degraded collection cannot support the
@@ -69,7 +70,8 @@ class InsufficientCoverageError : public std::runtime_error {
 
 struct BrokerConfig {
   /// Maximum cumulative epsilon' released to any single consumer.
-  double per_consumer_epsilon_cap = std::numeric_limits<double>::infinity();
+  units::EffectiveEpsilon per_consumer_epsilon_cap =
+      std::numeric_limits<double>::infinity();
   /// What to do when coverage cannot support the requested contract.
   DegradedSalePolicy degraded_policy = DegradedSalePolicy::kRefuse;
   /// Hard floor on acceptable coverage: below it the broker refuses even
@@ -114,7 +116,7 @@ class DataBroker {
                        const query::AccuracySpec& spec);
 
   /// Remaining budget the broker is still willing to release to a consumer.
-  double remaining_budget(const std::string& consumer_id) const;
+  units::EffectiveEpsilon remaining_budget(const std::string& consumer_id) const;
 
   const Ledger& ledger() const noexcept { return ledger_; }
   const pricing::PricingFunction& pricing() const noexcept {

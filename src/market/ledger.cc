@@ -64,7 +64,8 @@ double Ledger::consumer_spend(const std::string& consumer_id) const {
   return it == spend_by_consumer_.end() ? 0.0 : it->second;
 }
 
-double Ledger::consumer_epsilon(const std::string& consumer_id) const {
+units::EffectiveEpsilon Ledger::consumer_epsilon(
+    const std::string& consumer_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = epsilon_by_consumer_.find(consumer_id);
   return it == epsilon_by_consumer_.end() ? 0.0 : it->second;

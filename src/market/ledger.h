@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "common/units.h"
 #include "query/range_query.h"
 
 namespace prc::market {
@@ -22,7 +23,7 @@ struct Transaction {
   query::RangeQuery range;
   query::AccuracySpec spec;
   double price = 0.0;
-  double epsilon_amplified = 0.0;
+  units::EffectiveEpsilon epsilon_amplified = 0.0;
   /// Fraction of station-known data collected at the round target when the
   /// answer was produced (1 for a fully healthy round).
   double coverage = 1.0;
@@ -49,7 +50,10 @@ class Ledger {
     return transactions_.size();
   }
   const std::vector<Transaction>& transactions() const noexcept {
-    return transactions_;
+    // Hands out a reference by documented contract (see the class
+    // comment): callers may only use it while the ledger is quiescent, and
+    // locking here could not protect the returned reference anyway.
+    return transactions_;  // lint:allow lock — quiescence contract above
   }
 
   double total_revenue() const noexcept {
@@ -61,7 +65,7 @@ class Ledger {
   /// cumulative exposure under sequential composition (adversaries may
   /// collude, so the broker audits the global sum, not just per-consumer
   /// totals).
-  double total_epsilon() const noexcept {
+  units::EffectiveEpsilon total_epsilon() const noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     return total_epsilon_;
   }
@@ -71,7 +75,7 @@ class Ledger {
 
   /// Cumulative privacy budget released to one consumer (sequential
   /// composition of the amplified epsilons; 0 for unknown ids).
-  double consumer_epsilon(const std::string& consumer_id) const;
+  units::EffectiveEpsilon consumer_epsilon(const std::string& consumer_id) const;
 
   /// Number of recorded sales that were re-quoted due to degraded coverage.
   std::size_t degraded_sales() const noexcept {

@@ -172,13 +172,13 @@ SimulationReport MarketSimulation::run() {
   report.revenue = broker_.ledger().total_revenue();
   for (const auto& consumer : honest) {
     report.max_honest_epsilon =
-        std::max(report.max_honest_epsilon,
-                 broker_.ledger().consumer_epsilon(consumer.id()));
+        std::max<double>(report.max_honest_epsilon,
+                         broker_.ledger().consumer_epsilon(consumer.id()));
   }
   for (const auto& attacker : attackers) {
     report.max_attacker_epsilon =
-        std::max(report.max_attacker_epsilon,
-                 broker_.ledger().consumer_epsilon(attacker.id()));
+        std::max<double>(report.max_attacker_epsilon,
+                         broker_.ledger().consumer_epsilon(attacker.id()));
   }
   PRC_LOG_INFO << "market simulation: " << report.honest_purchases
                << " honest purchases, " << report.attacker_targets

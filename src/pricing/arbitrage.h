@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
 #include "pricing/pricing.h"
 #include "query/range_query.h"
 
@@ -36,8 +37,8 @@ struct CheckReport {
 class ArbitrageChecker {
  public:
   struct Grid {
-    double alpha_min = 0.02, alpha_max = 0.8;
-    double delta_min = 0.05, delta_max = 0.95;
+    units::Alpha alpha_min = 0.02, alpha_max = 0.8;
+    units::Delta delta_min = 0.05, delta_max = 0.95;
     std::size_t alpha_steps = 24, delta_steps = 24;
   };
 
@@ -73,7 +74,7 @@ class AttackSimulator {
     std::size_t max_copies = 24;
     std::size_t alpha_steps = 40;
     std::size_t delta_steps = 20;
-    double alpha_max = 0.95;
+    units::Alpha alpha_max = 0.95;
   };
 
   explicit AttackSimulator(VarianceModel model);

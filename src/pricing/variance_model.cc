@@ -27,7 +27,8 @@ double VarianceModel::contract_variance(
   return variance;
 }
 
-double VarianceModel::alpha_for_variance(double variance, double delta) const {
+units::Alpha VarianceModel::alpha_for_variance(double variance,
+                                               units::Delta delta) const {
   PRC_CHECK(std::isfinite(variance) && variance > 0.0)
       << "variance must be positive, got " << variance;
   PRC_CHECK(delta >= 0.0 && delta < 1.0)

@@ -32,7 +32,7 @@ class VarianceModel {
 
   /// Inverse along the alpha axis: the alpha for which contract_variance
   /// equals `variance` at confidence `delta`.
-  double alpha_for_variance(double variance, double delta) const;
+  units::Alpha alpha_for_variance(double variance, units::Delta delta) const;
 
   /// Realized variance of a concrete plan: 8k/p^2 + 2 (sens/eps)^2.
   double plan_variance(const dp::PerturbationPlan& plan) const;

@@ -5,6 +5,8 @@
 #include <span>
 #include <string>
 
+#include "common/units.h"
+
 namespace prc::query {
 
 /// A closed range [l, u] over the value domain (paper Def. 2.1).
@@ -24,8 +26,8 @@ struct RangeQuery {
 /// The (alpha, delta) accuracy contract of Def. 2.2: the returned count must
 /// satisfy Pr[|estimate - truth| <= alpha * |D|] >= delta.
 struct AccuracySpec {
-  double alpha = 0.1;
-  double delta = 0.9;
+  units::Alpha alpha = 0.1;
+  units::Delta delta = 0.9;
 
   /// Throws std::invalid_argument unless alpha in (0, 1] and delta in (0, 1).
   /// delta = 1 is rejected because Chebyshev-based guarantees can never reach

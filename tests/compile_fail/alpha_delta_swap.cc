@@ -1,0 +1,10 @@
+// The classic (alpha, delta) contract swap: both live in (0, 1) and both
+// compile as bare doubles, which is exactly why they are distinct units.
+// expect-error-regex: from 'Unit<prc::units::DeltaTag>' to non-scalar type 'Unit<prc::units::AlphaTag>'
+#include "common/units.h"
+
+void misuse() {
+  prc::units::Delta delta = 0.9;
+  prc::units::Alpha alpha = delta;
+  (void)alpha;
+}

@@ -1,0 +1,10 @@
+// Feeding the already-amplified budget back into the Lemma 3.4 formula
+// would amplify twice and under-account every sale in the ledger.
+// expect-error-regex: could not convert .*EffectiveEpsilonTag.* to 'Unit<prc::units::EpsilonTag>'
+#include "dp/amplification.h"
+
+prc::units::EffectiveEpsilon misuse() {
+  prc::units::EffectiveEpsilon amplified = 0.3;
+  prc::units::Probability p = 0.5;
+  return prc::dp::amplified_epsilon(amplified, p);
+}

@@ -1,0 +1,10 @@
+// A contract confidence is not a privacy budget: initializing an Epsilon
+// from a Delta would silently turn "90% confidence" into "0.9-DP".
+// expect-error-regex: from 'Unit<prc::units::DeltaTag>' to non-scalar type 'Unit<prc::units::EpsilonTag>'
+#include "common/units.h"
+
+void misuse() {
+  prc::units::Delta delta = 0.9;
+  prc::units::Epsilon epsilon = delta;
+  (void)epsilon;
+}

@@ -1,0 +1,10 @@
+// Inverting the amplification needs the AMPLIFIED budget as input; handing
+// it the base epsilon answers a different question with no warning.
+// expect-error-regex: could not convert .*<prc::units::EpsilonTag>.* to 'Unit<prc::units::EffectiveEpsilonTag>'
+#include "dp/amplification.h"
+
+prc::units::Epsilon misuse() {
+  prc::units::Epsilon base = 0.5;
+  prc::units::Probability p = 0.5;
+  return prc::dp::base_epsilon_for_amplified(base, p);
+}

@@ -1,0 +1,11 @@
+// alpha + delta has no unit; summing budgets with error bounds is always
+// a bug, so the mixed-tag operator is deleted.
+// expect-error-regex: deleted function .*operator\+.*AlphaTag.*DeltaTag
+#include "common/units.h"
+
+void misuse() {
+  prc::units::Alpha alpha = 0.1;
+  prc::units::Delta delta = 0.9;
+  auto nonsense = alpha + delta;
+  (void)nonsense;
+}

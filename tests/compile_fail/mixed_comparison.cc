@@ -1,0 +1,10 @@
+// Both operands decay to double, so without the deleted mixed-unit
+// operators `epsilon < delta` would compile and be meaningless.
+// expect-error-regex: deleted function .*operator<.*EpsilonTag.*DeltaTag
+#include "common/units.h"
+
+bool misuse() {
+  prc::units::Epsilon epsilon = 0.5;
+  prc::units::Delta delta = 0.9;
+  return epsilon < delta;
+}

@@ -1,0 +1,25 @@
+// Positive control: the ALLOWED conversions, compiled with the same
+// harness flags as the negative cases.  If this stops compiling, the
+// harness is broken and every negative case is passing vacuously.
+// expect-compile: ok
+#include "dp/amplification.h"
+
+#include "common/units.h"
+
+double baseline() {
+  // Doubles and literals flow into units implicitly; units read out as
+  // doubles; same-unit arithmetic works.
+  prc::units::Epsilon epsilon = 0.5;
+  prc::units::Probability p = 0.5;
+  const prc::units::EffectiveEpsilon amplified =
+      prc::dp::amplified_epsilon(epsilon, p);
+  const prc::units::Epsilon recovered =
+      prc::dp::base_epsilon_for_amplified(amplified, p);
+  prc::units::EffectiveEpsilon total = 0.0;
+  total += amplified;
+
+  // Raw reads out through a visible .get(); a default Released is zero.
+  const prc::units::Raw<double> raw(41.5);
+  const prc::units::Released<double> released;
+  return raw.get() + released.value() + recovered.value() + total.value();
+}

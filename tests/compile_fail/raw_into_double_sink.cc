@@ -1,0 +1,11 @@
+// A Raw value never converts out implicitly: flowing a pre-noise estimate
+// into a double (and from there into telemetry or a receipt) must be a
+// visible `.get()` that the no-raw-to-sink lint rule can track.
+// expect-error-regex: cannot convert 'prc::units::Raw<double>' to 'double'
+#include "common/units.h"
+
+double misuse() {
+  prc::units::Raw<double> raw(41.5);
+  double leaked = raw;
+  return leaked;
+}

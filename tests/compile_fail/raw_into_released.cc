@@ -1,0 +1,9 @@
+// The one-way door: Raw data cannot be relabeled as Released without
+// passing through a DP mechanism.
+// expect-error-regex: no matching function .*Released.*Raw<double>
+#include "common/units.h"
+
+prc::units::Released<double> misuse() {
+  prc::units::Raw<double> raw(41.5);
+  return prc::units::Released<double>(raw);
+}

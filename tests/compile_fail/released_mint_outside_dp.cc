@@ -1,0 +1,10 @@
+// Only the DP mechanisms (the friend list in units.h) may mint a Released
+// value.  If this case ever compiles, the friend boundary was widened or
+// the constructor was made public — the single guarantee the taint system
+// rests on.
+// expect-error-regex: Released\(T\).* private within this context
+#include "common/units.h"
+
+prc::units::Released<double> misuse() {
+  return prc::units::Released<double>(42.0);
+}

@@ -150,10 +150,10 @@ TEST(AmplificationTest, RejectsBadArguments) {
 }
 
 TEST(CompositionTest, SequentialBudgetsAdd) {
-  const std::vector<double> budgets = {0.1, 0.2, 0.3};
+  const std::vector<prc::EffectiveEpsilon> budgets = {0.1, 0.2, 0.3};
   EXPECT_NEAR(compose_sequential(budgets), 0.6, 1e-12);
   EXPECT_EQ(compose_sequential({}), 0.0);
-  const std::vector<double> bad = {0.1, -0.2};
+  const std::vector<prc::EffectiveEpsilon> bad = {0.1, -0.2};
   EXPECT_THROW(compose_sequential(bad), std::invalid_argument);
 }
 

@@ -69,7 +69,9 @@ TEST(OptimizerTest, PlanSatisfiesAllConstraints) {
   // Amplification is applied consistently.
   EXPECT_NEAR(plan->epsilon_amplified, amplified_epsilon(plan->epsilon, p),
               1e-12);
-  EXPECT_LT(plan->epsilon_amplified, plan->epsilon);
+  // Cross-unit on purpose: Lemma 3.4 says the amplified budget sits
+  // strictly below the base budget, so read both out explicitly.
+  EXPECT_LT(plan->epsilon_amplified.value(), plan->epsilon.value());
 
   // Expected-sensitivity policy: 1/p.
   EXPECT_NEAR(plan->sensitivity, 1.0 / p, 1e-12);
@@ -97,7 +99,7 @@ TEST(OptimizerTest, ReturnedPlanIsGridOptimal) {
     const double eps = (1.0 / p) /
                        ((spec.alpha - alpha_prime) * kTotal) *
                        std::log(delta_prime / (delta_prime - spec.delta));
-    best = std::min(best, amplified_epsilon(eps, p));
+    best = std::min(best, amplified_epsilon(eps, p).value());
   }
   EXPECT_LE(plan->epsilon_amplified, best * 1.001);
 }

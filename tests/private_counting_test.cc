@@ -36,7 +36,8 @@ TEST(PrivateRangeCounterTest, AnswerCarriesConsistentPlan) {
   EXPECT_EQ(answer.plan.alpha, spec.alpha);
   EXPECT_EQ(answer.plan.delta, spec.delta);
   EXPECT_GT(answer.plan.epsilon_amplified, 0.0);
-  EXPECT_LT(answer.plan.epsilon_amplified, answer.plan.epsilon);
+  // Cross-unit on purpose: the Lemma 3.4 amplification check.
+  EXPECT_LT(answer.plan.epsilon_amplified.value(), answer.plan.epsilon.value());
   EXPECT_DOUBLE_EQ(answer.plan.sampling_probability,
                    network.base_station().sampling_probability());
   // Clamped to the count domain.

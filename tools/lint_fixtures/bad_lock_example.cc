@@ -1,0 +1,23 @@
+// Deliberately broken lock-discipline fixture for `prc_lint --self-test`.
+//
+// The field below is PRC_GUARDED_BY(mutex_); touching it in a method that
+// neither ends in _locked, takes the lock, nor carries PRC_REQUIRES must
+// fire.  NOT compiled.
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class BadCounterBox {
+ public:
+  // lock-discipline: reads the guarded field with no lock in sight.
+  long unguarded_total() const { return total_; }
+
+ private:
+  mutable std::mutex mutex_;
+  long total_ PRC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,32 @@
+// Deliberately broken taint fixture for `prc_lint --self-test`.
+//
+// no-raw-to-sink must track a pre-noise estimate through an intermediate
+// local into an export sink — across lines, which the old line-regex
+// engine could not see.  NOT compiled.
+
+#include "common/telemetry.h"
+#include "common/units.h"
+
+namespace prc_lint_fixture {
+
+struct FakeNetwork {
+  double rank_counting_estimate(int range) const;
+};
+
+// no-raw-to-sink: `estimate` is tainted by the pre-noise source, then a
+// RENAMED copy flows into the telemetry sink two statements later.
+void leak_via_intermediate(const FakeNetwork& network) {
+  const double estimate = network.rank_counting_estimate(7);
+  const double renamed = estimate * 2.0;
+  telemetry::histogram("query.estimate").record(renamed);
+}
+
+// no-raw-to-sink: a units::Raw<...> local read out with .get() and handed
+// to a serialization sink.
+void leak_via_raw_get(const prc::units::Raw<double>& sample) {
+  prc::units::Raw<double> held(sample.get());
+  const double leaked = held.get();
+  to_json(leaked);
+}
+
+}  // namespace prc_lint_fixture

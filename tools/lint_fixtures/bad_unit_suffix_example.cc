@@ -1,0 +1,18 @@
+// Deliberately broken unit-suffix fixture for `prc_lint --self-test`.
+//
+// The basename contains "unit_suffix", so unit-suffix-consistency applies
+// (as it does under src/dp/ and src/pricing/): privacy quantities declared
+// as bare double parameters or fields must fire.  NOT compiled.
+
+namespace prc_lint_fixture {
+
+// unit-suffix-consistency: both parameters name privacy quantities.
+double amplify(double epsilon, double sampling_alpha);
+
+struct BadPlanConfig {
+  // unit-suffix-consistency: a field, not a parameter.
+  double target_delta = 0.9;
+  int grid_points = 512;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,26 @@
+// Comment/string false-positive regression fixture for `prc_lint
+// --self-test`.  Every line below MENTIONS a rule trigger inside a comment
+// or a string literal; the token engine must produce ZERO findings here.
+// (The old regex engine special-cased `^\s*//` only, so trailing comments
+// and string literals could still fire.)  NOT compiled.
+
+namespace prc_lint_fixture {
+
+// std::mt19937 engine(std::random_device{}()); -- only a comment.
+// assert(total == 0); and rand() likewise.
+/* block comment mentioning srand(7) and epsilon == 0.5 too */
+
+const char* clean_doc_strings() {
+  const char* a = "call assert(x) or rand() at your peril";
+  const char* b = "epsilon == 0.5 && delta != 0.9";
+  const char* c = "telemetry::counter(\"x\").add(sampled_estimate)";
+  const char* d = "std::random_device inside a string";
+  return a && b && c && d ? a : b;  // trailing: srand(1); assert(0);
+}
+
+double clean_trailing_comment(double revenue) {
+  double total = revenue;  // if (total == revenue) assert(rand());
+  return total;            /* price == budget in a trailing block */
+}
+
+}  // namespace prc_lint_fixture

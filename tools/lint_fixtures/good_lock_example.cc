@@ -1,0 +1,34 @@
+// Correct-usage twin of bad_lock_example.cc: every touch of the guarded
+// field goes through one of the sanctioned shapes.  Zero findings
+// expected.  NOT compiled.
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class GoodCounterBox {
+ public:
+  GoodCounterBox() { total_ = 0; }  // constructors run pre-sharing
+
+  long clean_locked_total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  void clean_add(long amount) {
+    std::scoped_lock lock(mutex_);
+    add_locked(amount);
+  }
+
+ private:
+  // The _locked suffix is the contract: callers hold mutex_.
+  void add_locked(long amount) { total_ += amount; }
+  long audit() const PRC_REQUIRES(mutex_) { return total_; }
+
+  mutable std::mutex mutex_;
+  long total_ PRC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace prc_lint_fixture

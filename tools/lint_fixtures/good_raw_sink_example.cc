@@ -1,0 +1,29 @@
+// Correct-usage twin of bad_raw_sink_example.cc: the same shapes, but only
+// released/aggregate quantities reach the sinks.  Zero findings expected.
+// NOT compiled.
+
+#include "common/telemetry.h"
+#include "common/units.h"
+
+namespace prc_lint_fixture {
+
+struct FakeMechanism {
+  prc::units::Released<double> perturb(prc::units::Raw<double> v) const;
+};
+
+// The raw estimate is perturbed before export: the sink sees only the
+// Released value, and the taint dies at the mechanism boundary.
+void clean_release_then_export(const FakeMechanism& mechanism,
+                               prc::units::Raw<double> sample) {
+  const prc::units::Released<double> released = mechanism.perturb(sample);
+  const double published = released.value();
+  telemetry::histogram("query.released").record(published);
+}
+
+// Counts, durations and prices are always exportable.
+void clean_aggregate_export(std::size_t query_count, double price) {
+  telemetry::counter("market.sales").add(query_count);
+  to_json(price);
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,24 @@
+// Correct-usage twin of bad_unit_suffix_example.cc: unit-typed parameters
+// and fields, plus the ALLOWED bare-double shapes (locals inside function
+// bodies, unrelated names).  Zero findings expected.  NOT compiled.
+
+#include "common/units.h"
+
+namespace prc_lint_fixture {
+
+// Parameters carry the phantom unit types.
+prc::units::EffectiveEpsilon clean_amplify(prc::units::Epsilon epsilon,
+                                           prc::units::Probability p);
+
+struct GoodPlanConfig {
+  prc::units::Delta target_delta = 0.9;
+  double sensitivity = 1.0;  // not a privacy unit; bare double is fine
+};
+
+// Formula locals may unpack to visible unitless doubles inside a body.
+inline double clean_formula(prc::units::Alpha alpha_prime, double n) {
+  const double alpha_value = alpha_prime.value();
+  return alpha_value * n;
+}
+
+}  // namespace prc_lint_fixture
