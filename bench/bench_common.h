@@ -53,6 +53,9 @@ struct Options {
   std::size_t threads = 1;
   /// Sensor node count override; 0 = the binary's default scenario.
   std::size_t nodes = 0;
+  /// Write-ahead log path for the durability-overhead mode (consumed by
+  /// market_session; empty = WAL disabled, the default run is untouched).
+  std::string wal_path;
   /// Set by parse_options; emit() turns it into bench.wall_clock_us so the
   /// snapshot carries the run's end-to-end wall time next to its counters.
   std::chrono::steady_clock::time_point start_time;
@@ -71,7 +74,10 @@ inline Options parse_options(int argc, char** argv) {
       .option("threads",
               "worker threads for parallel sections (default: PRC_THREADS "
               "env or 1)")
-      .option("nodes", "sensor node count (0 = binary default)");
+      .option("nodes", "sensor node count (0 = binary default)")
+      .option("wal",
+              "write-ahead log path: adds a durability-overhead comparison "
+              "(market_session only; default runs are unaffected)");
   try {
     if (!parser.parse(argc, argv)) std::exit(0);  // --help
   } catch (const std::invalid_argument& e) {
@@ -85,6 +91,7 @@ inline Options parse_options(int argc, char** argv) {
   }
   options.threads = parallel::thread_count();
   options.nodes = static_cast<std::size_t>(parser.get_uint("nodes", 0));
+  if (const auto wal = parser.get("wal")) options.wal_path = *wal;
   options.csv_path = parser.get("csv");
   options.trials = static_cast<std::size_t>(parser.get_uint("trials", 0));
   options.seed = parser.get_uint("seed", options.seed);

@@ -4,6 +4,8 @@
 // under three broker setups; the tally shows what the pricing choice and
 // the per-consumer budget cap do to revenue, arbitrage leakage and privacy
 // exposure.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <memory>
 
@@ -66,6 +68,56 @@ int main(int argc, char** argv) {
          table.format(report.max_attacker_epsilon)});
   }
   bench::emit(table, options);
+
+  if (!options.wal_path.empty()) {
+    // Durability-overhead mode: replay the arbitrage-free uncapped scenario
+    // (the one with the most completed sales, hence the most WAL records)
+    // with and without write-ahead logging and report the wall-clock delta.
+    const auto& scenario = scenarios[1];
+    std::cout << "\nWAL durability overhead (" << scenario.label << ")\n";
+    TextTable wal_table(
+        {"mode", "wall_us", "revenue", "wal_records", "wal_bytes"});
+    double wall_without = 0.0;
+    double wall_with = 0.0;
+    for (const bool with_wal : {false, true}) {
+      auto network = bench::make_network(column, kNodes, options.seed + 5);
+      dp::PrivateRangeCounter counter(network, {}, options.seed + 7);
+      market::BrokerConfig broker_config;
+      broker_config.per_consumer_epsilon_cap = scenario.epsilon_cap;
+      market::DataBroker broker(
+          counter,
+          std::make_unique<pricing::InverseVariancePricing>(
+              model, reference, 100.0, scenario.exponent),
+          broker_config);
+      if (with_wal) {
+        std::remove(options.wal_path.c_str());
+        broker.attach_wal(options.wal_path);
+      }
+      market::SimulationConfig sim_config;
+      sim_config.seed = options.seed + 11;
+      market::MarketSimulation simulation(broker, model, pool, sim_config);
+      const auto start = std::chrono::steady_clock::now();
+      const auto report = simulation.run();
+      const auto wall =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      (with_wal ? wall_with : wall_without) = static_cast<double>(wall);
+      const auto* wal = broker.write_ahead_log();
+      wal_table.add_row(
+          {with_wal ? "wal" : "no-wal", std::to_string(wall),
+           wal_table.format(report.revenue),
+           std::to_string(wal != nullptr ? wal->records_appended() : 0),
+           std::to_string(wal != nullptr ? wal->bytes_appended() : 0)});
+    }
+    std::cout << wal_table.to_string();
+    if (wall_without > 0.0) {
+      std::cout << "# wal overhead: "
+                << 100.0 * (wall_with - wall_without) / wall_without
+                << "% wall-clock\n";
+    }
+  }
+
   std::cout << "\n# shape check: under q=2 every attacker acquisition is a\n"
             << "# profitable multi-query attack (large arbitrage leakage);\n"
             << "# under q=1 attacks vanish and leakage is ~0; the epsilon\n"

@@ -1,0 +1,86 @@
+#include "common/crash_point.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace prc::crashpoints {
+
+void Point::fire(int mode) {
+  // Self-disarm before firing: recovery code that re-walks the same path
+  // (WAL re-append, compaction after replay) must not die again.
+  mode_.store(static_cast<int>(CrashMode::kDisarmed),
+              std::memory_order_relaxed);
+  if (mode == static_cast<int>(CrashMode::kExit)) {
+    // A real crash runs no destructors and flushes no buffered streams;
+    // _Exit models that faithfully — only bytes already handed to the OS
+    // survive, which is exactly what the WAL's flush discipline relies on.
+    std::_Exit(Registry::kExitStatus);
+  }
+  throw SimulatedCrash(name_);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Registry::Registry() {
+  const char* spec = std::getenv("PRC_CRASH_POINT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string name(spec);
+  CrashMode mode = CrashMode::kThrow;
+  if (const auto colon = name.rfind(':'); colon != std::string::npos) {
+    const std::string suffix = name.substr(colon + 1);
+    if (suffix == "exit") {
+      mode = CrashMode::kExit;
+      name.resize(colon);
+    } else if (suffix == "throw") {
+      name.resize(colon);
+    }
+    // Any other suffix is part of the point name itself.
+  }
+  if (!name.empty()) arm(name, mode);
+}
+
+Point& Registry::require(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = points_[name];
+  if (!slot) slot = std::make_unique<Point>(name);
+  return *slot;
+}
+
+void Registry::arm(const std::string& name, CrashMode mode) {
+  require(name).mode_.store(static_cast<int>(mode),
+                            std::memory_order_relaxed);
+}
+
+void Registry::disarm(const std::string& name) {
+  arm(name, CrashMode::kDisarmed);
+}
+
+void Registry::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) {
+    point->mode_.store(static_cast<int>(CrashMode::kDisarmed),
+                       std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(points_.size());
+    for (const auto& [name, point] : points_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t Registry::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->hits();
+}
+
+}  // namespace prc::crashpoints

@@ -1,0 +1,127 @@
+// Named crash-point injection for durability testing.
+//
+// A crash point marks a place where the process could die with state half
+// persisted (mirroring src/iot/faults.h, which does the same for lossy
+// collection).  Sprinkle PRC_CRASH_POINT("layer.moment") along a persistence
+// path; a disarmed point costs one relaxed atomic load, an armed one fires a
+// deterministic simulated crash the first time it is reached:
+//
+//   - kThrow: throws SimulatedCrash, unwinding the stack like a fatal signal
+//     would abandon it (for in-process chaos tests that then run recovery);
+//   - kExit: std::_Exit(kExitStatus) — no destructors, no stream flushes —
+//     for process-level tests that re-launch and recover (scripts/chaos_sweep.sh).
+//
+// Points self-register on first reach, so a chaos harness can enumerate
+// every point the code under test actually passed and sweep them all.
+// Arming is programmatic (Registry::arm) or via the environment:
+//
+//   PRC_CRASH_POINT="wal.post_intent"        # throw mode
+//   PRC_CRASH_POINT="wal.post_intent:exit"   # exit mode
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace prc::crashpoints {
+
+/// The deterministic simulated crash thrown by an armed point in kThrow
+/// mode.  Deliberately NOT derived from any domain error (CoverageError,
+/// ContractViolation, ...) so no recovery-unaware catch block can swallow
+/// it by accident.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& point)
+      : std::runtime_error("simulated crash at '" + point + "'"),
+        point_(point) {}
+
+  const std::string& point() const noexcept { return point_; }
+
+ private:
+  std::string point_;
+};
+
+enum class CrashMode : int {
+  kDisarmed = 0,
+  kThrow = 1,
+  kExit = 2,
+};
+
+/// One named point.  References handed out by the registry stay valid for
+/// the process lifetime (same stability contract as telemetry metrics).
+class Point {
+ public:
+  explicit Point(std::string name) : name_(std::move(name)) {}
+
+  /// Counts the reach and fires when armed.  An armed point disarms itself
+  /// as it fires so recovery code re-entering the same path (e.g. a WAL
+  /// append during replay) does not crash a second time.
+  void hit() {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    const int mode = mode_.load(std::memory_order_relaxed);
+    if (mode != static_cast<int>(CrashMode::kDisarmed)) fire(mode);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  [[noreturn]] void fire(int mode);
+
+  std::string name_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<int> mode_{static_cast<int>(CrashMode::kDisarmed)};
+};
+
+class Registry {
+ public:
+  /// Exit status kExit crashes die with, distinguishable from any normal
+  /// failure path (PRC_CHECK aborts, uncaught exceptions) in sweep scripts.
+  static constexpr int kExitStatus = 42;
+
+  static Registry& instance();
+
+  /// Finds or creates `name`; the returned reference is process-stable.
+  Point& require(const std::string& name);
+
+  /// Arms `name` (registering it when unseen — env arming runs before any
+  /// code reaches the point).
+  void arm(const std::string& name, CrashMode mode = CrashMode::kThrow);
+  void disarm(const std::string& name);
+  void disarm_all();
+
+  /// Every point registered so far, sorted (the chaos sweep's work list).
+  std::vector<std::string> names() const;
+  std::uint64_t hits(const std::string& name) const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();  // arms from the PRC_CRASH_POINT environment variable
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Point>> points_
+      PRC_GUARDED_BY(mutex_);
+};
+
+}  // namespace prc::crashpoints
+
+/// Marks a named crash point.  The static-local lookup makes the disarmed
+/// cost one atomic increment + one atomic load after the first pass.
+#define PRC_CRASH_POINT(name_literal)                                     \
+  do {                                                                    \
+    static ::prc::crashpoints::Point& prc_crash_point_ =                  \
+        ::prc::crashpoints::Registry::instance().require(name_literal);   \
+    prc_crash_point_.hit();                                               \
+  } while (0)

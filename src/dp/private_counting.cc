@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/crash_point.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -98,7 +99,8 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
 }
 
 PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
-                                          const query::AccuracySpec& spec) {
+                                          const query::AccuracySpec& spec,
+                                          const MintBarrier& pre_mint) {
   range.validate();
   PRC_TRACE_SPAN("dp.answer");
   telemetry::ScopedTimer answer_timer(
@@ -113,12 +115,20 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
       units::Raw<double>(network_.rank_counting_estimate(range));
 
   PRC_CHECK_FINITE(out.sampled_estimate.get());
+  // Durability barrier: everything above can still fail with nothing
+  // released; everything below is a mint the caller promised to account
+  // for.  The barrier sees the final plan, so a durable intent written
+  // here carries the exact epsilon' the draw below spends.
+  if (pre_mint) pre_mint(out.plan);
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
   out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
   telemetry::counter("dp.answers").increment();
   telemetry::counter("dp.laplace_draws").increment();
   telemetry::gauge("dp.epsilon_spent_total").add(out.plan.epsilon_amplified);
   telemetry::histogram("dp.laplace_scale").record(out.plan.laplace_scale);
+  // Crash here models dying with budget spent but the sale not yet in the
+  // ledger — the orphaned-intent case recovery must charge as spent.
+  PRC_CRASH_POINT("dp.post_mint");
   // The release the market audits: a non-finite value or an amplified
   // budget above the base budget would void both the contract and the
   // ledger's composition accounting.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -58,6 +59,15 @@ struct PrivateAnswer {
   iot::CoverageSummary coverage;
 };
 
+/// Durability hook invoked by answer() with the FINAL perturbation plan —
+/// after feasibility/top-up settles the plan, immediately before the
+/// Laplace draw mints the release.  The market layer uses it to flush a
+/// write-ahead intent record carrying the exact epsilon' about to be
+/// spent, so a crash after the mint can only ever over-count released
+/// budget.  A barrier that throws aborts the answer with nothing released
+/// (no noise has been drawn yet).
+using MintBarrier = std::function<void(const PerturbationPlan&)>;
+
 struct PrivateCounterConfig {
   OptimizerConfig optimizer;
   /// Multiplier on the Theorem 3.3 probability when topping up, leaving
@@ -88,9 +98,11 @@ class PrivateRangeCounter {
   /// std::runtime_error if the contract is infeasible even with every datum
   /// sampled (p = 1), or CoverageError when the cache cannot reach the
   /// contract because of degraded collection (the caller may retry with
-  /// degraded_spec()).
+  /// degraded_spec()).  `pre_mint`, when set, runs with the final plan
+  /// just before the noise draw (see MintBarrier).
   PrivateAnswer answer(const query::RangeQuery& range,
-                       const query::AccuracySpec& spec);
+                       const query::AccuracySpec& spec,
+                       const MintBarrier& pre_mint = {});
 
   /// The plan that would currently be used for `spec`, without touching the
   /// network or spending budget (for price quoting).

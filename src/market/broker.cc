@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/crash_point.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "pricing/arbitrage.h"
 
 namespace prc::market {
 
@@ -32,6 +35,84 @@ units::EffectiveEpsilon DataBroker::remaining_budget(
                            ledger_.consumer_epsilon(consumer_id));
 }
 
+void DataBroker::attach_wal(const std::string& path) {
+  PRC_CHECK(wal_ == nullptr) << "broker already has a wal attached";
+  const auto existing = wal::read_wal(path);
+  PRC_CHECK(existing.stats.records_read == 0 &&
+            existing.stats.truncated_bytes == 0)
+      << "wal '" << path
+      << "' holds prior state; use recover_and_attach_wal instead";
+  wal_ = wal::WriteAheadLog::open(path);
+  // Seed the log with the current aggregates, so recovery can never know
+  // less than the broker did at attach time.
+  wal_->append_checkpoint(ledger_.snapshot());
+  commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+}
+
+wal::RecoveryStats DataBroker::recover_and_attach_wal(
+    const std::string& path, const pricing::VarianceModel& model) {
+  PRC_CHECK(wal_ == nullptr) << "broker already has a wal attached";
+  const auto pre_recovery = ledger_.snapshot();
+  PRC_CHECK(pre_recovery.next_sequence == 0 && pre_recovery.consumers.empty())
+      << "wal recovery requires a fresh broker";
+  const auto recovery = wal::read_wal(path);
+  wal::apply_recovery(ledger_, recovery);
+  // Re-audit before selling anything: the recovered books must conserve
+  // budget exactly (modulo fp rounding)...
+  const double discrepancy = ledger_.conservation_discrepancy();
+  PRC_CHECK(discrepancy <=
+            1e-9 * (1.0 + ledger_.total_epsilon() + ledger_.total_revenue()))
+      << "recovered ledger violates budget conservation: discrepancy "
+      << discrepancy;
+  // ...and the menu must still be arbitrage-free (Theorem 4.2): resuming
+  // sales behind a broken menu would let Example 4.1 adversaries buy
+  // around the very accounting recovery just rebuilt.
+  const auto report = pricing::ArbitrageChecker(model).check(*pricing_);
+  PRC_CHECK(report.arbitrage_avoiding)
+      << "recovered broker refuses to reopen: pricing menu violates "
+         "Theorem 4.2 (" << report.violations.size() << " violations)";
+  // Compaction absorbs the replayed history — and the orphans just charged
+  // — into one durable checkpoint, so recovering again (even crashing
+  // during recovery) never double-charges an orphan.
+  wal_ = wal::WriteAheadLog::compact(path, ledger_.snapshot(),
+                                     recovery.next_wal_sequence);
+  commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+  return recovery.stats;
+}
+
+dp::PrivateAnswer DataBroker::mint_answer_with_intent(
+    const std::string& consumer_id, const query::RangeQuery& range,
+    const query::AccuracySpec& spec, std::uint64_t& intent_sequence) {
+  const auto barrier = [&](const dp::PerturbationPlan& plan) {
+    PRC_CRASH_POINT("wal.pre_intent");
+    if (wal_ != nullptr) {
+      wal::IntentRecord intent;
+      intent.consumer_id = consumer_id;
+      intent.range = range;
+      intent.spec = spec;
+      intent.epsilon_amplified = plan.epsilon_amplified;
+      intent_sequence = wal_->append_intent(std::move(intent));
+    }
+    // Dying here is the over-count case: the intent is durable but no
+    // noise was drawn, so recovery charges budget that was never spent.
+    // The asymmetry is deliberate — the reverse (spent but not charged)
+    // would break the pricing model's composition accounting.
+    PRC_CRASH_POINT("wal.post_intent");
+  };
+  return counter_.answer(range, spec, barrier);
+}
+
+void DataBroker::maybe_checkpoint() {
+  if (wal_ == nullptr || config_.wal_checkpoint_interval == 0) return;
+  const std::size_t commits =
+      commits_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (commits < config_.wal_checkpoint_interval) return;
+  commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+  PRC_CRASH_POINT("wal.pre_checkpoint");
+  wal_->append_checkpoint(ledger_.snapshot());
+  PRC_CRASH_POINT("wal.post_checkpoint");
+}
+
 PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
                                  const query::RangeQuery& range,
                                  const query::AccuracySpec& spec) {
@@ -39,22 +120,31 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   telemetry::ScopedTimer sell_timer(
       telemetry::histogram("market.sell_duration_us"));
   telemetry::counter("market.sale_attempts").increment();
+  PRC_CRASH_POINT("broker.begin_sale");
   // Check the budget against the projected plan BEFORE computing the
-  // answer, so a refused sale releases nothing.
+  // answer, so a refused sale releases nothing.  The cheap spent-vs-cap
+  // read keeps an already-exhausted consumer from paying for a plan
+  // projection; the reservation below is the authoritative, race-free
+  // admission check.
   const double spent = ledger_.consumer_epsilon(consumer_id);
-  if (spent < config_.per_consumer_epsilon_cap) {
-    const auto projected = counter_.plan_for(spec);
-    if (spent + projected.epsilon_amplified >
-        config_.per_consumer_epsilon_cap) {
-      telemetry::counter("market.refusals_budget").increment();
-      throw BudgetExceededError(consumer_id,
-                                spent + projected.epsilon_amplified,
-                                config_.per_consumer_epsilon_cap);
-    }
-  } else {
+  if (spent >= config_.per_consumer_epsilon_cap) {
     telemetry::counter("market.refusals_budget").increment();
     throw BudgetExceededError(consumer_id, spent,
                               config_.per_consumer_epsilon_cap);
+  }
+  const auto projected = counter_.plan_for(spec);
+  // Holding the projected epsilon' until commit (or unwinding) closes the
+  // check/record race: two concurrent sales can no longer both clear the
+  // cap on the strength of the same unspent headroom.
+  auto reservation =
+      ledger_.try_reserve(consumer_id, projected.epsilon_amplified,
+                          config_.per_consumer_epsilon_cap);
+  if (!reservation.has_value()) {
+    telemetry::counter("market.refusals_budget").increment();
+    throw BudgetExceededError(
+        consumer_id,
+        ledger_.consumer_epsilon(consumer_id) + projected.epsilon_amplified,
+        config_.per_consumer_epsilon_cap);
   }
 
   // The coverage floor is checked against the current cache BEFORE any
@@ -75,8 +165,10 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   query::AccuracySpec sold_spec = spec;
   bool degraded = false;
   dp::PrivateAnswer answer;
+  std::uint64_t intent_sequence = 0;
   try {
-    answer = counter_.answer(range, spec);
+    answer = mint_answer_with_intent(consumer_id, range, spec,
+                                     intent_sequence);
   } catch (const dp::CoverageError& err) {
     // ensure_feasible_plan failed before any noise was drawn: nothing has
     // been released yet, so refusing here spends no budget.
@@ -102,7 +194,8 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
           inner.coverage());
     }
     degraded = true;
-    answer = counter_.answer(range, sold_spec);
+    answer = mint_answer_with_intent(consumer_id, range, sold_spec,
+                                     intent_sequence);
   }
 
   PurchaseReceipt receipt;
@@ -128,7 +221,23 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
                           answer.plan.epsilon_amplified};
   transaction.coverage = answer.coverage.coverage;
   transaction.degraded = degraded;
-  receipt.transaction_id = ledger_.record(std::move(transaction));
+  // Crash windows from here on: pre_record dies with a durable intent and
+  // a minted answer (recovery charges the orphan); post_record dies with
+  // the ledger updated in memory but no durable commit (same orphan
+  // charge); post_commit dies fully durable.
+  PRC_CRASH_POINT("broker.pre_record");
+  receipt.transaction_id = ledger_.commit(std::move(*reservation),
+                                          transaction);
+  PRC_CRASH_POINT("broker.post_record");
+  if (wal_ != nullptr) {
+    wal::CommitRecord commit;
+    commit.intent_sequence = intent_sequence;
+    commit.transaction = std::move(transaction);
+    commit.transaction.sequence = receipt.transaction_id;
+    wal_->append_commit(std::move(commit));
+    PRC_CRASH_POINT("wal.post_commit");
+    maybe_checkpoint();
+  }
   telemetry::counter("market.sales").increment();
   if (degraded) telemetry::counter("market.degraded_sales").increment();
   telemetry::histogram("market.sale_price").record(receipt.price);

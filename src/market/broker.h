@@ -7,6 +7,8 @@
 // for, and the price; the internal plan and pre-noise estimate stay inside.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -14,6 +16,7 @@
 
 #include "dp/private_counting.h"
 #include "market/ledger.h"
+#include "market/wal.h"
 #include "pricing/pricing.h"
 #include "query/range_query.h"
 
@@ -78,6 +81,9 @@ struct BrokerConfig {
   /// under kReprice (an estimate blind to a large data fraction is not
   /// worth selling at any accuracy).  0 disables the floor.
   double min_coverage = 0.0;
+  /// Commits between automatic WAL checkpoints (0 = never checkpoint).
+  /// Only meaningful once a WAL is attached.
+  std::size_t wal_checkpoint_interval = 64;
 };
 
 /// What a consumer receives for their money.
@@ -118,16 +124,52 @@ class DataBroker {
   /// Remaining budget the broker is still willing to release to a consumer.
   units::EffectiveEpsilon remaining_budget(const std::string& consumer_id) const;
 
+  /// Starts write-ahead logging to `path`, which must not hold prior state
+  /// (use recover_and_attach_wal for that).  Seeds the log with a
+  /// checkpoint of the current aggregates; every subsequent sale flushes a
+  /// durable intent before its answer is minted and a commit after the
+  /// ledger append.  Call before sales begin, not concurrently with them.
+  void attach_wal(const std::string& path);
+
+  /// Crash recovery: replays the WAL at `path` into this (fresh) broker's
+  /// ledger — checkpoint, then committed sales, then every orphaned intent
+  /// charged as spent — re-audits budget conservation, re-validates the
+  /// Theorem 4.2 menu against `model`, and only then compacts the log and
+  /// resumes accepting sales.  The spend-ahead discipline guarantees the
+  /// recovered total_epsilon() never under-counts what was released before
+  /// the crash.  Throws (and leaves the broker without a WAL) when the
+  /// audit or menu validation fails.
+  wal::RecoveryStats recover_and_attach_wal(const std::string& path,
+                                            const pricing::VarianceModel& model);
+
+  /// The attached log, or nullptr when the broker runs without durability.
+  const wal::WriteAheadLog* write_ahead_log() const noexcept {
+    return wal_.get();
+  }
+
   const Ledger& ledger() const noexcept { return ledger_; }
   const pricing::PricingFunction& pricing() const noexcept {
     return *pricing_;
   }
 
  private:
+  /// The single market-layer gateway to PrivateRangeCounter::answer (the
+  /// no-unbarriered-mint lint rule enforces this): wraps the call with the
+  /// mint barrier that flushes the WAL intent record carrying the final
+  /// plan's epsilon', and reports the intent's wal sequence through
+  /// `intent_sequence` for the matching commit record.
+  dp::PrivateAnswer mint_answer_with_intent(const std::string& consumer_id,
+                                            const query::RangeQuery& range,
+                                            const query::AccuracySpec& spec,
+                                            std::uint64_t& intent_sequence);
+  void maybe_checkpoint();
+
   dp::PrivateRangeCounter& counter_;
   std::unique_ptr<pricing::PricingFunction> pricing_;
   BrokerConfig config_;
   Ledger ledger_;
+  std::unique_ptr<wal::WriteAheadLog> wal_;
+  std::atomic<std::size_t> commits_since_checkpoint_{0};
 };
 
 }  // namespace prc::market

@@ -1,5 +1,6 @@
 #include "market/ledger.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -8,7 +9,24 @@
 
 namespace prc::market {
 
+void Ledger::Reservation::release() noexcept {
+  if (ledger_ == nullptr) return;
+  Ledger* ledger = ledger_;
+  ledger_ = nullptr;
+  std::lock_guard<std::mutex> lock(ledger->mutex_);
+  auto it = ledger->reserved_by_consumer_.find(consumer_id_);
+  if (it != ledger->reserved_by_consumer_.end()) {
+    it->second -= epsilon_;
+    if (it->second <= 0.0) ledger->reserved_by_consumer_.erase(it);
+  }
+}
+
 std::size_t Ledger::record(Transaction transaction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record_locked(std::move(transaction));
+}
+
+std::size_t Ledger::record_locked(Transaction transaction) {
   PRC_CHECK(std::isfinite(transaction.price) && transaction.price >= 0.0)
       << "ledger: price must be >= 0, got " << transaction.price;
   PRC_CHECK(std::isfinite(transaction.epsilon_amplified) &&
@@ -17,8 +35,7 @@ std::size_t Ledger::record(Transaction transaction) {
       << transaction.epsilon_amplified;
   PRC_CHECK(transaction.coverage >= 0.0 && transaction.coverage <= 1.0)
       << "ledger: coverage must be in [0, 1], got " << transaction.coverage;
-  std::lock_guard<std::mutex> lock(mutex_);
-  transaction.sequence = transactions_.size();
+  transaction.sequence = next_sequence_++;
   if (transaction.degraded) ++degraded_sales_;
   total_revenue_ += transaction.price;
   total_epsilon_ += transaction.epsilon_amplified;
@@ -38,6 +55,50 @@ std::size_t Ledger::record(Transaction transaction) {
   telemetry::gauge("market.ledger_conservation_discrepancy")
       .set(conservation_discrepancy_locked());
   return transactions_.back().sequence;
+}
+
+std::optional<Ledger::Reservation> Ledger::try_reserve(
+    const std::string& consumer_id, units::EffectiveEpsilon epsilon,
+    units::EffectiveEpsilon cap) {
+  PRC_CHECK(std::isfinite(epsilon.value()) && epsilon.value() >= 0.0)
+      << "ledger: reserved budget must be >= 0, got " << epsilon.value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto spent_it = epsilon_by_consumer_.find(consumer_id);
+  const double spent =
+      spent_it == epsilon_by_consumer_.end() ? 0.0 : spent_it->second;
+  const auto held_it = reserved_by_consumer_.find(consumer_id);
+  const double held =
+      held_it == reserved_by_consumer_.end() ? 0.0 : held_it->second;
+  if (spent + held + epsilon.value() > cap.value()) return std::nullopt;
+  reserved_by_consumer_[consumer_id] = held + epsilon.value();
+  return Reservation(this, consumer_id, epsilon.value());
+}
+
+std::size_t Ledger::commit(Reservation reservation, Transaction transaction) {
+  PRC_CHECK(reservation.active())
+      << "ledger: committing a released reservation";
+  PRC_CHECK(reservation.ledger_ == this)
+      << "ledger: reservation belongs to another ledger";
+  PRC_CHECK(reservation.consumer_id_ == transaction.consumer_id)
+      << "ledger: reservation for '" << reservation.consumer_id_
+      << "' cannot commit a sale to '" << transaction.consumer_id << "'";
+  reservation.ledger_ = nullptr;  // consumed; no destructor-time release
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = reserved_by_consumer_.find(reservation.consumer_id_);
+  if (it != reserved_by_consumer_.end()) {
+    it->second -= reservation.epsilon_;
+    if (it->second <= 0.0) reserved_by_consumer_.erase(it);
+  }
+  return record_locked(std::move(transaction));
+}
+
+std::size_t Ledger::replay(Transaction transaction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PRC_CHECK(transaction.sequence >= next_sequence_)
+      << "ledger replay would reuse sequence " << transaction.sequence
+      << " (next is " << next_sequence_ << ")";
+  next_sequence_ = transaction.sequence;
+  return record_locked(std::move(transaction));
 }
 
 double Ledger::conservation_discrepancy() const {
@@ -69,6 +130,73 @@ units::EffectiveEpsilon Ledger::consumer_epsilon(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = epsilon_by_consumer_.find(consumer_id);
   return it == epsilon_by_consumer_.end() ? 0.0 : it->second;
+}
+
+LedgerSnapshot Ledger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LedgerSnapshot snap;
+  snap.next_sequence = next_sequence_;
+  snap.total_revenue = total_revenue_;
+  snap.total_epsilon = total_epsilon_;
+  snap.orphaned_epsilon = orphaned_epsilon_;
+  snap.degraded_sales = degraded_sales_;
+  snap.consumers.reserve(
+      std::max(spend_by_consumer_.size(), epsilon_by_consumer_.size()));
+  for (const auto& [consumer, spend] : spend_by_consumer_) {
+    LedgerConsumerTotals totals;
+    totals.consumer_id = consumer;
+    totals.spend = spend;
+    const auto it = epsilon_by_consumer_.find(consumer);
+    totals.epsilon = it == epsilon_by_consumer_.end() ? 0.0 : it->second;
+    snap.consumers.push_back(std::move(totals));
+  }
+  // Consumers charged budget but never money (orphan-only) appear in the
+  // epsilon map alone.
+  for (const auto& [consumer, epsilon] : epsilon_by_consumer_) {
+    if (spend_by_consumer_.contains(consumer)) continue;
+    LedgerConsumerTotals totals;
+    totals.consumer_id = consumer;
+    totals.epsilon = epsilon;
+    snap.consumers.push_back(std::move(totals));
+  }
+  std::sort(snap.consumers.begin(), snap.consumers.end(),
+            [](const LedgerConsumerTotals& a, const LedgerConsumerTotals& b) {
+              return a.consumer_id < b.consumer_id;
+            });
+  return snap;
+}
+
+void Ledger::restore(const LedgerSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PRC_CHECK(next_sequence_ == 0 && transactions_.empty() &&
+            spend_by_consumer_.empty() && epsilon_by_consumer_.empty() &&
+            degraded_sales_ == 0)
+      << "ledger restore requires an empty ledger (recovery is a birth, "
+         "not a merge)";
+  next_sequence_ = snapshot.next_sequence;
+  total_revenue_ = snapshot.total_revenue;
+  total_epsilon_ = snapshot.total_epsilon.value();
+  orphaned_epsilon_ = snapshot.orphaned_epsilon.value();
+  degraded_sales_ = snapshot.degraded_sales;
+  for (const auto& totals : snapshot.consumers) {
+    spend_by_consumer_[totals.consumer_id] = totals.spend;
+    epsilon_by_consumer_[totals.consumer_id] = totals.epsilon.value();
+  }
+  PRC_CHECK(conservation_discrepancy_locked() <=
+            1e-9 * (1.0 + total_epsilon_ + total_revenue_))
+      << "restored checkpoint violates budget conservation: discrepancy "
+      << conservation_discrepancy_locked();
+}
+
+void Ledger::absorb_orphaned(const std::string& consumer_id,
+                             units::EffectiveEpsilon epsilon) {
+  PRC_CHECK(std::isfinite(epsilon.value()) && epsilon.value() >= 0.0)
+      << "ledger: orphaned budget must be >= 0, got " << epsilon.value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_epsilon_ += epsilon.value();
+  orphaned_epsilon_ += epsilon.value();
+  epsilon_by_consumer_[consumer_id] += epsilon.value();
+  telemetry::gauge("market.ledger_orphaned_epsilon").set(orphaned_epsilon_);
 }
 
 }  // namespace prc::market

@@ -2,11 +2,15 @@
 //
 // Each sale releases one epsilon'-DP answer; sequential composition means a
 // consumer's cumulative leakage is the sum of the amplified budgets of the
-// answers they bought.  The ledger tracks both money and budget.
+// answers they bought.  The ledger tracks both money and budget, and since
+// the accounting IS the privacy guarantee, it supports durable snapshots
+// (checkpoints written to the WAL) and restore/replay for crash recovery.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,28 +36,105 @@ struct Transaction {
   bool degraded = false;
 };
 
-/// Thread-safety: record() and the scalar accessors take the internal
-/// mutex (parallel brokers will hammer both).  transactions() hands out a
-/// reference to the underlying log and therefore requires the ledger to be
-/// quiescent — callers that need a stable view while sales continue should
-/// copy under their own arrangement.
+/// Per-consumer attribution carried by a snapshot (sorted by id so a
+/// snapshot's serialized bytes are deterministic).
+struct LedgerConsumerTotals {
+  std::string consumer_id;
+  double spend = 0.0;
+  units::EffectiveEpsilon epsilon = 0.0;
+};
+
+/// The aggregate state a WAL checkpoint persists and recovery restores: the
+/// conserved quantities plus per-consumer attribution.  The transaction
+/// list itself is NOT part of a snapshot — compaction exists precisely to
+/// drop replayed history once its aggregates are durable.  `total_epsilon`
+/// already includes `orphaned_epsilon` (orphans are spent budget; the
+/// latter is kept separately only so audits can report how much was
+/// charged to crashes rather than completed sales).
+struct LedgerSnapshot {
+  std::uint64_t next_sequence = 0;
+  double total_revenue = 0.0;
+  units::EffectiveEpsilon total_epsilon = 0.0;
+  units::EffectiveEpsilon orphaned_epsilon = 0.0;
+  std::uint64_t degraded_sales = 0;
+  std::vector<LedgerConsumerTotals> consumers;
+};
+
+/// Thread-safety: every member serializes on the internal mutex (parallel
+/// brokers hammer record() and the accessors concurrently).
+/// transactions_snapshot() copies under the lock, so readers never alias
+/// live mutable state.
 class Ledger {
  public:
+  /// A held slice of a consumer's budget cap: try_reserve() checks
+  /// spent + reserved + epsilon against the cap and holds epsilon until the
+  /// reservation is committed (became a transaction) or destroyed (the sale
+  /// failed or crashed — the hold evaporates with the stack).  This closes
+  /// the check/record race: two concurrent sales cannot both pass the cap
+  /// check on the strength of the same unspent headroom.
+  class Reservation {
+   public:
+    Reservation() = default;
+    Reservation(Reservation&& other) noexcept { *this = std::move(other); }
+    Reservation& operator=(Reservation&& other) noexcept {
+      if (this != &other) {
+        release();
+        ledger_ = other.ledger_;
+        consumer_id_ = std::move(other.consumer_id_);
+        epsilon_ = other.epsilon_;
+        other.ledger_ = nullptr;
+      }
+      return *this;
+    }
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+    ~Reservation() { release(); }
+
+    bool active() const noexcept { return ledger_ != nullptr; }
+    units::EffectiveEpsilon epsilon() const noexcept { return epsilon_; }
+
+   private:
+    friend class Ledger;
+    Reservation(Ledger* ledger, std::string consumer_id, double epsilon)
+        : ledger_(ledger),
+          consumer_id_(std::move(consumer_id)),
+          epsilon_(epsilon) {}
+    void release() noexcept;
+
+    Ledger* ledger_ = nullptr;
+    std::string consumer_id_;
+    double epsilon_ = 0.0;
+  };
+
   /// Appends a transaction; assigns and returns its sequence number.
   /// PRC_CHECKs the money/budget invariants (non-negative price and
   /// epsilon', coverage in [0, 1]) and, in debug builds, re-audits budget
   /// conservation after the append.
   std::size_t record(Transaction transaction);
 
+  /// Atomically checks `spent + reserved + epsilon <= cap` for the consumer
+  /// and, on success, holds `epsilon` until the returned handle is
+  /// committed or destroyed.  nullopt means the sale must be refused.
+  std::optional<Reservation> try_reserve(const std::string& consumer_id,
+                                         units::EffectiveEpsilon epsilon,
+                                         units::EffectiveEpsilon cap);
+
+  /// Converts a reservation into a recorded transaction in one critical
+  /// section (the reservation is consumed either way).  The transaction's
+  /// epsilon' may differ slightly from the reserved projection — the
+  /// reservation bounds admission, the minted plan is the truth.
+  std::size_t commit(Reservation reservation, Transaction transaction);
+
   std::size_t transaction_count() const noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     return transactions_.size();
   }
-  const std::vector<Transaction>& transactions() const noexcept {
-    // Hands out a reference by documented contract (see the class
-    // comment): callers may only use it while the ledger is quiescent, and
-    // locking here could not protect the returned reference anyway.
-    return transactions_;  // lint:allow lock — quiescence contract above
+
+  /// Copy of the transaction log taken under the lock — safe to iterate
+  /// while sales continue on other threads.
+  std::vector<Transaction> transactions_snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return transactions_;
   }
 
   double total_revenue() const noexcept {
@@ -64,10 +145,18 @@ class Ledger {
   /// Total amplified budget released across ALL consumers — the dataset's
   /// cumulative exposure under sequential composition (adversaries may
   /// collude, so the broker audits the global sum, not just per-consumer
-  /// totals).
+  /// totals).  After recovery this includes orphaned intents: budget that
+  /// MAY have been released before a crash is counted as released.
   units::EffectiveEpsilon total_epsilon() const noexcept {
     std::lock_guard<std::mutex> lock(mutex_);
     return total_epsilon_;
+  }
+
+  /// Budget charged to crash orphans (intents with no commit) rather than
+  /// completed sales.  Included in total_epsilon().
+  units::EffectiveEpsilon orphaned_epsilon() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return orphaned_epsilon_;
   }
 
   /// Sum of prices paid by one consumer (0 for unknown ids).
@@ -90,17 +179,44 @@ class Ledger {
   /// record() PRC_DCHECKs it stays within fp rounding of zero.
   double conservation_discrepancy() const;
 
+  /// Durable view of the aggregates (what a WAL checkpoint writes).
+  LedgerSnapshot snapshot() const;
+
+  /// Recovery: seeds an EMPTY ledger with a checkpoint's aggregates.
+  /// PRC_CHECKs the ledger has recorded nothing yet — restore is a birth
+  /// certificate, not a merge.
+  void restore(const LedgerSnapshot& snapshot);
+
+  /// Recovery: re-records a WAL-replayed transaction under its ORIGINAL
+  /// sequence number, fast-forwarding past burned slots (a gap in the
+  /// replayed sequence belongs to a sale whose commit never reached disk —
+  /// its intent is charged via absorb_orphaned()).  PRC_CHECKs sequence
+  /// numbers never move backwards.
+  std::size_t replay(Transaction transaction);
+
+  /// Recovery: charges an orphaned intent (budget that may have been minted
+  /// before a crash, with no committed transaction) as spent.  Counts
+  /// toward the consumer's cap and the global exposure but adds no revenue
+  /// — the privacy-safe direction of the spend-ahead discipline.
+  void absorb_orphaned(const std::string& consumer_id,
+                       units::EffectiveEpsilon epsilon);
+
  private:
   double conservation_discrepancy_locked() const PRC_REQUIRES(mutex_);
+  std::size_t record_locked(Transaction transaction) PRC_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
   std::vector<Transaction> transactions_ PRC_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ PRC_GUARDED_BY(mutex_) = 0;
   std::size_t degraded_sales_ PRC_GUARDED_BY(mutex_) = 0;
   double total_revenue_ PRC_GUARDED_BY(mutex_) = 0.0;
   double total_epsilon_ PRC_GUARDED_BY(mutex_) = 0.0;
+  double orphaned_epsilon_ PRC_GUARDED_BY(mutex_) = 0.0;
   std::unordered_map<std::string, double> spend_by_consumer_
       PRC_GUARDED_BY(mutex_);
   std::unordered_map<std::string, double> epsilon_by_consumer_
+      PRC_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, double> reserved_by_consumer_
       PRC_GUARDED_BY(mutex_);
 };
 

@@ -1,0 +1,453 @@
+#include "market/wal.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crash_point.h"
+#include "common/telemetry.h"
+#include "iot/codec.h"
+
+namespace prc::market::wal {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
+  out.push_back(value);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+/// Bounds-checked reader over a payload slice; every overrun is a
+/// FormatError (the record claimed more content than its payload holds).
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t length = u32();
+    need(length);
+    std::string value(reinterpret_cast<const char*>(data_ + pos_), length);
+    pos_ += length;
+    return value;
+  }
+
+  bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (size_ - pos_ < bytes) {
+      throw FormatError("wal payload shorter than its content");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> frame(RecordType type, std::uint64_t wal_sequence,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u8(out, kMagic);
+  put_u8(out, kFormatVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u8(out, 0);  // flags, reserved
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, wal_sequence);
+  // The CRC covers the pre-CRC header bytes AND the payload, so header
+  // corruption (a flipped length or sequence) is caught, not just payload
+  // corruption.
+  std::vector<std::uint8_t> covered(out.begin(), out.end());
+  covered.insert(covered.end(), payload.begin(), payload.end());
+  put_u32(out, iot::crc32(covered.data(), covered.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> intent_payload(const IntentRecord& record) {
+  std::vector<std::uint8_t> payload;
+  put_string(payload, record.consumer_id);
+  put_f64(payload, record.range.lower);
+  put_f64(payload, record.range.upper);
+  put_f64(payload, record.spec.alpha.value());
+  put_f64(payload, record.spec.delta.value());
+  put_f64(payload, record.epsilon_amplified.value());
+  return payload;
+}
+
+std::vector<std::uint8_t> commit_payload(const CommitRecord& record) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, record.intent_sequence);
+  put_u64(payload, static_cast<std::uint64_t>(record.transaction.sequence));
+  put_string(payload, record.transaction.consumer_id);
+  put_f64(payload, record.transaction.range.lower);
+  put_f64(payload, record.transaction.range.upper);
+  put_f64(payload, record.transaction.spec.alpha.value());
+  put_f64(payload, record.transaction.spec.delta.value());
+  put_f64(payload, record.transaction.price);
+  put_f64(payload, record.transaction.epsilon_amplified.value());
+  put_f64(payload, record.transaction.coverage);
+  put_u8(payload, record.transaction.degraded ? 1 : 0);
+  return payload;
+}
+
+std::vector<std::uint8_t> checkpoint_payload(const LedgerSnapshot& snapshot) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, snapshot.next_sequence);
+  put_f64(payload, snapshot.total_revenue);
+  put_f64(payload, snapshot.total_epsilon.value());
+  put_f64(payload, snapshot.orphaned_epsilon.value());
+  put_u64(payload, snapshot.degraded_sales);
+  put_u32(payload, static_cast<std::uint32_t>(snapshot.consumers.size()));
+  for (const auto& totals : snapshot.consumers) {
+    put_string(payload, totals.consumer_id);
+    put_f64(payload, totals.spend);
+    put_f64(payload, totals.epsilon.value());
+  }
+  return payload;
+}
+
+IntentRecord decode_intent_payload(Cursor& cursor,
+                                   std::uint64_t wal_sequence) {
+  IntentRecord record;
+  record.wal_sequence = wal_sequence;
+  record.consumer_id = cursor.str();
+  record.range.lower = cursor.f64();
+  record.range.upper = cursor.f64();
+  record.spec.alpha = cursor.f64();
+  record.spec.delta = cursor.f64();
+  record.epsilon_amplified = cursor.f64();
+  return record;
+}
+
+CommitRecord decode_commit_payload(Cursor& cursor,
+                                   std::uint64_t wal_sequence) {
+  CommitRecord record;
+  record.wal_sequence = wal_sequence;
+  record.intent_sequence = cursor.u64();
+  record.transaction.sequence = static_cast<std::size_t>(cursor.u64());
+  record.transaction.consumer_id = cursor.str();
+  record.transaction.range.lower = cursor.f64();
+  record.transaction.range.upper = cursor.f64();
+  record.transaction.spec.alpha = cursor.f64();
+  record.transaction.spec.delta = cursor.f64();
+  record.transaction.price = cursor.f64();
+  record.transaction.epsilon_amplified = cursor.f64();
+  record.transaction.coverage = cursor.f64();
+  record.transaction.degraded = cursor.u8() != 0;
+  return record;
+}
+
+LedgerSnapshot decode_checkpoint_payload(Cursor& cursor) {
+  LedgerSnapshot snapshot;
+  snapshot.next_sequence = cursor.u64();
+  snapshot.total_revenue = cursor.f64();
+  snapshot.total_epsilon = cursor.f64();
+  snapshot.orphaned_epsilon = cursor.f64();
+  snapshot.degraded_sales = cursor.u64();
+  const std::uint32_t consumers = cursor.u32();
+  snapshot.consumers.reserve(consumers);
+  for (std::uint32_t i = 0; i < consumers; ++i) {
+    LedgerConsumerTotals totals;
+    totals.consumer_id = cursor.str();
+    totals.spend = cursor.f64();
+    totals.epsilon = cursor.f64();
+    snapshot.consumers.push_back(std::move(totals));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_intent(const IntentRecord& record) {
+  return frame(RecordType::kIntent, record.wal_sequence,
+               intent_payload(record));
+}
+
+std::vector<std::uint8_t> encode_commit(const CommitRecord& record) {
+  return frame(RecordType::kCommit, record.wal_sequence,
+               commit_payload(record));
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const LedgerSnapshot& snapshot,
+                                            std::uint64_t wal_sequence) {
+  return frame(RecordType::kCheckpoint, wal_sequence,
+               checkpoint_payload(snapshot));
+}
+
+DecodedRecord decode_record(const std::vector<std::uint8_t>& bytes,
+                            std::size_t offset) {
+  PRC_CHECK(offset <= bytes.size()) << "wal decode offset out of range";
+  if (bytes.size() - offset < kHeaderSize) {
+    throw FormatError("wal record header torn");
+  }
+  const std::uint8_t* header = bytes.data() + offset;
+  if (header[0] != kMagic) throw FormatError("wal record magic mismatch");
+  if (header[1] != kFormatVersion) {
+    throw FormatError("wal format version " + std::to_string(header[1]) +
+                      " unsupported (expected " +
+                      std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint8_t type = header[2];
+  if (type != static_cast<std::uint8_t>(RecordType::kIntent) &&
+      type != static_cast<std::uint8_t>(RecordType::kCommit) &&
+      type != static_cast<std::uint8_t>(RecordType::kCheckpoint)) {
+    throw FormatError("wal record type " + std::to_string(type) + " unknown");
+  }
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+  }
+  std::uint64_t wal_sequence = 0;
+  for (int i = 0; i < 8; ++i) {
+    wal_sequence |= static_cast<std::uint64_t>(header[8 + i]) << (8 * i);
+  }
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(header[16 + i]) << (8 * i);
+  }
+  if (bytes.size() - offset - kHeaderSize < payload_len) {
+    throw FormatError("wal record payload torn");
+  }
+  const std::uint8_t* payload = header + kHeaderSize;
+  std::vector<std::uint8_t> covered(header, header + 16);
+  covered.insert(covered.end(), payload, payload + payload_len);
+  if (iot::crc32(covered.data(), covered.size()) != stored_crc) {
+    throw FormatError("wal record CRC mismatch");
+  }
+
+  DecodedRecord decoded;
+  decoded.type = static_cast<RecordType>(type);
+  decoded.wal_sequence = wal_sequence;
+  decoded.encoded_size = kHeaderSize + payload_len;
+  Cursor cursor(payload, payload_len);
+  switch (decoded.type) {
+    case RecordType::kIntent:
+      decoded.intent = decode_intent_payload(cursor, wal_sequence);
+      break;
+    case RecordType::kCommit:
+      decoded.commit = decode_commit_payload(cursor, wal_sequence);
+      break;
+    case RecordType::kCheckpoint:
+      decoded.checkpoint = decode_checkpoint_payload(cursor);
+      break;
+  }
+  if (!cursor.exhausted()) {
+    throw FormatError("wal record payload longer than its content");
+  }
+  return decoded;
+}
+
+RecoveryResult read_wal(const std::string& path) {
+  RecoveryResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return result;  // no log yet: empty recovery
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  in.close();
+
+  // Intents still awaiting their commit, by wal sequence.  std::map keeps
+  // orphans ordered by append time.
+  std::map<std::uint64_t, IntentRecord> pending;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    DecodedRecord decoded;
+    try {
+      decoded = decode_record(bytes, offset);
+    } catch (const FormatError&) {
+      // First torn/corrupt record: trust everything before it, drop
+      // everything from here on (a crash mid-append, or tail damage).
+      break;
+    }
+    offset += decoded.encoded_size;
+    ++result.stats.records_read;
+    result.next_wal_sequence =
+        std::max(result.next_wal_sequence, decoded.wal_sequence + 1);
+    switch (decoded.type) {
+      case RecordType::kIntent:
+        pending.emplace(decoded.wal_sequence, std::move(decoded.intent));
+        break;
+      case RecordType::kCommit:
+        pending.erase(decoded.commit.intent_sequence);
+        result.commits.push_back(std::move(decoded.commit));
+        break;
+      case RecordType::kCheckpoint:
+        ++result.stats.checkpoints_seen;
+        result.base = std::move(decoded.checkpoint);
+        // Commits the checkpoint already aggregates must not be replayed
+        // twice.  Pending intents stay pending: a checkpoint only absorbs
+        // COMMITTED sales, so an unresolved intent is still a potential
+        // pre-crash release.
+        std::erase_if(result.commits, [&](const CommitRecord& commit) {
+          return commit.transaction.sequence < result.base.next_sequence;
+        });
+        break;
+    }
+  }
+  result.stats.valid_bytes = offset;
+  result.stats.truncated_bytes = bytes.size() - offset;
+
+  std::sort(result.commits.begin(), result.commits.end(),
+            [](const CommitRecord& a, const CommitRecord& b) {
+              return a.transaction.sequence < b.transaction.sequence;
+            });
+  result.orphans.reserve(pending.size());
+  for (auto& [sequence, intent] : pending) {
+    result.stats.orphaned_epsilon += intent.epsilon_amplified.value();
+    result.orphans.push_back(std::move(intent));
+  }
+  result.stats.orphaned_intents = result.orphans.size();
+  result.stats.committed_sales = result.commits.size();
+
+  telemetry::counter("market.wal_recovered_commits")
+      .increment(result.stats.committed_sales);
+  telemetry::counter("market.wal_orphaned_intents")
+      .increment(result.stats.orphaned_intents);
+  telemetry::gauge("market.wal_truncated_bytes")
+      .set(static_cast<double>(result.stats.truncated_bytes));
+  return result;
+}
+
+void apply_recovery(Ledger& ledger, const RecoveryResult& recovery) {
+  ledger.restore(recovery.base);
+  std::uint64_t expected = recovery.base.next_sequence;
+  for (const auto& commit : recovery.commits) {
+    const auto& transaction = commit.transaction;
+    // A gap in the replayed sequence means the missing sale's commit never
+    // hit the disk; its intent is among the orphans, so the budget is
+    // still charged — only the sequence slot is burned.
+    PRC_CHECK(transaction.sequence >= expected)
+        << "wal replay out of order: transaction " << transaction.sequence
+        << " after " << expected;
+    expected = transaction.sequence;
+    const auto assigned = ledger.replay(transaction);
+    PRC_CHECK(assigned == transaction.sequence)
+        << "wal replay assigned sequence " << assigned << " to transaction "
+        << transaction.sequence;
+    expected = assigned + 1;
+  }
+  for (const auto& orphan : recovery.orphans) {
+    ledger.absorb_orphaned(orphan.consumer_id, orphan.epsilon_amplified);
+  }
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t next_sequence)
+    : path_(std::move(path)), next_sequence_(next_sequence) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  PRC_CHECK(out_.is_open()) << "wal: cannot open '" << path_
+                            << "' for appending";
+}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::open(
+    const std::string& path, std::uint64_t next_sequence) {
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, next_sequence));
+}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::compact(
+    const std::string& path, const LedgerSnapshot& snapshot,
+    std::uint64_t next_sequence) {
+  const std::string temp = path + ".compact.tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    PRC_CHECK(out.is_open()) << "wal: cannot open '" << temp
+                             << "' for compaction";
+    const auto bytes = encode_checkpoint(snapshot, next_sequence);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    PRC_CHECK(out.good()) << "wal: compaction write to '" << temp
+                          << "' failed";
+  }
+  // The rename is the commit point: before it the old log is intact, after
+  // it the compacted one is — a crash on either side recovers cleanly.
+  PRC_CRASH_POINT("wal.pre_compact_rename");
+  PRC_CHECK(std::rename(temp.c_str(), path.c_str()) == 0)
+      << "wal: compaction rename to '" << path << "' failed";
+  telemetry::counter("market.wal_compactions").increment();
+  return open(path, next_sequence + 1);
+}
+
+void WriteAheadLog::append_bytes_locked(const std::vector<std::uint8_t>& bytes) {
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  // The flush IS the durability discipline: after append_intent returns,
+  // the intent must survive anything short of kernel/media loss.
+  out_.flush();
+  PRC_CHECK(out_.good()) << "wal: append to '" << path_ << "' failed";
+  ++records_appended_;
+  bytes_appended_ += bytes.size();
+  telemetry::counter("market.wal_records").increment();
+  telemetry::counter("market.wal_bytes").increment(bytes.size());
+}
+
+std::uint64_t WriteAheadLog::append_intent(IntentRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.wal_sequence = next_sequence_++;
+  append_bytes_locked(encode_intent(record));
+  return record.wal_sequence;
+}
+
+void WriteAheadLog::append_commit(CommitRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.wal_sequence = next_sequence_++;
+  append_bytes_locked(encode_commit(record));
+}
+
+void WriteAheadLog::append_checkpoint(const LedgerSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_bytes_locked(encode_checkpoint(snapshot, next_sequence_++));
+  telemetry::counter("market.wal_checkpoints").increment();
+}
+
+}  // namespace prc::market::wal

@@ -1,0 +1,196 @@
+// Write-ahead log for broker state: the durability half of the ledger.
+//
+// The ledger IS the privacy guarantee — the market stays arbitrage-free
+// only while every released epsilon' is accounted under sequential
+// composition — so broker persistence follows a spend-ahead discipline:
+//
+//   1. an INTENT record (consumer, contract, the exact epsilon' the final
+//      plan will mint) is flushed to disk BEFORE LaplaceMechanism::perturb
+//      draws any noise,
+//   2. a COMMIT record is appended after Ledger::record() succeeds,
+//   3. periodic CHECKPOINT records snapshot the ledger aggregates so
+//      compaction can drop replayed history.
+//
+// Recovery replays checkpoint + commits and then charges every intent with
+// no matching commit (an "orphan") as spent budget.  A crash at ANY point
+// therefore over-counts released epsilon or counts it exactly — never
+// under-counts — which is the only failure direction the paper's pricing
+// model tolerates.
+//
+// Wire format (little-endian, one record after another):
+//
+//   offset  size  field
+//   0       1     magic 0x4C
+//   1       1     format version (kFormatVersion)
+//   2       1     record type (RecordType)
+//   3       1     flags (reserved, 0)
+//   4       4     payload length
+//   8       8     wal sequence number
+//   16      4     CRC32 over bytes [0, 16) + payload
+//   20      n     payload
+//
+// Readers stop at the first torn or corrupt record (bad magic/version,
+// CRC mismatch, short payload): everything before it is trusted,
+// everything after is reported as truncated — the standard WAL contract
+// for a crash mid-append.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/units.h"
+#include "market/ledger.h"
+#include "query/range_query.h"
+
+namespace prc::market::wal {
+
+inline constexpr std::uint8_t kMagic = 0x4C;
+inline constexpr std::uint8_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+
+enum class RecordType : std::uint8_t {
+  kIntent = 1,
+  kCommit = 2,
+  kCheckpoint = 3,
+};
+
+/// Strict decode failure (bad magic, unknown version, CRC mismatch,
+/// truncated payload).  read_wal() converts the first one into clean tail
+/// truncation; the record-level codec surfaces it for tests.
+class FormatError : public std::runtime_error {
+ public:
+  explicit FormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The durable promise flushed before a mint.  Its wal_sequence doubles as
+/// the intent id a commit record later resolves.
+struct IntentRecord {
+  std::uint64_t wal_sequence = 0;
+  std::string consumer_id;
+  query::RangeQuery range;
+  query::AccuracySpec spec;
+  /// The exact epsilon' of the final perturbation plan (captured by the
+  /// mint barrier, not a pre-quote projection — the intent must never
+  /// promise less than what the mechanism releases).
+  units::EffectiveEpsilon epsilon_amplified = 0.0;
+};
+
+/// The durable receipt appended after the ledger accepted the sale.
+struct CommitRecord {
+  std::uint64_t wal_sequence = 0;
+  /// wal_sequence of the intent this commit resolves.
+  std::uint64_t intent_sequence = 0;
+  Transaction transaction;
+};
+
+// Record-level codec, exposed so format tests can round-trip and corrupt
+// records without a log on disk.
+std::vector<std::uint8_t> encode_intent(const IntentRecord& record);
+std::vector<std::uint8_t> encode_commit(const CommitRecord& record);
+std::vector<std::uint8_t> encode_checkpoint(const LedgerSnapshot& snapshot,
+                                            std::uint64_t wal_sequence);
+
+struct DecodedRecord {
+  RecordType type = RecordType::kIntent;
+  std::uint64_t wal_sequence = 0;
+  std::size_t encoded_size = 0;
+  IntentRecord intent;        ///< valid when type == kIntent
+  CommitRecord commit;        ///< valid when type == kCommit
+  LedgerSnapshot checkpoint;  ///< valid when type == kCheckpoint
+};
+
+/// Decodes the record starting at `bytes[offset]`; throws FormatError when
+/// the bytes are not a complete, well-formed record.
+DecodedRecord decode_record(const std::vector<std::uint8_t>& bytes,
+                            std::size_t offset);
+
+struct RecoveryStats {
+  std::uint64_t records_read = 0;
+  std::uint64_t checkpoints_seen = 0;
+  std::uint64_t committed_sales = 0;
+  std::uint64_t orphaned_intents = 0;
+  double orphaned_epsilon = 0.0;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t truncated_bytes = 0;
+};
+
+/// What a log folds down to: the last durable checkpoint, the commits that
+/// post-date it (sorted by transaction sequence), and the orphans.
+struct RecoveryResult {
+  LedgerSnapshot base;
+  std::vector<CommitRecord> commits;
+  std::vector<IntentRecord> orphans;
+  std::uint64_t next_wal_sequence = 0;
+  RecoveryStats stats;
+};
+
+/// Parses the log at `path` (a missing file is an empty log), stopping
+/// cleanly at the first torn or corrupt record.  Pure read — applies
+/// nothing.
+RecoveryResult read_wal(const std::string& path);
+
+/// Folds a recovery into an EMPTY ledger: restore the checkpoint, replay
+/// the commits (preserving their recorded sequence numbers — a gap means
+/// the missing sale's intent is among the orphans), then charge every
+/// orphan as spent budget.  The spend-ahead discipline makes this
+/// over-count-only: recovered total_epsilon() >= everything perturb()
+/// actually released before the crash.
+void apply_recovery(Ledger& ledger, const RecoveryResult& recovery);
+
+/// Append-only writer.  Every append encodes, writes and flushes under one
+/// lock, so the bytes the OS holds after any append are a whole record —
+/// the truncate-at-corruption reader handles the remaining torn-write
+/// window (a crash inside the kernel/disk stack).
+class WriteAheadLog {
+ public:
+  /// Opens `path` for appending, creating it when absent.
+  /// `next_sequence` continues the numbering of whatever the file already
+  /// holds (pass RecoveryResult::next_wal_sequence after a recovery).
+  static std::unique_ptr<WriteAheadLog> open(const std::string& path,
+                                             std::uint64_t next_sequence = 0);
+
+  /// Atomically replaces `path` with a compacted log holding only a
+  /// checkpoint of `snapshot` (temp file + flush + rename), then reopens
+  /// for appending.  Callers must be quiescent: an in-flight intent would
+  /// be silently dropped from the log.
+  static std::unique_ptr<WriteAheadLog> compact(const std::string& path,
+                                                const LedgerSnapshot& snapshot,
+                                                std::uint64_t next_sequence);
+
+  /// Flushes the intent and returns its wal sequence (the intent id the
+  /// matching commit must carry).
+  std::uint64_t append_intent(IntentRecord record);
+  void append_commit(CommitRecord record);
+  void append_checkpoint(const LedgerSnapshot& snapshot);
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t records_appended() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_appended_;
+  }
+  std::uint64_t bytes_appended() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_appended_;
+  }
+
+ private:
+  WriteAheadLog(std::string path, std::uint64_t next_sequence);
+  void append_bytes_locked(const std::vector<std::uint8_t>& bytes)
+      PRC_REQUIRES(mutex_);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::ofstream out_ PRC_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ PRC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t records_appended_ PRC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bytes_appended_ PRC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace prc::market::wal

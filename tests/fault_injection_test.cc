@@ -480,7 +480,7 @@ TEST(CoverageAwareBrokerTest, RepricePolicySellsWeakerContract) {
   EXPECT_LT(receipt.price, full_price);  // priced at what was delivered
   EXPECT_LT(receipt.coverage, 1.0);
   EXPECT_EQ(broker.ledger().degraded_sales(), 1u);
-  const auto& transaction = broker.ledger().transactions().front();
+  const auto transaction = broker.ledger().transactions_snapshot().front();
   EXPECT_TRUE(transaction.degraded);
   EXPECT_LT(transaction.coverage, 1.0);
   EXPECT_DOUBLE_EQ(transaction.spec.alpha, receipt.spec.alpha);

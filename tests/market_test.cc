@@ -216,7 +216,7 @@ TEST(MarketIntegration, LedgerExposesAttackFootprint) {
   EXPECT_LT(ledger.consumer_spend("mallory"),
             fixture.broker.quote(target));
   double mallory_eps = 0.0;
-  for (const auto& txn : ledger.transactions()) {
+  for (const auto& txn : ledger.transactions_snapshot()) {
     if (txn.consumer_id == "mallory") mallory_eps += txn.epsilon_amplified;
   }
   EXPECT_NEAR(ledger.consumer_epsilon("mallory"), mallory_eps, 1e-12);

@@ -220,7 +220,7 @@ MarketRunResult run_market(std::size_t threads, bool concurrent) {
   result.report = market::MarketSimulation(
                       broker, model, make_ranges(6), config)
                       .run();
-  result.transactions = broker.ledger().transactions();
+  result.transactions = broker.ledger().transactions_snapshot();
   EXPECT_LE(broker.ledger().conservation_discrepancy(), 1e-9);
   result.counters = counter_map();
   return result;

@@ -27,9 +27,21 @@
 //             [--sales 3] [--alpha 0.05] [--delta 0.8] [--nodes 8]
 //             [--budget 5] [--base-price 100] [--seed S]
 //             [--frame-loss 0.3] [--max-attempts 3]
+//             [--wal ledger.wal] [--checkpoint-interval 64]
 //       Run a full market session — collection rounds, private answers,
 //       Theorem 4.2 pricing, and ledgered sales — so one invocation
-//       exercises every layer of the pipeline.
+//       exercises every layer of the pipeline.  With --wal, every sale is
+//       write-ahead logged; pointing --wal at a log left by a crashed
+//       session recovers it (replay + re-audit) before selling.
+//
+//   prc_query recover --wal ledger.wal [--records N] [--nodes K]
+//             [--base-price 100] [--compact]
+//       Audit-and-report recovery of a write-ahead log without selling
+//       anything: replay the log into a fresh ledger, print the recovered
+//       totals and the orphan charge, re-check budget conservation, and
+//       (when --records/--nodes describe the original deployment)
+//       re-validate the Theorem 4.2 menu.  --compact additionally folds
+//       the log into a single checkpoint.  Exits 1 if any audit fails.
 //
 // Every data-touching subcommand accepts:
 //   --telemetry path.json     write a TelemetrySnapshot (JSON) on exit
@@ -56,6 +68,8 @@
 #include "estimator/quantile.h"
 #include "iot/network.h"
 #include "market/broker.h"
+#include "market/wal.h"
+#include "pricing/arbitrage.h"
 #include "pricing/pricing.h"
 #include "pricing/variance_model.h"
 #include "query/range_query.h"
@@ -343,7 +357,12 @@ int cmd_session(int argc, char** argv) {
       .option("seed", "simulation seed (default 1)")
       .option("frame-loss", "i.i.d. frame loss probability (default 0)")
       .option("max-attempts",
-              "per-frame transmission budget, 0 = retry forever (default 0)");
+              "per-frame transmission budget, 0 = retry forever (default 0)")
+      .option("wal",
+              "write-ahead log path; an existing non-empty log is "
+              "recovered (replayed + re-audited) before selling")
+      .option("checkpoint-interval",
+              "commits between WAL checkpoints (default 64)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   apply_thread_option(parser);
@@ -379,7 +398,29 @@ int cmd_session(int argc, char** argv) {
       parser.get_double("base-price", 100.0), 1.0);
   market::BrokerConfig broker_config;
   broker_config.per_consumer_epsilon_cap = parser.get_double("budget", 5.0);
+  broker_config.wal_checkpoint_interval =
+      static_cast<std::size_t>(parser.get_uint("checkpoint-interval", 64));
   market::DataBroker broker(counter, std::move(pricing_fn), broker_config);
+
+  if (parser.has("wal")) {
+    const std::string wal_path = require(parser, "wal");
+    std::ifstream probe(wal_path, std::ios::binary | std::ios::ate);
+    const bool has_history = probe.good() && probe.tellg() > 0;
+    if (has_history) {
+      const auto stats = broker.recover_and_attach_wal(wal_path, model);
+      std::cout << "recovered " << stats.committed_sales
+                << " committed sale(s), " << stats.orphaned_intents
+                << " orphaned intent(s) charging "
+                << stats.orphaned_epsilon << " epsilon";
+      if (stats.truncated_bytes > 0) {
+        std::cout << " (truncated " << stats.truncated_bytes
+                  << " corrupt byte(s))";
+      }
+      std::cout << "\n";
+    } else {
+      broker.attach_wal(wal_path);
+    }
+  }
 
   std::cout << "quote " << broker.quote(spec) << " for " << spec.to_string()
             << "\n";
@@ -402,14 +443,84 @@ int cmd_session(int argc, char** argv) {
             << "revenue " << broker.ledger().total_revenue() << "\n"
             << "epsilon_released " << broker.ledger().total_epsilon() << "\n"
             << "uplink_bytes " << network.stats().uplink_bytes << "\n";
+  if (broker.write_ahead_log() != nullptr) {
+    std::cout << "wal_records " << broker.write_ahead_log()->records_appended()
+              << "\n"
+              << "wal_bytes " << broker.write_ahead_log()->bytes_appended()
+              << "\n";
+  }
   return export_telemetry(parser) ? 0 : 1;
+}
+
+int cmd_recover(int argc, char** argv) {
+  ArgParser parser("prc_query recover",
+                   "replay and audit a broker write-ahead log");
+  parser.option("wal", "write-ahead log path (required)")
+      .option("records",
+              "dataset size of the original deployment; with --nodes, "
+              "enables the Theorem 4.2 menu re-validation")
+      .option("nodes", "node count of the original deployment")
+      .option("base-price", "price of the (0.1, 0.5) reference (default 100)")
+      .flag("compact",
+            "fold the recovered state into a single-checkpoint log");
+  add_telemetry_options(parser);
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::string path = require(parser, "wal");
+  const auto recovery = market::wal::read_wal(path);
+  market::Ledger ledger;
+  market::wal::apply_recovery(ledger, recovery);
+
+  std::cout << "records_read " << recovery.stats.records_read << "\n"
+            << "checkpoints_seen " << recovery.stats.checkpoints_seen << "\n"
+            << "committed_sales " << recovery.stats.committed_sales << "\n"
+            << "orphaned_intents " << recovery.stats.orphaned_intents << "\n"
+            << "orphaned_epsilon " << recovery.stats.orphaned_epsilon << "\n"
+            << "valid_bytes " << recovery.stats.valid_bytes << "\n"
+            << "truncated_bytes " << recovery.stats.truncated_bytes << "\n"
+            << "recovered_revenue " << ledger.total_revenue() << "\n"
+            << "recovered_epsilon " << ledger.total_epsilon() << "\n"
+            << "next_sequence " << ledger.snapshot().next_sequence << "\n";
+
+  bool audits_pass = true;
+  const double discrepancy = ledger.conservation_discrepancy();
+  const bool conserved =
+      discrepancy <=
+      1e-9 * (1.0 + ledger.total_epsilon() + ledger.total_revenue());
+  std::cout << "conservation " << (conserved ? "OK" : "VIOLATED")
+            << " (discrepancy " << discrepancy << ")\n";
+  audits_pass = audits_pass && conserved;
+
+  if (parser.has("records") && parser.has("nodes")) {
+    const pricing::VarianceModel model(
+        static_cast<std::size_t>(parser.get_uint("records", 0)),
+        static_cast<std::size_t>(parser.get_uint("nodes", 0)));
+    const pricing::InverseVariancePricing menu(
+        model, query::AccuracySpec{0.1, 0.5},
+        parser.get_double("base-price", 100.0), 1.0);
+    const auto report = pricing::ArbitrageChecker(model).check(menu);
+    std::cout << "arbitrage_menu "
+              << (report.arbitrage_avoiding ? "OK" : "VIOLATED") << " ("
+              << report.checks_performed << " checks, "
+              << report.violations.size() << " violations)\n";
+    audits_pass = audits_pass && report.arbitrage_avoiding;
+  }
+
+  if (parser.has("compact") && audits_pass) {
+    market::wal::WriteAheadLog::compact(path, ledger.snapshot(),
+                                        recovery.next_wal_sequence);
+    std::cout << "compacted " << path << "\n";
+  }
+  if (!export_telemetry(parser)) return 1;
+  return audits_pass ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: prc_query {generate|count|quote|quantile|session} "
+    std::cerr << "usage: prc_query "
+                 "{generate|count|quote|quantile|session|recover} "
                  "[options]\n       prc_query <command> --help\n";
     return 2;
   }
@@ -421,6 +532,7 @@ int main(int argc, char** argv) {
     if (command == "quote") return cmd_quote(argc - 1, argv + 1);
     if (command == "quantile") return cmd_quantile(argc - 1, argv + 1);
     if (command == "session") return cmd_session(argc - 1, argv + 1);
+    if (command == "recover") return cmd_recover(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
