@@ -107,8 +107,15 @@ class ThreadPool {
     t_in_parallel_region = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] { return job.completed.load() == job.blocks; });
+      // Retract the job before waiting so no further worker can enter it,
+      // then wait for every worker that DID enter to step back out.  Waiting
+      // on completed alone is not enough: a worker that loaded job_ but has
+      // not yet touched the cursor would race our caller destroying the
+      // stack-allocated Job.
       job_ = nullptr;
+      done_cv_.wait(lock, [&] {
+        return job.completed.load() == job.blocks && workers_in_job_ == 0;
+      });
     }
   }
 
@@ -126,18 +133,21 @@ class ThreadPool {
         if (stop_) return;
         seen_generation = generation_;
         job = job_;
+        ++workers_in_job_;
       }
       for (;;) {
         const std::size_t block = job->next.fetch_add(1);
         if (block >= job->blocks) break;
         job->run_block(block);
-        if (job->completed.fetch_add(1) + 1 == job->blocks) {
-          // Last block: hand the job back to the caller.  The empty
-          // critical section orders the notify after the caller's wait.
-          { std::lock_guard<std::mutex> lock(mutex_); }
-          done_cv_.notify_all();
-        }
+        job->completed.fetch_add(1);
       }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --workers_in_job_;
+      }
+      // The caller waits for completed == blocks AND workers_in_job_ == 0;
+      // our exit may satisfy either half, so always notify.
+      done_cv_.notify_all();
     }
   }
 
@@ -148,6 +158,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   Job* job_ = nullptr;
   std::uint64_t generation_ = 0;
+  std::size_t workers_in_job_ = 0;
   bool stop_ = false;
 };
 

@@ -42,7 +42,7 @@ void DataBroker::attach_wal(const std::string& path) {
             existing.stats.truncated_bytes == 0)
       << "wal '" << path
       << "' holds prior state; use recover_and_attach_wal instead";
-  wal_ = wal::WriteAheadLog::open(path);
+  wal_ = wal::WriteAheadLog::open(path, 0, wal_sync_mode());
   // Seed the log with the current aggregates, so recovery can never know
   // less than the broker did at attach time.
   wal_->append_checkpoint(ledger_.snapshot());
@@ -56,12 +56,17 @@ wal::RecoveryStats DataBroker::recover_and_attach_wal(
   PRC_CHECK(pre_recovery.next_sequence == 0 && pre_recovery.consumers.empty())
       << "wal recovery requires a fresh broker";
   const auto recovery = wal::read_wal(path);
-  wal::apply_recovery(ledger_, recovery);
+  // Fold into a scratch ledger first: replay and both audits below can
+  // throw, and a failed recovery must leave the broker exactly as it was
+  // (empty, retryable) — a half-restored ledger silently usable without
+  // durability is worse than no recovery at all.
+  Ledger recovered;
+  wal::apply_recovery(recovered, recovery);
   // Re-audit before selling anything: the recovered books must conserve
   // budget exactly (modulo fp rounding)...
-  const double discrepancy = ledger_.conservation_discrepancy();
-  PRC_CHECK(discrepancy <=
-            1e-9 * (1.0 + ledger_.total_epsilon() + ledger_.total_revenue()))
+  const double discrepancy = recovered.conservation_discrepancy();
+  PRC_CHECK(discrepancy <= 1e-9 * (1.0 + recovered.total_epsilon() +
+                                   recovered.total_revenue()))
       << "recovered ledger violates budget conservation: discrepancy "
       << discrepancy;
   // ...and the menu must still be arbitrage-free (Theorem 4.2): resuming
@@ -71,19 +76,42 @@ wal::RecoveryStats DataBroker::recover_and_attach_wal(
   PRC_CHECK(report.arbitrage_avoiding)
       << "recovered broker refuses to reopen: pricing menu violates "
          "Theorem 4.2 (" << report.violations.size() << " violations)";
+  // Every audit green: the scratch state becomes the broker's ledger.
+  ledger_.adopt(recovered);
   // Compaction absorbs the replayed history — and the orphans just charged
   // — into one durable checkpoint, so recovering again (even crashing
   // during recovery) never double-charges an orphan.
   wal_ = wal::WriteAheadLog::compact(path, ledger_.snapshot(),
-                                     recovery.next_wal_sequence);
+                                     recovery.next_wal_sequence,
+                                     wal_sync_mode());
   commits_since_checkpoint_.store(0, std::memory_order_relaxed);
   return recovery.stats;
 }
 
 dp::PrivateAnswer DataBroker::mint_answer_with_intent(
     const std::string& consumer_id, const query::RangeQuery& range,
-    const query::AccuracySpec& spec, std::uint64_t& intent_sequence) {
+    const query::AccuracySpec& spec, Ledger::Reservation& reservation,
+    std::uint64_t& intent_sequence) {
   const auto barrier = [&](const dp::PerturbationPlan& plan) {
+    // The reservation admitted a PROJECTED plan; the barrier sees the one
+    // the mechanism will actually charge.  When the true epsilon' is
+    // larger (degraded re-quote, coverage drift between quote and mint),
+    // re-admit the sale at the real release — refusing here draws no
+    // noise and spends nothing, and a refused sale must not leave a
+    // durable intent behind, so the extension precedes the intent append.
+    if (plan.epsilon_amplified.value() > reservation.epsilon().value()) {
+      const units::EffectiveEpsilon shortfall =
+          plan.epsilon_amplified.value() - reservation.epsilon().value();
+      if (!ledger_.try_extend(reservation, shortfall,
+                              config_.per_consumer_epsilon_cap)) {
+        telemetry::counter("market.refusals_budget").increment();
+        throw BudgetExceededError(
+            consumer_id,
+            ledger_.consumer_epsilon(consumer_id).value() +
+                plan.epsilon_amplified.value(),
+            config_.per_consumer_epsilon_cap);
+      }
+    }
     PRC_CRASH_POINT("wal.pre_intent");
     if (wal_ != nullptr) {
       wal::IntentRecord intent;
@@ -167,7 +195,7 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   dp::PrivateAnswer answer;
   std::uint64_t intent_sequence = 0;
   try {
-    answer = mint_answer_with_intent(consumer_id, range, spec,
+    answer = mint_answer_with_intent(consumer_id, range, spec, *reservation,
                                      intent_sequence);
   } catch (const dp::CoverageError& err) {
     // ensure_feasible_plan failed before any noise was drawn: nothing has
@@ -195,7 +223,7 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     }
     degraded = true;
     answer = mint_answer_with_intent(consumer_id, range, sold_spec,
-                                     intent_sequence);
+                                     *reservation, intent_sequence);
   }
 
   PurchaseReceipt receipt;

@@ -84,6 +84,10 @@ struct BrokerConfig {
   /// Commits between automatic WAL checkpoints (0 = never checkpoint).
   /// Only meaningful once a WAL is attached.
   std::size_t wal_checkpoint_interval = 64;
+  /// When true, every WAL append fsyncs to media, so the spend-ahead
+  /// guarantee survives power/kernel loss, not just process death (see
+  /// wal::SyncMode).  Compaction fsyncs around its rename either way.
+  bool wal_fsync = false;
 };
 
 /// What a consumer receives for their money.
@@ -131,14 +135,16 @@ class DataBroker {
   /// ledger append.  Call before sales begin, not concurrently with them.
   void attach_wal(const std::string& path);
 
-  /// Crash recovery: replays the WAL at `path` into this (fresh) broker's
-  /// ledger — checkpoint, then committed sales, then every orphaned intent
-  /// charged as spent — re-audits budget conservation, re-validates the
-  /// Theorem 4.2 menu against `model`, and only then compacts the log and
-  /// resumes accepting sales.  The spend-ahead discipline guarantees the
-  /// recovered total_epsilon() never under-counts what was released before
-  /// the crash.  Throws (and leaves the broker without a WAL) when the
-  /// audit or menu validation fails.
+  /// Crash recovery: replays the WAL at `path` — checkpoint, then
+  /// committed sales, then every orphaned intent charged as spent — into a
+  /// scratch ledger, re-audits budget conservation, re-validates the
+  /// Theorem 4.2 menu against `model`, and only then adopts the recovered
+  /// state, compacts the log and resumes accepting sales.  The spend-ahead
+  /// discipline guarantees the recovered total_epsilon() never
+  /// under-counts what was released before the crash.  Throws when the
+  /// replay, audit or menu validation fails, leaving the broker exactly as
+  /// it was (empty ledger, no WAL) so recovery can be retried once the
+  /// cause is fixed.
   wal::RecoveryStats recover_and_attach_wal(const std::string& path,
                                             const pricing::VarianceModel& model);
 
@@ -155,14 +161,21 @@ class DataBroker {
  private:
   /// The single market-layer gateway to PrivateRangeCounter::answer (the
   /// no-unbarriered-mint lint rule enforces this): wraps the call with the
-  /// mint barrier that flushes the WAL intent record carrying the final
-  /// plan's epsilon', and reports the intent's wal sequence through
-  /// `intent_sequence` for the matching commit record.
+  /// mint barrier that re-admits the sale at the FINAL plan's epsilon'
+  /// (extending `reservation`, or refusing before any noise is drawn) and
+  /// flushes the WAL intent record carrying that epsilon', reporting the
+  /// intent's wal sequence through `intent_sequence` for the matching
+  /// commit record.
   dp::PrivateAnswer mint_answer_with_intent(const std::string& consumer_id,
                                             const query::RangeQuery& range,
                                             const query::AccuracySpec& spec,
+                                            Ledger::Reservation& reservation,
                                             std::uint64_t& intent_sequence);
   void maybe_checkpoint();
+  wal::SyncMode wal_sync_mode() const noexcept {
+    return config_.wal_fsync ? wal::SyncMode::kMediaDurable
+                             : wal::SyncMode::kProcessDurable;
+  }
 
   dp::PrivateRangeCounter& counter_;
   std::unique_ptr<pricing::PricingFunction> pricing_;

@@ -74,6 +74,28 @@ std::optional<Ledger::Reservation> Ledger::try_reserve(
   return Reservation(this, consumer_id, epsilon.value());
 }
 
+bool Ledger::try_extend(Reservation& reservation,
+                        units::EffectiveEpsilon delta,
+                        units::EffectiveEpsilon cap) {
+  PRC_CHECK(reservation.active())
+      << "ledger: extending a released reservation";
+  PRC_CHECK(reservation.ledger_ == this)
+      << "ledger: reservation belongs to another ledger";
+  PRC_CHECK(std::isfinite(delta.value()) && delta.value() >= 0.0)
+      << "ledger: reservation extension must be >= 0, got " << delta.value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto spent_it = epsilon_by_consumer_.find(reservation.consumer_id_);
+  const double spent =
+      spent_it == epsilon_by_consumer_.end() ? 0.0 : spent_it->second;
+  const auto held_it = reserved_by_consumer_.find(reservation.consumer_id_);
+  const double held =
+      held_it == reserved_by_consumer_.end() ? 0.0 : held_it->second;
+  if (spent + held + delta.value() > cap.value()) return false;
+  reserved_by_consumer_[reservation.consumer_id_] = held + delta.value();
+  reservation.epsilon_ += delta.value();
+  return true;
+}
+
 std::size_t Ledger::commit(Reservation reservation, Transaction transaction) {
   PRC_CHECK(reservation.active())
       << "ledger: committing a released reservation";
@@ -82,6 +104,19 @@ std::size_t Ledger::commit(Reservation reservation, Transaction transaction) {
   PRC_CHECK(reservation.consumer_id_ == transaction.consumer_id)
       << "ledger: reservation for '" << reservation.consumer_id_
       << "' cannot commit a sale to '" << transaction.consumer_id << "'";
+  // The reservation was the admission check and the mint barrier extended
+  // it to the final plan; anything past fp rounding here is a release the
+  // cap never admitted.
+  const double reserved = reservation.epsilon_;
+  const bool overrun = transaction.epsilon_amplified.value() >
+                       reserved + 1e-9 * (1.0 + reserved);
+  if (overrun) {
+    telemetry::counter("market.ledger_reservation_overruns").increment();
+  }
+  PRC_DCHECK(!overrun) << "ledger: committing epsilon' "
+                       << transaction.epsilon_amplified.value()
+                       << " above the reserved " << reserved << " for '"
+                       << transaction.consumer_id << "'";
   reservation.ledger_ = nullptr;  // consumed; no destructor-time release
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = reserved_by_consumer_.find(reservation.consumer_id_);
@@ -186,6 +221,26 @@ void Ledger::restore(const LedgerSnapshot& snapshot) {
             1e-9 * (1.0 + total_epsilon_ + total_revenue_))
       << "restored checkpoint violates budget conservation: discrepancy "
       << conservation_discrepancy_locked();
+}
+
+void Ledger::adopt(Ledger& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> other_lock(other.mutex_);
+  PRC_CHECK(next_sequence_ == 0 && transactions_.empty() &&
+            spend_by_consumer_.empty() && epsilon_by_consumer_.empty() &&
+            reserved_by_consumer_.empty() && degraded_sales_ == 0)
+      << "ledger adopt requires an empty ledger (recovery is a birth, "
+         "not a merge)";
+  PRC_CHECK(other.reserved_by_consumer_.empty())
+      << "ledger adopt source still holds live reservations";
+  transactions_ = std::move(other.transactions_);
+  next_sequence_ = other.next_sequence_;
+  degraded_sales_ = other.degraded_sales_;
+  total_revenue_ = other.total_revenue_;
+  total_epsilon_ = other.total_epsilon_;
+  orphaned_epsilon_ = other.orphaned_epsilon_;
+  spend_by_consumer_ = std::move(other.spend_by_consumer_);
+  epsilon_by_consumer_ = std::move(other.epsilon_by_consumer_);
 }
 
 void Ledger::absorb_orphaned(const std::string& consumer_id,

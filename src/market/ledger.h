@@ -119,10 +119,23 @@ class Ledger {
                                          units::EffectiveEpsilon epsilon,
                                          units::EffectiveEpsilon cap);
 
+  /// Atomically grows an active reservation by `delta` when the consumer's
+  /// spent + held + delta still fits under `cap`; returns false (leaving
+  /// the reservation unchanged) when it would not.  The mint barrier uses
+  /// this to re-admit a sale at the FINAL plan's epsilon' before any noise
+  /// is drawn, whenever the minted plan exceeds the projection the
+  /// reservation was sized from (degraded re-quotes, coverage drift
+  /// between quote and mint).
+  bool try_extend(Reservation& reservation, units::EffectiveEpsilon delta,
+                  units::EffectiveEpsilon cap);
+
   /// Converts a reservation into a recorded transaction in one critical
   /// section (the reservation is consumed either way).  The transaction's
-  /// epsilon' may differ slightly from the reserved projection — the
-  /// reservation bounds admission, the minted plan is the truth.
+  /// epsilon' may differ from the reserved amount only within fp rounding
+  /// — the mint barrier extends the reservation to the final plan before
+  /// the draw — so commit re-checks it: an overrun beyond rounding means
+  /// a release slipped past the cap unadmitted (fatal in debug builds,
+  /// counted by `market.ledger_reservation_overruns` always).
   std::size_t commit(Reservation reservation, Transaction transaction);
 
   std::size_t transaction_count() const noexcept {
@@ -200,6 +213,14 @@ class Ledger {
   /// — the privacy-safe direction of the spend-ahead discipline.
   void absorb_orphaned(const std::string& consumer_id,
                        units::EffectiveEpsilon epsilon);
+
+  /// Recovery: takes over the complete state of `other` (a freshly
+  /// recovered, fully audited scratch ledger) into this EMPTY ledger.
+  /// Lets DataBroker fold a WAL into a scratch ledger first and swap it in
+  /// only after every audit passes — a failed recovery must leave the live
+  /// ledger exactly as it was, not half-restored.  PRC_CHECKs that this
+  /// ledger is empty and that `other` holds no live reservations.
+  void adopt(Ledger& other);
 
  private:
   double conservation_discrepancy_locked() const PRC_REQUIRES(mutex_);

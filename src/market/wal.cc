@@ -1,8 +1,14 @@
 #include "market/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iterator>
 #include <map>
 #include <utility>
@@ -17,6 +23,37 @@ namespace {
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t value) {
   out.push_back(value);
+}
+
+void write_fully(int fd, const std::uint8_t* data, std::size_t size,
+                 const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0 && errno == EINTR) continue;
+    PRC_CHECK(n >= 0) << "wal: write to '" << path
+                      << "' failed: " << std::strerror(errno);
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_die(int fd, const std::string& path) {
+  PRC_CHECK(::fsync(fd) == 0)
+      << "wal: fsync of '" << path << "' failed: " << std::strerror(errno);
+}
+
+/// Makes a rename in `path`'s directory durable: without this the new
+/// directory entry lives only in the page cache and a power loss can
+/// resurrect the pre-rename state (or worse, neither state).
+void fsync_parent_directory(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, std::max<std::size_t>(slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  PRC_CHECK(fd >= 0) << "wal: cannot open directory '" << dir
+                     << "': " << std::strerror(errno);
+  fsync_or_die(fd, dir);
+  ::close(fd);
 }
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
@@ -324,18 +361,26 @@ RecoveryResult read_wal(const std::string& path) {
       case RecordType::kCheckpoint:
         ++result.stats.checkpoints_seen;
         result.base = std::move(decoded.checkpoint);
-        // Commits the checkpoint already aggregates must not be replayed
-        // twice.  Pending intents stay pending: a checkpoint only absorbs
-        // COMMITTED sales, so an unresolved intent is still a potential
-        // pre-crash release.
-        std::erase_if(result.commits, [&](const CommitRecord& commit) {
-          return commit.transaction.sequence < result.base.next_sequence;
-        });
         break;
     }
   }
   result.stats.valid_bytes = offset;
   result.stats.truncated_bytes = bytes.size() - offset;
+
+  // Commits the checkpoint already aggregates must not be replayed twice.
+  // The filter runs AFTER the full scan, not at the checkpoint record:
+  // the ledger and the log lock independently, so a checkpoint whose
+  // next_sequence covers transaction N can reach the log BEFORE N's
+  // commit record (the committing thread sat between its ledger update
+  // and its WAL append while the checkpoint was taken).  Wherever such a
+  // commit sits, its aggregates are in the checkpoint — replaying it
+  // would double-charge, so it is dropped regardless of log position.
+  // Pending intents stay pending either way: a checkpoint only absorbs
+  // COMMITTED sales, so an unresolved intent is still a potential
+  // pre-crash release.
+  std::erase_if(result.commits, [&](const CommitRecord& commit) {
+    return commit.transaction.sequence < result.base.next_sequence;
+  });
 
   std::sort(result.commits.begin(), result.commits.end(),
             [](const CommitRecord& a, const CommitRecord& b) {
@@ -381,50 +426,69 @@ void apply_recovery(Ledger& ledger, const RecoveryResult& recovery) {
   }
 }
 
-WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t next_sequence)
-    : path_(std::move(path)), next_sequence_(next_sequence) {
-  out_.open(path_, std::ios::binary | std::ios::app);
-  PRC_CHECK(out_.is_open()) << "wal: cannot open '" << path_
-                            << "' for appending";
+WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t next_sequence,
+                             SyncMode sync_mode)
+    : path_(std::move(path)),
+      sync_mode_(sync_mode),
+      next_sequence_(next_sequence) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  PRC_CHECK(fd_ >= 0) << "wal: cannot open '" << path_
+                      << "' for appending: " << std::strerror(errno);
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  // The destructor runs with exclusive ownership; any concurrent append
+  // while the log is being destroyed is already a use-after-free upstream.
+  if (fd_ >= 0) ::close(fd_);  // lint:allow lock — destructor, sole owner
 }
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::open(
-    const std::string& path, std::uint64_t next_sequence) {
+    const std::string& path, std::uint64_t next_sequence,
+    SyncMode sync_mode) {
   return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, next_sequence));
+      new WriteAheadLog(path, next_sequence, sync_mode));
 }
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::compact(
     const std::string& path, const LedgerSnapshot& snapshot,
-    std::uint64_t next_sequence) {
+    std::uint64_t next_sequence, SyncMode sync_mode) {
   const std::string temp = path + ".compact.tmp";
   {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    PRC_CHECK(out.is_open()) << "wal: cannot open '" << temp
-                             << "' for compaction";
+    const int fd =
+        ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    PRC_CHECK(fd >= 0) << "wal: cannot open '" << temp
+                       << "' for compaction: " << std::strerror(errno);
     const auto bytes = encode_checkpoint(snapshot, next_sequence);
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    PRC_CHECK(out.good()) << "wal: compaction write to '" << temp
-                          << "' failed";
+    write_fully(fd, bytes.data(), bytes.size(), temp);
+    // The checkpoint's data blocks must be on media BEFORE the rename can
+    // become durable: a journaled rename pointing at a torn checkpoint is
+    // an empty log once the old one is gone — a recovery that
+    // UNDER-counts released budget.  This fsync is unconditional; only
+    // append durability is a policy choice.
+    fsync_or_die(fd, temp);
+    PRC_CHECK(::close(fd) == 0)
+        << "wal: close of '" << temp << "' failed: " << std::strerror(errno);
   }
   // The rename is the commit point: before it the old log is intact, after
-  // it the compacted one is — a crash on either side recovers cleanly.
+  // it (and the directory fsync below) the compacted one is — a crash on
+  // either side recovers cleanly.
   PRC_CRASH_POINT("wal.pre_compact_rename");
   PRC_CHECK(std::rename(temp.c_str(), path.c_str()) == 0)
       << "wal: compaction rename to '" << path << "' failed";
+  fsync_parent_directory(path);
   telemetry::counter("market.wal_compactions").increment();
-  return open(path, next_sequence + 1);
+  return open(path, next_sequence + 1, sync_mode);
 }
 
 void WriteAheadLog::append_bytes_locked(const std::vector<std::uint8_t>& bytes) {
-  out_.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  // The flush IS the durability discipline: after append_intent returns,
-  // the intent must survive anything short of kernel/media loss.
-  out_.flush();
-  PRC_CHECK(out_.good()) << "wal: append to '" << path_ << "' failed";
+  // write(2) IS the spend-ahead discipline for process death: after
+  // append_intent returns, the whole record is the kernel's problem, not
+  // this process's.  Power/kernel loss is covered only under
+  // kMediaDurable — the per-record barrier is a policy choice because it
+  // dominates the sale's latency on real disks.
+  write_fully(fd_, bytes.data(), bytes.size(), path_);
+  if (sync_mode_ == SyncMode::kMediaDurable) fsync_or_die(fd_, path_);
   ++records_appended_;
   bytes_appended_ += bytes.size();
   telemetry::counter("market.wal_records").increment();

@@ -15,7 +15,10 @@
 // no matching commit (an "orphan") as spent budget.  A crash at ANY point
 // therefore over-counts released epsilon or counts it exactly — never
 // under-counts — which is the only failure direction the paper's pricing
-// model tolerates.
+// model tolerates.  The guarantee holds within the writer's durability
+// domain: SyncMode::kProcessDurable covers process death, kMediaDurable
+// extends it to power/kernel loss (compaction always fsyncs around its
+// rename regardless of mode).
 //
 // Wire format (little-endian, one record after another):
 //
@@ -37,7 +40,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -144,25 +146,47 @@ RecoveryResult read_wal(const std::string& path);
 /// actually released before the crash.
 void apply_recovery(Ledger& ledger, const RecoveryResult& recovery);
 
-/// Append-only writer.  Every append encodes, writes and flushes under one
-/// lock, so the bytes the OS holds after any append are a whole record —
-/// the truncate-at-corruption reader handles the remaining torn-write
-/// window (a crash inside the kernel/disk stack).
+/// How durable each append is once the call returns.
+enum class SyncMode : std::uint8_t {
+  /// write(2) hands the whole record to the kernel, so it survives
+  /// process death — the crash class the chaos harness sweeps.  It does
+  /// NOT survive power/kernel loss: the newest appends may evaporate
+  /// with the page cache, and a lost *intent* whose answer already left
+  /// the process is exactly the under-count the design forbids.  Use
+  /// kMediaDurable wherever that failure domain matters.
+  kProcessDurable,
+  /// fsync(2) after every append: records survive power/kernel loss at
+  /// the cost of one disk barrier per record.
+  kMediaDurable,
+};
+
+/// Append-only writer.  Every append encodes and write(2)s under one
+/// lock, so the bytes the kernel holds after any append are a whole
+/// record — the truncate-at-corruption reader handles the remaining
+/// torn-write window (a crash inside the kernel/disk stack).
 class WriteAheadLog {
  public:
+  ~WriteAheadLog();
+
   /// Opens `path` for appending, creating it when absent.
   /// `next_sequence` continues the numbering of whatever the file already
   /// holds (pass RecoveryResult::next_wal_sequence after a recovery).
-  static std::unique_ptr<WriteAheadLog> open(const std::string& path,
-                                             std::uint64_t next_sequence = 0);
+  static std::unique_ptr<WriteAheadLog> open(
+      const std::string& path, std::uint64_t next_sequence = 0,
+      SyncMode sync_mode = SyncMode::kProcessDurable);
 
   /// Atomically replaces `path` with a compacted log holding only a
-  /// checkpoint of `snapshot` (temp file + flush + rename), then reopens
-  /// for appending.  Callers must be quiescent: an in-flight intent would
-  /// be silently dropped from the log.
-  static std::unique_ptr<WriteAheadLog> compact(const std::string& path,
-                                                const LedgerSnapshot& snapshot,
-                                                std::uint64_t next_sequence);
+  /// checkpoint of `snapshot` (temp file + fsync + rename + directory
+  /// fsync — the rename must never become durable before the checkpoint's
+  /// data blocks, whatever `sync_mode` says, because a compacted log with
+  /// a torn checkpoint is an empty log: a recovery that UNDER-counts
+  /// released budget), then reopens for appending.  Callers must be
+  /// quiescent: an in-flight intent would be silently dropped from the
+  /// log.
+  static std::unique_ptr<WriteAheadLog> compact(
+      const std::string& path, const LedgerSnapshot& snapshot,
+      std::uint64_t next_sequence,
+      SyncMode sync_mode = SyncMode::kProcessDurable);
 
   /// Flushes the intent and returns its wal sequence (the intent id the
   /// matching commit must carry).
@@ -181,13 +205,15 @@ class WriteAheadLog {
   }
 
  private:
-  WriteAheadLog(std::string path, std::uint64_t next_sequence);
+  WriteAheadLog(std::string path, std::uint64_t next_sequence,
+                SyncMode sync_mode);
   void append_bytes_locked(const std::vector<std::uint8_t>& bytes)
       PRC_REQUIRES(mutex_);
 
   mutable std::mutex mutex_;
   std::string path_;
-  std::ofstream out_ PRC_GUARDED_BY(mutex_);
+  SyncMode sync_mode_;
+  int fd_ PRC_GUARDED_BY(mutex_) = -1;
   std::uint64_t next_sequence_ PRC_GUARDED_BY(mutex_) = 0;
   std::uint64_t records_appended_ PRC_GUARDED_BY(mutex_) = 0;
   std::uint64_t bytes_appended_ PRC_GUARDED_BY(mutex_) = 0;

@@ -308,6 +308,49 @@ TEST(ChaosRecoveryTest, RecoveryRefusesArbitrageableMenu) {
   BrokerRig fresh(BrokerConfig{}, steep_pricing());
   EXPECT_THROW(fresh.broker.recover_and_attach_wal(path, variance_model()),
                ContractViolation);
+  // The refusal left the broker exactly as it was: nothing half-restored,
+  // no WAL attached, no budget silently usable without durability.
+  EXPECT_EQ(fresh.broker.ledger().transaction_count(), 0u);
+  EXPECT_DOUBLE_EQ(fresh.broker.ledger().total_epsilon().value(), 0.0);
+  EXPECT_EQ(fresh.broker.write_ahead_log(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ChaosRecoveryTest, FailedRecoveryLeavesBrokerCleanAndRetryable) {
+  // A WAL whose replay fails its audit (here: two commits claiming the
+  // same sequence) must not leave the broker half-restored — the caller
+  // fixes the log and retries recovery on the SAME broker.
+  auto& registry = crashpoints::Registry::instance();
+  registry.disarm_all();
+  const auto path = wal_path_for("retryable");
+  std::remove(path.c_str());
+  wal::CommitRecord commit;
+  commit.intent_sequence = 100;
+  commit.transaction =
+      Transaction{0, "alice", {0.0, 1.0}, {0.1, 0.5}, 10.0, 0.01};
+  {
+    auto log = wal::WriteAheadLog::open(path);
+    log->append_commit(commit);
+    log->append_commit(commit);  // duplicate sequence: replay audit fails
+  }
+  BrokerRig fresh;
+  EXPECT_THROW(fresh.broker.recover_and_attach_wal(path, variance_model()),
+               ContractViolation);
+  EXPECT_EQ(fresh.broker.ledger().transaction_count(), 0u);
+  EXPECT_DOUBLE_EQ(fresh.broker.ledger().total_epsilon().value(), 0.0);
+  EXPECT_EQ(fresh.broker.write_ahead_log(), nullptr);
+
+  // Repair the log (drop the duplicate) and retry on the same broker.
+  std::remove(path.c_str());
+  {
+    auto log = wal::WriteAheadLog::open(path);
+    log->append_commit(commit);
+  }
+  const auto stats =
+      fresh.broker.recover_and_attach_wal(path, variance_model());
+  EXPECT_EQ(stats.committed_sales, 1u);
+  EXPECT_DOUBLE_EQ(fresh.broker.ledger().total_revenue(), 10.0);
+  EXPECT_NO_THROW(fresh.broker.sell("carol", kRange, kSpec));
   std::remove(path.c_str());
 }
 

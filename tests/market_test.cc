@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "iot/network.h"
 #include "data/partition.h"
@@ -70,6 +71,48 @@ TEST(LedgerTest, RejectsNegativeAmounts) {
                std::invalid_argument);
   EXPECT_THROW(ledger.record({0, "x", {0, 1}, {0.1, 0.5}, 1.0, -0.1}),
                std::invalid_argument);
+}
+
+TEST(LedgerReservationTest, ExtendWithinCapGrowsTheHold) {
+  Ledger ledger;
+  auto reservation = ledger.try_reserve("alice", 0.01, 0.05);
+  ASSERT_TRUE(reservation.has_value());
+  EXPECT_TRUE(ledger.try_extend(*reservation, 0.02, 0.05));
+  EXPECT_DOUBLE_EQ(reservation->epsilon().value(), 0.03);
+  // The grown hold blocks headroom the original reservation would have
+  // left open to a competing sale.
+  EXPECT_FALSE(ledger.try_reserve("alice", 0.025, 0.05).has_value());
+  EXPECT_TRUE(ledger.try_reserve("alice", 0.02, 0.05).has_value());
+}
+
+TEST(LedgerReservationTest, ExtendPastCapRefusesAndLeavesHoldIntact) {
+  Ledger ledger;
+  auto reservation = ledger.try_reserve("alice", 0.03, 0.05);
+  ASSERT_TRUE(reservation.has_value());
+  EXPECT_FALSE(ledger.try_extend(*reservation, 0.021, 0.05));
+  EXPECT_DOUBLE_EQ(reservation->epsilon().value(), 0.03);
+  // A refused extension leaves the original hold in place; releasing the
+  // reservation returns ALL of it, including any prior extension.
+  EXPECT_TRUE(ledger.try_extend(*reservation, 0.01, 0.05));
+  reservation.reset();
+  EXPECT_TRUE(ledger.try_reserve("alice", 0.05, 0.05).has_value());
+}
+
+TEST(LedgerReservationTest, CommitAboveTheReservationIsFlaggedAsOverrun) {
+  // The mint barrier keeps the reservation aligned with the minted plan,
+  // so an overrun at commit means a release slipped past the cap without
+  // admission: fatal in debug builds, counted in release builds.
+  Ledger ledger;
+  auto reservation = ledger.try_reserve("alice", 0.01, 1.0);
+  ASSERT_TRUE(reservation.has_value());
+  const Transaction oversized{0, "alice", {0, 1}, {0.1, 0.5}, 1.0, 0.02};
+#if PRC_DCHECK_IS_ON()
+  EXPECT_THROW(ledger.commit(std::move(*reservation), oversized),
+               std::invalid_argument);
+#else
+  ledger.commit(std::move(*reservation), oversized);
+  EXPECT_DOUBLE_EQ(ledger.consumer_epsilon("alice").value(), 0.02);
+#endif
 }
 
 TEST(BrokerTest, RequiresPricing) {

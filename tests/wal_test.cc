@@ -308,6 +308,74 @@ TEST(WalRecoveryTest, CheckpointAbsorbsPriorCommits) {
   std::remove(path.c_str());
 }
 
+TEST(WalRecoveryTest, CommitRacedPastItsCheckpointIsAbsorbedNotReplayed) {
+  // Regression: a checkpoint taken concurrently with a sale can reach the
+  // log BEFORE that sale's commit record (the committing thread sat
+  // between its ledger update and its WAL append while the checkpoint
+  // snapshotted a ledger that already covered it).  Such a late commit
+  // must be absorbed like any pre-checkpoint commit — replaying it used
+  // to trip the replay-order audit on EVERY recovery attempt, leaving the
+  // log permanently unrecoverable.
+  const auto path = temp_path("checkpoint_race.wal");
+  std::remove(path.c_str());
+  Ledger live;
+  const Transaction first_sale{0, "alice", {0, 1}, {0.1, 0.5}, 10.0, 0.01};
+  const Transaction raced_sale{0, "bob", {0, 1}, {0.1, 0.5}, 20.0, 0.02};
+  Transaction t0 = first_sale;
+  t0.sequence = live.record(first_sale);
+  Transaction t1 = raced_sale;
+  t1.sequence = live.record(raced_sale);
+  {
+    auto log = WriteAheadLog::open(path);
+    CommitRecord c0;
+    c0.intent_sequence = 100;
+    c0.transaction = t0;
+    log->append_commit(c0);
+    // The checkpoint snapshots AFTER bob's ledger commit but BEFORE his
+    // commit record reaches the log: next_sequence already covers him.
+    log->append_checkpoint(live.snapshot());
+    CommitRecord c1;
+    c1.intent_sequence = 101;
+    c1.transaction = t1;
+    log->append_commit(c1);
+  }
+  const auto result = read_wal(path);
+  EXPECT_EQ(result.stats.checkpoints_seen, 1u);
+  EXPECT_TRUE(result.commits.empty());  // both absorbed by the checkpoint
+
+  Ledger recovered;
+  apply_recovery(recovered, result);  // must not throw
+  EXPECT_DOUBLE_EQ(recovered.total_revenue(), 30.0);
+  EXPECT_DOUBLE_EQ(recovered.total_epsilon().value(),
+                   live.total_epsilon().value());
+  EXPECT_DOUBLE_EQ(recovered.consumer_epsilon("bob").value(), 0.02);
+  // The books reopen past the durable history, not on a burned slot.
+  EXPECT_EQ(recovered.record({0, "carol", {0, 1}, {0.1, 0.5}, 1.0, 0.01}),
+            2u);
+  std::remove(path.c_str());
+}
+
+TEST(WalWriterTest, MediaDurableModeAppendsAndReadsBack) {
+  // fsync-per-append is a durability upgrade, not a format change: a log
+  // written under kMediaDurable must read back exactly like any other.
+  const auto path = temp_path("fsync.wal");
+  std::remove(path.c_str());
+  {
+    auto log = WriteAheadLog::open(path, 0, SyncMode::kMediaDurable);
+    const auto intent_sequence = log->append_intent(sample_intent());
+    CommitRecord commit = sample_commit();
+    commit.transaction.sequence = 0;
+    commit.intent_sequence = intent_sequence;
+    log->append_commit(commit);
+    EXPECT_EQ(log->records_appended(), 2u);
+  }
+  const auto result = read_wal(path);
+  EXPECT_EQ(result.stats.records_read, 2u);
+  EXPECT_EQ(result.stats.committed_sales, 1u);
+  EXPECT_EQ(result.stats.orphaned_intents, 0u);
+  std::remove(path.c_str());
+}
+
 TEST(WalRecoveryTest, CompactionFoldsLogToOneCheckpoint) {
   const auto path = temp_path("compact.wal");
   std::remove(path.c_str());

@@ -27,7 +27,7 @@
 //             [--sales 3] [--alpha 0.05] [--delta 0.8] [--nodes 8]
 //             [--budget 5] [--base-price 100] [--seed S]
 //             [--frame-loss 0.3] [--max-attempts 3]
-//             [--wal ledger.wal] [--checkpoint-interval 64]
+//             [--wal ledger.wal] [--checkpoint-interval 64] [--wal-fsync]
 //       Run a full market session — collection rounds, private answers,
 //       Theorem 4.2 pricing, and ledgered sales — so one invocation
 //       exercises every layer of the pipeline.  With --wal, every sale is
@@ -362,7 +362,10 @@ int cmd_session(int argc, char** argv) {
               "write-ahead log path; an existing non-empty log is "
               "recovered (replayed + re-audited) before selling")
       .option("checkpoint-interval",
-              "commits between WAL checkpoints (default 64)");
+              "commits between WAL checkpoints (default 64)")
+      .flag("wal-fsync",
+            "fsync every WAL append (survives power loss, one disk "
+            "barrier per record; default survives process death only)");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   apply_thread_option(parser);
@@ -400,6 +403,7 @@ int cmd_session(int argc, char** argv) {
   broker_config.per_consumer_epsilon_cap = parser.get_double("budget", 5.0);
   broker_config.wal_checkpoint_interval =
       static_cast<std::size_t>(parser.get_uint("checkpoint-interval", 64));
+  broker_config.wal_fsync = parser.has("wal-fsync");
   market::DataBroker broker(counter, std::move(pricing_fn), broker_config);
 
   if (parser.has("wal")) {
