@@ -5,10 +5,11 @@ pricing layers.
 The phantom unit types in src/common/units.h (Epsilon, EffectiveEpsilon,
 Delta, Alpha, Probability) only pay off if the public surfaces keep using
 them: one bare `double epsilon` parameter reopens every swap the types
-closed.  This script reuses prc_lint's token engine (so comments, strings
-and preprocessor lines can't fool it) and fails if any parameter or class
-field under src/dp or src/pricing spells a privacy quantity as a bare
-double.
+closed.  This script imports prc_lint's token engine from
+tools/prc_lint_lib (so comments, strings and preprocessor lines can't fool
+it — and there is exactly ONE tokenizer in the repo) and fails if any
+parameter or class field under src/dp or src/pricing spells a privacy
+quantity as a bare double.
 
 This is the same check as prc_lint's `unit-suffix-consistency` rule,
 exposed as a standalone, dependency-free gate so CI (and pre-commit hooks)
@@ -19,26 +20,19 @@ Exit status: 0 when fully adopted, 1 when a bare-double privacy parameter
 or field exists, 2 on usage error.
 """
 
-import importlib.machinery
-import importlib.util
 import os
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 GATED_DIRS = (os.path.join("src", "dp"), os.path.join("src", "pricing"))
 
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
 
-def load_lint_module():
-    path = os.path.join(REPO_ROOT, "tools", "prc_lint")
-    spec = importlib.util.spec_from_loader(
-        "prc_lint", importlib.machinery.SourceFileLoader("prc_lint", path))
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
+from prc_lint_lib.model import FileModel, SOURCE_EXTENSIONS  # noqa: E402
+from prc_lint_lib.rules import check_unit_suffix_consistency  # noqa: E402
 
 
 def main():
-    lint = load_lint_module()
     findings = []
     scanned = 0
     for gated in GATED_DIRS:
@@ -49,14 +43,17 @@ def main():
             return 2
         for dirpath, _, filenames in os.walk(root):
             for name in sorted(filenames):
-                if not name.endswith(lint.SOURCE_EXTENSIONS):
+                if not name.endswith(SOURCE_EXTENSIONS):
                     continue
                 path = os.path.join(dirpath, name)
                 with open(path, encoding="utf-8", errors="replace") as f:
-                    model = lint.FileModel(os.path.relpath(path, REPO_ROOT),
-                                           f.read())
+                    model = FileModel(os.path.relpath(path, REPO_ROOT),
+                                      f.read())
                 scanned += 1
-                findings.extend(lint.check_unit_suffix_consistency(model))
+                allowed = model.allows.get("unit-suffix", set())
+                findings.extend(
+                    f for f in check_unit_suffix_consistency(model)
+                    if f.lineno not in allowed)
     for finding in findings:
         print(finding)
     verdict = "fully unit-typed" if not findings else \

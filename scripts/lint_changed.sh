@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# lint_changed.sh — report prc_lint findings for the files you touched.
+#
+# The whole tree is still ANALYZED (the interprocedural rules need the
+# full call graph: your edit can break an invariant in a file you never
+# opened), but findings are REPORTED only for changed files, which keeps
+# the signal tight during review.  The summary cache makes the full-tree
+# analysis cheap (<1s warm).
+#
+# Usage:
+#   scripts/lint_changed.sh              # diff against origin/main or HEAD
+#   scripts/lint_changed.sh <base-ref>   # diff against an explicit ref
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+base="${1:-}"
+if [[ -z "$base" ]]; then
+  if git rev-parse --verify --quiet origin/main >/dev/null; then
+    base="origin/main"
+  else
+    base="HEAD"
+  fi
+fi
+
+mapfile -t changed < <(
+  { git diff --name-only "$base" --; git diff --name-only --cached --;
+    git ls-files --others --exclude-standard; } |
+  sort -u | grep -E '\.(cc|h|cpp|hpp)$' | grep -v '^tools/lint_fixtures/' |
+  while IFS= read -r f; do [[ -f "$f" ]] && printf '%s\n' "$f"; done
+)
+
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "lint_changed: no changed C++ sources vs $base"
+  exit 0
+fi
+
+echo "lint_changed: ${#changed[@]} changed file(s) vs $base"
+exec python3 tools/prc_lint --no-clang-tidy --changed "${changed[@]}"

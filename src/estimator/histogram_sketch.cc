@@ -38,7 +38,7 @@ void HistogramSketch::merge(const HistogramSketch& other) {
   // Exact double comparison is intentional: merging is only defined for
   // sketches built from the identical binning constants.
   PRC_CHECK(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
-            other.hi_ == hi_)  // lint:allow float-eq
+            other.hi_ == hi_)
       << "sketch binning mismatch";
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];

@@ -440,7 +440,7 @@ WriteAheadLog::WriteAheadLog(std::string path, std::uint64_t next_sequence,
 WriteAheadLog::~WriteAheadLog() {
   // The destructor runs with exclusive ownership; any concurrent append
   // while the log is being destroyed is already a use-after-free upstream.
-  if (fd_ >= 0) ::close(fd_);  // lint:allow lock — destructor, sole owner
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::unique_ptr<WriteAheadLog> WriteAheadLog::open(

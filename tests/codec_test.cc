@@ -81,7 +81,7 @@ TEST(CodecTest, RejectsCorruptedFrames) {
   EXPECT_THROW(decode_sample_request(truncated), CodecError);
   // Bad magic.
   auto bad_magic = frame;
-  bad_magic[0] = 'X';  // lint:allow index (fresh frame >= header size)
+  bad_magic[0] = 'X';
   EXPECT_THROW(decode_sample_request(bad_magic), CodecError);
   EXPECT_THROW(peek_type(bad_magic), CodecError);
   // Flipped payload bit -> CRC mismatch.
@@ -90,7 +90,7 @@ TEST(CodecTest, RejectsCorruptedFrames) {
   EXPECT_THROW(decode_sample_request(flipped), CodecError);
   // Flipped header bit -> CRC mismatch.
   auto flipped_header = frame;
-  flipped_header[5] ^= 0x80;  // lint:allow index (fresh frame >= header size)
+  flipped_header[5] ^= 0x80;
   EXPECT_THROW(decode_sample_request(flipped_header), CodecError);
 }
 

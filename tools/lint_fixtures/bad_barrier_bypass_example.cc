@@ -1,0 +1,32 @@
+// Deliberately broken barrier-dominance fixture for
+// `prc_lint --self-test`.
+//
+// budget-barrier-dominance must prove every path to the noise draw
+// crosses mint_answer_with_intent.  Here the draw is buried TWO helper
+// calls deep, so no single function both calls `.answer()` and is a
+// public entry point — only the whole-program reachability pass can see
+// that `bad_bypass_entry` mints without the WAL intent barrier.
+// NOT compiled.
+
+namespace prc_lint_fixture {
+
+struct BypassFixtureCounter {
+  int answer(int range, int spec);
+};
+
+// Hop 2: the actual mint — a member .answer() call with no barrier.
+int bypass_inner_helper(BypassFixtureCounter& counter, int range, int spec) {
+  return counter.answer(range, spec);
+}
+
+// Hop 1: an innocent-looking wrapper.
+int bypass_outer_helper(BypassFixtureCounter& counter, int range, int spec) {
+  return bypass_inner_helper(counter, range, spec);
+}
+
+// budget-barrier-dominance: reaches perturb through the chain above.
+int bad_bypass_entry(BypassFixtureCounter& counter, int range, int spec) {
+  return bypass_outer_helper(counter, range, spec);
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,50 @@
+// Deliberately broken interprocedural-taint fixture for
+// `prc_lint --self-test`.
+//
+// interproc-raw-taint must catch a pre-noise estimate that is laundered
+// through TWO helper calls before reaching an export sink — each function
+// is individually clean, so the per-function no-raw-to-sink rule cannot
+// see the leak.  NOT compiled.
+
+#include "common/telemetry.h"
+#include "common/units.h"
+
+namespace prc_lint_fixture {
+
+struct TaintFixtureNetwork {
+  double rank_counting_estimate(int range) const;
+};
+
+// Hop 1: the raw estimate leaves the Raw<> wrapper as a plain double.
+double taint_leak_helper_inner(const TaintFixtureNetwork& network) {
+  prc::units::Raw<double> estimate_buffer(
+      network.rank_counting_estimate(10));
+  return estimate_buffer.get();
+}
+
+// Hop 2: an identity wrapper — still no sink in sight.
+double taint_leak_helper_outer(const TaintFixtureNetwork& network) {
+  double staged = taint_leak_helper_inner(network);
+  return staged;
+}
+
+// interproc-raw-taint: the sink statement only mentions a helper CALL, so
+// only the whole-program raw-returns fixed point can flag it.
+void bad_taint_export(const TaintFixtureNetwork& network) {
+  double launder = taint_leak_helper_outer(network);
+  telemetry::gauge("fixture.launder").set(launder);
+}
+
+// The reverse direction: the SINK is behind a parameter.  This helper
+// forwards its argument into telemetry...
+void taint_forwarding_sink(double reading) {
+  telemetry::gauge("fixture.forwarded").set(reading);
+}
+
+// ...so handing it a raw-derived value is a leak at the CALL SITE.
+void bad_taint_handoff(const TaintFixtureNetwork& network) {
+  double sample = taint_leak_helper_outer(network);
+  taint_forwarding_sink(sample);
+}
+
+}  // namespace prc_lint_fixture

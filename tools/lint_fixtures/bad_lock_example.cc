@@ -20,4 +20,17 @@ class BadCounterBox {
   long total_ PRC_GUARDED_BY(mutex_) = 0;
 };
 
+class BadHelperCaller {
+ public:
+  // lock-discipline (interprocedural): the `_locked` suffix is a contract
+  // that the caller holds mutex_ — this caller never acquires it.
+  void unguarded_refresh() { rebuild_cache_locked(); }
+
+ private:
+  void rebuild_cache_locked() { cache_epoch_ = cache_epoch_ + 1; }
+
+  mutable std::mutex mutex_;
+  long cache_epoch_ PRC_GUARDED_BY(mutex_) = 0;
+};
+
 }  // namespace prc_lint_fixture

@@ -1,0 +1,17 @@
+// Deliberately broken suppression fixture for `prc_lint --self-test`.
+//
+// stale-suppression: an escape hatch that no longer suppresses anything
+// is itself an error, so hatches cannot outlive the code they excused.
+// NOT compiled.
+
+namespace prc_lint_fixture {
+
+inline int stale_hatch_example() {
+  // stale-suppression: float-eq is a real tag, but nothing fires on this
+  // line, so the hatch is dead weight.
+  int widget_count = 3;  // lint:allow float-eq
+  // stale-suppression: not a tag any rule has ever used.
+  return widget_count;  // lint:allow not-a-real-tag
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,34 @@
+// Deliberately broken WAL-pairing fixture for `prc_lint --self-test`.
+//
+// wal-intent-commit-pairing: a function that appends a WAL intent must
+// have an append_commit/absorb_orphaned reachable from itself or a
+// transitive caller.  This harness logs intents that nothing ever
+// commits, so recovery would charge every sale as an orphan (permanent
+// epsilon over-count).  NOT compiled.
+
+#include <cstdint>
+
+namespace prc_lint_fixture {
+
+struct OrphanFixtureLog {
+  void append_intent(std::uint64_t seq, double eps, double price);
+  void append_commit(std::uint64_t seq);
+};
+
+class OrphanIntentHarness {
+ public:
+  // wal-intent-commit-pairing: the intent is durable, the commit is
+  // nowhere in this call graph.
+  void log_sale_intent(std::uint64_t seq) {
+    wal_->append_intent(seq, 0.5, 1.0);
+  }
+
+  OrphanFixtureLog* wal_ = nullptr;
+};
+
+// A caller does not save it: still no commit anywhere above or below.
+void bad_intent_without_commit(OrphanIntentHarness& harness) {
+  harness.log_sale_intent(7);
+}
+
+}  // namespace prc_lint_fixture

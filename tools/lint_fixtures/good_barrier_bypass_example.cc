@@ -1,0 +1,29 @@
+// Correct-usage twin of bad_barrier_bypass_example.cc: the same
+// call-chain depth, but every path to the noise draw crosses the
+// mint_answer_with_intent barrier, which CUTS dominance propagation.
+// Zero findings expected.  NOT compiled.
+
+namespace prc_lint_fixture {
+
+struct BarrierFixtureBroker {
+  int mint_answer_with_intent(int consumer, int range, int spec);
+  int sell(int consumer, int range, int spec);
+};
+
+// Calling the barrier member directly is the sanctioned route: the
+// barrier flushes a durable WAL intent before any noise is drawn, so the
+// chain above it never "reaches" an unbarriered mint.
+int barrier_route_helper(BarrierFixtureBroker& broker, int range, int spec) {
+  return broker.mint_answer_with_intent(1, range, spec);
+}
+
+int clean_barrier_entry(BarrierFixtureBroker& broker, int range, int spec) {
+  return barrier_route_helper(broker, range, spec);
+}
+
+// The broker's public sell() wraps the barrier itself.
+int clean_market_entry(BarrierFixtureBroker& broker, int range, int spec) {
+  return broker.sell(1, range, spec);
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,40 @@
+// Correct-usage twin of bad_interproc_taint_example.cc: helpers return
+// RELEASED (post-noise) values, so the same call-chain shapes must stay
+// silent.  Zero findings expected.  NOT compiled.
+
+#include "common/telemetry.h"
+#include "common/units.h"
+
+namespace prc_lint_fixture {
+
+struct ReleasedFixtureAnswer {
+  double released_value;
+  double price;
+};
+
+// Same two-hop shape as the bad fixture, but the value is post-noise.
+double released_mean_helper(const ReleasedFixtureAnswer& answer) {
+  return answer.released_value;
+}
+
+double released_billing_helper(const ReleasedFixtureAnswer& answer) {
+  double staged = released_mean_helper(answer);
+  return staged;
+}
+
+void clean_released_export(const ReleasedFixtureAnswer& answer) {
+  double released = released_billing_helper(answer);
+  telemetry::gauge("fixture.released").set(released);
+}
+
+// Forwarding a RELEASED value through a param-sinking helper is fine too.
+void released_forwarding_sink(double released_reading) {
+  telemetry::gauge("fixture.released_fwd").set(released_reading);
+}
+
+void clean_released_handoff(const ReleasedFixtureAnswer& answer) {
+  double priced = answer.price;
+  released_forwarding_sink(priced);
+}
+
+}  // namespace prc_lint_fixture

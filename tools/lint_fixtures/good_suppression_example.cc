@@ -1,0 +1,13 @@
+// Correct-usage twin of bad_stale_suppression_example.cc: this hatch
+// SUPPRESSES a real finding (no-float-eq-budget fires on the comparison
+// and is silenced), so neither the rule nor the staleness audit may
+// complain.  Zero findings expected.  NOT compiled.
+
+namespace prc_lint_fixture {
+
+inline bool suppression_in_use(double epsilon_lhs, double epsilon_rhs) {
+  // Exact comparison is the fixture's point: the hatch is consumed.
+  return epsilon_lhs == epsilon_rhs;  // lint:allow float-eq
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,33 @@
+// Correct-usage twin of bad_wal_pairing_example.cc: the intent-appending
+// helper itself never commits (the real broker is shaped exactly like
+// this — the barrier appends the intent, sell() commits after it
+// returns), but a TRANSITIVE CALLER pairs it with append_commit, which
+// satisfies the rule.  Zero findings expected.  NOT compiled.
+
+#include <cstdint>
+
+namespace prc_lint_fixture {
+
+struct SettledFixtureLog {
+  void append_intent(std::uint64_t seq, double eps, double price);
+  void append_commit(std::uint64_t seq);
+};
+
+class SettledIntentHarness {
+ public:
+  // Appends the intent only — the commit lives in the caller, as in
+  // DataBroker::mint_answer_with_intent.
+  void record_sale_intent(std::uint64_t seq) {
+    wal_->append_intent(seq, 0.5, 1.0);
+  }
+
+  // The caller settles: intent durable first, then the commit.
+  void settle_sale(std::uint64_t seq) {
+    record_sale_intent(seq);
+    wal_->append_commit(seq);
+  }
+
+  SettledFixtureLog* wal_ = nullptr;
+};
+
+}  // namespace prc_lint_fixture

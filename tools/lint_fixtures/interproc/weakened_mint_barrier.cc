@@ -1,0 +1,37 @@
+// Weakened-broker regression fixture (ctest: prc_lint_barrier_dominance).
+//
+// This file simulates the exact failure mode budget-barrier-dominance
+// exists to catch: a broker whose public sell path routes the noise draw
+// through a private helper instead of mint_answer_with_intent, so the
+// `.answer()` mint sits TWO calls below the entry point with no WAL
+// intent flushed first.  The gate runs
+//   prc_lint --expect-rule budget-barrier-dominance <this file>
+// and fails the build if the rule ever stops firing here.
+//
+// Lives in a subdirectory so the flat self-test fixture scan skips it
+// (it is a single-rule gate, not a bad_*/good_* pair).  NOT compiled.
+
+namespace prc_lint_fixture {
+
+struct WeakenedFixtureCounter {
+  int answer(int range, int spec);
+};
+
+class WeakenedBroker {
+ public:
+  // Public entry: looks like the real sell(), but the barrier is gone.
+  int sell_without_barrier(int range, int spec) {
+    return draw_noise_helper(range, spec);
+  }
+
+ private:
+  // The mint, one helper deep: crash here and epsilon leaves the ledger
+  // without a durable intent (under-count).
+  int draw_noise_helper(int range, int spec) {
+    return counter_.answer(range, spec);
+  }
+
+  WeakenedFixtureCounter counter_;
+};
+
+}  // namespace prc_lint_fixture

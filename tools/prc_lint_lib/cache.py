@@ -1,0 +1,84 @@
+"""Content-hash summary cache.
+
+Per-file analysis (tokenization + token rules + summary extraction) is
+pure in the file's bytes and the analyzer's own source, so results are
+cached keyed by sha256(file) and invalidated wholesale when any module in
+prc_lint_lib changes.  Interprocedural rules are recomputed every run
+from the (cheap) cached summaries — they depend on the whole program, so
+they can never be cached per file.
+"""
+
+import hashlib
+import json
+import os
+
+CACHE_VERSION = 1
+
+
+def engine_fingerprint():
+    """Hash of every prc_lint_lib module: editing the analyzer invalidates
+    the whole cache."""
+    lib_dir = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(lib_dir)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(lib_dir, name), "rb") as handle:
+            digest.update(name.encode())
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+def content_hash(data):
+    return hashlib.sha256(data).hexdigest()
+
+
+def default_cache_path(repo_root):
+    build = os.path.join(repo_root, "build")
+    base = build if os.path.isdir(build) else repo_root
+    return os.path.join(base, ".prc_lint_cache.json")
+
+
+class SummaryCache:
+    def __init__(self, path, fingerprint):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self):
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if data.get("version") != CACHE_VERSION \
+                or data.get("fingerprint") != self.fingerprint:
+            return  # analyzer changed: start cold
+        self.entries = data.get("files", {})
+
+    def get(self, path, file_hash):
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("hash") == file_hash:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, path, file_hash, payload):
+        payload = dict(payload)
+        payload["hash"] = file_hash
+        self.entries[path] = payload
+
+    def save(self):
+        data = {"version": CACHE_VERSION, "fingerprint": self.fingerprint,
+                "files": self.entries}
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # caching is best-effort; analysis already succeeded

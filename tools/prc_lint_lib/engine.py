@@ -1,0 +1,327 @@
+"""Analysis driver: per-file pass (cached), whole-program pass, central
+`lint:allow` filtering, the suppression-staleness audit, output formats,
+and the fixture self-test."""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import time
+
+from .cache import (SummaryCache, content_hash, default_cache_path,
+                    engine_fingerprint)
+from .findings import Finding, KNOWN_TAGS, RULES, RULE_NAMES
+from .interproc import run_interproc
+from .model import FileModel, SOURCE_EXTENSIONS
+from .output import EMITTERS
+from .rules import TOKEN_RULES
+from .summaries import FunctionSummary, summarize_file
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+DEFAULT_SCAN_DIRS = ("src", "tests", "tools", "examples")
+FIXTURE_DIR = os.path.join("tools", "lint_fixtures")
+
+
+def iter_source_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(SOURCE_EXTENSIONS):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("build", "lint_fixtures", ".git",
+                                        "compile_fail")]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+class Analysis:
+    """One whole-program run: findings (visible and suppressed), per-file
+    allows, and cache statistics."""
+
+    def __init__(self):
+        self.findings = []          # every emitted finding, incl. suppressed
+        self.allows_by_path = {}
+        self.used_allows = {}       # path -> {(tag, line)}
+        self.files = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.seconds = 0.0
+
+    @property
+    def visible(self):
+        return [f for f in self.findings if not f.suppressed]
+
+
+def _analyze_one(path, data):
+    """Uncached per-file pass: token rules + function summaries."""
+    model = FileModel(path, data.decode("utf-8", errors="replace"))
+    findings = [f for rule in TOKEN_RULES for f in rule(model)]
+    summaries, guarded_fields, raw_findings = summarize_file(model)
+    findings.extend(raw_findings)
+    return findings, summaries, guarded_fields, model.allows
+
+
+def _apply_allows(analysis):
+    """Central suppression: a finding is silenced when one of its rule's
+    tags carries a `lint:allow` on the finding's line.  Every allow that
+    silences something is recorded so the staleness audit can flag the
+    rest."""
+    for finding in analysis.findings:
+        allows = analysis.allows_by_path.get(finding.path)
+        if not allows:
+            continue
+        for tag in RULES.get(finding.rule, ()):
+            if finding.lineno in allows.get(tag, ()):
+                finding.suppressed = True
+                analysis.used_allows.setdefault(finding.path, set()) \
+                    .add((tag, finding.lineno))
+                break
+
+
+def _staleness_findings(analysis):
+    out = []
+    for path in sorted(analysis.allows_by_path):
+        used = analysis.used_allows.get(path, set())
+        for tag in sorted(analysis.allows_by_path[path]):
+            for line in sorted(analysis.allows_by_path[path][tag]):
+                if (tag, line) in used:
+                    continue
+                if tag not in KNOWN_TAGS:
+                    message = (f"`lint:allow {tag}` names an unknown tag; "
+                               "known tags: "
+                               + ", ".join(sorted(KNOWN_TAGS)))
+                else:
+                    message = (f"`lint:allow {tag}` no longer suppresses "
+                               "any finding on this line; the escape hatch "
+                               "is stale — delete it (or fix the tag) so "
+                               "hatches cannot outlive the code they "
+                               "excused")
+                out.append(Finding("stale-suppression", path, line, message))
+    return out
+
+
+def analyze_paths(files, use_cache=True, cache_path=None):
+    start = time.monotonic()
+    analysis = Analysis()
+    cache = None
+    if use_cache:
+        cache = SummaryCache(cache_path or default_cache_path(REPO_ROOT),
+                             engine_fingerprint())
+    summaries = []
+    guarded_by_path = {}
+    for path in files:
+        analysis.files += 1
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            analysis.findings.append(Finding("io", path, 0, str(error)))
+            continue
+        file_hash = content_hash(data)
+        entry = cache.get(path, file_hash) if cache else None
+        if entry is None:
+            findings, file_summaries, guarded_fields, allows = \
+                _analyze_one(path, data)
+            if cache:
+                cache.put(path, file_hash, {
+                    "findings": [f.to_dict() for f in findings],
+                    "summaries": [s.to_dict() for s in file_summaries],
+                    "guarded_fields": guarded_fields,
+                    "allows": {tag: sorted(lines)
+                               for tag, lines in allows.items()},
+                })
+        else:
+            findings = [Finding.from_dict(d) for d in entry["findings"]]
+            file_summaries = [FunctionSummary.from_dict(d)
+                              for d in entry["summaries"]]
+            guarded_fields = entry["guarded_fields"]
+            allows = {tag: set(lines)
+                      for tag, lines in entry["allows"].items()}
+        analysis.findings.extend(findings)
+        summaries.extend(file_summaries)
+        if guarded_fields:
+            guarded_by_path[path] = guarded_fields
+        if allows:
+            analysis.allows_by_path[path] = allows
+
+    analysis.findings.extend(run_interproc(summaries, guarded_by_path,
+                                           analysis.allows_by_path))
+    _apply_allows(analysis)
+    analysis.findings.extend(_staleness_findings(analysis))
+    analysis.findings.sort(key=lambda f: (f.path, f.lineno, f.rule))
+    if cache:
+        analysis.cache_hits = cache.hits
+        analysis.cache_misses = cache.misses
+        cache.save()
+    else:
+        analysis.cache_misses = analysis.files
+    analysis.seconds = time.monotonic() - start
+    return analysis
+
+
+def run_clang_tidy(files, build_dir):
+    binary = shutil.which("clang-tidy")
+    if binary is None:
+        print("prc_lint: clang-tidy not found on PATH; skipping the "
+              "clang-tidy layer (project rules still enforced)")
+        return 0
+    compile_db = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(compile_db):
+        print(f"prc_lint: no {compile_db}; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON to enable clang-tidy")
+        return 0
+    from .model import norm
+    sources = [f for f in files
+               if f.endswith(".cc") and norm(f)
+               .startswith(("src/", norm(os.path.join(REPO_ROOT, "src"))
+                            + "/"))]
+    if not sources:
+        return 0
+    command = [binary, "-p", build_dir, "--quiet",
+               "--warnings-as-errors=*"] + sources
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    return 1 if result.returncode != 0 else 0
+
+
+def list_suppressions(analysis, stream):
+    """Report every `lint:allow` in the analyzed files with its status."""
+    total = stale = 0
+    for path in sorted(analysis.allows_by_path):
+        used = analysis.used_allows.get(path, set())
+        for tag in sorted(analysis.allows_by_path[path]):
+            for line in sorted(analysis.allows_by_path[path][tag]):
+                total += 1
+                if (tag, line) in used:
+                    status = "USED"
+                elif tag not in KNOWN_TAGS:
+                    status = "UNKNOWN-TAG"
+                    stale += 1
+                else:
+                    status = "STALE"
+                    stale += 1
+                print(f"{path}:{line}: lint:allow {tag} [{status}]",
+                      file=stream)
+    print(f"prc_lint: {total} suppression(s), {stale} stale/unknown",
+          file=stream)
+    return 1 if stale else 0
+
+
+def self_test():
+    """Joint run over tools/lint_fixtures: every rule must fire at least
+    once on the bad_* fixtures, and nothing may fire on good_* files or
+    clean_* functions (comment/string/correct-usage regression)."""
+    fixture_root = os.path.join(REPO_ROOT, FIXTURE_DIR)
+    fixtures = [os.path.join(fixture_root, name)
+                for name in sorted(os.listdir(fixture_root))
+                if name.endswith(SOURCE_EXTENSIONS)]
+    analysis = analyze_paths(fixtures, use_cache=False)
+    visible = analysis.visible
+    fired = {finding.rule for finding in visible}
+    status = 0
+    for rule in RULE_NAMES:
+        if rule in fired:
+            print(f"self-test: rule {rule} fired OK")
+        else:
+            print(f"self-test: rule {rule} DID NOT FIRE on the fixtures")
+            status = 1
+    for finding in visible:
+        base = os.path.basename(finding.path)
+        if base.startswith("good_") or (finding.function or "") \
+                .startswith("clean_"):
+            print(f"self-test: FALSE POSITIVE {finding} "
+                  f"(function {finding.function})")
+            status = 1
+    print("self-test:", "PASS" if status == 0 else "FAIL")
+    return status
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="prc_lint",
+        description="project privacy-flow linter (token rules + "
+                    "whole-program interprocedural analysis)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             f"(default: {', '.join(DEFAULT_SCAN_DIRS)})")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rules against tools/lint_fixtures: "
+                             "every rule must fire on bad_*, none on good_*")
+    parser.add_argument("--no-clang-tidy", action="store_true",
+                        help="skip the clang-tidy layer even if available")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--format", choices=("text", "jsonl", "sarif"),
+                        default="text", help="finding output format")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="report every lint:allow with USED/STALE "
+                             "status instead of findings")
+    parser.add_argument("--expect-rule", metavar="RULE",
+                        help="exit 0 iff RULE fires on the given paths "
+                             "(regression gate for weakened-invariant "
+                             "fixtures)")
+    parser.add_argument("--changed", action="store_true",
+                        help="analyze the whole default tree (interproc "
+                             "rules need the full call graph) but report "
+                             "only findings in the given paths")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the summary cache")
+    parser.add_argument("--timing", action="store_true",
+                        help="print analysis wall time and cache hit/miss "
+                             "counts")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    os.chdir(REPO_ROOT)
+    if args.changed:
+        report_paths = {os.path.relpath(p) for p in args.paths}
+        scan = [d for d in DEFAULT_SCAN_DIRS if os.path.isdir(d)]
+    else:
+        report_paths = None
+        scan = args.paths or [d for d in DEFAULT_SCAN_DIRS
+                              if os.path.isdir(d)]
+    files = list(iter_source_files(scan))
+    if not files:
+        print("prc_lint: no source files found", file=sys.stderr)
+        return 2
+
+    analysis = analyze_paths(files, use_cache=not args.no_cache)
+
+    if args.expect_rule:
+        fired = {f.rule for f in analysis.visible}
+        if args.expect_rule in fired:
+            print(f"prc_lint: expected rule {args.expect_rule} fired OK")
+            return 0
+        print(f"prc_lint: expected rule {args.expect_rule} DID NOT FIRE",
+              file=sys.stderr)
+        for finding in analysis.visible:
+            print(f"  (visible instead: {finding})", file=sys.stderr)
+        return 1
+
+    if args.list_suppressions:
+        return list_suppressions(analysis, sys.stdout)
+
+    visible = analysis.visible
+    if report_paths is not None:
+        visible = [f for f in visible
+                   if os.path.relpath(f.path) in report_paths]
+    EMITTERS[args.format](visible, sys.stdout)
+
+    status = 1 if visible else 0
+    if not args.no_clang_tidy and args.format == "text":
+        status = max(status, run_clang_tidy(files, args.build_dir))
+
+    summary = (f"prc_lint: {len(files)} files, {len(visible)} project-rule "
+               f"finding(s)")
+    if args.timing:
+        summary += (f"; analysis {analysis.seconds:.2f}s "
+                    f"(cache: {analysis.cache_hits} hit, "
+                    f"{analysis.cache_misses} miss)")
+    print(summary, file=sys.stderr if args.format != "text" else sys.stdout)
+    return status

@@ -1,0 +1,373 @@
+"""Whole-program rules: fixed-point propagation over function summaries.
+
+Call edges are resolved by NAME (C++ overload/virtual resolution is out of
+reach for a tokenizer), which over-approximates the real call graph — a
+deliberate choice for a privacy linter: over-taint produces a reviewable
+finding with an escape hatch, under-taint silently leaks a pre-noise
+estimate.
+
+Rules:
+  interproc-raw-taint       Raw-derived values must not reach an export
+                            sink through ANY call chain (raw-returning
+                            helpers, param-sinking helpers).
+  budget-barrier-dominance  Every path from market/tool code to
+                            LaplaceMechanism::perturb must cross
+                            DataBroker::mint_answer_with_intent, the sole
+                            function allowed to flush a WAL intent before
+                            the noise draw (Theorem 4.2's ledger
+                            conservation depends on that dominance).
+  wal-intent-commit-pairing A function appending a WAL intent must have a
+                            commit/absorb_orphaned reachable from itself
+                            or a transitive caller, else recovery charges
+                            every sale as an orphan.
+  lock-discipline           PRC_GUARDED_BY fields need the mutex held, and
+                            callers of `_locked` helpers must hold or
+                            PRC_REQUIRES the callee's mutex.
+"""
+
+import os
+
+from .findings import Finding
+from .model import norm, stem
+from .rules import (MINT_BARRIER_FUNCTION, RAW_SAMPLE_IDENTS,
+                    mint_rule_applies)
+
+MINT_MEMBER_NAMES = ("answer", "perturb")
+WAL_INTENT_CALLS = {"append_intent"}
+WAL_COMMIT_CALLS = {"append_commit", "absorb_orphaned"}
+
+
+def _name_is_raw_source(name):
+    return name in RAW_SAMPLE_IDENTS or name.startswith(("raw_", "exact_"))
+
+
+def _build_name_index(summaries):
+    by_name = {}
+    for s in summaries:
+        by_name.setdefault(s.name, []).append(s)
+    return by_name
+
+
+def _call_edges(summaries):
+    """{caller_name: set(callee_names)} and the reverse map."""
+    out = {}
+    rev = {}
+    for s in summaries:
+        callees = out.setdefault(s.name, set())
+        for c in s.calls:
+            callees.add(c["name"])
+            rev.setdefault(c["name"], set()).add(s.name)
+    return out, rev
+
+
+def _closure(seed, edges):
+    """Transitive closure of `seed` names over the name graph `edges`."""
+    seen = set(seed)
+    frontier = list(seed)
+    while frontier:
+        name = frontier.pop()
+        for nxt in edges.get(name, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# interproc-raw-taint
+# ---------------------------------------------------------------------------
+
+def _raw_returning_names(summaries):
+    """Fixed point: functions whose return value derives from a pre-noise
+    estimate (directly, or through a raw-returning callee)."""
+    raw = {s.name for s in summaries if s.returns_direct_raw}
+    changed = True
+    while changed:
+        changed = False
+        for s in summaries:
+            if s.name in raw:
+                continue
+            for callee in s.return_dep_calls:
+                if callee in raw or _name_is_raw_source(callee):
+                    raw.add(s.name)
+                    changed = True
+                    break
+    return raw
+
+
+def _param_sinking_names(summaries):
+    """Fixed point: functions that forward a parameter into an export sink
+    (directly, or by passing it to another param-sinking function)."""
+    sinking = set()
+    for s in summaries:
+        for flow in s.sink_flows:
+            if any(d.startswith("param:") for d in flow["deps"]):
+                sinking.add(s.name)
+                break
+    changed = True
+    while changed:
+        changed = False
+        for s in summaries:
+            if s.name in sinking:
+                continue
+            for flow in s.arg_flows:
+                if flow["callee"] in sinking \
+                        and any(d.startswith("param:")
+                                for d in flow["deps"]):
+                    sinking.add(s.name)
+                    changed = True
+                    break
+    return sinking
+
+
+def check_interproc_raw_taint(summaries):
+    raw_names = _raw_returning_names(summaries)
+    sinking = _param_sinking_names(summaries)
+
+    def raw_deps(deps):
+        hits = []
+        for dep in deps:
+            if dep == "RAW":
+                hits.append("a raw estimate")
+            elif dep.startswith("call:"):
+                callee = dep[5:]
+                if callee in raw_names or _name_is_raw_source(callee):
+                    hits.append(f"`{callee}()` (returns a raw estimate)")
+        return hits
+
+    findings = []
+    for s in summaries:
+        for flow in s.sink_flows:
+            hits = raw_deps(flow["deps"])
+            if hits:
+                findings.append(Finding(
+                    "interproc-raw-taint", s.path, flow["line"],
+                    f"value derived from {', '.join(hits)} reaches an "
+                    "export sink through a call chain; only RELEASED "
+                    "(perturbed) values may leave the process.  Perturb "
+                    "first, or add `// lint:allow interproc-taint` with a "
+                    "justification", function=s.name))
+        for flow in s.arg_flows:
+            if flow["callee"] not in sinking:
+                continue
+            hits = raw_deps(flow["deps"])
+            if hits:
+                findings.append(Finding(
+                    "interproc-raw-taint", s.path, flow["line"],
+                    f"value derived from {', '.join(hits)} is passed to "
+                    f"`{flow['callee']}()`, which forwards its parameter "
+                    "into an export sink; only RELEASED (perturbed) values "
+                    "may leave the process.  Perturb first, or add "
+                    "`// lint:allow interproc-taint` with a justification",
+                    function=s.name))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# budget-barrier-dominance
+# ---------------------------------------------------------------------------
+
+def _dominance_scope(path):
+    p = norm(path)
+    base = os.path.basename(p)
+    if "lint_fixtures" in p:
+        return "mint" in base or "barrier" in base
+    return mint_rule_applies(p) or "tools/" in p
+
+
+def _mint_reaching_names(summaries, blessed):
+    """Names that transitively reach a `.answer()`/`.perturb()` mint call
+    WITHOUT crossing mint_answer_with_intent.  Calls to the barrier are
+    not followed: the barrier is the legal gateway, so a function whose
+    only path to perturb runs through it does not 'reach' a mint.  A call
+    whose line carries `lint:allow barrier|mint` is likewise not followed
+    — one hatch at the true mint site blesses the whole chain above it,
+    instead of demanding a hatch at every transitive caller."""
+    reach = set()
+    for s in summaries:
+        if s.name == MINT_BARRIER_FUNCTION:
+            continue
+        if any(c["member"] and c["name"] in MINT_MEMBER_NAMES
+               and not blessed(s.path, c["line"]) for c in s.calls):
+            reach.add(s.name)
+    changed = True
+    while changed:
+        changed = False
+        for s in summaries:
+            if s.name in reach or s.name == MINT_BARRIER_FUNCTION:
+                continue
+            for c in s.calls:
+                if c["name"] == MINT_BARRIER_FUNCTION \
+                        or blessed(s.path, c["line"]):
+                    continue
+                if c["name"] in reach:
+                    reach.add(s.name)
+                    changed = True
+                    break
+    return reach
+
+
+def check_budget_barrier_dominance(summaries, allows_by_path):
+    def blessed(path, line):
+        allows = allows_by_path.get(path)
+        if not allows:
+            return False
+        return line in allows.get("barrier", ()) \
+            or line in allows.get("mint", ())
+
+    reach = _mint_reaching_names(summaries, blessed)
+    findings = []
+    for s in summaries:
+        if not _dominance_scope(s.path):
+            continue
+        if s.name == MINT_BARRIER_FUNCTION \
+                or s.name in MINT_MEMBER_NAMES:
+            continue
+        seen = set()
+        for c in s.calls:
+            if c["name"] == MINT_BARRIER_FUNCTION or c["name"] in seen:
+                continue
+            direct_mint = c["member"] and c["name"] in MINT_MEMBER_NAMES
+            if not direct_mint and c["name"] not in reach:
+                continue
+            seen.add(c["name"])
+            how = ("mints privacy budget directly" if direct_mint
+                   else "reaches `LaplaceMechanism::perturb` through its "
+                        "call chain")
+            findings.append(Finding(
+                "budget-barrier-dominance", s.path, c["line"],
+                f"`{c['name']}(...)` {how} without crossing "
+                f"`{MINT_BARRIER_FUNCTION}`; every noise draw must be "
+                "dominated by the WAL intent barrier or a crash can mint "
+                "epsilon the ledger never saw (under-count).  Route the "
+                "call through the broker, or add `// lint:allow barrier` "
+                "with a justification", function=s.name))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# wal-intent-commit-pairing
+# ---------------------------------------------------------------------------
+
+def _wal_scope(path):
+    p = norm(path)
+    base = os.path.basename(p)
+    if "lint_fixtures" in p:
+        return "wal" in base or "intent" in base
+    # Tests construct orphaned logs on purpose (crash/recovery coverage).
+    return "tests/" not in p
+
+
+def check_wal_intent_commit_pairing(summaries):
+    _, rev_edges = _call_edges(summaries)
+    commit_reach = {s.name for s in summaries
+                    if any(c["name"] in WAL_COMMIT_CALLS for c in s.calls)}
+    changed = True
+    while changed:
+        changed = False
+        for s in summaries:
+            if s.name in commit_reach:
+                continue
+            if any(c["name"] in commit_reach for c in s.calls):
+                commit_reach.add(s.name)
+                changed = True
+    findings = []
+    for s in summaries:
+        if not _wal_scope(s.path):
+            continue
+        if s.name.startswith("append_"):
+            continue  # the WAL implementation itself
+        intent_calls = [c for c in s.calls if c["name"] in WAL_INTENT_CALLS]
+        if not intent_calls:
+            continue
+        # The commit may live in this function, below it, or in any
+        # transitive caller (the broker commits AFTER the barrier returns).
+        region = _closure({s.name}, rev_edges)
+        if any(name in commit_reach for name in region):
+            continue
+        findings.append(Finding(
+            "wal-intent-commit-pairing", s.path, intent_calls[0]["line"],
+            "appends a WAL intent, but no `append_commit` or "
+            "`absorb_orphaned` is reachable from this function or any "
+            "caller; recovery would charge every sale here as an orphan "
+            "(permanent epsilon over-count).  Pair the intent with a "
+            "commit, or add `// lint:allow wal-pairing` with a "
+            "justification", function=s.name))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline (summary-based; local + interprocedural)
+# ---------------------------------------------------------------------------
+
+def _acquired_before(summary, mutex, order):
+    if mutex in summary.requires:
+        return True
+    return any(a["order"] < order and mutex in a["names"]
+               for a in summary.acquires)
+
+
+def check_lock_discipline(summaries, fields_by_stem, by_name):
+    findings = []
+    for s in summaries:
+        if s.is_locked_helper() or s.sig_annotated or s.is_structor():
+            continue
+        fields = fields_by_stem.get(stem(s.path), {})
+        done = False
+        for use in s.guarded_uses:
+            mutex = fields.get(use["name"])
+            if mutex is None:
+                continue
+            if _acquired_before(s, mutex, use["order"]):
+                break  # the function holds the lock from there on
+            findings.append(Finding(
+                "lock-discipline", s.path, use["line"],
+                f"field `{use['name']}` is PRC_GUARDED_BY({mutex}) but "
+                f"`{s.name}` neither ends in _locked, acquires {mutex}, "
+                "nor carries PRC_REQUIRES; lock first or add "
+                "`// lint:allow lock` with a justification",
+                function=s.name))
+            done = True
+            break  # one finding per function is enough signal
+        if done:
+            continue
+        # Interprocedural half: calling a `_locked` helper asserts the
+        # caller already holds the helper's mutex.
+        flagged = set()
+        for c in s.calls:
+            if not c["name"].endswith("_locked") or c["name"] in flagged:
+                continue
+            callees = by_name.get(c["name"], ())
+            mutex = next((r for cs in callees for r in cs.requires),
+                         None) or "mutex_"
+            if _acquired_before(s, mutex, c["order"]):
+                continue
+            flagged.add(c["name"])
+            findings.append(Finding(
+                "lock-discipline", s.path, c["line"],
+                f"`{c['name']}` is a _locked helper (requires {mutex} "
+                f"held) but `{s.name}` neither acquires {mutex} before "
+                "the call nor carries PRC_REQUIRES; lock first or add "
+                "`// lint:allow lock` with a justification",
+                function=s.name))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def run_interproc(summaries, guarded_fields_by_path, allows_by_path=None):
+    """All whole-program findings for one analysis universe."""
+    fields_by_stem = {}
+    for path, fields in guarded_fields_by_path.items():
+        fields_by_stem.setdefault(stem(path), {}).update(fields)
+    by_name = _build_name_index(summaries)
+    findings = []
+    findings.extend(check_interproc_raw_taint(summaries))
+    findings.extend(check_budget_barrier_dominance(summaries,
+                                                   allows_by_path or {}))
+    findings.extend(check_wal_intent_commit_pairing(summaries))
+    findings.extend(check_lock_discipline(summaries, fields_by_stem,
+                                          by_name))
+    return findings

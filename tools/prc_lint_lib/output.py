@@ -1,0 +1,74 @@
+"""Finding emitters: plain text (the GitHub problem matcher's format),
+JSON Lines for tooling, and SARIF 2.1.0 for code-scanning upload."""
+
+import json
+
+from .findings import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+RULE_HELP = {
+    "interproc-raw-taint":
+        "Pre-noise (raw) estimates must never reach an export sink, even "
+        "through helper calls (Raw/Released wall).",
+    "budget-barrier-dominance":
+        "Every path to LaplaceMechanism::perturb must cross "
+        "DataBroker::mint_answer_with_intent (ledger conservation).",
+    "wal-intent-commit-pairing":
+        "A WAL intent needs a reachable commit or absorb, else recovery "
+        "over-counts epsilon forever.",
+    "stale-suppression":
+        "A lint:allow escape hatch that no longer suppresses anything "
+        "must be removed.",
+}
+
+
+def emit_text(findings, stream):
+    for finding in findings:
+        print(finding, file=stream)
+
+
+def emit_jsonl(findings, stream):
+    for finding in findings:
+        print(json.dumps(finding.to_dict(), sort_keys=True), file=stream)
+
+
+def emit_sarif(findings, stream):
+    rules = []
+    for rule in RULES:
+        entry = {"id": rule}
+        help_text = RULE_HELP.get(rule)
+        if help_text:
+            entry["shortDescription"] = {"text": help_text}
+        rules.append(entry)
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(finding.lineno, 1)},
+                },
+            }],
+        })
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {"name": "prc_lint",
+                                "informationUri":
+                                    "tools/prc_lint (in-repo analyzer)",
+                                "rules": rules}},
+            "results": results,
+        }],
+    }
+    json.dump(doc, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+EMITTERS = {"text": emit_text, "jsonl": emit_jsonl, "sarif": emit_sarif}

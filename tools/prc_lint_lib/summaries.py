@@ -1,0 +1,414 @@
+"""Per-function summaries: the unit of whole-program analysis.
+
+A summary captures everything the interprocedural rules need to know
+about one function WITHOUT re-reading its tokens: calls made (the call
+graph edges), locks acquired/required, guarded-field uses, WAL
+intent/commit appends, mint calls, and a symbolic taint dataflow.
+
+The taint pass runs the same function-local propagation the old
+`no-raw-to-sink` rule used, but where the old rule could only say
+"tainted or not", the summary keeps SYMBOLIC dependencies: a local fed
+from `helper()` depends on `call:helper`, a sink fed from a parameter
+depends on `param:x`.  The interprocedural pass later resolves those
+symbols against every other function's summary at fixed point — which is
+exactly what catches the two-call laundering chain
+(`helper() { return raw.get(); }` -> `telemetry::gauge(helper())`) that
+a per-function view must miss.
+
+Summaries are plain dicts of plain values, so the content-hash cache can
+serialize them as JSON and a warm run never re-tokenizes an unchanged
+file.
+"""
+
+from .findings import Finding
+from .model import statement_ranges
+from .rules import RAW_SAMPLE_IDENTS
+
+SINK_IDENTS = {"to_json", "to_csv", "write_csv", "serialize",
+               "export_telemetry", "write_row", "append_row"}
+
+LOCK_ACQUIRE_IDENTS = {"lock_guard", "scoped_lock", "unique_lock",
+                       "shared_lock"}
+LOCK_SIG_ANNOTATIONS = {"PRC_REQUIRES", "PRC_ACQUIRE",
+                        "PRC_NO_THREAD_SAFETY_ANALYSIS"}
+
+#: Call results never recorded as taint dependencies: ubiquitous accessor
+#: names whose cross-class collisions would drown the analysis in noise.
+#: (`.get()` on a Raw local is special-cased to RAW separately.)
+ACCESSOR_STOPLIST = {
+    "value", "get", "size", "count", "length", "empty", "c_str", "data",
+    "begin", "end", "cbegin", "cend", "front", "back", "at", "find",
+    "insert", "erase", "push_back", "emplace_back", "reserve", "resize",
+    "clear", "append", "substr", "str", "first", "second", "to_string",
+    "min", "max", "abs", "clamp", "move", "swap", "isfinite", "isnan",
+    "increment", "add", "set", "record", "observe", "string", "vector",
+    "what", "name",
+}
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "throw", "new", "delete", "decltype", "noexcept", "typeid", "do",
+    "else", "case", "default", "break", "continue", "operator",
+}
+
+#: The raw "RAW" dependency: a pre-noise estimate reached this value
+#: directly (no symbol resolution needed).
+RAW = "RAW"
+
+WAL_INTENT_CALLS = {"append_intent"}
+WAL_COMMIT_CALLS = {"append_commit", "absorb_orphaned"}
+
+
+def _looks_like_macro(name):
+    return name.isupper()
+
+
+class FunctionSummary:
+    __slots__ = ("name", "qualifier", "type_scope", "path", "line",
+                 "params", "calls", "acquires", "requires", "sig_annotated",
+                 "guarded_uses", "crash_points", "sink_flows", "arg_flows",
+                 "returns_direct_raw", "return_dep_calls",
+                 "return_dep_params", "raw_sink_findings")
+
+    def __init__(self, **kw):
+        for slot in self.__slots__:
+            setattr(self, slot, kw.get(slot))
+
+    @property
+    def owner(self):
+        return self.qualifier or self.type_scope
+
+    def is_structor(self):
+        owner = self.owner
+        return owner is not None and self.name in (owner, "~" + owner)
+
+    def is_locked_helper(self):
+        return self.name.endswith("_locked")
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+def _parse_params(toks, func):
+    """Parameter names from the signature segment (last ident of each
+    comma-separated chunk inside the first paren group)."""
+    i = func.sig_start
+    while i < func.body_start and toks[i].text != "(":
+        i += 1
+    if i >= func.body_start:
+        return []
+    params = []
+    depth = 0
+    chunk = []
+    for j in range(i, func.body_start):
+        t = toks[j]
+        if t.text == "(":
+            depth += 1
+            continue
+        if t.text == ")":
+            depth -= 1
+            if depth == 0:
+                if chunk:
+                    params.append(chunk)
+                break
+            continue
+        if t.text == "," and depth == 1:
+            params.append(chunk)
+            chunk = []
+        elif depth >= 1:
+            chunk.append(t)
+    names = []
+    for chunk in params:
+        idents = [t.text for t in chunk if t.kind == "ident"]
+        # `= default_value` trailers: the name precedes the first `=`.
+        for k, t in enumerate(chunk):
+            if t.text == "=":
+                idents = [x.text for x in chunk[:k] if x.kind == "ident"]
+                break
+        if idents and idents[-1] not in ("void", "const"):
+            names.append(idents[-1])
+    return names
+
+
+def _expr_sources(toks, start, end, raw_vars, tainted, params):
+    """Symbolic source set of an expression range: RAW for direct pre-noise
+    sources, call:<name> for unresolved call results, param:<name> for
+    function parameters (resolved later against the caller's arguments)."""
+    sources = set()
+    for j in range(start, end):
+        t = toks[j]
+        if t.kind != "ident":
+            continue
+        nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+        prev = toks[j - 1].text if j > 0 else ""
+        if t.text in RAW_SAMPLE_IDENTS and nxt in ("(", ".", ";", ")", ","):
+            sources.add(RAW)
+            continue
+        if t.text.startswith(("raw_", "exact_")):
+            sources.add(RAW)
+            continue
+        if t.text == "get" and nxt == "(" and j >= 2 \
+                and toks[j - 1].text == "." \
+                and toks[j - 2].text in raw_vars:
+            sources.add(RAW)
+            continue
+        if t.text in tainted:
+            sources.update(tainted[t.text])
+            continue
+        if nxt == "(" and t.text not in ACCESSOR_STOPLIST \
+                and t.text not in CPP_KEYWORDS \
+                and not _looks_like_macro(t.text) \
+                and prev != "~":
+            sources.add("call:" + t.text)
+            continue
+        if t.text in params and prev not in (".", "->"):
+            sources.add("param:" + t.text)
+    return sources
+
+
+def _is_sink_statement(toks, start, end):
+    for j in range(start, end):
+        t = toks[j]
+        if t.kind != "ident":
+            continue
+        if t.text in SINK_IDENTS:
+            return True
+        if t.text == "telemetry" and j + 1 < end and toks[j + 1].text == "::":
+            return True
+        if t.text == "record" and j >= 2 and toks[j - 1].text in (".", "->") \
+                and "ledger" in toks[j - 2].text:
+            return True
+    return False
+
+
+def _assignment_split(toks, start, end):
+    """(lhs_name, rhs_start) for an assignment or direct-init statement,
+    or (None, None)."""
+    eq_at = None
+    depth = 0
+    for j in range(start, end):
+        t = toks[j].text
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif depth == 0 and t in ("=", "+=", "-=", "*=", "/="):
+            eq_at = j
+            break
+    if eq_at is not None:
+        if toks[eq_at - 1].kind == "ident":
+            return toks[eq_at - 1].text, eq_at + 1, toks[eq_at].text
+        return None, None, None
+    if end - start >= 3 and toks[end - 1].text == ")" \
+            and toks[start].kind == "ident":
+        # Direct-init declaration: `double x(expr)` — a TYPE ident must
+        # precede the name, so bare call statements `helper(args)` are not
+        # mistaken for declarations of a variable named `helper`.
+        for j in range(start, end):
+            if toks[j].text == "(":
+                if j - 1 > start and toks[j - 1].kind == "ident" \
+                        and toks[j - 2].kind == "ident":
+                    return toks[j - 1].text, j + 1, None
+                break
+    return None, None, None
+
+
+def _raw_var_declaration(toks, start, end):
+    """Variable name declared as units::Raw<...> in this statement."""
+    texts = [toks[j].text for j in range(start, end)]
+    if "Raw" not in texts:
+        return None
+    raw_at = start + texts.index("Raw")
+    depth = 0
+    for j in range(raw_at + 1, end):
+        t = toks[j]
+        if t.text == "<":
+            depth += 1
+        elif t.text == ">":
+            depth -= 1
+            if depth == 0:
+                if j + 1 < end and toks[j + 1].kind == "ident":
+                    return toks[j + 1].text
+                break
+    return None
+
+
+def _call_argument_range(toks, call_index, end):
+    """(args_start, args_end) token range for the call at call_index."""
+    if call_index + 1 >= end or toks[call_index + 1].text != "(":
+        return None
+    depth = 0
+    for j in range(call_index + 1, end):
+        if toks[j].text == "(":
+            depth += 1
+        elif toks[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                return (call_index + 2, j)
+    return (call_index + 2, end)
+
+
+def summarize_function(model, func):
+    """Builds the FunctionSummary for one function, plus any function-local
+    no-raw-to-sink findings (direct RAW reaching a sink)."""
+    toks = model.tokens
+    params = _parse_params(toks, func)
+    param_set = set(params)
+
+    sig = toks[func.sig_start:func.body_start]
+    sig_annotated = any(t.kind == "ident" and t.text in LOCK_SIG_ANNOTATIONS
+                        for t in sig)
+    requires = []
+    for k, t in enumerate(sig):
+        if t.kind == "ident" and t.text in ("PRC_REQUIRES", "PRC_ACQUIRE"):
+            for u in sig[k + 1:k + 6]:
+                if u.kind == "ident":
+                    requires.append(u.text)
+                    break
+
+    calls = []
+    acquires = []
+    guarded_uses = []
+    crash_points = []
+    for i in range(func.body_start + 1, func.body_end):
+        t = toks[i]
+        if t.kind != "ident":
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        if t.text == "PRC_CRASH_POINT" and nxt == "(" \
+                and i + 2 < len(toks) and toks[i + 2].kind == "string":
+            crash_points.append(toks[i + 2].text.strip('"'))
+            continue
+        if nxt == "(" and t.text not in CPP_KEYWORDS \
+                and not _looks_like_macro(t.text) and prev != "~":
+            member = prev in (".", "->")
+            recv = prev2 if member and i > 1 and \
+                toks[i - 2].kind == "ident" else None
+            calls.append({"name": t.text, "line": t.line, "order": i,
+                          "member": member, "recv": recv})
+        if t.text in LOCK_ACQUIRE_IDENTS:
+            window = [x.text for x in toks[i:i + 12] if x.kind == "ident"]
+            acquires.append({"names": window, "order": i})
+        elif nxt == "." and i + 2 < len(toks) \
+                and toks[i + 2].text == "lock":
+            acquires.append({"names": [t.text], "order": i})
+        if t.text.endswith("_") and nxt != "(":
+            if prev in (".", "->") and prev2 != "this":
+                continue  # member of some other object
+            guarded_uses.append({"name": t.text, "line": t.line, "order": i})
+
+    # --- symbolic taint dataflow --------------------------------------
+    raw_vars = set()
+    tainted = {}        # local name -> set of source symbols
+    sink_flows = []     # unresolved flows into sinks
+    arg_flows = []      # tainted data passed as call arguments
+    returns_direct_raw = False
+    return_dep_calls = set()
+    return_dep_params = set()
+    raw_sink_findings = []
+
+    for start, end in statement_ranges(toks, func):
+        raw_var = _raw_var_declaration(toks, start, end)
+        if raw_var:
+            raw_vars.add(raw_var)
+
+        if _is_sink_statement(toks, start, end):
+            sources = _expr_sources(toks, start, end, raw_vars, tainted,
+                                    param_set)
+            if RAW in sources:
+                raw_sink_findings.append(Finding(
+                    "no-raw-to-sink", model.path, toks[start].line,
+                    "a pre-noise (raw) estimate flows into an export "
+                    "sink; only RELEASED (perturbed) values, counts and "
+                    "prices may leave the process.  Perturb first, or "
+                    "add `// lint:allow raw-sink` with a justification",
+                    function=func.name))
+            elif sources:
+                sink_flows.append({"line": toks[start].line,
+                                   "deps": sorted(sources)})
+            continue
+
+        if toks[start].text == "return":
+            sources = _expr_sources(toks, start + 1, end, raw_vars, tainted,
+                                    param_set)
+            if RAW in sources:
+                returns_direct_raw = True
+            for dep in sources:
+                if dep.startswith("call:"):
+                    return_dep_calls.add(dep[5:])
+                elif dep.startswith("param:"):
+                    return_dep_params.add(dep[6:])
+            continue
+
+        # Tainted data handed to another function: the callee may sink it.
+        for k in range(start, end):
+            t = toks[k]
+            if t.kind != "ident" or t.text in CPP_KEYWORDS \
+                    or t.text in ACCESSOR_STOPLIST \
+                    or _looks_like_macro(t.text):
+                continue
+            arg_range = _call_argument_range(toks, k, end)
+            if arg_range is None:
+                continue
+            sources = _expr_sources(toks, arg_range[0], arg_range[1],
+                                    raw_vars, tainted, param_set)
+            if sources:
+                arg_flows.append({"callee": t.text, "line": t.line,
+                                  "deps": sorted(sources)})
+
+        lhs, rhs_start, op = _assignment_split(toks, start, end)
+        if lhs and rhs_start is not None:
+            sources = _expr_sources(toks, rhs_start, end, raw_vars, tainted,
+                                    param_set)
+            if sources:
+                tainted[lhs] = sources
+            elif lhs in tainted and op == "=":
+                del tainted[lhs]  # overwritten with clean data
+
+    summary = FunctionSummary(
+        name=func.name, qualifier=func.qualifier, type_scope=func.type_scope,
+        path=model.path, line=toks[func.sig_start].line
+        if func.sig_start < len(toks) else 0,
+        params=params, calls=calls, acquires=acquires, requires=requires,
+        sig_annotated=sig_annotated, guarded_uses=guarded_uses,
+        crash_points=crash_points, sink_flows=sink_flows,
+        arg_flows=arg_flows, returns_direct_raw=returns_direct_raw,
+        return_dep_calls=sorted(return_dep_calls),
+        return_dep_params=sorted(return_dep_params),
+        raw_sink_findings=None)
+    return summary, raw_sink_findings
+
+
+def collect_guarded_fields(model):
+    """{field_name: mutex_name} from PRC_GUARDED_BY annotations in one
+    file (declared in headers, enforced across the matching .h/.cc pair)."""
+    fields = {}
+    toks = model.tokens
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident" or tok.text != "PRC_GUARDED_BY":
+            continue
+        if i + 2 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        mutex = toks[i + 2].text
+        if toks[i - 1].kind != "ident":
+            continue
+        fields[toks[i - 1].text] = mutex
+    return fields
+
+
+def summarize_file(model):
+    """(summaries, guarded_fields, local_findings) for one FileModel."""
+    summaries = []
+    findings = []
+    for func in model.functions:
+        summary, raw_findings = summarize_function(model, func)
+        summaries.append(summary)
+        findings.extend(raw_findings)
+    return summaries, collect_guarded_fields(model), findings

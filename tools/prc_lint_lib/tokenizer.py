@@ -1,0 +1,79 @@
+"""C++ tokenizer for the prc_lint engine.
+
+Comments, string and char literals become opaque single tokens and
+preprocessor lines are blanked, so no rule can ever fire on the TEXT of a
+comment, a literal, or an #include path.  `lint:allow <tag>` escape
+hatches are harvested from comments during tokenization.
+"""
+
+import re
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<lcomment>//[^\n]*)
+    | (?P<bcomment>/\*.*?\*/)
+    | (?P<rawstr>R"(?P<rawtag>[^()\\\s]{0,16})\(.*?\)(?P=rawtag)")
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<char>'(?:[^'\\\n]|\\.)+')
+    | (?P<number>\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct><<=|>>=|<=>|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|
+                &&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\S)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+ALLOW_RE = re.compile(r"lint:allow\s+([\w-]+)")
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+def scrub_preprocessor(text):
+    """Blanks preprocessor directives (and their continuation lines) while
+    preserving newlines, so #include paths and macro bodies never feed the
+    rules."""
+    out = []
+    in_directive = False
+    for line in text.split("\n"):
+        stripped = line.lstrip()
+        if in_directive or stripped.startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            in_directive = False
+            out.append(line)
+    return "\n".join(out)
+
+
+def tokenize(text):
+    """Returns (tokens, allow_lines) where allow_lines maps an escape-hatch
+    tag to the set of line numbers carrying `// lint:allow <tag>`."""
+    tokens = []
+    allows = {}
+    line = 1
+    pos = 0
+    text = scrub_preprocessor(text)
+    for match in TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup
+        if kind == "rawtag":  # inner group of rawstr
+            kind = "rawstr"
+        if kind in ("lcomment", "bcomment"):
+            for tag in ALLOW_RE.findall(match.group()):
+                allows.setdefault(tag, set()).add(line)
+        elif kind in ("rawstr", "string", "char"):
+            tokens.append(Token("string", match.group(), line))
+        else:
+            tokens.append(Token(kind, match.group(), line))
+    return tokens, allows

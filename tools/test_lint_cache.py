@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Unit test for the prc_lint summary cache (ctest: prc_lint_cache).
+
+Proves the three properties the whole-program pass depends on:
+  1. a warm run serves unchanged files from the cache (hit, no re-parse),
+  2. editing a file's CONTENT invalidates exactly that entry and the new
+     analysis reflects the edit (stale results are never served),
+  3. a changed engine fingerprint (any prc_lint_lib module edited) drops
+     the whole cache, so rule changes always re-analyze everything.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from prc_lint_lib.cache import SummaryCache  # noqa: E402
+from prc_lint_lib.engine import analyze_paths  # noqa: E402
+
+FIRES = "void cache_probe() { assert(1 == 1); }\n"   # no-bare-assert
+CLEAN = "void cache_probe() { int checked = 0; }\n"
+
+
+def fail(message):
+    print(f"lint_cache_test: FAIL — {message}")
+    return 1
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "probe.cc")
+        cache_path = os.path.join(tmp, "cache.json")
+
+        with open(src, "w", encoding="utf-8") as handle:
+            handle.write(FIRES)
+        cold = analyze_paths([src], cache_path=cache_path)
+        if cold.cache_misses != 1 or cold.cache_hits != 0:
+            return fail(f"cold run expected 1 miss, got "
+                        f"{cold.cache_hits} hit/{cold.cache_misses} miss")
+        cold_rules = sorted(f.rule for f in cold.visible)
+        if "no-bare-assert" not in cold_rules:
+            return fail(f"probe finding missing on cold run: {cold_rules}")
+
+        warm = analyze_paths([src], cache_path=cache_path)
+        if warm.cache_hits != 1 or warm.cache_misses != 0:
+            return fail(f"warm run expected 1 hit, got "
+                        f"{warm.cache_hits} hit/{warm.cache_misses} miss")
+        warm_rules = sorted(f.rule for f in warm.visible)
+        if warm_rules != cold_rules:
+            return fail(f"cached findings differ: {cold_rules} vs "
+                        f"{warm_rules}")
+
+        with open(src, "w", encoding="utf-8") as handle:
+            handle.write(CLEAN)
+        edited = analyze_paths([src], cache_path=cache_path)
+        if edited.cache_misses != 1:
+            return fail("content edit did not invalidate the cache entry")
+        if edited.visible:
+            return fail("stale findings served after content edit: "
+                        + "; ".join(str(f) for f in edited.visible))
+
+        reopened = SummaryCache(cache_path, "some-other-engine-fingerprint")
+        if reopened.entries:
+            return fail("engine fingerprint change did not drop the cache")
+
+    print("lint_cache_test: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
