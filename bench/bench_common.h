@@ -8,8 +8,10 @@
 //   --seed <n>              master seed
 //   --output-csv            also print machine-readable CSV after the table
 //   --telemetry-json <path> write the run's TelemetrySnapshot as JSON
-//                           (default <binary>.telemetry.json)
-//   --no-telemetry          skip the snapshot export
+//                           (default <binary>.telemetry.json); a Prometheus
+//                           exposition twin is written next to it with the
+//                           .json suffix replaced by .prom
+//   --no-telemetry          skip the snapshot export (both files)
 //   --threads <n>           worker threads for the parallel sections
 //                           (default: PRC_THREADS env or 1; results are
 //                           bit-identical for every value)
@@ -29,6 +31,7 @@
 
 #include "common/args.h"
 #include "common/parallel.h"
+#include "common/prometheus.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/telemetry.h"
@@ -56,6 +59,10 @@ struct Options {
   /// Write-ahead log path for the durability-overhead mode (consumed by
   /// market_session; empty = WAL disabled, the default run is untouched).
   std::string wal_path;
+  /// When set, market_session serves /metrics and /healthz on this port for
+  /// the lifetime of the run (0 = pick an ephemeral port and print it;
+  /// nullopt = no HTTP server, the default).
+  std::optional<std::uint16_t> metrics_port;
   /// Set by parse_options; emit() turns it into bench.wall_clock_us so the
   /// snapshot carries the run's end-to-end wall time next to its counters.
   std::chrono::steady_clock::time_point start_time;
@@ -77,7 +84,10 @@ inline Options parse_options(int argc, char** argv) {
       .option("nodes", "sensor node count (0 = binary default)")
       .option("wal",
               "write-ahead log path: adds a durability-overhead comparison "
-              "(market_session only; default runs are unaffected)");
+              "(market_session only; default runs are unaffected)")
+      .option("metrics-port",
+              "serve /metrics and /healthz on this port for the run's "
+              "lifetime (market_session only; 0 = ephemeral)");
   try {
     if (!parser.parse(argc, argv)) std::exit(0);  // --help
   } catch (const std::invalid_argument& e) {
@@ -92,6 +102,10 @@ inline Options parse_options(int argc, char** argv) {
   options.threads = parallel::thread_count();
   options.nodes = static_cast<std::size_t>(parser.get_uint("nodes", 0));
   if (const auto wal = parser.get("wal")) options.wal_path = *wal;
+  if (parser.get("metrics-port")) {
+    options.metrics_port =
+        static_cast<std::uint16_t>(parser.get_uint("metrics-port", 0));
+  }
   options.csv_path = parser.get("csv");
   options.trials = static_cast<std::size_t>(parser.get_uint("trials", 0));
   options.seed = parser.get_uint("seed", options.seed);
@@ -168,6 +182,9 @@ inline void emit(const TextTable& table, const Options& options) {
         .set(static_cast<double>(wall.count()));
     telemetry::gauge("bench.threads")
         .set(static_cast<double>(options.threads));
+    // Gauge, not counter: trace.spans_dropped must stay outside the
+    // bit-exact counter contract bench_compare.py gates.
+    trace::publish_telemetry();
     const auto snapshot = telemetry::Telemetry::registry().snapshot();
     std::ofstream out(options.telemetry_json_path);
     out << snapshot.to_json() << "\n";
@@ -177,6 +194,25 @@ inline void emit(const TextTable& table, const Options& options) {
     } else {
       std::cerr << "# telemetry: cannot write "
                 << options.telemetry_json_path << "\n";
+    }
+    // The same snapshot in Prometheus exposition format, next to the JSON
+    // (<name>.telemetry.json -> <name>.telemetry.prom), so bench artifacts
+    // are greppable with standard scrape tooling.  bench_compare.py skips
+    // .prom files; the JSON stays the comparison format.
+    std::string prom_path = options.telemetry_json_path;
+    const std::string json_suffix = ".json";
+    if (prom_path.size() >= json_suffix.size() &&
+        prom_path.compare(prom_path.size() - json_suffix.size(),
+                          json_suffix.size(), json_suffix) == 0) {
+      prom_path.resize(prom_path.size() - json_suffix.size());
+    }
+    prom_path += ".prom";
+    std::ofstream prom_out(prom_path);
+    prom_out << telemetry::prometheus::render(snapshot);
+    if (prom_out) {
+      std::cout << "# telemetry: " << prom_path << " (exposition 0.0.4)\n";
+    } else {
+      std::cerr << "# telemetry: cannot write " << prom_path << "\n";
     }
   }
 }

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "common/metrics_http.h"
 #include "dp/private_counting.h"
 #include "market/simulation.h"
 #include "query/workload.h"
@@ -18,6 +19,20 @@ int main(int argc, char** argv) {
   using namespace prc;
   const auto options = bench::parse_options(argc, argv);
   const std::size_t kNodes = 8;
+
+  // Live scrape surface: when --metrics-port is given, /metrics serves the
+  // registry for the whole run (every counter the session increments is
+  // visible mid-run, not just in the post-hoc .prom artifact).
+  std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
+  if (options.metrics_port) {
+    try {
+      metrics_server = std::make_unique<telemetry::MetricsHttpServer>(
+          *options.metrics_port);
+      std::cout << "# metrics_port " << metrics_server->port() << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "# metrics server disabled: " << e.what() << "\n";
+    }
+  }
 
   const auto records = bench::load_records(options);
   const data::Dataset dataset(records);

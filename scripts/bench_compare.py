@@ -65,6 +65,24 @@ def bench_name(path):
     return name
 
 
+def json_snapshots(paths):
+    """Filters shell-glob input down to JSON snapshots.
+
+    Bench binaries write a Prometheus-exposition twin (*.telemetry.prom)
+    next to every *.telemetry.json; a loose glob like bench_out/* picks
+    both up.  The .prom files are a human/scrape surface, not a comparison
+    format — skip them rather than failing the JSON parse.
+    """
+    kept = []
+    for path in paths:
+        if path.endswith(".prom"):
+            print(f"bench_compare: skipping {path} (Prometheus exposition, "
+                  "not a snapshot)")
+            continue
+        kept.append(path)
+    return kept
+
+
 def entry_from_snapshot(snapshot):
     gauges = snapshot["gauges"]
     return {
@@ -76,7 +94,7 @@ def entry_from_snapshot(snapshot):
 
 def cmd_collect(args):
     benchmarks = {}
-    for path in args.snapshots:
+    for path in json_snapshots(args.snapshots):
         name = bench_name(path)
         benchmarks[name] = entry_from_snapshot(load_snapshot(path))
         print(f"bench_compare: collected {name} "
@@ -113,7 +131,8 @@ def cmd_compare(args):
     benchmarks = baseline["benchmarks"]
 
     failures = []
-    for path in args.snapshots:
+    snapshots = json_snapshots(args.snapshots)
+    for path in snapshots:
         name = bench_name(path)
         base = benchmarks.get(name)
         if base is None:
@@ -152,7 +171,7 @@ def cmd_compare(args):
     if failures:
         print(f"bench_compare: {len(failures)} gate failure(s)")
         return 1
-    print(f"bench_compare: OK ({len(args.snapshots)} benchmarks within "
+    print(f"bench_compare: OK ({len(snapshots)} benchmarks within "
           f"{args.max_regression:.0%} of {args.baseline})")
     return 0
 

@@ -1,22 +1,66 @@
 #!/usr/bin/env python3
-"""Schema gate for prc_query --telemetry exports.
+"""Schema gate for prc_query telemetry exports.
 
-Validates that a TelemetrySnapshot JSON file has the documented shape
-(counters/gauges/histograms with the right field types) and — because CI
-runs it on a full `prc_query session` — that the export meets the
-observability floor: at least MIN_METRICS distinct metrics covering all
-four pipeline layers.
+Three coupled checks, sharing src/common/metrics_metadata.inc as the
+single source of truth:
 
-Usage: check_telemetry_schema.py snapshot.json [--min-metrics N]
-Exit status: 0 when valid, 1 on any schema or coverage violation.
+1. Snapshot JSON (positional argument): the TelemetrySnapshot has the
+   documented shape (counters/gauges/histograms with the right field
+   types) and — because CI runs it on a full `prc_query session` — meets
+   the observability floor: at least MIN_METRICS distinct metrics covering
+   all four pipeline layers.  Every exported metric must also have a
+   PRC_METRIC entry whose kind matches the section it appeared in.
+
+2. Metadata table (always): the .inc parses, entry names are unique
+   (both as written and after Prometheus sanitization), kinds are known,
+   units and help text are non-empty.
+
+3. Prometheus exposition (--prom PATH): promtool-style validation of a
+   rendered /metrics payload or .prom artifact — family preambles, sample
+   membership, histogram cumulativity (le ascending, +Inf == _count,
+   _sum/_count present), and that every family maps back to a registered
+   metadata entry with the matching TYPE.
+
+Usage:
+  check_telemetry_schema.py snapshot.json [--min-metrics N]
+  check_telemetry_schema.py --prom scrape.prom
+  check_telemetry_schema.py snapshot.json --prom scrape.prom
+Exit status: 0 when valid, 1 on any schema, metadata or coverage
+violation.
 """
 
 import argparse
 import json
+import math
+import os
+import re
 import sys
 
 REQUIRED_LAYERS = ("iot.", "dp.", "pricing.", "market.")
 HISTOGRAM_NUMBER_FIELDS = ("sum", "min", "max", "p50", "p95", "p99")
+
+DEFAULT_METADATA = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src", "common",
+                                "metrics_metadata.inc")
+
+KIND_TO_SECTION = {"kCounter": "counters", "kGauge": "gauges",
+                   "kHistogram": "histograms"}
+KIND_TO_PROM_TYPE = {"kCounter": "counter", "kGauge": "gauge",
+                     "kHistogram": "histogram"}
+
+# One C++ string literal; PRC_METRIC arguments may be several, adjacent.
+_STRING = r'"(?:[^"\\]|\\.)*"'
+_STRINGS = rf'(?:{_STRING}\s*)+'
+ENTRY_RE = re.compile(
+    rf'PRC_METRIC\(\s*({_STRINGS})\s*,\s*(k\w+)\s*,\s*({_STRINGS})\s*,'
+    rf'\s*({_STRINGS})\)', re.DOTALL)
+STRING_RE = re.compile(_STRING)
+
+METRIC_NAME_RE = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*$')
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(?:\s+(\S+))?\s*$')
+PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
 
 def fail(message):
@@ -24,7 +68,88 @@ def fail(message):
     return 1
 
 
-def check(path, min_metrics):
+def _join_literals(chunk):
+    """Adjacent C++ string literals -> one Python string."""
+    text = "".join(part[1:-1] for part in STRING_RE.findall(chunk))
+    return re.sub(r'\\(.)',
+                  lambda m: {"n": "\n", "t": "\t"}.get(m.group(1),
+                                                       m.group(1)),
+                  text)
+
+
+def sanitize_metric_name(name):
+    """Mirrors prometheus::sanitize_metric_name (prc_ prefix, charset)."""
+    return "prc_" + "".join(
+        c if (c.isascii() and c.isalnum()) or c in "_:" else "_"
+        for c in name)
+
+
+def load_metadata(path):
+    """Parses PRC_METRIC entries; returns ({name: entry}, error_or_None)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as error:
+        return None, f"cannot read metadata table {path}: {error}"
+    # Strip // comment lines first: the header documents the macro shape
+    # with a literal PRC_METRIC example that must not be parsed.
+    text = "\n".join(line for line in raw.splitlines()
+                     if not line.lstrip().startswith("//"))
+    entries = {}
+    matched = 0
+    for match in ENTRY_RE.finditer(text):
+        matched += 1
+        name = _join_literals(match.group(1))
+        kind = match.group(2)
+        unit = _join_literals(match.group(3))
+        help_text = _join_literals(match.group(4))
+        if kind not in KIND_TO_SECTION:
+            return None, f"metadata {name}: unknown kind token {kind}"
+        if not name or not METRIC_NAME_RE.match(sanitize_metric_name(name)):
+            return None, f"metadata entry with unusable name {name!r}"
+        if not unit:
+            return None, f"metadata {name}: empty unit"
+        if not help_text.strip():
+            return None, f"metadata {name}: empty help text"
+        if name in entries:
+            return None, f"metadata {name}: duplicate entry"
+        entries[name] = {"kind": kind, "unit": unit, "help": help_text}
+    declared = text.count("PRC_METRIC(")
+    if matched != declared:
+        return None, (f"metadata table {path}: {declared} PRC_METRIC( "
+                      f"occurrences but only {matched} parse — malformed "
+                      "entry (arguments must be pure string literals)")
+    if not entries:
+        return None, f"metadata table {path}: no PRC_METRIC entries"
+    sanitized = {}
+    for name in entries:
+        flat = sanitize_metric_name(name)
+        if flat in sanitized:
+            return None, (f"metadata {name}: sanitized name {flat} collides "
+                          f"with {sanitized[flat]}")
+        sanitized[flat] = name
+    return entries, None
+
+
+def check_snapshot_metadata(snapshot, metadata):
+    """Every exported metric has an entry of the matching kind."""
+    problems = []
+    for kind, section in KIND_TO_SECTION.items():
+        for name in snapshot[section]:
+            entry = metadata.get(name)
+            if entry is None:
+                problems.append(
+                    f"{section[:-1]} {name} has no PRC_METRIC entry in "
+                    "src/common/metrics_metadata.inc")
+            elif entry["kind"] != kind:
+                problems.append(
+                    f"{section[:-1]} {name} is registered as "
+                    f"{entry['kind']} in metrics_metadata.inc but exported "
+                    f"in section '{section}'")
+    return problems
+
+
+def check(path, min_metrics, metadata):
     try:
         with open(path, encoding="utf-8") as handle:
             snapshot = json.load(handle)
@@ -81,19 +206,229 @@ def check(path, min_metrics):
     if missing:
         return fail(f"no metrics from layer(s): {', '.join(missing)}")
 
+    problems = check_snapshot_metadata(snapshot, metadata)
+    if problems:
+        for problem in problems:
+            print(f"check_telemetry_schema: FAIL: {problem}")
+        return 1
+
     print(f"check_telemetry_schema: OK ({len(names)} metrics, "
           f"all of {', '.join(layer.rstrip('.') for layer in REQUIRED_LAYERS)}"
-          " covered)")
+          " covered, all with registered metadata)")
+    return 0
+
+
+def _parse_prom_value(token, lineno):
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(f"line {lineno}: unparseable sample value "
+                         f"`{token}`") from None
+
+
+def parse_prom(text):
+    """Promtool-style parse; returns [family dicts] or raises ValueError.
+
+    Mirrors the invariants prometheus::parse_exposition enforces in C++:
+    the two parsers are independent implementations of the same contract,
+    so CI catches either side drifting.
+    """
+    families = []
+    index = {}
+    pending_help = {}
+    current = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split(None, 2)
+            keyword = parts[0] if parts else ""
+            if keyword == "HELP":
+                if len(parts) < 2 or not METRIC_NAME_RE.match(parts[1]):
+                    raise ValueError(f"line {lineno}: malformed HELP line")
+                name = parts[1]
+                help_text = parts[2] if len(parts) == 3 else ""
+                if name in index:
+                    families[index[name]]["help"] = help_text
+                else:
+                    pending_help[name] = help_text
+            elif keyword == "TYPE":
+                if len(parts) != 3 or not METRIC_NAME_RE.match(parts[1]):
+                    raise ValueError(f"line {lineno}: malformed TYPE line")
+                name, prom_type = parts[1], parts[2]
+                if prom_type not in PROM_TYPES:
+                    raise ValueError(f"line {lineno}: unknown metric type "
+                                     f"`{prom_type}`")
+                if name in index:
+                    raise ValueError(f"line {lineno}: duplicate TYPE "
+                                     f"declaration for {name}")
+                family = {"name": name, "type": prom_type,
+                          "help": pending_help.pop(name, None),
+                          "samples": []}
+                index[name] = len(families)
+                families.append(family)
+                current = family
+            # Other comments (# UNIT, prose) are ignored per format 0.0.4.
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample line "
+                             f"`{line}`")
+        name, label_block, value_token, timestamp = match.groups()
+        labels = dict(LABEL_RE.findall(label_block or ""))
+        value = _parse_prom_value(value_token, lineno)
+        if timestamp is not None:
+            try:
+                int(timestamp)
+            except ValueError:
+                raise ValueError(f"line {lineno}: trailing garbage after "
+                                 f"sample value: `{timestamp}`") from None
+        if current is None:
+            raise ValueError(f"line {lineno}: sample `{name}` before any "
+                             "TYPE declaration")
+        allowed = {current["name"]}
+        if current["type"] in ("histogram", "summary"):
+            allowed |= {current["name"] + "_sum", current["name"] + "_count"}
+        if current["type"] == "histogram":
+            allowed.add(current["name"] + "_bucket")
+        if name not in allowed:
+            raise ValueError(f"line {lineno}: sample `{name}` does not "
+                             f"belong to the preceding TYPE family "
+                             f"{current['name']}")
+        current["samples"].append({"name": name, "labels": labels,
+                                   "value": value})
+    for family in families:
+        if family["help"] is None:
+            raise ValueError(f"family {family['name']} has no HELP line")
+        if not family["samples"]:
+            raise ValueError(f"family {family['name']} declared but has no "
+                             "samples")
+        if family["type"] == "histogram":
+            _validate_prom_histogram(family)
+    return families
+
+
+def _validate_prom_histogram(family):
+    name = family["name"]
+    previous_le = -math.inf
+    previous_cumulative = -1.0
+    inf_bucket = None
+    count_value = None
+    saw_sum = False
+    for sample in family["samples"]:
+        if sample["name"] == name + "_sum":
+            saw_sum = True
+            continue
+        if sample["name"] == name + "_count":
+            count_value = sample["value"]
+            continue
+        le = sample["labels"].get("le")
+        if le is None:
+            raise ValueError(f"histogram {name}: bucket sample without an "
+                             "le label")
+        le_value = _parse_prom_value(le, 0)
+        if not le_value > previous_le:
+            raise ValueError(f"histogram {name}: le buckets are not sorted "
+                             "ascending")
+        if sample["value"] < previous_cumulative:
+            raise ValueError(f"histogram {name}: bucket counts are not "
+                             f"cumulative at le=\"{le}\"")
+        previous_le = le_value
+        previous_cumulative = sample["value"]
+        if le_value == math.inf:
+            inf_bucket = sample["value"]
+    if inf_bucket is None:
+        raise ValueError(f"histogram {name}: missing le=\"+Inf\" bucket")
+    if not saw_sum or count_value is None:
+        raise ValueError(f"histogram {name}: missing _sum or _count series")
+    if inf_bucket != count_value:
+        raise ValueError(f"histogram {name}: le=\"+Inf\" bucket "
+                         f"({inf_bucket}) disagrees with _count "
+                         f"({count_value})")
+
+
+def check_prom(path, metadata):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        return fail(f"cannot read {path}: {error}")
+    try:
+        families = parse_prom(text)
+    except ValueError as error:
+        return fail(f"{path}: {error}")
+    if not families:
+        return fail(f"{path}: exposition contains no metric families")
+
+    # Map exposition family names back to registry metadata: counters get a
+    # _total suffix at render time, everything else keeps the sanitized
+    # dotted name verbatim.
+    expected = {}
+    for dotted, entry in metadata.items():
+        family = sanitize_metric_name(dotted)
+        if entry["kind"] == "kCounter" and not family.endswith("_total"):
+            family += "_total"
+        expected[family] = (dotted, KIND_TO_PROM_TYPE[entry["kind"]])
+    problems = []
+    for family in families:
+        known = expected.get(family["name"])
+        if known is None:
+            problems.append(
+                f"family {family['name']} has no PRC_METRIC entry in "
+                "src/common/metrics_metadata.inc")
+            continue
+        dotted, prom_type = known
+        if family["type"] != prom_type:
+            problems.append(
+                f"family {family['name']} has TYPE {family['type']} but "
+                f"{dotted} is registered as {prom_type}")
+    if problems:
+        for problem in problems:
+            print(f"check_telemetry_schema: FAIL: {path}: {problem}")
+        return 1
+    samples = sum(len(f["samples"]) for f in families)
+    print(f"check_telemetry_schema: OK ({path}: {len(families)} families, "
+          f"{samples} samples, exposition 0.0.4 valid, all families "
+          "registered)")
     return 0
 
 
 def main(argv):
     parser = argparse.ArgumentParser(prog="check_telemetry_schema")
-    parser.add_argument("snapshot", help="TelemetrySnapshot JSON file")
+    parser.add_argument("snapshot", nargs="?",
+                        help="TelemetrySnapshot JSON file")
     parser.add_argument("--min-metrics", type=int, default=20,
                         help="minimum distinct metric count (default 20)")
+    parser.add_argument("--prom", action="append", default=[],
+                        metavar="PATH",
+                        help="also validate a Prometheus exposition file "
+                             "(.prom artifact or live /metrics scrape); "
+                             "repeatable")
+    parser.add_argument("--metadata", default=DEFAULT_METADATA,
+                        help="metric metadata table "
+                             "(default src/common/metrics_metadata.inc "
+                             "next to this script)")
     args = parser.parse_args(argv)
-    return check(args.snapshot, args.min_metrics)
+    if args.snapshot is None and not args.prom:
+        parser.error("nothing to check: give a snapshot and/or --prom")
+
+    metadata, error = load_metadata(args.metadata)
+    if error is not None:
+        return fail(error)
+
+    status = 0
+    if args.snapshot is not None:
+        status |= check(args.snapshot, args.min_metrics, metadata)
+    for prom_path in args.prom:
+        status |= check_prom(prom_path, metadata)
+    return status
 
 
 if __name__ == "__main__":

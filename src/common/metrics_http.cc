@@ -1,0 +1,161 @@
+#include "common/metrics_http.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/prometheus.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace prc::telemetry {
+
+namespace {
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; scrape failures are the scraper's problem
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until the end of the request headers (or a small cap / timeout);
+// only the request line matters to this server.
+std::string read_request(int fd) {
+  std::string request;
+  char buffer[1024];
+  while (request.size() < 8192) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buffer, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return request;
+}
+
+std::string request_path(const std::string& request) {
+  // "GET /metrics HTTP/1.1" -> "/metrics"
+  const std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return "";
+  if (request.compare(0, method_end, "GET") != 0) return "";
+  const std::size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return "";
+  return request.substr(method_end + 1, path_end - method_end - 1);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("metrics_http: socket(): ") +
+                             std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_ANY);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("metrics_http: cannot listen on port " +
+                             std::to_string(port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // Unblock accept(); closing alone is not reliable on all platforms.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listening socket is gone; nothing left to serve
+    }
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const std::string path = request_path(read_request(client));
+    if (path == "/metrics") {
+      // Fold tracer-ring statistics in so every scrape carries
+      // trace.spans_dropped alongside the registry metrics.
+      trace::publish_telemetry();
+      const std::string body =
+          prometheus::render(Telemetry::registry().snapshot());
+      write_all(client, http_response("200 OK", prometheus::content_type(),
+                                      body));
+    } else if (path == "/healthz") {
+      write_all(client,
+                http_response("200 OK", "text/plain; charset=utf-8", "ok\n"));
+    } else if (path.empty()) {
+      write_all(client, http_response("400 Bad Request",
+                                      "text/plain; charset=utf-8",
+                                      "only GET is supported\n"));
+    } else {
+      write_all(client,
+                http_response("404 Not Found", "text/plain; charset=utf-8",
+                              "try /metrics or /healthz\n"));
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    ::close(client);
+  }
+}
+
+}  // namespace prc::telemetry

@@ -1,0 +1,60 @@
+// Minimal blocking HTTP exporter for the telemetry registry — the live
+// scrape surface behind `prc_query session --metrics-port` and
+// `bench/market_session --metrics-port`, and the stepping stone to
+// prc_serve.
+//
+// One background thread accepts connections and serves:
+//   GET /metrics  -> Prometheus exposition 0.0.4 of a fresh registry
+//                    snapshot (Content-Type: text/plain; version=0.0.4)
+//   GET /healthz  -> 200 "ok"
+//   anything else -> 404
+//
+// Deliberately tiny: HTTP/1.0-style one-request-per-connection with
+// Connection: close, no TLS, no keep-alive, bounded request reads with a
+// receive timeout — enough for a stock Prometheus scraper and curl, nothing
+// more.  Exposes ONLY registry contents, which already obey the telemetry.h
+// privacy-safety rule; no query parameters ever reach a data path.
+//
+// Thread-safety: start() spawns the accept thread; stop() (idempotent, also
+// run by the destructor) shuts the listening socket down and joins.  The
+// registry snapshot taken per scrape is internally synchronized.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace prc::telemetry {
+
+class MetricsHttpServer {
+ public:
+  /// Binds 0.0.0.0:`port` (0 = kernel-assigned ephemeral port, see port())
+  /// and starts the accept thread.  Throws std::runtime_error when the
+  /// socket cannot be created or bound.
+  explicit MetricsHttpServer(std::uint16_t port);
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+  ~MetricsHttpServer();
+
+  /// The bound port (resolves the ephemeral-port case).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, joins the thread.  Safe to call repeatedly.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace prc::telemetry

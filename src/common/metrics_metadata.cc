@@ -1,0 +1,43 @@
+#include "common/metrics_metadata.h"
+
+#include <unordered_map>
+
+namespace prc::telemetry {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+const std::vector<MetricMetadata>& all_metric_metadata() {
+  static const std::vector<MetricMetadata> table = {
+#define PRC_METRIC(metric_name, metric_kind, metric_unit, metric_help) \
+  MetricMetadata{metric_name, MetricKind::metric_kind, metric_unit,    \
+                 metric_help},
+#include "common/metrics_metadata.inc"
+#undef PRC_METRIC
+  };
+  return table;
+}
+
+const MetricMetadata* find_metric_metadata(const std::string& name) {
+  static const std::unordered_map<std::string, const MetricMetadata*> index =
+      [] {
+        std::unordered_map<std::string, const MetricMetadata*> out;
+        for (const auto& entry : all_metric_metadata()) {
+          out.emplace(entry.name, &entry);
+        }
+        return out;
+      }();
+  auto found = index.find(name);
+  return found == index.end() ? nullptr : found->second;
+}
+
+}  // namespace prc::telemetry

@@ -1,0 +1,34 @@
+// Metadata (kind, unit, help text) for every metric the process registers.
+//
+// The table lives in src/common/metrics_metadata.inc — a pure-literal
+// PRC_METRIC list shared verbatim with scripts/check_telemetry_schema.py —
+// and feeds the Prometheus exposition layer (HELP/TYPE lines) plus the CI
+// schema gate (a runtime metric without an entry fails the build's
+// telemetry-export step).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prc::telemetry {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// "counter" / "gauge" / "histogram" (the Prometheus TYPE token).
+const char* metric_kind_name(MetricKind kind);
+
+struct MetricMetadata {
+  const char* name;  ///< dotted registry name, e.g. "iot.round_duration_us"
+  MetricKind kind;
+  const char* unit;  ///< short unit token ("us", "bytes", ...; "1" = none)
+  const char* help;  ///< one-sentence HELP text
+};
+
+/// The full table, in .inc order (sorted by name within each layer block).
+const std::vector<MetricMetadata>& all_metric_metadata();
+
+/// Lookup by dotted name; nullptr when the metric has no registered
+/// metadata (the schema gate treats that as an error).
+const MetricMetadata* find_metric_metadata(const std::string& name);
+
+}  // namespace prc::telemetry

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
+
+#include "common/telemetry.h"
 
 namespace prc::trace {
 
@@ -17,6 +20,47 @@ std::int64_t steady_now_ns() {
 
 // Per-thread stack of open span ids; parent/child links are intra-thread.
 thread_local std::vector<std::uint64_t> t_open_spans;
+
+// Small stable per-thread id (1, 2, ...) in thread-creation order — Chrome
+// trace viewers want compact integer tids, not pthread handles.
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local const std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tid;
+}
+
+// Minimal JSON string escaping for span names (names are identifiers by
+// convention, but a stray quote must not corrupt the trace file).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -74,6 +118,12 @@ std::string Tracer::flame_text() const {
   const std::uint64_t evicted = dropped();
   if (evicted != 0) out << ", " << evicted << " evicted";
   out << ")\n";
+  if (evicted != 0) {
+    out << "# WARNING: " << evicted
+        << " span(s) evicted from the ring buffer (oldest first); this "
+           "flamegraph is incomplete — raise Tracer::set_capacity() or "
+           "scope tracing tighter\n";
+  }
   out << std::fixed << std::setprecision(3);
   for (const auto& span : spans) {
     out << std::string(2 * span.depth, ' ') << span.name << "  "
@@ -81,6 +131,42 @@ std::string Tracer::flame_text() const {
         << static_cast<double>(span.start_ns) / 1e6 << " ms\n";
   }
   return out.str();
+}
+
+std::string Tracer::to_chrome_json() const {
+  auto spans = snapshot();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  const auto previous = out.precision();
+  out.precision(3);
+  out << std::fixed;
+  bool first = true;
+  for (const auto& span : spans) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    // "X" = complete event; ts/dur are microseconds per the trace_event
+    // spec.  pid is constant (single process); tid preserves per-thread
+    // nesting exactly as the viewer's flame lanes expect.
+    out << "  {\"name\": \"" << json_escape(span.name)
+        << "\", \"cat\": \"prc\", \"ph\": \"X\", \"ts\": "
+        << static_cast<double>(span.start_ns) / 1e3
+        << ", \"dur\": " << static_cast<double>(span.duration_ns) / 1e3
+        << ", \"pid\": 1, \"tid\": " << span.tid << ", \"args\": {\"id\": "
+        << span.id << ", \"parent_id\": " << span.parent_id
+        << ", \"depth\": " << span.depth << "}}";
+  }
+  out.precision(previous);
+  out << (first ? "]" : "\n]") << "}\n";
+  return out.str();
+}
+
+void publish_telemetry() {
+  telemetry::gauge("trace.spans_dropped")
+      .set(static_cast<double>(Tracer::instance().dropped()));
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
@@ -101,6 +187,7 @@ ScopedSpan::~ScopedSpan() {
   span.id = id_;
   span.parent_id = parent_id_;
   span.depth = depth_;
+  span.tid = current_tid();
   span.name = name_;
   span.start_ns = start_ns_;
   span.duration_ns = tracer.now_ns() - start_ns_;

@@ -36,6 +36,7 @@ struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;  ///< 0 = no parent (root span)
   std::uint32_t depth = 0;      ///< nesting level on its thread (root = 0)
+  std::uint32_t tid = 0;        ///< small per-process thread id (1-based)
   std::string name;
   std::int64_t start_ns = 0;  ///< steady-clock offset from the tracer epoch
   std::int64_t duration_ns = 0;
@@ -63,8 +64,18 @@ class Tracer {
   std::uint64_t dropped() const;
 
   /// Flamegraph-style text: one line per span in start order, indented two
-  /// spaces per nesting level, with millisecond durations.
+  /// spaces per nesting level, with millisecond durations.  When spans were
+  /// evicted, the header carries the count and an explicit warning line so
+  /// truncated flamegraphs can never pass as complete.
   std::string flame_text() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) loadable by Perfetto
+  /// and chrome://tracing: one "X" (complete) event per span with
+  /// microsecond ts/dur, the span's thread id, and id/parent_id/depth in
+  /// args, so cross-thread nesting renders exactly as recorded.  Only
+  /// operation names and durations are exported — the same privacy-safety
+  /// rule as flame_text().
+  std::string to_chrome_json() const;
 
   void clear();
 
@@ -107,6 +118,13 @@ class ScopedSpan {
   std::int64_t start_ns_ = 0;
   bool active_ = false;
 };
+
+/// Publishes tracer-ring statistics into the metrics registry: sets the
+/// `trace.spans_dropped` gauge from Tracer::dropped().  Export paths
+/// (prc_query, bench emit, the /metrics endpoint) call this right before
+/// snapshotting so silent span eviction is always visible to operators.
+/// A gauge (set, not incremented) keeps bench counter baselines untouched.
+void publish_telemetry();
 
 }  // namespace prc::trace
 

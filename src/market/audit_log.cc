@@ -1,0 +1,214 @@
+#include "market/audit_log.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace prc::market {
+
+namespace {
+
+void append_double(std::ostringstream& out, double value) {
+  // max_digits10 keeps timeline -> JSONL -> analysis lossless, matching
+  // the telemetry snapshot precision.
+  const auto previous = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  out.precision(previous);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_event_json(std::ostringstream& out, const AuditEvent& event) {
+  out << "{\"index\": " << event.index << ", \"type\": \""
+      << audit_event_type_name(event.type) << "\", \"consumer\": \""
+      << json_escape(event.consumer_id) << "\", \"lower\": ";
+  append_double(out, event.lower);
+  out << ", \"upper\": ";
+  append_double(out, event.upper);
+  out << ", \"alpha\": ";
+  append_double(out, event.alpha.value());
+  out << ", \"delta\": ";
+  append_double(out, event.delta.value());
+  out << ", \"epsilon\": ";
+  append_double(out, event.epsilon.value());
+  out << ", \"price\": ";
+  append_double(out, event.price);
+  out << ", \"wal_sequence\": " << event.wal_sequence
+      << ", \"ledger_sequence\": " << event.ledger_sequence
+      << ", \"detail\": \"" << json_escape(event.detail) << "\"}";
+}
+
+}  // namespace
+
+const char* audit_event_type_name(AuditEventType type) {
+  switch (type) {
+    case AuditEventType::kQuote:
+      return "quote";
+    case AuditEventType::kReserve:
+      return "reserve";
+    case AuditEventType::kIntent:
+      return "intent";
+    case AuditEventType::kMint:
+      return "mint";
+    case AuditEventType::kCommit:
+      return "commit";
+    case AuditEventType::kRefusal:
+      return "refusal";
+    case AuditEventType::kRecovery:
+      return "recovery";
+    case AuditEventType::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+std::string AuditReconciliation::to_string() const {
+  std::ostringstream out;
+  out << "audit reconciliation: minted ";
+  append_double(out, minted_epsilon);
+  out << " + recovered ";
+  append_double(out, recovered_epsilon);
+  out << " vs ledger ";
+  append_double(out, ledger_epsilon);
+  out << " (discrepancy ";
+  append_double(out, discrepancy);
+  out << ") -> " << (consistent ? "CONSISTENT" : "VIOLATED");
+  return out.str();
+}
+
+std::uint64_t AuditLog::append_event(AuditEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.index = static_cast<std::uint64_t>(events_.size());
+  events_.push_back(std::move(event));
+  return events_.back().index;
+}
+
+std::size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<AuditEvent> AuditLog::events_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string AuditLog::to_jsonl() const {
+  const auto events = events_snapshot();
+  std::ostringstream out;
+  for (const auto& event : events) {
+    append_event_json(out, event);
+    out << "\n";
+  }
+  return out.str();
+}
+
+AuditReconciliation AuditLog::reconcile(const Ledger& ledger) const {
+  AuditReconciliation result;
+  const auto events = events_snapshot();
+  for (const auto& event : events) {
+    if (event.type == AuditEventType::kMint) {
+      result.minted_epsilon += event.epsilon.value();
+    } else if (event.type == AuditEventType::kRecovery) {
+      result.recovered_epsilon += event.epsilon.value();
+    }
+  }
+  result.ledger_epsilon = ledger.total_epsilon().value();
+  result.discrepancy = std::abs(
+      result.ledger_epsilon -
+      (result.minted_epsilon + result.recovered_epsilon));
+  // The same fp-rounding tolerance the recovery conservation audit uses: the
+  // terms are sums of the identical doubles, so anything beyond rounding is
+  // a genuine accounting hole, not noise.
+  result.consistent =
+      result.discrepancy <=
+      1e-9 * (1.0 + result.ledger_epsilon + result.minted_epsilon +
+              result.recovered_epsilon);
+  return result;
+}
+
+void append_recovery_events(AuditLog& log,
+                            const wal::RecoveryResult& recovery) {
+  {
+    AuditEvent base;
+    base.type = AuditEventType::kCheckpoint;
+    base.epsilon = recovery.base.total_epsilon;
+    base.detail = "recovery base: last durable checkpoint";
+    log.append_event(std::move(base));
+  }
+  double recovered_total = recovery.base.total_epsilon.value();
+  for (const auto& commit : recovery.commits) {
+    AuditEvent event;
+    event.type = AuditEventType::kCommit;
+    event.consumer_id = commit.transaction.consumer_id;
+    event.lower = commit.transaction.range.lower;
+    event.upper = commit.transaction.range.upper;
+    event.alpha = commit.transaction.spec.alpha;
+    event.delta = commit.transaction.spec.delta;
+    event.epsilon = commit.transaction.epsilon_amplified;
+    event.price = commit.transaction.price;
+    event.wal_sequence = commit.wal_sequence;
+    event.ledger_sequence = commit.transaction.sequence;
+    event.detail = "replayed from wal";
+    recovered_total += commit.transaction.epsilon_amplified.value();
+    log.append_event(std::move(event));
+  }
+  for (const auto& orphan : recovery.orphans) {
+    AuditEvent event;
+    event.type = AuditEventType::kIntent;
+    event.consumer_id = orphan.consumer_id;
+    event.lower = orphan.range.lower;
+    event.upper = orphan.range.upper;
+    event.alpha = orphan.spec.alpha;
+    event.delta = orphan.spec.delta;
+    event.epsilon = orphan.epsilon_amplified;
+    event.wal_sequence = orphan.wal_sequence;
+    event.detail = "orphaned intent (no commit): charged as spent";
+    recovered_total += orphan.epsilon_amplified.value();
+    log.append_event(std::move(event));
+  }
+  {
+    AuditEvent summary;
+    summary.type = AuditEventType::kRecovery;
+    summary.epsilon = recovered_total;
+    std::ostringstream detail;
+    detail << "recovered " << recovery.stats.committed_sales
+           << " committed sale(s), " << recovery.stats.orphaned_intents
+           << " orphaned intent(s) (orphaned epsilon ";
+    append_double(detail, recovery.stats.orphaned_epsilon);
+    detail << "), " << recovery.stats.truncated_bytes
+           << " truncated byte(s)";
+    summary.detail = detail.str();
+    log.append_event(std::move(summary));
+  }
+}
+
+}  // namespace prc::market

@@ -1,0 +1,120 @@
+// Privacy-budget audit timeline: an append-only, in-memory structured log
+// of every budget-relevant event the broker takes — quote, reserve, intent,
+// mint, commit, refusal, recovery, checkpoint — each carrying the epsilon'
+// amount it accounts and, where applicable, the WAL sequence number that
+// made it durable.
+//
+// The timeline is the observable counterpart of the WAL's spend-ahead
+// guarantee: a MINT event is appended inside the mint barrier, after the
+// durable intent and BEFORE any noise is drawn, so for a live broker
+//
+//     Sigma(mint-event epsilon') == ledger.total_epsilon()
+//
+// holds exactly, and after crash recovery the RECOVERY seed event closes
+// the same equation (reconcile() proves it, the chaos sweep tests it at
+// every crash point).  A crashed-but-not-recovered broker whose mechanism
+// died between mint and ledger commit shows up as a reconciliation
+// discrepancy — exactly the under-count the audit exists to catch.
+//
+// PRIVACY SAFETY: events carry only released/accounting quantities
+// (epsilon', prices, contracts, sequence numbers, refusal reasons) — never
+// raw samples or unperturbed estimates.  AuditLog::append_event is a
+// registered lint taint sink (no-raw-to-sink / interproc-raw-taint), and
+// to_jsonl() output is safe to ship outside the trust boundary.
+//
+// Thread-safety: append_event and all readers serialize on one mutex
+// (parallel brokers append from concurrent sales).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/units.h"
+#include "market/ledger.h"
+#include "market/wal.h"
+
+namespace prc::market {
+
+enum class AuditEventType : std::uint8_t {
+  kQuote,       ///< price quoted, nothing held or spent
+  kReserve,     ///< projected epsilon' held against the consumer cap
+  kIntent,      ///< durable WAL intent flushed (spend-ahead point)
+  kMint,        ///< final plan admitted; noise draw follows immediately
+  kCommit,      ///< transaction recorded in the ledger (and WAL, if any)
+  kRefusal,     ///< sale refused with nothing spent
+  kRecovery,    ///< recovered ledger state adopted after a crash
+  kCheckpoint,  ///< ledger aggregates checkpointed into the WAL
+};
+
+/// "quote", "reserve", ... (the JSONL `type` field).
+const char* audit_event_type_name(AuditEventType type);
+
+struct AuditEvent {
+  std::uint64_t index = 0;  ///< assigned by append_event; dense, 0-based
+  AuditEventType type = AuditEventType::kQuote;
+  std::string consumer_id;  ///< empty for broker-level events
+  double lower = 0.0;       ///< query range (0/0 when not applicable)
+  double upper = 0.0;
+  units::Alpha alpha = 0.0;  ///< contract (0/0 when not applicable)
+  units::Delta delta = 0.0;
+  /// The epsilon' this event accounts: projected for kReserve, final for
+  /// kIntent/kMint/kCommit, recovered total for kRecovery, checkpointed
+  /// total for kCheckpoint, attempted-but-unspent for kRefusal.
+  units::EffectiveEpsilon epsilon = 0.0;
+  double price = 0.0;               ///< quoted/charged price (0 when n/a)
+  std::uint64_t wal_sequence = 0;   ///< durable linkage (0 = none)
+  std::uint64_t ledger_sequence = 0;  ///< transaction sequence (kCommit)
+  std::string detail;  ///< refusal reason, recovery stats, policy notes
+};
+
+/// Everything reconcile() compares, exported so tests and prc_query can
+/// assert and print the equation's terms.
+struct AuditReconciliation {
+  double minted_epsilon = 0.0;     ///< Sigma epsilon' over kMint events
+  double recovered_epsilon = 0.0;  ///< Sigma epsilon' over kRecovery events
+  double ledger_epsilon = 0.0;     ///< ledger.total_epsilon()
+  double discrepancy = 0.0;        ///< |ledger - (minted + recovered)|
+  bool consistent = false;         ///< discrepancy within fp rounding
+
+  std::string to_string() const;
+};
+
+class AuditLog {
+ public:
+  /// Appends (assigning the event's index) and returns that index.
+  /// Registered as a lint taint sink: raw estimates must never reach it.
+  std::uint64_t append_event(AuditEvent event);
+
+  std::size_t size() const;
+
+  /// Copy of the timeline taken under the lock.
+  std::vector<AuditEvent> events_snapshot() const;
+
+  /// One JSON object per line, in append order — the `--audit-log` /
+  /// `--audit-json` export format (grep- and jq-friendly).
+  std::string to_jsonl() const;
+
+  /// Proves the observable form of the spend-ahead guarantee against a
+  /// ledger: Sigma(mint epsilon') + Sigma(recovery epsilon') must equal
+  /// ledger.total_epsilon() within fp rounding.  A live, crash-free broker
+  /// satisfies it exactly; a broker that died after a mint but before the
+  /// ledger commit fails it — which is the point.
+  AuditReconciliation reconcile(const Ledger& ledger) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<AuditEvent> events_ PRC_GUARDED_BY(mutex_);
+};
+
+/// Rebuilds an audit timeline from a parsed WAL (prc_query recover
+/// --audit-json): one kCheckpoint event for the recovery base, a kCommit
+/// per replayed sale, a kIntent (marked orphaned) per intent with no
+/// commit, and a closing kRecovery event whose epsilon' is the recovered
+/// ledger total — so reconcile() against the recovered ledger passes iff
+/// apply_recovery() charged exactly what the log says.
+void append_recovery_events(AuditLog& log, const wal::RecoveryResult& recovery);
+
+}  // namespace prc::market

@@ -26,7 +26,33 @@ DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
 
 double DataBroker::quote(const query::AccuracySpec& spec) const {
   telemetry::counter("market.quotes").increment();
-  return pricing_->price(spec);
+  const double price = pricing_->price(spec);
+  AuditEvent event;
+  event.type = AuditEventType::kQuote;
+  event.alpha = spec.alpha;
+  event.delta = spec.delta;
+  event.price = price;
+  audit_.append_event(std::move(event));
+  return price;
+}
+
+void DataBroker::record_refusal(const char* counter_name,
+                                const std::string& consumer_id,
+                                const query::RangeQuery& range,
+                                const query::AccuracySpec& spec,
+                                units::EffectiveEpsilon attempted,
+                                std::string reason) {
+  telemetry::counter(counter_name).increment();
+  AuditEvent event;
+  event.type = AuditEventType::kRefusal;
+  event.consumer_id = consumer_id;
+  event.lower = range.lower;
+  event.upper = range.upper;
+  event.alpha = spec.alpha;
+  event.delta = spec.delta;
+  event.epsilon = attempted;  // attempted, NOT spent: refusals release nothing
+  event.detail = std::move(reason);
+  audit_.append_event(std::move(event));
 }
 
 units::EffectiveEpsilon DataBroker::remaining_budget(
@@ -45,8 +71,14 @@ void DataBroker::attach_wal(const std::string& path) {
   wal_ = wal::WriteAheadLog::open(path, 0, wal_sync_mode());
   // Seed the log with the current aggregates, so recovery can never know
   // less than the broker did at attach time.
-  wal_->append_checkpoint(ledger_.snapshot());
+  const auto seed = ledger_.snapshot();
+  wal_->append_checkpoint(seed);
   commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+  AuditEvent event;
+  event.type = AuditEventType::kCheckpoint;
+  event.epsilon = seed.total_epsilon;
+  event.detail = "wal attached: seed checkpoint";
+  audit_.append_event(std::move(event));
 }
 
 wal::RecoveryStats DataBroker::recover_and_attach_wal(
@@ -85,6 +117,10 @@ wal::RecoveryStats DataBroker::recover_and_attach_wal(
                                      recovery.next_wal_sequence,
                                      wal_sync_mode());
   commits_since_checkpoint_.store(0, std::memory_order_relaxed);
+  // Seed the audit timeline with the recovered history: the closing
+  // kRecovery event carries the adopted total, so reconcile() balances the
+  // books across the crash (recovered + future mints == ledger total).
+  append_recovery_events(audit_, recovery);
   return recovery.stats;
 }
 
@@ -104,7 +140,10 @@ dp::PrivateAnswer DataBroker::mint_answer_with_intent(
           plan.epsilon_amplified.value() - reservation.epsilon().value();
       if (!ledger_.try_extend(reservation, shortfall,
                               config_.per_consumer_epsilon_cap)) {
-        telemetry::counter("market.refusals_budget").increment();
+        record_refusal("market.refusals_budget", consumer_id, range, spec,
+                       plan.epsilon_amplified,
+                       "final plan exceeds reservation and the cap refused "
+                       "the extension");
         throw BudgetExceededError(
             consumer_id,
             ledger_.consumer_epsilon(consumer_id).value() +
@@ -120,7 +159,32 @@ dp::PrivateAnswer DataBroker::mint_answer_with_intent(
       intent.spec = spec;
       intent.epsilon_amplified = plan.epsilon_amplified;
       intent_sequence = wal_->append_intent(std::move(intent));
+      AuditEvent durable;
+      durable.type = AuditEventType::kIntent;
+      durable.consumer_id = consumer_id;
+      durable.lower = range.lower;
+      durable.upper = range.upper;
+      durable.alpha = spec.alpha;
+      durable.delta = spec.delta;
+      durable.epsilon = plan.epsilon_amplified;
+      durable.wal_sequence = intent_sequence;
+      audit_.append_event(std::move(durable));
     }
+    // The MINT event is appended before the barrier returns — i.e. before
+    // any noise is drawn — mirroring the WAL's spend-ahead discipline in
+    // the observable timeline: Sigma(mint epsilon') can only ever
+    // over-count what the mechanism released, never under-count it.
+    AuditEvent minted;
+    minted.type = AuditEventType::kMint;
+    minted.consumer_id = consumer_id;
+    minted.lower = range.lower;
+    minted.upper = range.upper;
+    minted.alpha = spec.alpha;
+    minted.delta = spec.delta;
+    minted.epsilon = plan.epsilon_amplified;
+    minted.wal_sequence = intent_sequence;
+    minted.detail = "final plan admitted; noise draw follows";
+    audit_.append_event(std::move(minted));
     // Dying here is the over-count case: the intent is durable but no
     // noise was drawn, so recovery charges budget that was never spent.
     // The asymmetry is deliberate — the reverse (spent but not charged)
@@ -137,8 +201,14 @@ void DataBroker::maybe_checkpoint() {
   if (commits < config_.wal_checkpoint_interval) return;
   commits_since_checkpoint_.store(0, std::memory_order_relaxed);
   PRC_CRASH_POINT("wal.pre_checkpoint");
-  wal_->append_checkpoint(ledger_.snapshot());
+  const auto snapshot = ledger_.snapshot();
+  wal_->append_checkpoint(snapshot);
   PRC_CRASH_POINT("wal.post_checkpoint");
+  AuditEvent event;
+  event.type = AuditEventType::kCheckpoint;
+  event.epsilon = snapshot.total_epsilon;
+  event.detail = "periodic wal checkpoint";
+  audit_.append_event(std::move(event));
 }
 
 PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
@@ -156,7 +226,8 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   // admission check.
   const double spent = ledger_.consumer_epsilon(consumer_id);
   if (spent >= config_.per_consumer_epsilon_cap) {
-    telemetry::counter("market.refusals_budget").increment();
+    record_refusal("market.refusals_budget", consumer_id, range, spec, 0.0,
+                   "consumer already at the per-consumer epsilon cap");
     throw BudgetExceededError(consumer_id, spent,
                               config_.per_consumer_epsilon_cap);
   }
@@ -168,11 +239,24 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
       ledger_.try_reserve(consumer_id, projected.epsilon_amplified,
                           config_.per_consumer_epsilon_cap);
   if (!reservation.has_value()) {
-    telemetry::counter("market.refusals_budget").increment();
+    record_refusal("market.refusals_budget", consumer_id, range, spec,
+                   projected.epsilon_amplified,
+                   "projected plan does not fit under the epsilon cap");
     throw BudgetExceededError(
         consumer_id,
         ledger_.consumer_epsilon(consumer_id) + projected.epsilon_amplified,
         config_.per_consumer_epsilon_cap);
+  }
+  {
+    AuditEvent held;
+    held.type = AuditEventType::kReserve;
+    held.consumer_id = consumer_id;
+    held.lower = range.lower;
+    held.upper = range.upper;
+    held.alpha = spec.alpha;
+    held.delta = spec.delta;
+    held.epsilon = projected.epsilon_amplified;
+    audit_.append_event(std::move(held));
   }
 
   // The coverage floor is checked against the current cache BEFORE any
@@ -181,7 +265,9 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
   {
     const auto cov = counter_.network().base_station().coverage();
     if (cov.target_p > 0.0 && cov.coverage < config_.min_coverage) {
-      telemetry::counter("market.refusals_coverage").increment();
+      record_refusal("market.refusals_coverage", consumer_id, range, spec,
+                     reservation->epsilon(),
+                     "cache coverage below the broker floor");
       throw InsufficientCoverageError(
           "coverage " + std::to_string(cov.coverage) +
               " below the broker floor " +
@@ -201,12 +287,17 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     // ensure_feasible_plan failed before any noise was drawn: nothing has
     // been released yet, so refusing here spends no budget.
     if (config_.degraded_policy == DegradedSalePolicy::kRefuse) {
-      telemetry::counter("market.refusals_coverage").increment();
+      record_refusal("market.refusals_coverage", consumer_id, range, spec,
+                     reservation->epsilon(),
+                     "coverage cannot support the contract; policy is "
+                     "refuse");
       throw InsufficientCoverageError(
           std::string("sale refused: ") + err.what(), err.coverage());
     }
     if (err.coverage().coverage < config_.min_coverage) {
-      telemetry::counter("market.refusals_coverage").increment();
+      record_refusal("market.refusals_coverage", consumer_id, range, spec,
+                     reservation->epsilon(),
+                     "degraded coverage below the broker floor");
       throw InsufficientCoverageError(
           "coverage " + std::to_string(err.coverage().coverage) +
               " below the broker floor " +
@@ -216,7 +307,9 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     try {
       sold_spec = counter_.degraded_spec(spec);
     } catch (const dp::CoverageError& inner) {
-      telemetry::counter("market.refusals_coverage").increment();
+      record_refusal("market.refusals_coverage", consumer_id, range, spec,
+                     reservation->epsilon(),
+                     "repricing impossible: some node never reported");
       throw InsufficientCoverageError(
           std::string("repricing impossible: ") + inner.what(),
           inner.coverage());
@@ -265,6 +358,21 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     wal_->append_commit(std::move(commit));
     PRC_CRASH_POINT("wal.post_commit");
     maybe_checkpoint();
+  }
+  {
+    AuditEvent committed;
+    committed.type = AuditEventType::kCommit;
+    committed.consumer_id = consumer_id;
+    committed.lower = range.lower;
+    committed.upper = range.upper;
+    committed.alpha = sold_spec.alpha;
+    committed.delta = sold_spec.delta;
+    committed.epsilon = answer.plan.epsilon_amplified;
+    committed.price = receipt.price;
+    committed.wal_sequence = intent_sequence;
+    committed.ledger_sequence = receipt.transaction_id;
+    if (degraded) committed.detail = "degraded sale (repriced contract)";
+    audit_.append_event(std::move(committed));
   }
   telemetry::counter("market.sales").increment();
   if (degraded) telemetry::counter("market.degraded_sales").increment();

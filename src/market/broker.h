@@ -15,6 +15,7 @@
 #include <string>
 
 #include "dp/private_counting.h"
+#include "market/audit_log.h"
 #include "market/ledger.h"
 #include "market/wal.h"
 #include "pricing/pricing.h"
@@ -158,6 +159,13 @@ class DataBroker {
     return *pricing_;
   }
 
+  /// The broker's privacy-budget audit timeline (always on): quote,
+  /// reserve, intent, mint, commit, refusal, recovery and checkpoint
+  /// events, appended at the exact code points the guarantees attach to.
+  /// audit_log().reconcile(ledger()) proves Sigma(mint epsilon') +
+  /// Sigma(recovery epsilon') == ledger().total_epsilon().
+  const AuditLog& audit_log() const noexcept { return audit_; }
+
  private:
   /// The single market-layer gateway to PrivateRangeCounter::answer (the
   /// no-unbarriered-mint lint rule enforces this): wraps the call with the
@@ -177,12 +185,23 @@ class DataBroker {
                              : wal::SyncMode::kProcessDurable;
   }
 
+  /// Appends a kRefusal event and bumps the matching refusal counter —
+  /// every refusal exit of sell() goes through here so the audit timeline
+  /// and the metrics can never disagree about why a sale died.
+  void record_refusal(const char* counter_name,
+                      const std::string& consumer_id,
+                      const query::RangeQuery& range,
+                      const query::AccuracySpec& spec,
+                      units::EffectiveEpsilon attempted, std::string reason);
+
   dp::PrivateRangeCounter& counter_;
   std::unique_ptr<pricing::PricingFunction> pricing_;
   BrokerConfig config_;
   Ledger ledger_;
   std::unique_ptr<wal::WriteAheadLog> wal_;
   std::atomic<std::size_t> commits_since_checkpoint_{0};
+  /// mutable: quote() is const but still leaves a timeline entry.
+  mutable AuditLog audit_;
 };
 
 }  // namespace prc::market

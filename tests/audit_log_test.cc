@@ -1,0 +1,296 @@
+// Privacy-budget audit timeline: JSONL export shape, live reconciliation
+// (Sigma mint epsilon' == ledger released epsilon'), refusal accounting,
+// under-count detection for an unrecovered crash, and a chaos sweep proving
+// the recovered timeline reconciles at EVERY registered sell-path crash
+// point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crash_point.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/partition.h"
+#include "iot/network.h"
+#include "market/audit_log.h"
+#include "market/broker.h"
+#include "market/wal.h"
+
+namespace prc::market {
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kTotal = 4000;
+const query::RangeQuery kRange{100.5, 3000.5};
+const query::AccuracySpec kSpec{0.1, 0.6};
+
+std::vector<std::vector<double>> node_data() {
+  std::vector<double> values(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) values[i] = static_cast<double>(i);
+  Rng rng(3);
+  return data::partition_values(values, kNodes,
+                                data::PartitionStrategy::kRoundRobin, rng);
+}
+
+pricing::VarianceModel variance_model() {
+  return pricing::VarianceModel(kTotal, kNodes);
+}
+
+std::unique_ptr<pricing::PricingFunction> safe_pricing() {
+  return std::make_unique<pricing::InverseVariancePricing>(
+      variance_model(), query::AccuracySpec{0.1, 0.5}, 100.0, 1.0);
+}
+
+std::string wal_path_for(const std::string& point) {
+  std::string name = point;
+  std::replace(name.begin(), name.end(), '.', '_');
+  return ::testing::TempDir() + "prc_audit_" + name + ".wal";
+}
+
+struct BrokerRig {
+  explicit BrokerRig(BrokerConfig config = {})
+      : network(node_data()),
+        counter(network),
+        broker(counter, safe_pricing(), config) {}
+
+  iot::FlatNetwork network;
+  dp::PrivateRangeCounter counter;
+  DataBroker broker;
+};
+
+BrokerConfig chaos_config() {
+  BrokerConfig config;
+  config.wal_checkpoint_interval = 1;  // checkpoints on the swept path
+  return config;
+}
+
+std::size_t count_events(const std::vector<AuditEvent>& events,
+                         AuditEventType type) {
+  std::size_t count = 0;
+  for (const auto& event : events) {
+    if (event.type == type) ++count;
+  }
+  return count;
+}
+
+TEST(AuditLogTest, JsonlShapeAndDenseIndices) {
+  BrokerRig rig;
+  rig.broker.quote(kSpec);
+  rig.broker.sell("alice", kRange, kSpec);
+
+  const auto events = rig.broker.audit_log().events_snapshot();
+  ASSERT_GE(events.size(), 4u);  // quote, reserve, mint, commit at least
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].index, i);  // dense, append-ordered
+  }
+  EXPECT_EQ(count_events(events, AuditEventType::kQuote), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kReserve), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kMint), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kCommit), 1u);
+
+  const std::string jsonl = rig.broker.audit_log().to_jsonl();
+  std::size_t lines = 0;
+  std::size_t typed = 0;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const auto end = jsonl.find('\n', pos);
+    ASSERT_NE(end, std::string::npos) << "unterminated JSONL line";
+    const std::string line = jsonl.substr(pos, end - pos);
+    EXPECT_EQ(line.rfind("{\"index\": ", 0), 0u) << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.find("\"type\": \"") != std::string::npos) ++typed;
+    ++lines;
+    pos = end + 1;
+  }
+  EXPECT_EQ(lines, events.size());
+  EXPECT_EQ(typed, events.size());
+}
+
+TEST(AuditLogTest, LiveBrokerReconcilesExactly) {
+  BrokerRig rig;
+  rig.broker.sell("alice", kRange, kSpec);
+  rig.broker.sell("bob", kRange, kSpec);
+  rig.broker.sell("alice", kRange, kSpec);
+
+  const auto result = rig.broker.audit_log().reconcile(rig.broker.ledger());
+  EXPECT_TRUE(result.consistent) << result.to_string();
+  EXPECT_GT(result.minted_epsilon, 0.0);
+  EXPECT_NEAR(result.recovered_epsilon, 0.0, 0.0);
+  EXPECT_NEAR(result.minted_epsilon, result.ledger_epsilon,
+              1e-9 * (1.0 + result.ledger_epsilon));
+  EXPECT_NE(result.to_string().find("CONSISTENT"), std::string::npos);
+}
+
+TEST(AuditLogTest, RefusalRecordsAttemptedEpsilonWithoutSpendingIt) {
+  BrokerConfig config;
+  config.per_consumer_epsilon_cap = 0.02;
+  BrokerRig rig(config);
+  rig.broker.sell("warmup", kRange, kSpec);  // warms the plan cache
+
+  bool refused = false;
+  try {
+    for (int i = 0; i < 64; ++i) rig.broker.sell("alice", kRange, kSpec);
+  } catch (const BudgetExceededError&) {
+    refused = true;
+  }
+  ASSERT_TRUE(refused) << "the 0.02 cap never bit in 64 sales";
+
+  const auto events = rig.broker.audit_log().events_snapshot();
+  const auto refusal =
+      std::find_if(events.begin(), events.end(), [](const AuditEvent& e) {
+        return e.type == AuditEventType::kRefusal;
+      });
+  ASSERT_NE(refusal, events.end());
+  EXPECT_EQ(refusal->consumer_id, "alice");
+  EXPECT_GT(refusal->epsilon.value(), 0.0);  // attempted, recorded
+  EXPECT_FALSE(refusal->detail.empty());
+
+  // Refusals spend nothing: the books still balance without them.
+  const auto result = rig.broker.audit_log().reconcile(rig.broker.ledger());
+  EXPECT_TRUE(result.consistent) << result.to_string();
+}
+
+TEST(AuditLogTest, UnrecoveredCrashAfterMintFailsReconciliation) {
+  // No WAL: the mechanism dies after the mint barrier admitted the plan
+  // (epsilon committed-to) but before the ledger recorded it.  The audit
+  // timeline must EXPOSE that hole, not paper over it.
+  auto& registry = crashpoints::Registry::instance();
+  registry.disarm_all();
+  BrokerRig rig;
+  rig.broker.sell("alice", kRange, kSpec);
+  registry.arm("dp.post_mint");
+  EXPECT_THROW(rig.broker.sell("bob", kRange, kSpec),
+               crashpoints::SimulatedCrash);
+  registry.disarm_all();
+
+  const auto result = rig.broker.audit_log().reconcile(rig.broker.ledger());
+  EXPECT_FALSE(result.consistent) << result.to_string();
+  EXPECT_GT(result.minted_epsilon, result.ledger_epsilon);
+  EXPECT_NE(result.to_string().find("VIOLATED"), std::string::npos);
+}
+
+TEST(AuditLogTest, RecoveryEventsRebuildTimelineFromWal) {
+  auto& registry = crashpoints::Registry::instance();
+  registry.disarm_all();
+  const auto path = wal_path_for("rebuild");
+  std::remove(path.c_str());
+  {
+    BrokerRig rig;
+    rig.broker.attach_wal(path);
+    rig.broker.sell("alice", kRange, kSpec);
+    registry.arm("dp.post_mint");
+    EXPECT_THROW(rig.broker.sell("bob", kRange, kSpec),
+                 crashpoints::SimulatedCrash);
+    registry.disarm_all();
+  }
+  const auto recovery = wal::read_wal(path);
+  AuditLog rebuilt;
+  append_recovery_events(rebuilt, recovery);
+  const auto events = rebuilt.events_snapshot();
+  // Base checkpoint, alice's replayed commit, bob's orphaned intent, and
+  // the closing recovery event.
+  EXPECT_EQ(count_events(events, AuditEventType::kCheckpoint), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kCommit), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kIntent), 1u);
+  EXPECT_EQ(count_events(events, AuditEventType::kRecovery), 1u);
+  const auto recovered =
+      std::find_if(events.begin(), events.end(), [](const AuditEvent& e) {
+        return e.type == AuditEventType::kRecovery;
+      });
+  ASSERT_NE(recovered, events.end());
+  EXPECT_GT(recovered->epsilon.value(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(AuditLogTest, ChaosSweepReconcilesAtEveryCrashPoint) {
+  auto& registry = crashpoints::Registry::instance();
+  registry.disarm_all();
+
+  // Discovery pass (same as the chaos harness): one clean WAL-enabled sale
+  // plus one recovery registers every sell-path crash point.
+  {
+    const auto path = wal_path_for("discovery");
+    std::remove(path.c_str());
+    BrokerRig rig(chaos_config());
+    rig.broker.attach_wal(path);
+    rig.broker.sell("alice", kRange, kSpec);
+    BrokerRig fresh;
+    fresh.broker.recover_and_attach_wal(path, variance_model());
+    std::remove(path.c_str());
+  }
+
+  for (const auto& point : registry.names()) {
+    if (point == "wal.pre_compact_rename") continue;  // recovery-side
+    SCOPED_TRACE("crash point " + point);
+    registry.disarm_all();
+    const auto path = wal_path_for(point);
+    std::remove(path.c_str());
+    {
+      BrokerRig rig(chaos_config());
+      rig.broker.attach_wal(path);
+      rig.broker.sell("alice", kRange, kSpec);
+      registry.arm(point);
+      try {
+        rig.broker.sell("bob", kRange, kSpec);
+      } catch (const crashpoints::SimulatedCrash&) {
+      }
+      registry.disarm_all();
+      // The rig dies here; its in-memory audit log dies with it.
+    }
+
+    BrokerRig fresh;
+    fresh.broker.recover_and_attach_wal(path, variance_model());
+    // The rebuilt timeline must balance against the recovered ledger:
+    // recovered epsilon' (checkpoint + replayed commits + orphans) is the
+    // whole story so far.
+    const auto after_recovery =
+        fresh.broker.audit_log().reconcile(fresh.broker.ledger());
+    EXPECT_TRUE(after_recovery.consistent) << after_recovery.to_string();
+    EXPECT_GT(after_recovery.recovered_epsilon, 0.0);
+
+    // And it keeps balancing as the recovered broker trades on: new mints
+    // stack on top of the recovered base.
+    fresh.broker.sell("carol", kRange, kSpec);
+    const auto after_sale =
+        fresh.broker.audit_log().reconcile(fresh.broker.ledger());
+    EXPECT_TRUE(after_sale.consistent) << after_sale.to_string();
+    EXPECT_GT(after_sale.minted_epsilon, 0.0);
+    EXPECT_GT(after_sale.ledger_epsilon, after_recovery.recovered_epsilon);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(AuditLogTest, WalAttachmentAndCheckpointsAppearInTimeline) {
+  auto& registry = crashpoints::Registry::instance();
+  registry.disarm_all();
+  const auto path = wal_path_for("timeline");
+  std::remove(path.c_str());
+  BrokerRig rig(chaos_config());
+  rig.broker.attach_wal(path);
+  rig.broker.sell("alice", kRange, kSpec);
+  const auto events = rig.broker.audit_log().events_snapshot();
+  // Seed checkpoint at attach + periodic checkpoint after the commit.
+  EXPECT_GE(count_events(events, AuditEventType::kCheckpoint), 2u);
+  // The durable intent precedes the mint in append order.
+  const auto intent_at =
+      std::find_if(events.begin(), events.end(), [](const AuditEvent& e) {
+        return e.type == AuditEventType::kIntent;
+      });
+  const auto mint_at =
+      std::find_if(events.begin(), events.end(), [](const AuditEvent& e) {
+        return e.type == AuditEventType::kMint;
+      });
+  ASSERT_NE(intent_at, events.end());
+  ASSERT_NE(mint_at, events.end());
+  EXPECT_LT(intent_at->index, mint_at->index);
+  EXPECT_GT(intent_at->wal_sequence, 0u);
+  EXPECT_EQ(intent_at->wal_sequence, mint_at->wal_sequence);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace prc::market

@@ -1,0 +1,136 @@
+// Chrome trace_event export: span counts, thread ids, nesting containment,
+// drop accounting (trace.spans_dropped gauge + flame_text warning).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace prc::trace {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+void reset_tracer() {
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.set_capacity(4096);
+  tracer.clear();
+}
+
+TEST(ChromeTraceTest, ExportsOneCompleteEventPerSpan) {
+  reset_tracer();
+  {
+    PRC_TRACE_SPAN("outer");
+    { PRC_TRACE_SPAN("inner"); }
+    { PRC_TRACE_SPAN("inner"); }
+  }
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  const std::string json = Tracer::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"name\": \"inner\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\": \"outer\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\": \"prc\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\": 1"), 3u);
+}
+
+TEST(ChromeTraceTest, NestedSpanIsContainedInParent) {
+  reset_tracer();
+  {
+    PRC_TRACE_SPAN("parent");
+    PRC_TRACE_SPAN("child");
+  }
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* parent = nullptr;
+  const SpanRecord* child = nullptr;
+  for (const auto& span : spans) {
+    (span.depth == 0 ? parent : child) = &span;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->parent_id, parent->id);
+  EXPECT_EQ(child->depth, 1u);
+  EXPECT_GE(child->start_ns, parent->start_ns);
+  EXPECT_LE(child->start_ns + child->duration_ns,
+            parent->start_ns + parent->duration_ns);
+  // Same thread: parent and child carry the same tid in the export.
+  EXPECT_EQ(child->tid, parent->tid);
+}
+
+TEST(ChromeTraceTest, SpansFromDifferentThreadsGetDifferentTids) {
+  reset_tracer();
+  { PRC_TRACE_SPAN("main_thread"); }
+  std::thread worker([] { PRC_TRACE_SPAN("worker_thread"); });
+  worker.join();
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  std::uint32_t main_tid = 0;
+  std::uint32_t worker_tid = 0;
+  for (const auto& span : spans) {
+    if (span.name == "main_thread") main_tid = span.tid;
+    if (span.name == "worker_thread") worker_tid = span.tid;
+  }
+  EXPECT_GE(main_tid, 1u);
+  EXPECT_GE(worker_tid, 1u);
+  EXPECT_NE(main_tid, worker_tid);
+  const std::string json = Tracer::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(main_tid)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(worker_tid)),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, DroppedSpansSurfaceInGaugeAndFlameWarning) {
+  reset_tracer();
+  Tracer::instance().set_capacity(2);
+  { PRC_TRACE_SPAN("one"); }
+  { PRC_TRACE_SPAN("two"); }
+  { PRC_TRACE_SPAN("three"); }
+  EXPECT_EQ(Tracer::instance().dropped(), 1u);
+
+  telemetry::Telemetry::registry().reset();
+  publish_telemetry();
+  EXPECT_EQ(telemetry::gauge("trace.spans_dropped").value(), 1.0);
+
+  const std::string flame = Tracer::instance().flame_text();
+  EXPECT_NE(flame.find("WARNING"), std::string::npos);
+  EXPECT_NE(flame.find("evicted"), std::string::npos);
+  reset_tracer();
+  telemetry::Telemetry::registry().reset();
+}
+
+TEST(ChromeTraceTest, NoDropNoWarningAndGaugeIsZero) {
+  reset_tracer();
+  { PRC_TRACE_SPAN("only"); }
+  EXPECT_EQ(Tracer::instance().dropped(), 0u);
+  telemetry::Telemetry::registry().reset();
+  publish_telemetry();
+  EXPECT_EQ(telemetry::gauge("trace.spans_dropped").value(), 0.0);
+  EXPECT_EQ(Tracer::instance().flame_text().find("WARNING"),
+            std::string::npos);
+  telemetry::Telemetry::registry().reset();
+}
+
+TEST(ChromeTraceTest, EmptyTracerExportsValidSkeleton) {
+  reset_tracer();
+  const std::string json = Tracer::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prc::trace

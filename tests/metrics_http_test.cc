@@ -1,0 +1,111 @@
+// /metrics HTTP endpoint: ephemeral-port bind, live scrape parsed by the
+// promtool-style parser, /healthz, 404s, and idempotent shutdown.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/metrics_http.h"
+#include "common/prometheus.h"
+#include "common/telemetry.h"
+
+namespace prc::telemetry {
+namespace {
+
+// Minimal blocking HTTP/1.0-style client: one request, read to EOF.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(MetricsHttpTest, EphemeralPortServesParseableMetrics) {
+  Telemetry::registry().reset();
+  telemetry::counter("market.sales").increment(7);
+  telemetry::histogram("dp.answer_duration_us").record(125.0);
+
+  MetricsHttpServer server(0);
+  ASSERT_NE(server.port(), 0);
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find(prometheus::content_type()), std::string::npos);
+  const auto parsed = prometheus::parse_exposition(body_of(response));
+  const auto* sales = parsed.find("prc_market_sales_total");
+  ASSERT_NE(sales, nullptr);
+  EXPECT_EQ(sales->samples[0].value, 7.0);
+  // The handler publishes tracer stats before rendering, so the scrape
+  // always carries the drop gauge.
+  EXPECT_NE(parsed.find("prc_trace_spans_dropped"), nullptr);
+
+  server.stop();
+  Telemetry::registry().reset();
+}
+
+TEST(MetricsHttpTest, HealthzAndUnknownPaths) {
+  MetricsHttpServer server(0);
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(health), "ok\n");
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(MetricsHttpTest, StopIsIdempotentAndDestructorSafe) {
+  auto* server = new MetricsHttpServer(0);
+  const auto port = server->port();
+  EXPECT_NE(port, 0);
+  server->stop();
+  server->stop();  // second stop is a no-op
+  delete server;   // destructor after explicit stop is safe
+  // A new server can bind again immediately (ephemeral port).
+  MetricsHttpServer again(0);
+  EXPECT_NE(again.port(), 0);
+  again.stop();
+}
+
+TEST(MetricsHttpTest, TwoServersCoexistOnDistinctPorts) {
+  MetricsHttpServer a(0);
+  MetricsHttpServer b(0);
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(http_get(a.port(), "/healthz").find("200"), std::string::npos);
+  EXPECT_NE(http_get(b.port(), "/healthz").find("200"), std::string::npos);
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace prc::telemetry

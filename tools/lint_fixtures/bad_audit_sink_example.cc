@@ -1,0 +1,37 @@
+// Deliberately broken audit-sink fixture for `prc_lint --self-test`.
+//
+// The privacy-budget audit timeline (market/audit_log.h) is exported as
+// JSONL, so AuditLog::append_event is a sink: a pre-noise estimate stored
+// in an event field leaks exactly like a raw telemetry record would.
+// NOT compiled.
+
+#include "common/units.h"
+#include "market/audit_log.h"
+
+namespace prc_lint_fixture {
+
+struct FakeNetwork {
+  double rank_counting_estimate(int range) const;
+};
+
+prc::market::AuditEvent make_price_event(double price);
+
+// no-raw-to-sink: the un-noised estimate flows through a renamed local
+// straight into the audit sink's payload.
+void leak_estimate_into_audit(const FakeNetwork& network,
+                              prc::market::AuditLog& audit) {
+  const double estimate = network.rank_counting_estimate(3);
+  const double payload = estimate;
+  audit.append_event(make_price_event(payload));
+}
+
+// no-raw-to-sink: a units::Raw<...> sample read out with .get() and handed
+// to the audit sink directly.
+void leak_raw_into_audit(const prc::units::Raw<double>& sample,
+                         prc::market::AuditLog& audit) {
+  prc::units::Raw<double> held(sample.get());
+  const double leaked = held.get();
+  audit.append_event(make_price_event(leaked));
+}
+
+}  // namespace prc_lint_fixture

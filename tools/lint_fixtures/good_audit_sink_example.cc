@@ -1,0 +1,30 @@
+// Correct-usage twin of bad_audit_sink_example.cc: the audit timeline only
+// ever records budget arithmetic — epsilon amounts, prices, sequence
+// numbers — never estimates.  Zero findings expected.  NOT compiled.
+
+#include "common/units.h"
+#include "market/audit_log.h"
+
+namespace prc_lint_fixture {
+
+// Epsilon amounts and prices are budget metadata, always auditable.
+void clean_audit_mint(prc::market::AuditLog& audit,
+                      prc::units::EffectiveEpsilon epsilon, double price) {
+  prc::market::AuditEvent event;
+  event.type = prc::market::AuditEventType::kMint;
+  event.epsilon = epsilon;
+  event.price = price;
+  audit.append_event(event);
+}
+
+// A released (post-noise) value may inform the detail string's shape
+// without its raw precursor ever reaching the sink.
+void clean_audit_release(prc::market::AuditLog& audit,
+                         prc::units::Released<double> released) {
+  prc::market::AuditEvent event;
+  event.type = prc::market::AuditEventType::kCommit;
+  event.price = released.value();
+  audit.append_event(event);
+}
+
+}  // namespace prc_lint_fixture

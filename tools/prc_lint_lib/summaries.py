@@ -25,7 +25,11 @@ from .model import statement_ranges
 from .rules import RAW_SAMPLE_IDENTS
 
 SINK_IDENTS = {"to_json", "to_csv", "write_csv", "serialize",
-               "export_telemetry", "write_row", "append_row"}
+               "export_telemetry", "write_row", "append_row",
+               # Privacy-budget audit timeline (market/audit_log.h): events
+               # are exported as JSONL, so a raw estimate reaching
+               # append_event leaks exactly like a telemetry record would.
+               "append_event"}
 
 LOCK_ACQUIRE_IDENTS = {"lock_guard", "scoped_lock", "unique_lock",
                        "shared_lock"}

@@ -46,19 +46,45 @@
 // Every data-touching subcommand accepts:
 //   --telemetry path.json     write a TelemetrySnapshot (JSON) on exit
 //   --telemetry-csv path.csv  write the same snapshot as CSV
+//   --telemetry-prom path     write the snapshot in Prometheus exposition
+//                             format 0.0.4 (scrape-file style)
 //   --trace                   print a flamegraph-style span dump to stderr
+//   --trace-json path.json    write the span buffer as Chrome trace_event
+//                             JSON (loadable in Perfetto / chrome://tracing)
 //   --threads N               worker threads for the parallel sections
 //                             (default: PRC_THREADS env or 1; answers are
 //                             bit-identical for every value)
+//
+// `session` additionally accepts the live-observability options:
+//   --metrics-port P          serve GET /metrics (Prometheus exposition)
+//                             and /healthz from a background thread; 0
+//                             binds an ephemeral port, printed as
+//                             "metrics_port N"
+//   --metrics-linger-ms MS    keep the process (and the /metrics endpoint)
+//                             alive MS milliseconds after the session so
+//                             an external scraper can collect the final
+//                             state
+//   --audit-log path.jsonl    write the broker's privacy-budget audit
+//                             timeline (quote/reserve/intent/mint/commit/
+//                             refusal/recovery/checkpoint events) as JSONL
+//                             and verify Sigma(mint epsilon') +
+//                             Sigma(recovery epsilon') == ledger total
+// and `recover` accepts:
+//   --audit-json path.jsonl   export the replayed WAL as an audit timeline
+//                             and reconcile it against the recovered ledger
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/args.h"
+#include "common/metrics_http.h"
 #include "common/parallel.h"
+#include "common/prometheus.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "data/citypulse.h"
@@ -67,6 +93,7 @@
 #include "dp/private_counting.h"
 #include "estimator/quantile.h"
 #include "iot/network.h"
+#include "market/audit_log.h"
 #include "market/broker.h"
 #include "market/wal.h"
 #include "pricing/arbitrage.h"
@@ -109,7 +136,13 @@ ArgParser& add_telemetry_options(ArgParser& parser) {
   return parser
       .option("telemetry", "write a telemetry snapshot (JSON) to this path")
       .option("telemetry-csv", "write a telemetry snapshot (CSV) to this path")
+      .option("telemetry-prom",
+              "write a telemetry snapshot (Prometheus exposition 0.0.4) to "
+              "this path")
       .flag("trace", "print a flamegraph-style span dump to stderr")
+      .option("trace-json",
+              "write the span buffer as Chrome trace_event JSON "
+              "(Perfetto-loadable) to this path")
       .option("threads",
               "worker threads for parallel sections (default: PRC_THREADS "
               "env or 1)");
@@ -128,6 +161,9 @@ void apply_thread_option(const ArgParser& parser) {
 /// stderr) when an output file cannot be written.
 bool export_telemetry(const ArgParser& parser) {
   bool ok = true;
+  // Fold tracer-ring statistics in first so every export format carries
+  // trace.spans_dropped and silent span eviction is visible.
+  trace::publish_telemetry();
   const auto snapshot = telemetry::Telemetry::registry().snapshot();
   if (const auto path = parser.get("telemetry")) {
     std::ofstream out(*path);
@@ -145,8 +181,26 @@ bool export_telemetry(const ArgParser& parser) {
       ok = false;
     }
   }
+  if (const auto path = parser.get("telemetry-prom")) {
+    std::ofstream out(*path);
+    out << telemetry::prometheus::render(snapshot);
+    if (!out) {
+      std::cerr << "error: cannot write telemetry exposition to " << *path
+                << "\n";
+      ok = false;
+    }
+  }
   if (parser.has("trace")) {
     std::cerr << trace::Tracer::instance().flame_text();
+  }
+  if (const auto path = parser.get("trace-json")) {
+    std::ofstream out(*path);
+    out << trace::Tracer::instance().to_chrome_json();
+    if (!out) {
+      std::cerr << "error: cannot write Chrome trace JSON to " << *path
+                << "\n";
+      ok = false;
+    }
   }
   return ok;
 }
@@ -368,10 +422,28 @@ int cmd_session(int argc, char** argv) {
               "commits between WAL checkpoints (default 64)")
       .flag("wal-fsync",
             "fsync every WAL append (survives power loss, one disk "
-            "barrier per record; default survives process death only)");
+            "barrier per record; default survives process death only)")
+      .option("metrics-port",
+              "serve GET /metrics (Prometheus exposition) and /healthz on "
+              "this port from a background thread (0 = ephemeral)")
+      .option("metrics-linger-ms",
+              "keep the /metrics endpoint up this many milliseconds after "
+              "the session finishes (default 0)")
+      .option("audit-log",
+              "write the broker's privacy-budget audit timeline (JSONL) to "
+              "this path and reconcile it against the ledger");
   add_telemetry_options(parser);
   if (!parser.parse(argc, argv)) return 0;
   apply_thread_option(parser);
+
+  // Up before the first collection round so a scraper watching the port
+  // sees the session's whole life, not just its final state.
+  std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
+  if (parser.has("metrics-port")) {
+    metrics_server = std::make_unique<telemetry::MetricsHttpServer>(
+        static_cast<std::uint16_t>(parser.get_uint("metrics-port", 0)));
+    std::cout << "metrics_port " << metrics_server->port() << "\n";
+  }
 
   const query::RangeQuery range{required_double(parser, "lower"),
                                 required_double(parser, "upper")};
@@ -456,7 +528,38 @@ int cmd_session(int argc, char** argv) {
               << "wal_bytes " << broker.write_ahead_log()->bytes_appended()
               << "\n";
   }
-  return export_telemetry(parser) ? 0 : 1;
+
+  bool audit_ok = true;
+  const auto reconciliation =
+      broker.audit_log().reconcile(broker.ledger());
+  if (parser.has("audit-log")) {
+    const std::string audit_path = require(parser, "audit-log");
+    std::ofstream out(audit_path);
+    out << broker.audit_log().to_jsonl();
+    if (!out) {
+      std::cerr << "error: cannot write audit log to " << audit_path << "\n";
+      audit_ok = false;
+    } else {
+      std::cout << "audit_events " << broker.audit_log().size() << " -> "
+                << audit_path << "\n";
+    }
+    std::cout << reconciliation.to_string() << "\n";
+    audit_ok = audit_ok && reconciliation.consistent;
+  } else if (!reconciliation.consistent) {
+    // Even without an export the session refuses to end with unbalanced
+    // books: a mint the ledger never saw is the bug this timeline exists
+    // to catch.
+    std::cerr << reconciliation.to_string() << "\n";
+    audit_ok = false;
+  }
+
+  const bool telemetry_ok = export_telemetry(parser);
+  if (const auto linger = parser.get_uint("metrics-linger-ms", 0);
+      metrics_server != nullptr && linger > 0) {
+    std::cout << "metrics_linger_ms " << linger << std::endl;
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger));
+  }
+  return (telemetry_ok && audit_ok) ? 0 : 1;
 }
 
 int cmd_recover(int argc, char** argv) {
@@ -468,6 +571,9 @@ int cmd_recover(int argc, char** argv) {
               "enables the Theorem 4.2 menu re-validation")
       .option("nodes", "node count of the original deployment")
       .option("base-price", "price of the (0.1, 0.5) reference (default 100)")
+      .option("audit-json",
+              "export the replayed WAL as a privacy-budget audit timeline "
+              "(JSONL) and reconcile it against the recovered ledger")
       .flag("compact",
             "fold the recovered state into a single-checkpoint log");
   add_telemetry_options(parser);
@@ -497,6 +603,28 @@ int cmd_recover(int argc, char** argv) {
   std::cout << "conservation " << (conserved ? "OK" : "VIOLATED")
             << " (discrepancy " << discrepancy << ")\n";
   audits_pass = audits_pass && conserved;
+
+  if (parser.has("audit-json")) {
+    const std::string audit_path = require(parser, "audit-json");
+    market::AuditLog audit;
+    market::append_recovery_events(audit, recovery);
+    std::ofstream out(audit_path);
+    out << audit.to_jsonl();
+    if (!out) {
+      std::cerr << "error: cannot write audit timeline to " << audit_path
+                << "\n";
+      audits_pass = false;
+    } else {
+      std::cout << "audit_events " << audit.size() << " -> " << audit_path
+                << "\n";
+    }
+    // The timeline must balance against the ledger apply_recovery() just
+    // rebuilt: the WAL's story and the ledger's books are two views of the
+    // same epsilon.
+    const auto reconciliation = audit.reconcile(ledger);
+    std::cout << reconciliation.to_string() << "\n";
+    audits_pass = audits_pass && reconciliation.consistent;
+  }
 
   if (parser.has("records") && parser.has("nodes")) {
     const pricing::VarianceModel model(
