@@ -17,6 +17,9 @@
 #include "dp/optimizer.h"
 #include "estimator/basic_counting.h"
 #include "estimator/rank_counting.h"
+#include "pricing/arbitrage.h"
+#include "pricing/pricing.h"
+#include "pricing/variance_model.h"
 #include "sampling/local_sampler.h"
 
 namespace {
@@ -140,15 +143,59 @@ void BM_SamplerTopUp(benchmark::State& state) {
 }
 BENCHMARK(BM_SamplerTopUp)->Arg(1000)->Arg(10000);
 
+// Raw exhaustive-grid search cost as a function of grid size (cache off so
+// every iteration pays the full sweep).  This is what the planner cost was
+// before the coarse-to-fine strategy; compare with BM_OptimizeColdVsWarm.
 void BM_Optimizer(benchmark::State& state) {
   const dp::PerturbationOptimizer optimizer(
-      {.grid_points = static_cast<std::size_t>(state.range(0))});
+      {.grid_points = static_cast<std::size_t>(state.range(0)),
+       .search_strategy = dp::SearchStrategy::kExhaustiveGrid,
+       .plan_cache_capacity = 0});
   const query::AccuracySpec spec{0.05, 0.8};
   for (auto _ : state) {
     benchmark::DoNotOptimize(optimizer.optimize(spec, 0.4, 8, 17568));
   }
 }
 BENCHMARK(BM_Optimizer)->Arg(64)->Arg(512)->Arg(4096);
+
+// The production planner, cold vs warm: arg 0 prices a fresh optimizer per
+// spec batch (every call is a coarse-to-fine search), arg 1 reuses one
+// optimizer so every call after the first batch is a plan-cache hit.
+void BM_OptimizeColdVsWarm(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  // A handful of distinct contracts, like a market session's repeat buyers.
+  const std::vector<query::AccuracySpec> specs{
+      {0.05, 0.8}, {0.06, 0.7}, {0.08, 0.9}, {0.1, 0.5}};
+  const dp::PerturbationOptimizer shared;
+  for (auto _ : state) {
+    if (warm) {
+      for (const auto& spec : specs) {
+        benchmark::DoNotOptimize(shared.optimize(spec, 0.4, 8, 17568));
+      }
+    } else {
+      const dp::PerturbationOptimizer fresh({.plan_cache_capacity = 0});
+      for (const auto& spec : specs) {
+        benchmark::DoNotOptimize(fresh.optimize(spec, 0.4, 8, 17568));
+      }
+    }
+  }
+}
+BENCHMARK(BM_OptimizeColdVsWarm)->Arg(0)->Arg(1);
+
+// The arbitrage attack search over its (alpha, delta, m) lattice.  The
+// per-call quote memo prices each lattice cell once instead of once per
+// copy count m; this benchmark is the whole-search cost with that memo.
+void BM_BestAttackQuoteCache(benchmark::State& state) {
+  const pricing::VarianceModel model(17568, 8);
+  const pricing::InverseVariancePricing pricing(model, {0.1, 0.5}, 100.0,
+                                                1.0);
+  const pricing::AttackSimulator simulator(model);
+  const query::AccuracySpec target{0.05, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.best_attack(pricing, target));
+  }
+}
+BENCHMARK(BM_BestAttackQuoteCache);
 
 void BM_LaplaceSample(benchmark::State& state) {
   const dp::LaplaceMechanism mechanism(2.5, 0.5);

@@ -11,12 +11,27 @@
 //   Pr[|Lap| <= (alpha - alpha') n] >= delta / delta'
 //     => epsilon >= (sens / ((alpha - alpha') n)) * ln(delta' / (delta' - delta))
 //
-// The continuous alpha' domain is searched on a uniform grid, as the paper
-// prescribes ("we can approximate it to a discrete domain with arbitrarily
-// small intervals").
+// The paper prescribes a discretized search ("we can approximate it to a
+// discrete domain with arbitrarily small intervals"), but the structure of
+// the objective makes brute force unnecessary:
+//
+//   * epsilon' is strictly increasing in epsilon at fixed p, so minimizing
+//     epsilon(alpha') directly minimizes epsilon' — the amplification map
+//     needs to be evaluated ONCE, for the winner, not per candidate;
+//   * epsilon(alpha') diverges at both ends of the feasible interval
+//     (delta' -> delta at alpha_lo, noise headroom -> 0 at alpha) and is
+//     unimodal in between, so a coarse bracket plus golden-section
+//     refinement converges to the continuous optimum in a few dozen
+//     evaluations instead of hundreds of grid points.
+//
+// The default strategy is that coarse-to-fine search; kExhaustiveGrid keeps
+// the original fixed uniform grid as a reference implementation for the
+// property tests.  Results are additionally memoized in a PlanCache (see
+// plan_cache.h) because a market re-plans the same few contracts constantly.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,6 +39,8 @@
 #include "query/range_query.h"
 
 namespace prc::dp {
+
+class PlanCache;
 
 /// The optimizer's output: a concrete two-phase plan.
 struct PerturbationPlan {
@@ -45,21 +62,56 @@ struct PerturbationPlan {
   std::string to_string() const;
 };
 
+/// How optimize() searches the continuous alpha' domain.
+enum class SearchStrategy {
+  /// Coarse bracket (coarse_points evaluations), then golden-section
+  /// refinement of the winning bracket down to refine_tolerance.
+  kCoarseToFine,
+  /// The original fixed uniform grid of grid_points candidates.  Kept as
+  /// the reference implementation the property tests compare against.
+  kExhaustiveGrid,
+};
+
 struct OptimizerConfig {
-  /// Number of alpha' grid points searched in (0, alpha).
+  /// Number of alpha' grid points searched in (alpha_lo, alpha) by the
+  /// kExhaustiveGrid strategy.
   std::size_t grid_points = 512;
   /// Sensitivity policy for Delta gamma_hat (paper default: expected, 1/p).
   SensitivityPolicy sensitivity_policy = SensitivityPolicy::kExpected;
+  SearchStrategy search_strategy = SearchStrategy::kCoarseToFine;
+  /// Coarse-bracket resolution for kCoarseToFine.  The bracket only needs
+  /// to isolate the unimodal minimum, not approximate it.
+  std::size_t coarse_points = 16;
+  /// Golden-section stopping width, as a fraction of the feasible interval
+  /// (alpha - alpha_lo).  1e-10 leaves the refined alpha' within ~1e-10 of
+  /// the continuous optimum — far below any grid the paper contemplates.
+  double refine_tolerance = 1e-10;
+  /// Hard iteration cap on the refinement loop (each iteration shrinks the
+  /// bracket by the golden ratio, so 128 is unreachable in practice).
+  std::size_t max_refine_iterations = 128;
+  /// Entries held by the memoized plan cache; 0 disables caching (used by
+  /// property tests that want every call to exercise the raw search).
+  std::size_t plan_cache_capacity = 1024;
 };
 
 class PerturbationOptimizer {
  public:
   explicit PerturbationOptimizer(OptimizerConfig config = {});
+  ~PerturbationOptimizer();
+
+  // The plan cache is identity-bearing state (shared across the threads
+  // that hold this optimizer), so the optimizer is move-only.
+  PerturbationOptimizer(PerturbationOptimizer&&) noexcept;
+  PerturbationOptimizer& operator=(PerturbationOptimizer&&) noexcept;
 
   /// Finds the minimum-epsilon' plan, or nullopt when no alpha' split is
   /// feasible at this sampling probability (the caller must raise p first).
   /// `max_node_count` is only consulted by the worst-case sensitivity
   /// policy.  Requires p in (0, 1], node_count > 0, total_count > 0.
+  ///
+  /// Memoized: a repeated argument tuple is served from the plan cache
+  /// bit-identically (same bytes the original search computed), without
+  /// re-running the search or the amplification map.  Thread-safe.
   std::optional<PerturbationPlan> optimize(const query::AccuracySpec& spec,
                                            units::Probability p,
                                            std::size_t node_count,
@@ -75,7 +127,15 @@ class PerturbationOptimizer {
       std::size_t total_count, double headroom = 2.0) const;
 
  private:
+  std::optional<PerturbationPlan> search(const query::AccuracySpec& spec,
+                                         units::Probability p,
+                                         std::size_t node_count,
+                                         std::size_t total_count,
+                                         double sensitivity,
+                                         units::Alpha alpha_lo) const;
+
   OptimizerConfig config_;
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace prc::dp

@@ -101,10 +101,18 @@ PerturbationPlan PrivateRangeCounter::ensure_feasible_plan(
 PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
                                           const query::AccuracySpec& spec,
                                           const MintBarrier& pre_mint) {
+  static telemetry::Counter& answers = telemetry::counter("dp.answers");
+  static telemetry::Counter& laplace_draws =
+      telemetry::counter("dp.laplace_draws");
+  static telemetry::Gauge& epsilon_spent_total =
+      telemetry::gauge("dp.epsilon_spent_total");
+  static telemetry::Histogram& laplace_scale_hist =
+      telemetry::histogram("dp.laplace_scale");
+  static telemetry::Histogram& answer_duration =
+      telemetry::histogram("dp.answer_duration_us");
   range.validate();
   PRC_TRACE_SPAN("dp.answer");
-  telemetry::ScopedTimer answer_timer(
-      telemetry::histogram("dp.answer_duration_us"));
+  telemetry::ScopedTimer answer_timer(answer_duration);
   // One release at a time: the noise stream stays serial and the top-up
   // below never interleaves with another seller's.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -122,10 +130,10 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   if (pre_mint) pre_mint(out.plan);
   const LaplaceMechanism mechanism(out.plan.sensitivity, out.plan.epsilon);
   out.value = mechanism.perturb(out.sampled_estimate, noise_rng_);
-  telemetry::counter("dp.answers").increment();
-  telemetry::counter("dp.laplace_draws").increment();
-  telemetry::gauge("dp.epsilon_spent_total").add(out.plan.epsilon_amplified);
-  telemetry::histogram("dp.laplace_scale").record(out.plan.laplace_scale);
+  answers.increment();
+  laplace_draws.increment();
+  epsilon_spent_total.add(out.plan.epsilon_amplified);
+  laplace_scale_hist.record(out.plan.laplace_scale);
   // Crash here models dying with budget spent but the sale not yet in the
   // ledger — the orphaned-intent case recovery must charge as spent.
   PRC_CRASH_POINT("dp.post_mint");

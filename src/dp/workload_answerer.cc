@@ -1,6 +1,7 @@
 #include "dp/workload_answerer.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "dp/amplification.h"
@@ -59,13 +60,25 @@ WorkloadResult WorkloadAnswerer::answer(
   result.answers.reserve(ranges.size());
   std::vector<units::EffectiveEpsilon> amplified;
   amplified.reserve(ranges.size());
+  // The uniform split (and the weighted one under equal weights) hands
+  // every query the same epsilon_i, so the amplification map would be
+  // re-evaluated on identical inputs B times; memoize the last result
+  // (bit-identical: same pure function, same argument).
+  double amplified_for = std::numeric_limits<double>::quiet_NaN();
+  units::EffectiveEpsilon amplified_value = 0.0;
   for (std::size_t i = 0; i < ranges.size(); ++i) {
     const LaplaceMechanism mechanism(sensitivity, epsilons[i]);
     WorkloadAnswer answer;
     answer.range = ranges[i];
     answer.value = mechanism.perturb(units::Raw<double>(estimates[i]), rng);
     answer.epsilon = epsilons[i];
-    answer.epsilon_amplified = amplified_epsilon(epsilons[i], p);
+    // Exact != on purpose: the memo only replays on the identical double,
+    // so a hit is byte-for-byte what the direct call would return.
+    if (epsilons[i] != amplified_for) {  // lint:allow float-eq
+      amplified_for = epsilons[i];
+      amplified_value = amplified_epsilon(epsilons[i], p);
+    }
+    answer.epsilon_amplified = amplified_value;
     answer.noise_variance = mechanism.noise_variance();
     amplified.push_back(answer.epsilon_amplified);
     result.total_epsilon += epsilons[i];

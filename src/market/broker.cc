@@ -11,12 +11,25 @@
 #include "pricing/arbitrage.h"
 
 namespace prc::market {
+namespace {
+
+// Validated before the member init list dereferences it for the quote
+// cache's bound reference.
+std::unique_ptr<pricing::PricingFunction> require_pricing(
+    std::unique_ptr<pricing::PricingFunction> pricing) {
+  PRC_CHECK(pricing != nullptr) << "broker needs a pricing function";
+  return pricing;
+}
+
+}  // namespace
 
 DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
                        std::unique_ptr<pricing::PricingFunction> pricing,
                        BrokerConfig config)
-    : counter_(counter), pricing_(std::move(pricing)), config_(config) {
-  PRC_CHECK(pricing_ != nullptr) << "broker needs a pricing function";
+    : counter_(counter),
+      pricing_(require_pricing(std::move(pricing))),
+      config_(config),
+      quote_cache_(*pricing_, config.quote_cache_capacity) {
   PRC_CHECK(config_.per_consumer_epsilon_cap > 0.0)
       << "per-consumer epsilon cap must be positive, got "
       << config_.per_consumer_epsilon_cap;
@@ -25,8 +38,9 @@ DataBroker::DataBroker(dp::PrivateRangeCounter& counter,
 }
 
 double DataBroker::quote(const query::AccuracySpec& spec) const {
-  telemetry::counter("market.quotes").increment();
-  const double price = pricing_->price(spec);
+  static telemetry::Counter& quotes = telemetry::counter("market.quotes");
+  quotes.increment();
+  const double price = quote_cache_.price(spec);
   AuditEvent event;
   event.type = AuditEventType::kQuote;
   event.alpha = spec.alpha;
@@ -214,10 +228,22 @@ void DataBroker::maybe_checkpoint() {
 PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
                                  const query::RangeQuery& range,
                                  const query::AccuracySpec& spec) {
+  static telemetry::Counter& sale_attempts =
+      telemetry::counter("market.sale_attempts");
+  static telemetry::Counter& sales = telemetry::counter("market.sales");
+  static telemetry::Histogram& sell_duration =
+      telemetry::histogram("market.sell_duration_us");
+  static telemetry::Histogram& sale_price_hist =
+      telemetry::histogram("market.sale_price");
+  static telemetry::Histogram& sale_epsilon_hist =
+      telemetry::histogram("market.sale_epsilon");
+  static telemetry::Gauge& revenue_total =
+      telemetry::gauge("market.revenue_total");
+  static telemetry::Gauge& epsilon_spent_total =
+      telemetry::gauge("market.epsilon_spent_total");
   PRC_TRACE_SPAN("market.sell");
-  telemetry::ScopedTimer sell_timer(
-      telemetry::histogram("market.sell_duration_us"));
-  telemetry::counter("market.sale_attempts").increment();
+  telemetry::ScopedTimer sell_timer(sell_duration);
+  sale_attempts.increment();
   PRC_CRASH_POINT("broker.begin_sale");
   // Check the budget against the projected plan BEFORE computing the
   // answer, so a refused sale releases nothing.  The cheap spent-vs-cap
@@ -321,8 +347,11 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
 
   PurchaseReceipt receipt;
   receipt.value = answer.value;
-  // A degraded sale is priced at the weaker contract actually delivered.
-  receipt.price = pricing_->price(sold_spec);
+  // A degraded sale is priced at the weaker contract actually delivered —
+  // through the quote cache, so an attacker's m-th copy of one weakened
+  // contract costs a hash lookup and is guaranteed the exact price the
+  // first copy paid.
+  receipt.price = quote_cache_.price(sold_spec);
   // Lemma 4.1 precondition for everything downstream: a non-positive or
   // non-finite price breaks both the revenue accounting and the arbitrage
   // argument (a free contract can be averaged into any stronger one).
@@ -374,13 +403,15 @@ PurchaseReceipt DataBroker::sell(const std::string& consumer_id,
     if (degraded) committed.detail = "degraded sale (repriced contract)";
     audit_.append_event(std::move(committed));
   }
-  telemetry::counter("market.sales").increment();
+  sales.increment();
+  // Deliberately lazy (not a hoisted static): the degraded path is cold,
+  // and registering the counter eagerly would change which metrics appear
+  // in snapshots of sessions that never degrade.
   if (degraded) telemetry::counter("market.degraded_sales").increment();
-  telemetry::histogram("market.sale_price").record(receipt.price);
-  telemetry::histogram("market.sale_epsilon")
-      .record(answer.plan.epsilon_amplified);
-  telemetry::gauge("market.revenue_total").set(ledger_.total_revenue());
-  telemetry::gauge("market.epsilon_spent_total").set(ledger_.total_epsilon());
+  sale_price_hist.record(receipt.price);
+  sale_epsilon_hist.record(answer.plan.epsilon_amplified);
+  revenue_total.set(ledger_.total_revenue());
+  epsilon_spent_total.set(ledger_.total_epsilon());
   return receipt;
 }
 

@@ -19,6 +19,7 @@
 #include "market/ledger.h"
 #include "market/wal.h"
 #include "pricing/pricing.h"
+#include "pricing/quote_cache.h"
 #include "query/range_query.h"
 
 namespace prc::market {
@@ -89,6 +90,10 @@ struct BrokerConfig {
   /// guarantee survives power/kernel loss, not just process death (see
   /// wal::SyncMode).  Compaction fsyncs around its rename either way.
   bool wal_fsync = false;
+  /// Entries held by the broker's memoized quote cache (prices are pure in
+  /// the contract, so quote() and receipt pricing re-use earlier
+  /// evaluations bit-identically).  0 disables memoization.
+  std::size_t quote_cache_capacity = 1024;
 };
 
 /// What a consumer receives for their money.
@@ -159,6 +164,12 @@ class DataBroker {
     return *pricing_;
   }
 
+  /// The memoized quote layer every broker price evaluation goes through
+  /// (exposed for cache-behavior tests).
+  const pricing::QuoteCache& quote_cache() const noexcept {
+    return quote_cache_;
+  }
+
   /// The broker's privacy-budget audit timeline (always on): quote,
   /// reserve, intent, mint, commit, refusal, recovery and checkpoint
   /// events, appended at the exact code points the guarantees attach to.
@@ -197,6 +208,9 @@ class DataBroker {
   dp::PrivateRangeCounter& counter_;
   std::unique_ptr<pricing::PricingFunction> pricing_;
   BrokerConfig config_;
+  /// Memoizes *pricing_ (declared after it; same lifetime).  Shared by
+  /// concurrent consumers — QuoteCache carries its own mutex.
+  pricing::QuoteCache quote_cache_;
   Ledger ledger_;
   std::unique_ptr<wal::WriteAheadLog> wal_;
   std::atomic<std::size_t> commits_since_checkpoint_{0};

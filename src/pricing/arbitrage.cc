@@ -45,8 +45,14 @@ ArbitrageChecker::ArbitrageChecker(VarianceModel model, Grid grid)
 
 CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
                                     std::size_t max_violations) const {
+  static telemetry::Counter& arbitrage_checks =
+      telemetry::counter("pricing.arbitrage_checks");
+  static telemetry::Counter& grid_checks =
+      telemetry::counter("pricing.arbitrage_grid_checks");
+  static telemetry::Counter& violations_counter =
+      telemetry::counter("pricing.arbitrage_violations");
   PRC_TRACE_SPAN("pricing.arbitrage_check");
-  telemetry::counter("pricing.arbitrage_checks").increment();
+  arbitrage_checks.increment();
   CheckReport report;
   const auto record = [&](PropertyViolation violation) {
     report.arbitrage_avoiding = false;
@@ -68,19 +74,39 @@ CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
                                       static_cast<double>(deltas.size() - 1);
   }
 
+  // Every property below prices and re-prices the same grid cells; quote
+  // each cell ONCE up front and index into the vectors.  Pricing functions
+  // are pure in (alpha, delta), so the precomputed doubles are the exact
+  // values the per-cell calls produced.
+  const auto cell = [this](std::size_t i, std::size_t j) {
+    return i * grid_.delta_steps + j;
+  };
+  std::vector<double> price_grid(alphas.size() * deltas.size());
+  std::vector<double> variance_grid(alphas.size() * deltas.size());
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    for (std::size_t j = 0; j < deltas.size(); ++j) {
+      const query::AccuracySpec spec{alphas[i], deltas[j]};
+      price_grid[cell(i, j)] = pricing.price(spec);
+      variance_grid[cell(i, j)] = model_.contract_variance(spec);
+    }
+  }
+
   // Property 1: contracts with identical variance must have identical price.
-  for (double alpha : alphas) {
-    for (double delta : deltas) {
-      const query::AccuracySpec spec{alpha, delta};
-      const double v = model_.contract_variance(spec);
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    for (std::size_t j = 0; j < deltas.size(); ++j) {
+      const query::AccuracySpec spec{alphas[i], deltas[j]};
+      const double v = variance_grid[cell(i, j)];
+      const double price_a = price_grid[cell(i, j)];
       for (double other_delta : deltas) {
         // Exact copies from the same grid vector, so identity compare
         // is the intended duplicate filter.
-        if (other_delta == delta) continue;  // lint:allow float-eq
+        if (other_delta == deltas[j]) continue;  // lint:allow float-eq
         const double other_alpha = model_.alpha_for_variance(v, other_delta);
         if (!(other_alpha > 0.0) || other_alpha > 1.0) continue;
+        // `other` sits off the grid (its alpha solves the iso-variance
+        // equation), so it is the one contract this loop still prices
+        // directly.
         const query::AccuracySpec other{other_alpha, other_delta};
-        const double price_a = pricing.price(spec);
         const double price_b = pricing.price(other);
         ++report.checks_performed;
         if (!approximately_equal(price_a, price_b)) {
@@ -92,14 +118,14 @@ CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
 
   // Property 2: raising delta — relative price increase must cover the
   // relative variance decrease.
-  for (double alpha : alphas) {
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
     for (std::size_t j = 0; j + 1 < deltas.size(); ++j) {
-      const query::AccuracySpec lo{alpha, deltas[j]};
-      const query::AccuracySpec hi{alpha, deltas[j + 1]};
-      const double pi_lo = pricing.price(lo);
-      const double pi_hi = pricing.price(hi);
-      const double v_lo = model_.contract_variance(lo);
-      const double v_hi = model_.contract_variance(hi);
+      const query::AccuracySpec lo{alphas[i], deltas[j]};
+      const query::AccuracySpec hi{alphas[i], deltas[j + 1]};
+      const double pi_lo = price_grid[cell(i, j)];
+      const double pi_hi = price_grid[cell(i, j + 1)];
+      const double v_lo = variance_grid[cell(i, j)];
+      const double v_hi = variance_grid[cell(i, j + 1)];
       const double lhs = (pi_hi - pi_lo) / pi_hi;
       const double rhs = (v_lo - v_hi) / v_lo;
       ++report.checks_performed;
@@ -109,25 +135,23 @@ CheckReport ArbitrageChecker::check(const PricingFunction& pricing,
 
   // Property 3: raising alpha — relative price drop must not exceed the
   // relative variance increase.
-  for (double delta : deltas) {
+  for (std::size_t j = 0; j < deltas.size(); ++j) {
     for (std::size_t i = 0; i + 1 < alphas.size(); ++i) {
-      const query::AccuracySpec lo{alphas[i], delta};
-      const query::AccuracySpec hi{alphas[i + 1], delta};
-      const double pi_lo = pricing.price(lo);
-      const double pi_hi = pricing.price(hi);
-      const double v_lo = model_.contract_variance(lo);
-      const double v_hi = model_.contract_variance(hi);
+      const query::AccuracySpec lo{alphas[i], deltas[j]};
+      const query::AccuracySpec hi{alphas[i + 1], deltas[j]};
+      const double pi_lo = price_grid[cell(i, j)];
+      const double pi_hi = price_grid[cell(i + 1, j)];
+      const double v_lo = variance_grid[cell(i, j)];
+      const double v_hi = variance_grid[cell(i + 1, j)];
       const double lhs = (pi_lo - pi_hi) / pi_lo;
       const double rhs = (v_hi - v_lo) / v_hi;
       ++report.checks_performed;
       if (lhs > rhs + kRelTolerance) record({3, lo, hi, lhs, rhs});
     }
   }
-  telemetry::counter("pricing.arbitrage_grid_checks")
-      .increment(report.checks_performed);
+  grid_checks.increment(report.checks_performed);
   if (!report.arbitrage_avoiding) {
-    telemetry::counter("pricing.arbitrage_violations")
-        .increment(report.violations.size());
+    violations_counter.increment(report.violations.size());
   }
   return report;
 }
@@ -151,35 +175,65 @@ AttackSimulator::AttackSimulator(VarianceModel model, SearchSpace space)
 
 AttackResult AttackSimulator::best_attack(
     const PricingFunction& pricing, const query::AccuracySpec& target) const {
+  static telemetry::Counter& quote_cache_hits =
+      telemetry::counter("pricing.attack_quote_cache_hits");
   target.validate();
   AttackResult result;
   result.honest_price = pricing.price(target);
   result.best_attack_cost = result.honest_price;
   const double target_variance = model_.contract_variance(target);
 
+  // The (alpha_w, delta_w) candidate lattice is the same for every copy
+  // count m — only the variance budget filter changes — so the old loop
+  // re-quoted each admissible cell up to max_copies - 1 times.  Lay the
+  // lattice out once, then fill prices lazily as the m-loop first touches
+  // each cell; later visits are memo hits.  The memo is call-local (an
+  // AttackSimulator is copied into each attacker, and the deliberation
+  // phase runs best_attack concurrently), so no lock is needed, and a
+  // memoized price is byte-for-byte the double the direct call returned.
+  struct Cell {
+    bool valid = false;
+    query::AccuracySpec spec;
+    double variance = 0.0;
+    double price = 0.0;
+    bool priced = false;
+  };
+  std::vector<Cell> cells(space_.alpha_steps * space_.delta_steps);
+  for (std::size_t ai = 1; ai <= space_.alpha_steps; ++ai) {
+    const double alpha_w =
+        target.alpha + (space_.alpha_max - target.alpha) *
+                           static_cast<double>(ai) /
+                           static_cast<double>(space_.alpha_steps);
+    if (!(alpha_w > target.alpha) || alpha_w > 1.0) continue;
+    for (std::size_t di = 1; di <= space_.delta_steps; ++di) {
+      const double delta_w = target.delta * static_cast<double>(di) /
+                             static_cast<double>(space_.delta_steps + 1);
+      if (!(delta_w > 0.0) || !(delta_w < target.delta)) continue;
+      Cell& c = cells[(ai - 1) * space_.delta_steps + (di - 1)];
+      c.valid = true;
+      c.spec = query::AccuracySpec{alpha_w, delta_w};
+      c.variance = model_.contract_variance(c.spec);
+    }
+  }
+
   for (std::size_t m = 2; m <= space_.max_copies; ++m) {
     const double variance_budget =
         static_cast<double>(m) * target_variance;  // V_w <= m * V(target)
-    for (std::size_t ai = 1; ai <= space_.alpha_steps; ++ai) {
-      const double alpha_w =
-          target.alpha + (space_.alpha_max - target.alpha) *
-                             static_cast<double>(ai) /
-                             static_cast<double>(space_.alpha_steps);
-      if (!(alpha_w > target.alpha) || alpha_w > 1.0) continue;
-      for (std::size_t di = 1; di <= space_.delta_steps; ++di) {
-        const double delta_w = target.delta * static_cast<double>(di) /
-                               static_cast<double>(space_.delta_steps + 1);
-        if (!(delta_w > 0.0) || !(delta_w < target.delta)) continue;
-        const query::AccuracySpec weaker{alpha_w, delta_w};
-        const double v_w = model_.contract_variance(weaker);
-        if (v_w > variance_budget) continue;  // average still too noisy
-        const double cost = static_cast<double>(m) * pricing.price(weaker);
-        if (cost < result.best_attack_cost) {
-          result.best_attack_cost = cost;
-          result.copies = m;
-          result.weaker_spec = weaker;
-          result.combined_variance = v_w / static_cast<double>(m);
-        }
+    for (Cell& c : cells) {
+      if (!c.valid) continue;
+      if (c.variance > variance_budget) continue;  // average still too noisy
+      if (!c.priced) {
+        c.price = pricing.price(c.spec);
+        c.priced = true;
+      } else {
+        quote_cache_hits.increment();
+      }
+      const double cost = static_cast<double>(m) * c.price;
+      if (cost < result.best_attack_cost) {
+        result.best_attack_cost = cost;
+        result.copies = m;
+        result.weaker_spec = c.spec;
+        result.combined_variance = c.variance / static_cast<double>(m);
       }
     }
   }

@@ -1,0 +1,80 @@
+// Memoized price quotes: a thread-safe LRU in front of one PricingFunction.
+//
+// Theorem-4.2-family prices are pure functions of the contract (alpha,
+// delta) — nothing time-varying feeds psi(V) — so a broker that keeps
+// quoting the same few contracts (honest repeat buyers; an attacker buying
+// m copies of one weakened spec) can answer from a hash lookup.  Keys are
+// the bit patterns of the two doubles, so "the same contract" means exactly
+// the same bytes and a hit returns exactly the double the miss computed —
+// receipts and revenue totals cannot drift between cached and direct
+// pricing, at any thread count.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/thread_annotations.h"
+#include "pricing/pricing.h"
+#include "query/range_query.h"
+
+namespace prc::pricing {
+
+/// Bounded LRU memo over `pricing.price(spec)`.  The wrapped function must
+/// outlive the cache.  All methods are thread-safe and take the internal
+/// mutex, so callers must not hold it (PRC_EXCLUDES).
+class QuoteCache {
+ public:
+  /// `capacity` == 0 disables memoization (every call prices directly).
+  QuoteCache(const PricingFunction& pricing, std::size_t capacity)
+      : pricing_(pricing), capacity_(capacity) {}
+
+  QuoteCache(const QuoteCache&) = delete;
+  QuoteCache& operator=(const QuoteCache&) = delete;
+
+  /// The price of `spec`, served from the memo when this exact contract
+  /// (bit pattern) was quoted before.
+  double price(const query::AccuracySpec& spec) const PRC_EXCLUDES(mutex_);
+
+  const PricingFunction& pricing() const noexcept { return pricing_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const PRC_EXCLUDES(mutex_);
+
+ private:
+  struct Key {
+    std::uint64_t alpha_bits = 0;
+    std::uint64_t delta_bits = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      // Same FNV-1a mixing as the plan cache: stable across platforms.
+      std::uint64_t h = 14695981039346656037ULL;
+      for (const std::uint64_t v : {key.alpha_bits, key.delta_bits}) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (v >> (8 * i)) & 0xffULL;
+          h *= 1099511628211ULL;
+        }
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Entry {
+    Key key;
+    double price = 0.0;
+  };
+  using EntryList = std::list<Entry>;
+
+  const PricingFunction& pricing_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used; back = eviction candidate.
+  mutable EntryList entries_ PRC_GUARDED_BY(mutex_);
+  mutable std::unordered_map<Key, EntryList::iterator, KeyHash> index_
+      PRC_GUARDED_BY(mutex_);
+};
+
+}  // namespace prc::pricing

@@ -1,0 +1,121 @@
+// Randomized equivalence sweep: the coarse-to-fine (alpha', delta') search
+// must agree with the exhaustive fine-grid reference on every spec — same
+// feasibility verdict, and when feasible an amplified budget at least as
+// good as the grid's, matching it to tight relative tolerance.
+//
+// The reference grid is deliberately much finer (2^19 points) than the old
+// production default (512): near the unimodal minimum the objective is
+// locally quadratic, so a grid of G points lands within ~(1/G)^2 of the
+// continuous optimum in relative epsilon.  Empirically a 2^17 grid still
+// loses to the golden-section result by up to ~1.3e-9 relative on specs
+// whose optimum sits in a narrow well; two more doublings push the grid's
+// own discretization error to ~1e-10, an order below the 1e-9 gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.h"
+#include "dp/optimizer.h"
+#include "query/range_query.h"
+
+namespace prc::dp {
+namespace {
+
+constexpr int kSpecs = 1000;
+constexpr std::size_t kReferenceGrid = std::size_t{1} << 19;
+constexpr double kRtol = 1e-9;
+
+OptimizerConfig coarse_to_fine_config() {
+  OptimizerConfig config;
+  config.search_strategy = SearchStrategy::kCoarseToFine;
+  // Disable the memo so every call exercises the raw search.
+  config.plan_cache_capacity = 0;
+  return config;
+}
+
+OptimizerConfig reference_config() {
+  OptimizerConfig config;
+  config.search_strategy = SearchStrategy::kExhaustiveGrid;
+  config.grid_points = kReferenceGrid;
+  config.plan_cache_capacity = 0;
+  return config;
+}
+
+TEST(PlanSearchPropertyTest, CoarseToFineMatchesExhaustiveFineGrid) {
+  const PerturbationOptimizer fast(coarse_to_fine_config());
+  const PerturbationOptimizer reference(reference_config());
+
+  Rng rng(20260808);
+  int feasible = 0;
+  for (int trial = 0; trial < kSpecs; ++trial) {
+    const query::AccuracySpec spec{rng.uniform(0.01, 0.3),
+                                   rng.uniform(0.4, 0.95)};
+    const double p = rng.uniform(0.005, 1.0);
+    const auto node_count =
+        static_cast<std::size_t>(rng.uniform_int(2, 64));
+    const auto total_count =
+        static_cast<std::size_t>(rng.uniform_int(1000, 100000));
+
+    const auto got = fast.optimize(spec, p, node_count, total_count);
+    const auto want = reference.optimize(spec, p, node_count, total_count);
+
+    ASSERT_EQ(got.has_value(), want.has_value())
+        << "feasibility verdict diverged at trial " << trial << ": spec="
+        << spec.to_string() << " p=" << p << " k=" << node_count
+        << " n=" << total_count;
+    if (!got) continue;
+    ++feasible;
+
+    // Never worse: the refinement starts from a bracket that contains the
+    // continuous optimum, so it cannot lose to any grid.
+    EXPECT_LE(got->epsilon, want->epsilon * (1.0 + kRtol))
+        << "trial " << trial << " fast=" << got->to_string()
+        << " reference=" << want->to_string();
+    EXPECT_NEAR(got->epsilon_amplified, want->epsilon_amplified,
+                kRtol * want->epsilon_amplified)
+        << "trial " << trial << " fast=" << got->to_string()
+        << " reference=" << want->to_string();
+    // The winning split itself should agree too, not just its objective.
+    EXPECT_NEAR(got->alpha_prime, want->alpha_prime,
+                1e-3 * (spec.alpha - got->alpha_prime) + 1e-6);
+  }
+  // The draw ranges are chosen so a healthy majority of specs is feasible;
+  // if this trips, the sweep stopped exercising the interesting branch.
+  EXPECT_GE(feasible, kSpecs / 3) << "too few feasible specs in the sweep";
+}
+
+// The worst-case sensitivity policy scales the objective but not its shape;
+// the equivalence must survive the policy switch.
+TEST(PlanSearchPropertyTest, EquivalenceHoldsUnderWorstCasePolicy) {
+  auto fast_config = coarse_to_fine_config();
+  auto ref_config = reference_config();
+  fast_config.sensitivity_policy = SensitivityPolicy::kWorstCase;
+  ref_config.sensitivity_policy = SensitivityPolicy::kWorstCase;
+  const PerturbationOptimizer fast(fast_config);
+  const PerturbationOptimizer reference(ref_config);
+
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const query::AccuracySpec spec{rng.uniform(0.02, 0.3),
+                                   rng.uniform(0.4, 0.9)};
+    const double p = rng.uniform(0.05, 1.0);
+    const std::size_t node_count = 8;
+    const std::size_t total_count = 17568;
+    const std::size_t max_node_count = total_count / node_count;
+
+    const auto got =
+        fast.optimize(spec, p, node_count, total_count, max_node_count);
+    const auto want =
+        reference.optimize(spec, p, node_count, total_count, max_node_count);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "trial " << trial;
+    if (!got) continue;
+    EXPECT_NEAR(got->epsilon_amplified, want->epsilon_amplified,
+                kRtol * want->epsilon_amplified)
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(got->sensitivity, want->sensitivity);
+  }
+}
+
+}  // namespace
+}  // namespace prc::dp
