@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""concurrency-adoption gate: every mutex and atomic in src/ is documented.
+
+A `std::mutex` nobody annotates and a `std::atomic` with no stated
+ordering contract are where the next data race hides: the lock-order
+graph, the blocking-under-lock rule and clang's thread-safety analysis
+can only reason about primitives the code DECLARES a discipline for.
+This script imports prc_lint's summary engine from tools/prc_lint_lib
+(one tokenizer in the repo) and fails if any mutex field under src/ is
+referenced by no PRC_GUARDED_BY / PRC_REQUIRES / PRC_ACQUIRE annotation,
+or any atomic field neither carries PRC_GUARDED_BY nor a
+`// lint:allow atomic` hatch stating the memory-order contract.
+
+This is the same check as prc_lint's `atomic-discipline` rule, exposed
+as a standalone, dependency-free gate (mirroring check_units_adoption)
+so CI and pre-commit hooks can run it without the clang-tidy layer, and
+so its scope — all of src/ — is pinned even if lint default paths
+change.
+
+Exit status: 0 when fully adopted, 1 when an undocumented primitive
+exists, 2 on usage error.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATED_DIR = "src"
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from prc_lint_lib.model import FileModel, SOURCE_EXTENSIONS, stem  # noqa: E402
+from prc_lint_lib.summaries import summarize_file  # noqa: E402
+from prc_lint_lib.interproc import check_atomic_discipline  # noqa: E402
+
+
+def main():
+    root = os.path.join(REPO_ROOT, GATED_DIR)
+    if not os.path.isdir(root):
+        print(f"check_concurrency_adoption: missing directory {GATED_DIR}",
+              file=sys.stderr)
+        return 2
+    summaries = []
+    fields_by_stem = {}
+    concurrency_by_path = {}
+    allows_by_path = {}
+    scanned = 0
+    primitives = 0
+    hatched = 0
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, REPO_ROOT)
+            with open(path, encoding="utf-8", errors="replace") as f:
+                model = FileModel(rel, f.read())
+            scanned += 1
+            file_summaries, fields, concurrency, _ = summarize_file(model)
+            summaries.extend(file_summaries)
+            fields_by_stem.setdefault(stem(rel), {}).update(fields)
+            if concurrency["decls"] or concurrency["guards"]:
+                concurrency_by_path[rel] = concurrency
+            primitives += len(concurrency["decls"])
+            hatched += len(model.allows.get("atomic", ()))
+            if model.allows:
+                allows_by_path[rel] = model.allows
+    findings = []
+    for f in check_atomic_discipline(summaries, concurrency_by_path,
+                                     fields_by_stem):
+        allowed = allows_by_path.get(f.path, {}).get("atomic", set())
+        if f.lineno not in allowed:
+            findings.append(f)
+    for finding in findings:
+        print(finding)
+    verdict = "fully documented" if not findings else \
+        f"{len(findings)} undocumented primitive(s)"
+    print(f"check_concurrency_adoption: {scanned} files under {GATED_DIR}, "
+          f"{primitives} mutex/atomic field(s), {hatched} justified "
+          f"hatch(es): {verdict}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

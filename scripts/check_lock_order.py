@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""lock-order gate: the canonical lock order is deterministic and acyclic.
+
+Runs `prc_lint --lock-order-out` twice over src/ — once against the warm
+summary cache, once cold (--no-cache) — and fails unless the two
+artifacts are byte-identical (the derived order is a function of the
+tree, not of cache state or iteration order) and contain zero cycles.
+The surviving artifact lands at build/lock_order.txt, which CI archives
+and CONTRIBUTING.md points new mutex authors at.
+
+Exit status: 0 on a deterministic, cycle-free order; 1 on any cycle or
+divergence; 2 on usage error.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ARTIFACT = os.path.join("build", "lock_order.txt")
+
+
+def run(out_path, *extra):
+    cmd = [sys.executable, os.path.join(REPO_ROOT, "tools", "prc_lint"),
+           "--no-clang-tidy", "--lock-order-out", out_path, *extra, "src/"]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        print(f"check_lock_order: prc_lint failed (exit {proc.returncode})",
+              file=sys.stderr)
+        return None
+    with open(os.path.join(REPO_ROOT, out_path), encoding="utf-8") as f:
+        return f.read()
+
+
+def main():
+    os.makedirs(os.path.join(REPO_ROOT, "build"), exist_ok=True)
+    warm = run(ARTIFACT)
+    if warm is None:
+        return 2
+    cold = run(ARTIFACT + ".cold", "--no-cache")
+    if cold is None:
+        return 2
+    os.unlink(os.path.join(REPO_ROOT, ARTIFACT + ".cold"))
+    if warm != cold:
+        print("check_lock_order: warm-cache and cold artifacts diverge — "
+              "the derived order is not a pure function of the tree")
+        return 1
+    if "cycles: none" not in warm:
+        sys.stdout.write(warm)
+        print("check_lock_order: lock-acquisition graph contains a cycle")
+        return 1
+    edges = sum(1 for line in warm.splitlines()
+                if line.startswith("  ") and " -> " in line)
+    print(f"check_lock_order: deterministic, {edges} edge(s), zero cycles "
+          f"({ARTIFACT})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,8 +79,12 @@ class Point {
   [[noreturn]] void fire(int mode);
 
   std::string name_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<int> mode_{static_cast<int>(CrashMode::kDisarmed)};
+  // Monitoring counter plus an arm/disarm latch: independent seq_cst
+  // cells, no ordering between them is relied on (a hit that races a
+  // disarm may fire or not — both are legal sweep outcomes).
+  std::atomic<std::uint64_t> hits_{0};  // lint:allow atomic
+  std::atomic<int> mode_{              // lint:allow atomic
+      static_cast<int>(CrashMode::kDisarmed)};
 };
 
 class Registry {

@@ -7,8 +7,11 @@
 namespace prc {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+// Level is an independent latch (a racing set_log_level may drop or admit
+// one in-flight message, both fine); the mutex guards no data — it only
+// serializes whole lines into the shared stderr sink.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};  // lint:allow atomic
+std::mutex g_sink_mutex;                         // lint:allow atomic
 
 const char* level_name(LogLevel level) {
   switch (level) {

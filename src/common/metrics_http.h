@@ -52,8 +52,11 @@ class MetricsHttpServer {
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_{0};
+  // stopping_ is a one-way shutdown latch polled by serve_loop between
+  // accepts; requests_ is a monitoring counter read relaxed — neither
+  // orders any other memory.
+  std::atomic<bool> stopping_{false};       // lint:allow atomic
+  std::atomic<std::uint64_t> requests_{0};  // lint:allow atomic
   std::thread thread_;
 };
 

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace prc::parallel {
 namespace {
@@ -44,10 +45,13 @@ struct Job {
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::size_t items = 0;
   std::size_t blocks = 0;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> completed{0};
+  // Block cursors: monotonic seq_cst counters; the caller's final read
+  // of `completed` happens inside the done_cv_ predicate under the pool
+  // mutex, so no cross-thread decision rests on a relaxed load.
+  std::atomic<std::size_t> next{0};       // lint:allow atomic
+  std::atomic<std::size_t> completed{0};  // lint:allow atomic
   std::mutex error_mutex;
-  std::exception_ptr error;
+  std::exception_ptr error PRC_GUARDED_BY(error_mutex);
 
   void run_block(std::size_t block) noexcept {
     const std::size_t begin = block * items / blocks;
@@ -113,9 +117,11 @@ class ThreadPool {
       // not yet touched the cursor would race our caller destroying the
       // stack-allocated Job.
       job_ = nullptr;
-      done_cv_.wait(lock, [&] {
-        return job.completed.load() == job.blocks && workers_in_job_ == 0;
-      });
+      // Explicit wait loop (not a predicate lambda): thread-safety
+      // analysis cannot carry the held capability into a lambda body.
+      while (job.completed.load() != job.blocks || workers_in_job_ != 0) {
+        done_cv_.wait(lock);
+      }
     }
   }
 
@@ -127,9 +133,10 @@ class ThreadPool {
       Job* job = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        wake_cv_.wait(lock, [&] {
-          return stop_ || (job_ != nullptr && generation_ != seen_generation);
-        });
+        // Explicit wait loop: see run() above.
+        while (!stop_ && (job_ == nullptr || generation_ == seen_generation)) {
+          wake_cv_.wait(lock);
+        }
         if (stop_) return;
         seen_generation = generation_;
         job = job_;
@@ -152,14 +159,16 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex run_mutex_;
+  // Serializes whole run() submissions (one job in flight at a time);
+  // guards no data — the job handoff itself happens under mutex_.
+  std::mutex run_mutex_;  // lint:allow atomic
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
-  Job* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t workers_in_job_ = 0;
-  bool stop_ = false;
+  Job* job_ PRC_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ PRC_GUARDED_BY(mutex_) = 0;
+  std::size_t workers_in_job_ PRC_GUARDED_BY(mutex_) = 0;
+  bool stop_ PRC_GUARDED_BY(mutex_) = false;
 };
 
 std::mutex& pool_mutex() {
@@ -216,7 +225,14 @@ void parallel_for(std::size_t n,
   job.blocks = std::min(n, threads * kBlocksPerThread);
   std::lock_guard<std::mutex> lock(pool_mutex());
   shared_pool().run(job);
-  if (job.error) std::rethrow_exception(job.error);
+  // Workers are all out of the job once run() returns, but the compiler
+  // cannot see that: read the slot under its own mutex.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(job.error_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace prc::parallel

@@ -47,7 +47,9 @@ class Counter {
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  // Relaxed monotonic monitoring cell: dashboards tolerate torn-epoch
+  // reads; nothing synchronizes on a counter value.
+  std::atomic<std::uint64_t> value_{0};  // lint:allow atomic
 };
 
 /// Last-value gauge with an additive form for accumulating released doubles
@@ -66,7 +68,8 @@ class Gauge {
   void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<double> value_{0.0};
+  // Relaxed last-value/additive monitoring cell; see Counter::value_.
+  std::atomic<double> value_{0.0};  // lint:allow atomic
 };
 
 /// Point-in-time view of one histogram, with interpolated quantiles.

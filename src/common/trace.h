@@ -91,8 +91,11 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
  private:
-  std::atomic<bool> enabled_{true};
-  std::atomic<std::uint64_t> next_id_{0};
+  // enabled_ is a sampling on/off latch (spans racing a toggle may or
+  // may not record — both legal); next_id_ is a relaxed unique-id
+  // fountain, uniqueness needs atomicity, not ordering.
+  std::atomic<bool> enabled_{true};       // lint:allow atomic
+  std::atomic<std::uint64_t> next_id_{0};  // lint:allow atomic
   std::int64_t epoch_ns_ = 0;
   mutable std::mutex mutex_;
   std::size_t capacity_ PRC_GUARDED_BY(mutex_) = 4096;

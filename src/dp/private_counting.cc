@@ -117,10 +117,16 @@ PrivateAnswer PrivateRangeCounter::answer(const query::RangeQuery& range,
   // below never interleaves with another seller's.
   std::lock_guard<std::mutex> lock(mutex_);
   PrivateAnswer out;
-  out.plan = ensure_feasible_plan(spec);
+  // The hold is load-bearing: the feasibility top-up mutates sampling
+  // state, and releasing between plan and estimate would let another
+  // seller's top-up interleave.
+  out.plan = ensure_feasible_plan(spec);  // lint:allow blocking
   out.coverage = network_.base_station().coverage();
-  out.sampled_estimate =
-      units::Raw<double>(network_.rank_counting_estimate(range));
+  // Same critical section: the estimate must see exactly the round the
+  // top-up above committed, and the serial noise stream below must not
+  // interleave with another answer's.
+  out.sampled_estimate = units::Raw<double>(
+      network_.rank_counting_estimate(range));  // lint:allow blocking
 
   PRC_CHECK_FINITE(out.sampled_estimate.get());
   // Durability barrier: everything above can still fail with nothing

@@ -208,22 +208,45 @@ std::vector<estimator::NodeSampleView> BaseStation::node_views_locked() const {
   return views;
 }
 
-double BaseStation::rank_counting_estimate(
-    const query::RangeQuery& range) const {
+std::vector<estimator::NodeSampleView> BaseStation::EstimateSnapshot::views()
+    const {
+  std::vector<estimator::NodeSampleView> views;
+  views.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    views.push_back(estimator::NodeSampleView{&samples[i], data_counts[i]});
+  }
+  return views;
+}
+
+BaseStation::EstimateSnapshot BaseStation::estimate_snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   PRC_CHECK(p_ > 0.0) << "no sampling round committed yet";
-  const auto views = node_views_locked();
-  return estimator::rank_counting_estimate(views, node_probabilities_locked(),
+  EstimateSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  snap.data_counts.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    snap.samples.push_back(entry.samples);
+    snap.data_counts.push_back(entry.data_count);
+  }
+  snap.probabilities = node_probabilities_locked();
+  return snap;
+}
+
+double BaseStation::rank_counting_estimate(
+    const query::RangeQuery& range) const {
+  // Stage under the lock, estimate outside it: the chunked estimator fans
+  // out across the shared pool, and holding mutex_ across that fan-out
+  // would queue every report ingestion behind query latency.
+  const EstimateSnapshot snap = estimate_snapshot();
+  return estimator::rank_counting_estimate(snap.views(), snap.probabilities,
                                            range);
 }
 
 std::vector<double> BaseStation::rank_counting_estimate_batch(
     std::span<const query::RangeQuery> ranges) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  PRC_CHECK(p_ > 0.0) << "no sampling round committed yet";
-  const auto views = node_views_locked();
-  return estimator::rank_counting_estimate_batch(
-      views, node_probabilities_locked(), ranges);
+  const EstimateSnapshot snap = estimate_snapshot();
+  return estimator::rank_counting_estimate_batch(snap.views(),
+                                                 snap.probabilities, ranges);
 }
 
 double BaseStation::basic_counting_estimate(

@@ -148,6 +148,18 @@ class BaseStation {
     bool reported = false;
   };
 
+  // Owning copy of the per-node state the rank-counting estimators read:
+  // staged under mutex_, consumed after it is released, so the pool-backed
+  // estimate never runs with the station lock held (report ingestion would
+  // queue behind query latency otherwise).
+  struct EstimateSnapshot {
+    std::vector<sampling::RankSampleSet> samples;
+    std::vector<std::size_t> data_counts;
+    std::vector<double> probabilities;
+    std::vector<estimator::NodeSampleView> views() const;
+  };
+  EstimateSnapshot estimate_snapshot() const;
+
   // Unlocked bodies shared by the public methods (which lock) and by
   // internal callers that already hold the mutex.
   std::size_t total_data_count_locked() const PRC_REQUIRES(mutex_);

@@ -213,7 +213,10 @@ class DataBroker {
   pricing::QuoteCache quote_cache_;
   Ledger ledger_;
   std::unique_ptr<wal::WriteAheadLog> wal_;
-  std::atomic<std::size_t> commits_since_checkpoint_{0};
+  /// Checkpoint cadence counter: an over- or under-count by one merely
+  /// shifts WHEN the next checkpoint lands, never whether a commit is
+  /// durable, so a relaxed cell is enough.
+  std::atomic<std::size_t> commits_since_checkpoint_{0};  // lint:allow atomic
   /// mutable: quote() is const but still leaves a timeline entry.
   mutable AuditLog audit_;
 };

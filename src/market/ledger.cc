@@ -224,8 +224,10 @@ void Ledger::restore(const LedgerSnapshot& snapshot) {
 }
 
 void Ledger::adopt(Ledger& other) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::lock_guard<std::mutex> other_lock(other.mutex_);
+  // One deadlock-free atomic acquisition: two sequential lock_guards
+  // would self-deadlock on `ledger.adopt(ledger)` and invert order
+  // against a concurrent `other.adopt(*this)`.
+  std::scoped_lock lock(mutex_, other.mutex_);
   PRC_CHECK(next_sequence_ == 0 && transactions_.empty() &&
             spend_by_consumer_.empty() && epsilon_by_consumer_.empty() &&
             reserved_by_consumer_.empty() && degraded_sales_ == 0)

@@ -498,19 +498,29 @@ void WriteAheadLog::append_bytes_locked(const std::vector<std::uint8_t>& bytes) 
 std::uint64_t WriteAheadLog::append_intent(IntentRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   record.wal_sequence = next_sequence_++;
-  append_bytes_locked(encode_intent(record));
+  // The intent-before-mint barrier IS the hold: the durable write must
+  // happen inside the same critical section that assigned the sequence
+  // number, or a crash could mint noise for an intent that never reached
+  // the disk.
+  append_bytes_locked(encode_intent(record));  // lint:allow blocking
   return record.wal_sequence;
 }
 
 void WriteAheadLog::append_commit(CommitRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   record.wal_sequence = next_sequence_++;
-  append_bytes_locked(encode_commit(record));
+  // Commit records share the intent barrier's sequence lock; writing
+  // outside it could durably reorder a commit ahead of its own intent.
+  append_bytes_locked(encode_commit(record));  // lint:allow blocking
 }
 
 void WriteAheadLog::append_checkpoint(const LedgerSnapshot& snapshot) {
   std::lock_guard<std::mutex> lock(mutex_);
-  append_bytes_locked(encode_checkpoint(snapshot, next_sequence_++));
+  // A checkpoint must capture a sequence-point no append can cross;
+  // staging it outside the lock would let records land between the
+  // snapshot and its durable write.
+  append_bytes_locked(  // lint:allow blocking
+      encode_checkpoint(snapshot, next_sequence_++));
   telemetry::counter("market.wal_checkpoints").increment();
 }
 

@@ -1,0 +1,44 @@
+// Deliberately broken atomic-discipline fixtures for --self-test.
+//
+// BadUndocumentedBox declares a mutex no annotation ever references and an
+// atomic with no documented ordering contract — the adoption half of the
+// rule.  BadRelaxedFlags declares the atomic that bad_atomic_flow_example
+// branches on and increments from OUTSIDE this module (the discipline
+// half; the uses live in the other file on purpose, the rule must connect
+// them through the declaration inventory).  NOT compiled.
+
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class BadUndocumentedBox {
+ public:
+  long total() const { return total_plain_; }
+
+ private:
+  // atomic-discipline: nothing says what this mutex protects.
+  mutable std::mutex undocumented_mutex_;
+  // atomic-discipline: no PRC_GUARDED_BY, no allow-list hatch, no
+  // statement of the memory-order contract.
+  std::atomic<long> undocumented_hits_{0};
+  long total_plain_ = 0;
+};
+
+class BadRelaxedFlags {
+ public:
+  void request_stop() { stop_requested_.store(true); }
+  void bump() { ticks_.fetch_add(1); }
+  // Out-of-line cross-module uses live in bad_atomic_flow_example.cc.
+  void spin_poll();
+  void tally_unsafe();
+
+  // atomic-discipline (coverage): intentionally unannotated so the flow
+  // fixture's declarations resolve against a real inventory entry.
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<long> ticks_{0};
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,27 @@
+// Deliberately broken atomic-discipline (discipline half) fixtures.
+//
+// The atomics these methods touch are DECLARED in bad_atomic_example.cc —
+// a different module.  Branching on a relaxed atomic, or ++'ing it,
+// outside its owning module turns monitoring state into unsynchronized
+// logic, which is exactly what the rule must connect interprocedurally
+// through the declaration inventory.  NOT compiled.
+
+#include "bad_atomic_example_decls.h"
+
+namespace prc_lint_fixture {
+
+// atomic-discipline: control-flow decision on another module's relaxed
+// atomic (no happens-before edge justifies the branch here).
+void BadRelaxedFlags::spin_poll() {
+  while (!stop_requested_) {
+    bump();
+  }
+}
+
+// atomic-discipline: non-CAS read-modify-write on another module's
+// atomic (the owner's fetch_add API is the documented path).
+void BadRelaxedFlags::tally_unsafe() {
+  ticks_++;
+}
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,55 @@
+// Deliberately broken blocking-under-lock fixtures for --self-test.
+//
+// BadDurableCache fsyncs while holding the mutex that guards its table
+// (every reader queues behind the disk), reaches write_fully through a
+// helper one call deep (the interprocedural half), and waits on a
+// condition variable while holding a SECOND guard mutex.  NOT compiled.
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+void write_fully(int fd, const void* data, long size);
+
+class BadDurableCache {
+ public:
+  // blocking-under-lock (direct): fsync with table_mutex_ held.
+  void flush_entry(int fd, long value) {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    table_.push_back(value);
+    fsync(fd);
+  }
+
+  // blocking-under-lock (interprocedural): persist_all -> spill_table ->
+  // write_fully, entered with the guard mutex held.
+  void persist_all(int fd) {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    spill_table(fd);
+  }
+
+  // blocking-under-lock (cv): waits on drain_cv_ with ITS lock (fine)
+  // while ALSO holding table_mutex_ (every reader stalls until the
+  // producer signals).
+  void wait_for_drain() {
+    std::lock_guard<std::mutex> table_lock(table_mutex_);
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return drained_; });
+  }
+
+ private:
+  void spill_table(int fd) PRC_REQUIRES(table_mutex_) {
+    write_fully(fd, table_.data(), static_cast<long>(table_.size()));
+  }
+
+  std::mutex table_mutex_;
+  std::vector<long> table_ PRC_GUARDED_BY(table_mutex_);
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool drained_ PRC_GUARDED_BY(drain_mutex_) = false;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,56 @@
+// Deliberately broken lock-order fixtures for `prc_lint --self-test`.
+//
+// BadOrderPair takes its two mutexes in OPPOSITE orders from two methods:
+// thread 1 in transfer_in holds order_a_mutex_ and wants order_b_mutex_,
+// thread 2 in transfer_out holds order_b_mutex_ and wants order_a_mutex_ —
+// the classic ABBA deadlock.  BadReacquire re-locks a mutex whose guard
+// scope is still open (std::mutex self-deadlocks on re-acquisition).
+// NOT compiled.
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class BadOrderPair {
+ public:
+  // lock-order: acquires order_b_mutex_ while holding order_a_mutex_.
+  void transfer_in(long amount) {
+    std::lock_guard<std::mutex> lock_a(order_a_mutex_);
+    std::lock_guard<std::mutex> lock_b(order_b_mutex_);
+    inbox_ += amount;
+    outbox_ -= amount;
+  }
+
+  // lock-order: the same pair in the opposite order — the cycle edge.
+  void transfer_out(long amount) {
+    std::lock_guard<std::mutex> lock_b(order_b_mutex_);
+    std::lock_guard<std::mutex> lock_a(order_a_mutex_);
+    outbox_ += amount;
+    inbox_ -= amount;
+  }
+
+ private:
+  std::mutex order_a_mutex_;
+  std::mutex order_b_mutex_;
+  long inbox_ PRC_GUARDED_BY(order_a_mutex_) = 0;
+  long outbox_ PRC_GUARDED_BY(order_b_mutex_) = 0;
+};
+
+class BadReacquire {
+ public:
+  // lock-order (self-edge): the second guard re-locks reacquire_mutex_
+  // while the first is still in scope.
+  long double_count() {
+    std::lock_guard<std::mutex> outer(reacquire_mutex_);
+    std::lock_guard<std::mutex> inner(reacquire_mutex_);
+    return hits_;
+  }
+
+ private:
+  std::mutex reacquire_mutex_;
+  long hits_ PRC_GUARDED_BY(reacquire_mutex_) = 0;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,46 @@
+// Correct-usage atomic-discipline fixtures: none of these may fire.
+//
+// GoodAnnotatedBox documents every primitive: the mutex is referenced by
+// PRC_GUARDED_BY annotations, one atomic is itself guarded (belt and
+// braces), and the monitoring counter carries an allow-list hatch that
+// states its ordering contract.  Its own-module branch/increment on that
+// counter is fine — the discipline half only fires OUTSIDE the owning
+// module.  NOT compiled.
+
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class GoodAnnotatedBox {
+ public:
+  void clean_record(long value) {
+    std::lock_guard<std::mutex> lock(box_mutex_);
+    entries_ = entries_ + 1;
+    last_value_ = value;
+    // Own-module use of the relaxed counter: allowed, the contract is
+    // documented at the declaration.
+    samples_seen_++;
+  }
+
+  bool clean_is_warm() const {
+    // Own-module control flow on the relaxed counter: allowed.
+    if (samples_seen_ > 16) {
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::mutex box_mutex_;
+  long entries_ PRC_GUARDED_BY(box_mutex_) = 0;
+  // Belt and braces: atomic for lock-free readers, still written under
+  // the mutex — the annotation documents the writer side.
+  std::atomic<long> last_value_ PRC_GUARDED_BY(box_mutex_){0};
+  // Monitoring only: monotonic, read for dashboards, never synchronizes.
+  std::atomic<long> samples_seen_{0};  // lint:allow atomic
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,65 @@
+// Correct-usage blocking fixtures: none of these may fire.
+//
+// GoodStagedWriter uses the stage-outside-lock / commit-under-lock shape:
+// it snapshots the guarded table under the mutex, RELEASES it, and only
+// then touches the disk.  GoodCvWaiter waits on its condition variable
+// holding nothing but the cv's own mutex.  GoodSerializedLogger blocks
+// under a mutex that guards NO data (pure serialization of an external
+// resource) — there are no readers to stall, so the rule stays quiet.
+// NOT compiled.
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+void write_fully(int fd, const void* data, long size);
+
+class GoodStagedWriter {
+ public:
+  void clean_persist_all(int fd) {
+    std::vector<long> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      snapshot = table_;
+    }
+    // Lock released: readers proceed while the snapshot hits the disk.
+    write_fully(fd, snapshot.data(), static_cast<long>(snapshot.size()));
+    fsync(fd);
+  }
+
+ private:
+  std::mutex table_mutex_;
+  std::vector<long> table_ PRC_GUARDED_BY(table_mutex_);
+};
+
+class GoodCvWaiter {
+ public:
+  void clean_wait_for_drain() {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] { return drained_; });
+  }
+
+ private:
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  bool drained_ PRC_GUARDED_BY(drain_mutex_) = false;
+};
+
+class GoodSerializedLogger {
+ public:
+  // sink_mutex_ guards no fields — it only serializes writes to the fd —
+  // so no reader of guarded data can queue behind the I/O.
+  void clean_append_line(int fd, const void* line, long size) {
+    std::lock_guard<std::mutex> lock(sink_mutex_);
+    write_fully(fd, line, size);
+  }
+
+ private:
+  std::mutex sink_mutex_;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,90 @@
+// Correct-usage lock-order fixtures: none of these may fire.
+//
+// GoodOrderPair always nests its two mutexes in the same global order, so
+// the lock graph has one edge and no cycle.  GoodScopedPair takes both at
+// once with std::scoped_lock, which acquires deadlock-free (no internal
+// ordering edge).  GoodSequential takes the same pair in OPPOSITE orders
+// but in DISJOINT scopes — never holding both — which a scope-blind
+// analysis would misreport as a cycle.  NOT compiled.
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class GoodOrderPair {
+ public:
+  void clean_transfer_in(long amount) {
+    std::lock_guard<std::mutex> lock_a(first_mutex_);
+    std::lock_guard<std::mutex> lock_b(second_mutex_);
+    staged_ += amount;
+    settled_ -= amount;
+  }
+
+  void clean_transfer_out(long amount) {
+    std::lock_guard<std::mutex> lock_a(first_mutex_);
+    std::lock_guard<std::mutex> lock_b(second_mutex_);
+    settled_ += amount;
+    staged_ -= amount;
+  }
+
+ private:
+  std::mutex first_mutex_;
+  std::mutex second_mutex_;
+  long staged_ PRC_GUARDED_BY(first_mutex_) = 0;
+  long settled_ PRC_GUARDED_BY(second_mutex_) = 0;
+};
+
+class GoodScopedPair {
+ public:
+  // Both sides of an adopt()-style merge, atomically: scoped_lock's
+  // deadlock-avoidance algorithm makes the pair order-free.
+  void clean_adopt(GoodScopedPair& other) {
+    std::scoped_lock lock(merge_mutex_, other.merge_mutex_);
+    merged_ += other.merged_;
+    other.merged_ = 0;
+  }
+
+ private:
+  std::mutex merge_mutex_;
+  long merged_ PRC_GUARDED_BY(merge_mutex_) = 0;
+};
+
+class GoodSequential {
+ public:
+  // Opposite textual order, but the first guard's scope CLOSES before the
+  // second opens — both mutexes are never held together, so there is no
+  // ordering edge in either direction.
+  void clean_copy_then_commit() {
+    long snapshot = 0;
+    {
+      std::lock_guard<std::mutex> lock(source_mutex_);
+      snapshot = source_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(target_mutex_);
+      target_ = snapshot;
+    }
+  }
+
+  void clean_reverse_copy() {
+    long snapshot = 0;
+    {
+      std::lock_guard<std::mutex> lock(target_mutex_);
+      snapshot = target_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(source_mutex_);
+      source_ = snapshot;
+    }
+  }
+
+ private:
+  std::mutex source_mutex_;
+  std::mutex target_mutex_;
+  long source_ PRC_GUARDED_BY(source_mutex_) = 0;
+  long target_ PRC_GUARDED_BY(target_mutex_) = 0;
+};
+
+}  // namespace prc_lint_fixture

@@ -1,0 +1,50 @@
+// Interprocedural lock-order regression fixture (NOT compiled, NOT part
+// of --self-test): the ABBA deadlock is invisible to any per-function
+// view because each function acquires only ONE mutex directly — the
+// second acquisition happens one call hop down.  The whole-program pass
+// must build the acquisition closure through the call graph and report
+// the cycle.  Gated by ctest `prc_lint_deadlock_gate`
+// (--expect-rule lock-order on this file).
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prc_lint_fixture {
+
+class HiddenOrderPair {
+ public:
+  // Thread 1: holds ingest_mutex_, then settle_locked() takes
+  // settle_mutex_ one hop down.
+  void ingest(long amount) {
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    pending_ += amount;
+    settle_pending();
+  }
+
+  // Thread 2: holds settle_mutex_, then drain_pending() takes
+  // ingest_mutex_ one hop down — the opposite order.  ABBA.
+  void settle(long amount) {
+    std::lock_guard<std::mutex> lock(settle_mutex_);
+    settled_ += amount;
+    drain_pending();
+  }
+
+ private:
+  void settle_pending() {
+    std::lock_guard<std::mutex> lock(settle_mutex_);
+    settled_ += 1;
+  }
+
+  void drain_pending() {
+    std::lock_guard<std::mutex> lock(ingest_mutex_);
+    pending_ = 0;
+  }
+
+  std::mutex ingest_mutex_;
+  std::mutex settle_mutex_;
+  long pending_ PRC_GUARDED_BY(ingest_mutex_);
+  long settled_ PRC_GUARDED_BY(settle_mutex_);
+};
+
+}  // namespace prc_lint_fixture

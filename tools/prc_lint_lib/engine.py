@@ -12,7 +12,7 @@ import time
 from .cache import (SummaryCache, content_hash, default_cache_path,
                     engine_fingerprint)
 from .findings import Finding, KNOWN_TAGS, RULES, RULE_NAMES
-from .interproc import run_interproc
+from .interproc import lock_order_report, run_interproc
 from .model import FileModel, SOURCE_EXTENSIONS
 from .output import EMITTERS
 from .rules import TOKEN_RULES
@@ -47,6 +47,7 @@ class Analysis:
         self.findings = []          # every emitted finding, incl. suppressed
         self.allows_by_path = {}
         self.used_allows = {}       # path -> {(tag, line)}
+        self.summaries = []         # retained for --lock-order-out
         self.files = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -61,9 +62,10 @@ def _analyze_one(path, data):
     """Uncached per-file pass: token rules + function summaries."""
     model = FileModel(path, data.decode("utf-8", errors="replace"))
     findings = [f for rule in TOKEN_RULES for f in rule(model)]
-    summaries, guarded_fields, raw_findings = summarize_file(model)
+    summaries, guarded_fields, concurrency, raw_findings = \
+        summarize_file(model)
     findings.extend(raw_findings)
-    return findings, summaries, guarded_fields, model.allows
+    return findings, summaries, guarded_fields, concurrency, model.allows
 
 
 def _apply_allows(analysis):
@@ -114,6 +116,7 @@ def analyze_paths(files, use_cache=True, cache_path=None):
                              engine_fingerprint())
     summaries = []
     guarded_by_path = {}
+    concurrency_by_path = {}
     for path in files:
         analysis.files += 1
         try:
@@ -125,13 +128,14 @@ def analyze_paths(files, use_cache=True, cache_path=None):
         file_hash = content_hash(data)
         entry = cache.get(path, file_hash) if cache else None
         if entry is None:
-            findings, file_summaries, guarded_fields, allows = \
+            findings, file_summaries, guarded_fields, concurrency, allows = \
                 _analyze_one(path, data)
             if cache:
                 cache.put(path, file_hash, {
                     "findings": [f.to_dict() for f in findings],
                     "summaries": [s.to_dict() for s in file_summaries],
                     "guarded_fields": guarded_fields,
+                    "concurrency": concurrency,
                     "allows": {tag: sorted(lines)
                                for tag, lines in allows.items()},
                 })
@@ -140,17 +144,23 @@ def analyze_paths(files, use_cache=True, cache_path=None):
             file_summaries = [FunctionSummary.from_dict(d)
                               for d in entry["summaries"]]
             guarded_fields = entry["guarded_fields"]
+            concurrency = entry.get("concurrency") or {}
             allows = {tag: set(lines)
                       for tag, lines in entry["allows"].items()}
         analysis.findings.extend(findings)
         summaries.extend(file_summaries)
         if guarded_fields:
             guarded_by_path[path] = guarded_fields
+        if concurrency and (concurrency.get("decls")
+                            or concurrency.get("guards")):
+            concurrency_by_path[path] = concurrency
         if allows:
             analysis.allows_by_path[path] = allows
 
+    analysis.summaries = summaries
     analysis.findings.extend(run_interproc(summaries, guarded_by_path,
-                                           analysis.allows_by_path))
+                                           analysis.allows_by_path,
+                                           concurrency_by_path))
     _apply_allows(analysis)
     analysis.findings.extend(_staleness_findings(analysis))
     analysis.findings.sort(key=lambda f: (f.path, f.lineno, f.rule))
@@ -270,6 +280,10 @@ def main(argv):
                              "only findings in the given paths")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the summary cache")
+    parser.add_argument("--lock-order-out", metavar="PATH",
+                        help="write the canonical lock-acquisition order "
+                             "derived from the whole-program lock graph "
+                             "(e.g. build/lock_order.txt)")
     parser.add_argument("--timing", action="store_true",
                         help="print analysis wall time and cache hit/miss "
                              "counts")
@@ -292,6 +306,16 @@ def main(argv):
         return 2
 
     analysis = analyze_paths(files, use_cache=not args.no_cache)
+
+    if args.lock_order_out:
+        report, cycles = lock_order_report(analysis.summaries)
+        out_dir = os.path.dirname(args.lock_order_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.lock_order_out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"prc_lint: lock order written to {args.lock_order_out}"
+              + (f" ({len(cycles)} cycle(s)!)" if cycles else ""))
 
     if args.expect_rule:
         fired = {f.rule for f in analysis.visible}

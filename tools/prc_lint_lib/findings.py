@@ -23,6 +23,10 @@ RULES = {
     "interproc-raw-taint":           ("raw-sink", "interproc-taint"),
     "budget-barrier-dominance":      ("barrier", "mint"),
     "wal-intent-commit-pairing":     ("wal-pairing",),
+    # Concurrency-soundness rules (whole-program).
+    "lock-order":                    ("lockorder",),
+    "blocking-under-lock":           ("blocking",),
+    "atomic-discipline":             ("atomic",),
     # Meta rule: emitted by the engine itself, not suppressible.
     "stale-suppression":             (),
 }

@@ -21,7 +21,7 @@ file.
 """
 
 from .findings import Finding
-from .model import statement_ranges
+from .model import statement_ranges, stem
 from .rules import RAW_SAMPLE_IDENTS
 
 SINK_IDENTS = {"to_json", "to_csv", "write_csv", "serialize",
@@ -35,6 +35,37 @@ LOCK_ACQUIRE_IDENTS = {"lock_guard", "scoped_lock", "unique_lock",
                        "shared_lock"}
 LOCK_SIG_ANNOTATIONS = {"PRC_REQUIRES", "PRC_ACQUIRE",
                         "PRC_NO_THREAD_SAFETY_ANALYSIS"}
+
+#: Calls that can block the caller for an unbounded time (disk, sockets,
+#: pool fan-out, cv waits).  Reaching one of these while holding a mutex
+#: that GUARDS data (PRC_GUARDED_BY) serializes every reader of that data
+#: behind the slow operation — the blocking-under-lock rule's subject.
+BLOCKING_CALL_IDENTS = {
+    # Raw file I/O and the WAL's durable-write helpers.
+    "fsync", "fdatasync", "write", "pwrite", "write_fully", "fsync_or_die",
+    "flush",
+    # The WAL public surface: append_* fsync in kMediaDurable mode, and
+    # compact rewrites the whole log.  Holding any OTHER hot mutex across
+    # them queues every concurrent sale behind one disk flush.
+    "append_intent", "append_commit", "append_checkpoint", "compact",
+    # Socket operations (metrics_http's exposition endpoint).
+    "accept", "recv", "send", "connect",
+    # Pool submission: a parallel region under a lock means every worker
+    # the region fans out to is effectively inside the critical section.
+    "parallel_for", "parallel_for_each", "parallel_reduce", "submit",
+}
+
+#: condition_variable wait entry points, matched as member calls on a
+#: receiver whose name contains "cv" (wake_cv_, done_cv_, cv).  The wait's
+#: OWN mutex (the lock variable passed as first argument) is exempt — that
+#: is how cv waits work — but holding any second guard-mutex across a wait
+#: is a classic lost-throughput/deadlock shape.
+CV_WAIT_IDENTS = {"wait", "wait_for", "wait_until"}
+
+#: Non-CAS read-modify-write operators.  `counter_++` on another module's
+#: relaxed atomic moves contended-update logic outside the owning class,
+#: where the memory-ordering contract that makes it safe is invisible.
+RMW_OPS = {"++", "--", "+=", "-=", "*=", "/=", "|=", "&=", "^="}
 
 #: Call results never recorded as taint dependencies: ubiquitous accessor
 #: names whose cross-class collisions would drown the analysis in noise.
@@ -73,7 +104,8 @@ class FunctionSummary:
                  "params", "calls", "acquires", "requires", "sig_annotated",
                  "guarded_uses", "crash_points", "sink_flows", "arg_flows",
                  "returns_direct_raw", "return_dep_calls",
-                 "return_dep_params", "raw_sink_findings")
+                 "return_dep_params", "raw_sink_findings",
+                 "lock_events", "blocking_calls", "rmw_uses", "branch_uses")
 
     def __init__(self, **kw):
         for slot in self.__slots__:
@@ -257,6 +289,136 @@ def _call_argument_range(toks, call_index, end):
     return (call_index + 2, end)
 
 
+#: Helper names never treated as a mutex operand of a lock constructor
+#: (`std::unique_lock lk(m, std::defer_lock)` and friends).
+_LOCK_TAG_IDENTS = {"std", "defer_lock", "adopt_lock", "try_to_lock",
+                    "mutex", "shared_mutex", "recursive_mutex"}
+
+
+def _brace_close_map(toks, func):
+    """{open_brace_index: close_brace_index} for every block inside the
+    function body (the body braces themselves included)."""
+    pairs = {}
+    stack = []
+    for i in range(func.body_start, func.body_end + 1):
+        t = toks[i].text
+        if t == "{":
+            stack.append(i)
+        elif t == "}" and stack:
+            pairs[stack.pop()] = i
+    return pairs
+
+
+def _innermost_scope_end(brace_pairs, func, index):
+    """Token index of the `}` closing the innermost block containing
+    `index` — the point where an RAII lock taken at `index` releases."""
+    best = func.body_end
+    for open_at, close_at in brace_pairs.items():
+        if open_at < index <= close_at and close_at < best:
+            best = close_at
+    return best
+
+
+def _qualify_mutex(name, owner, path):
+    """Member-style mutex names (trailing underscore) are qualified by the
+    owning class so `Ledger::mutex_` and `BaseStation::mutex_` stay
+    distinct nodes in the global lock graph; free/namespace-scope names
+    (pool_mutex, g_sink_mutex) are already unique and stay bare."""
+    if name.endswith("_"):
+        return f"{owner or stem(path)}::{name}"
+    return name
+
+
+def _lock_event(toks, i, func, owner, path, brace_pairs):
+    """Parses the RAII lock construction starting at the LOCK_ACQUIRE_IDENTS
+    token `i` into a lock event, or None when no mutex operand is visible
+    (deferred locks, bare declarations).
+
+    A multi-mutex `std::scoped_lock lock(a, b)` is ONE event: the standard
+    acquires its operands deadlock-free, so no ordering edge may be drawn
+    between them."""
+    # Find the constructor's paren, skipping any template argument list.
+    j = i + 1
+    limit = min(func.body_end, i + 40)
+    if j < limit and toks[j].text == "<":
+        depth = 0
+        while j < limit:
+            if toks[j].text == "<":
+                depth += 1
+            elif toks[j].text == ">":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+            j += 1
+    var = None
+    while j < limit and toks[j].text not in ("(", ";", "{", "}"):
+        if toks[j].kind == "ident":
+            var = toks[j].text
+        j += 1
+    if j >= limit or toks[j].text != "(":
+        return None  # deferred/bare declaration: nothing acquired here
+    # Comma-split the argument list; the mutex of each chunk is its last
+    # ident (`mutex_`, `other.mutex_`, `pool_mutex()` all end on it).
+    depth = 0
+    chunks = [[]]
+    k = j
+    while k <= func.body_end:
+        t = toks[k]
+        if t.text == "(":
+            depth += 1
+            if depth == 1:
+                k += 1
+                continue
+        elif t.text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        elif t.text == "," and depth == 1:
+            chunks.append([])
+            k += 1
+            continue
+        if depth >= 1:
+            chunks[-1].append(t)
+        k += 1
+    mutexes = []
+    for chunk in chunks:
+        idents = [t.text for t in chunk if t.kind == "ident"]
+        if not idents or idents[-1] in _LOCK_TAG_IDENTS:
+            continue
+        mutexes.append(_qualify_mutex(idents[-1], owner, path))
+    if not mutexes:
+        return None
+    return {"mutexes": sorted(set(mutexes)), "var": var,
+            "line": toks[i].line, "order": i,
+            "scope_end": _innermost_scope_end(brace_pairs, func, i)}
+
+
+def _condition_uses(toks, i, func):
+    """Own-member idents (trailing underscore, not behind `.`/`->` of
+    another object) read inside the `if`/`while` condition starting after
+    token `i`."""
+    if i + 1 > func.body_end or toks[i + 1].text != "(":
+        return []
+    uses = []
+    depth = 0
+    for j in range(i + 1, func.body_end):
+        t = toks[j]
+        if t.text == "(":
+            depth += 1
+        elif t.text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        elif t.kind == "ident" and t.text.endswith("_"):
+            prev = toks[j - 1].text if j > 0 else ""
+            prev2 = toks[j - 2].text if j > 1 else ""
+            if prev in (".", "->") and prev2 != "this":
+                continue
+            uses.append({"name": t.text, "line": t.line})
+    return uses
+
+
 def summarize_function(model, func):
     """Builds the FunctionSummary for one function, plus any function-local
     no-raw-to-sink findings (direct RAW reaching a sink)."""
@@ -275,10 +437,16 @@ def summarize_function(model, func):
                     requires.append(u.text)
                     break
 
+    owner = func.qualifier or func.type_scope
+    brace_pairs = _brace_close_map(toks, func)
     calls = []
     acquires = []
     guarded_uses = []
     crash_points = []
+    lock_events = []
+    blocking_calls = []
+    rmw_uses = []
+    branch_uses = []
     for i in range(func.body_start + 1, func.body_end):
         t = toks[i]
         if t.kind != "ident":
@@ -290,23 +458,62 @@ def summarize_function(model, func):
                 and i + 2 < len(toks) and toks[i + 2].kind == "string":
             crash_points.append(toks[i + 2].text.strip('"'))
             continue
+        if t.text in ("if", "while") and nxt == "(":
+            branch_uses.extend(_condition_uses(toks, i, func))
+            continue
         if nxt == "(" and t.text not in CPP_KEYWORDS \
-                and not _looks_like_macro(t.text) and prev != "~":
+                and not _looks_like_macro(t.text) and prev != "~" \
+                and not (prev == ">"
+                         or (i > 0 and toks[i - 1].kind == "ident"
+                             and prev not in CPP_KEYWORDS)):
+            # `Type name(args)` / `Tmpl<...> name(args)` is a declarator,
+            # not a call — recording `name` would wire the variable into
+            # the call graph (a lock_guard named `serialize` must not
+            # resolve to some class's serialize() method).
             member = prev in (".", "->")
             recv = prev2 if member and i > 1 and \
                 toks[i - 2].kind == "ident" else None
             calls.append({"name": t.text, "line": t.line, "order": i,
                           "member": member, "recv": recv})
+            if t.text in BLOCKING_CALL_IDENTS:
+                blocking_calls.append({"name": t.text, "line": t.line,
+                                       "order": i, "cv_arg": None})
+            elif t.text in CV_WAIT_IDENTS and member and recv \
+                    and "cv" in recv:
+                # The wait's own lock variable (first argument) is exempt
+                # from the held set when the blocking rule judges this
+                # site; any OTHER mutex held across the wait is a finding.
+                cv_arg = None
+                for u in toks[i + 2:i + 5]:
+                    if u.kind == "ident":
+                        cv_arg = u.text
+                        break
+                blocking_calls.append({"name": f"{recv}.{t.text}",
+                                       "line": t.line, "order": i,
+                                       "cv_arg": cv_arg or ""})
         if t.text in LOCK_ACQUIRE_IDENTS:
             window = [x.text for x in toks[i:i + 12] if x.kind == "ident"]
             acquires.append({"names": window, "order": i})
+            event = _lock_event(toks, i, func, owner, model.path,
+                                brace_pairs)
+            if event:
+                lock_events.append(event)
         elif nxt == "." and i + 2 < len(toks) \
                 and toks[i + 2].text == "lock":
             acquires.append({"names": [t.text], "order": i})
+            if t.text.endswith("_") or "mutex" in t.text:
+                lock_events.append({
+                    "mutexes": [_qualify_mutex(t.text, owner, model.path)],
+                    "var": t.text, "line": t.line, "order": i,
+                    # .lock()/.unlock() pairs are not scope-bound; assume
+                    # held to the end of the function (conservative).
+                    "scope_end": func.body_end})
         if t.text.endswith("_") and nxt != "(":
             if prev in (".", "->") and prev2 != "this":
                 continue  # member of some other object
             guarded_uses.append({"name": t.text, "line": t.line, "order": i})
+            if nxt in RMW_OPS or prev in ("++", "--"):
+                rmw_uses.append({"name": t.text, "line": t.line})
 
     # --- symbolic taint dataflow --------------------------------------
     raw_vars = set()
@@ -386,7 +593,9 @@ def summarize_function(model, func):
         arg_flows=arg_flows, returns_direct_raw=returns_direct_raw,
         return_dep_calls=sorted(return_dep_calls),
         return_dep_params=sorted(return_dep_params),
-        raw_sink_findings=None)
+        raw_sink_findings=None,
+        lock_events=lock_events, blocking_calls=blocking_calls,
+        rmw_uses=rmw_uses, branch_uses=branch_uses)
     return summary, raw_sink_findings
 
 
@@ -407,12 +616,92 @@ def collect_guarded_fields(model):
     return fields
 
 
+#: Annotation macros whose arguments NAME a mutex: a mutex referenced by
+#: any of these is documented — some field's guard, a capability the API
+#: declares.  Used by the atomic-discipline coverage check.
+_GUARD_REF_MACROS = {"PRC_GUARDED_BY", "PRC_PT_GUARDED_BY", "PRC_REQUIRES",
+                     "PRC_ACQUIRE", "PRC_RELEASE", "PRC_EXCLUDES"}
+
+#: std:: concurrency primitive type names whose field declarations the
+#: adoption gate inventories.  condition_variable is deliberately absent:
+#: a cv pairs with an (already inventoried) mutex and guards nothing.
+_PRIMITIVE_KINDS = {"mutex": "mutex", "shared_mutex": "mutex",
+                    "recursive_mutex": "mutex", "timed_mutex": "mutex",
+                    "atomic": "atomic", "atomic_flag": "atomic"}
+
+
+def collect_concurrency(model):
+    """Concurrency-primitive inventory for one file: every std::mutex /
+    std::atomic FIELD declaration (class or namespace scope — locals and
+    parameters are skipped) plus the set of mutex names referenced by any
+    thread-safety annotation.
+
+    {"decls": [{"kind", "name", "owner", "line"}], "guards": [names]}"""
+    toks = model.tokens
+    decls = []
+    guards = set()
+    spans = [(f.sig_start, f.body_end) for f in model.functions
+             if f.body_end is not None]
+
+    def in_function(index):
+        return any(a <= index <= b for a, b in spans)
+
+    for i, tok in enumerate(toks):
+        if tok.kind != "ident":
+            continue
+        if tok.text in _GUARD_REF_MACROS:
+            if i + 2 < len(toks) and toks[i + 1].text == "(":
+                for u in toks[i + 2:i + 8]:
+                    if u.text == ")":
+                        break
+                    if u.kind == "ident":
+                        guards.add(u.text)
+            continue
+        kind = _PRIMITIVE_KINDS.get(tok.text)
+        if kind is None:
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        prev2 = toks[i - 2].text if i > 1 else ""
+        if not (prev == "::" and prev2 == "std"):
+            continue
+        if in_function(i):
+            continue  # local variable or parameter, not a shared field
+        # Find the declared name: skip the template argument list, then
+        # take the next ident; require a declarator tail (`;`, `{`, `=`)
+        # so function declarations/returns are not mistaken for fields.
+        j = i + 1
+        if j < len(toks) and toks[j].text == "<":
+            depth = 0
+            while j < len(toks):
+                if toks[j].text == "<":
+                    depth += 1
+                elif toks[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        while j < len(toks) and toks[j].text in ("&", "*", "const"):
+            j += 1
+        if j >= len(toks) or toks[j].kind != "ident":
+            continue
+        name = toks[j].text
+        tail = toks[j + 1].text if j + 1 < len(toks) else ""
+        if tail not in (";", "{", "="):
+            continue
+        decls.append({"kind": kind, "name": name,
+                      "owner": model.token_type[i], "line": toks[j].line})
+    return {"decls": decls, "guards": sorted(guards)}
+
+
 def summarize_file(model):
-    """(summaries, guarded_fields, local_findings) for one FileModel."""
+    """(summaries, guarded_fields, concurrency, local_findings) for one
+    FileModel."""
     summaries = []
     findings = []
     for func in model.functions:
         summary, raw_findings = summarize_function(model, func)
         summaries.append(summary)
         findings.extend(raw_findings)
-    return summaries, collect_guarded_fields(model), findings
+    return (summaries, collect_guarded_fields(model),
+            collect_concurrency(model), findings)

@@ -21,6 +21,32 @@ from prc_lint_lib.engine import analyze_paths  # noqa: E402
 FIRES = "void cache_probe() { assert(1 == 1); }\n"   # no-bare-assert
 CLEAN = "void cache_probe() { int checked = 0; }\n"
 
+# ABBA through one call hop: exercises the CONCURRENCY summary fields
+# (lock_events + calls) across a cache round-trip — if lock events did
+# not survive serialization, the warm run would go silent.
+DEADLOCK = """#include <mutex>
+class OrderProbe {
+ public:
+  void forward() {
+    std::lock_guard<std::mutex> lock(a_mutex_);
+    take_b();
+  }
+  void backward() {
+    std::lock_guard<std::mutex> lock(b_mutex_);
+    take_a();
+  }
+ private:
+  void take_a() { std::lock_guard<std::mutex> lock(a_mutex_); }
+  void take_b() { std::lock_guard<std::mutex> lock(b_mutex_); }
+  std::mutex a_mutex_;
+  std::mutex b_mutex_;
+};
+"""
+# Same shape, both paths a-then-b: the cycle (and the finding) is gone.
+ORDERED = DEADLOCK.replace(
+    "std::lock_guard<std::mutex> lock(b_mutex_);\n    take_a();",
+    "std::lock_guard<std::mutex> lock(a_mutex_);\n    take_b();")
+
 
 def fail(message):
     print(f"lint_cache_test: FAIL — {message}")
@@ -59,6 +85,28 @@ def main():
         if edited.visible:
             return fail("stale findings served after content edit: "
                         + "; ".join(str(f) for f in edited.visible))
+
+        probe = os.path.join(tmp, "order_probe.cc")
+        with open(probe, "w", encoding="utf-8") as handle:
+            handle.write(DEADLOCK)
+        cold = analyze_paths([probe], cache_path=cache_path)
+        if sorted(f.rule for f in cold.visible) != ["lock-order"]:
+            return fail("cold run missed the ABBA deadlock: "
+                        + "; ".join(str(f) for f in cold.visible))
+        warm = analyze_paths([probe], cache_path=cache_path)
+        if warm.cache_hits != 1 or warm.cache_misses != 0:
+            return fail("deadlock probe was not served from the cache")
+        if sorted(f.rule for f in warm.visible) != ["lock-order"]:
+            return fail("lock events did not survive the cache round-trip: "
+                        + "; ".join(str(f) for f in warm.visible))
+        with open(probe, "w", encoding="utf-8") as handle:
+            handle.write(ORDERED)
+        fixed = analyze_paths([probe], cache_path=cache_path)
+        if fixed.cache_misses != 1:
+            return fail("lock-order edit did not invalidate the cache entry")
+        if fixed.visible:
+            return fail("stale lock-order finding after consistent-order "
+                        "edit: " + "; ".join(str(f) for f in fixed.visible))
 
         reopened = SummaryCache(cache_path, "some-other-engine-fingerprint")
         if reopened.entries:
